@@ -1,0 +1,117 @@
+// Ablation (§7 "Reducing memory fragmentation"): caching allocator vs DynaPipe's
+// pre-allocated unified pool under dynamic tensor shapes.
+//
+// Replays activation allocation traces from planned iterations — alloc at each
+// forward, free at the matching backward, sizes from the real micro-batch shapes —
+// through (a) a PyTorch-style caching allocator and (b) the pre-allocated pool.
+// Metrics: device malloc/free calls and cache flushes (each blocks the GPU in the
+// real system) and fragmentation at peak. Static 1F1B shapes are the control:
+// caching works fine there; dynamic shapes defeat it.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/runtime/planner.h"
+#include "src/sim/caching_allocator.h"
+
+namespace {
+
+using namespace dynapipe;
+
+struct TraceResult {
+  sim::AllocatorStats caching;
+  sim::AllocatorStats pooled;
+};
+
+// Replays per-stage activation traces of `iters` planned iterations.
+TraceResult ReplayTraces(const cost::PipelineCostModel& cm, bool dynamic_shapes,
+                         int iters) {
+  const int64_t budget =
+      static_cast<int64_t>(cm.ActivationBudgetMb() * (1ll << 20));
+  sim::CachingAllocator caching(budget);
+  sim::PooledAllocator pooled(budget);
+
+  const data::Dataset dataset = bench::BenchDataset(4000, 17);
+  data::MiniBatchSamplerOptions sopts;
+  sopts.global_batch_tokens = 32'768;
+  sopts.max_input_len = 2048;
+  data::MiniBatchSampler sampler(dataset, sopts);
+
+  runtime::PlannerOptions popts = bench::BenchPlanner();
+  popts.dynamic_recompute = false;
+  runtime::IterationPlanner planner(cm, popts);
+
+  for (int it = 0; it < iters && sampler.HasNext(); ++it) {
+    const auto minibatch = sampler.Next();
+    runtime::IterationPlan plan;
+    if (dynamic_shapes) {
+      plan = planner.PlanIteration(minibatch);
+    } else {
+      runtime::BaselineOptions base;  // packing: every shape identical
+      base.batching = runtime::BaselineBatching::kPacking;
+      base.microbatch_size = 2;
+      base.recompute = model::RecomputeMode::kSelective;
+      plan = runtime::PlanBaselineIteration(cm, base, minibatch);
+    }
+    if (!plan.feasible) {
+      continue;
+    }
+    // Stage-0 activation trace in schedule order.
+    const auto& replica = plan.replicas[0];
+    std::vector<std::optional<int64_t>> live_c(replica.micro_batches.size());
+    std::vector<std::optional<int64_t>> live_p(replica.micro_batches.size());
+    for (const auto& op : replica.schedule.devices[0]) {
+      const auto& m = replica.micro_batches[static_cast<size_t>(op.microbatch)];
+      const int64_t bytes = static_cast<int64_t>(
+          cm.StageActivationMb(0, m.shape, plan.recompute) * (1ll << 20));
+      if (bytes <= 0) {
+        continue;
+      }
+      const size_t i = static_cast<size_t>(op.microbatch);
+      if (!op.is_backward) {
+        live_c[i] = caching.Allocate(bytes);
+        live_p[i] = pooled.Allocate(bytes);
+      } else {
+        if (live_c[i].has_value()) {
+          caching.Free(*live_c[i]);
+          live_c[i].reset();
+        }
+        if (live_p[i].has_value()) {
+          pooled.Free(*live_p[i]);
+          live_p[i].reset();
+        }
+      }
+    }
+  }
+  return {caching.stats(), pooled.stats()};
+}
+
+void Report(const char* label, const TraceResult& r) {
+  TextTable table({"allocator", "allocs", "device_mallocs", "device_frees",
+                   "cache_flushes", "failed", "fragmentation"});
+  auto row = [&](const char* name, const sim::AllocatorStats& s) {
+    table.AddRow({name, std::to_string(s.alloc_requests),
+                  std::to_string(s.device_mallocs), std::to_string(s.device_frees),
+                  std::to_string(s.cache_flushes), std::to_string(s.failed_allocs),
+                  TextTable::Fmt(s.fragmentation() * 100.0, 1) + "%"});
+  };
+  row("caching (PyTorch-style)", r.caching);
+  row("pre-allocated pool", r.pooled);
+  std::printf("%s\n%s\n", label, table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation", "caching allocator vs pre-allocated pool (§7)");
+  const model::ModelConfig config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  const auto cm = cost::PipelineCostModel::Profile(config, hw, {1, 1, 4},
+                                                   bench::BenchProfile());
+  Report("static packed shapes (control):", ReplayTraces(cm, false, 12));
+  Report("dynamic micro-batch shapes:", ReplayTraces(cm, true, 12));
+  std::printf("takeaway: with static shapes the cache warms once; dynamic shapes "
+              "keep missing it — repeated device mallocs and flushes (blocking on "
+              "real GPUs), which DynaPipe avoids by pre-allocating one pool.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md / Fig. 11): the safety-stock vs memory trade-off. Sweeps the
+// per-device activation-memory limit handed to the memory-aware adaptive scheduler
+// (as a multiple of one micro-batch's activation) and reports makespan under
+// noise, realized memory high-water, and mean safety-stock slack. Tighter limits
+// force delayed injection (Fig. 11c): lower memory, longer makespan.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/schedule/adaptive_scheduler.h"
+#include "src/schedule/executor_simulator.h"
+#include "src/schedule/one_f_one_b.h"
+
+int main() {
+  using namespace dynapipe;
+  using namespace dynapipe::schedule;
+  bench::PrintHeader("Ablation", "injection depth: safety stock vs memory (Fig. 11)");
+
+  constexpr int32_t kStages = 4;
+  constexpr int32_t kMicrobatches = 16;
+  constexpr int kTrials = 30;
+  constexpr double kSigma = 0.5;
+
+  TextTable table({"mem_limit(x act)", "makespan(norm)", "high_water(x act)",
+                   "mean_slack_ms"});
+
+  // Reference: noiseless 1F1B.
+  const OpCosts base = OpCosts::Uniform(kStages, kMicrobatches, 1.0, 2.0, 1.0);
+  const double ref =
+      SimulateSchedule(OneFOneBSchedule(kMicrobatches, kStages), base).makespan_ms;
+
+  for (const double limit_factor : {1.05, 2.05, 3.05, 4.05, 6.05, 16.0}) {
+    RunningStats makespan;
+    RunningStats slack;
+    double high_water = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(static_cast<uint64_t>(trial) + 7);
+      OpCosts noisy = base;
+      for (int32_t j = 0; j < kStages; ++j) {
+        for (int32_t i = 0; i < kMicrobatches; ++i) {
+          const double f = std::max(0.05, 1.0 + rng.NextGaussian(0.0, kSigma));
+          noisy.fwd_ms[j][i] *= f;
+          noisy.bwd_ms[j][i] *= f;
+        }
+      }
+      AdaptiveScheduleOptions opts;
+      opts.device_limit_mb.assign(kStages, limit_factor);
+      const auto sched = MemoryAwareAdaptiveSchedule(noisy, opts);
+      if (!sched.has_value()) {
+        continue;
+      }
+      const SimulatedTimeline tl = SimulateSchedule(*sched, noisy);
+      makespan.Add(tl.makespan_ms);
+      const auto hw = ScheduleMemoryHighWater(*sched, noisy);
+      // Normalize realized high water by the (unit) activation size.
+      high_water = std::max(high_water, *std::max_element(hw.begin(), hw.end()));
+      for (int32_t i = 0; i < kMicrobatches; ++i) {
+        slack.Add(tl.fwd[kStages - 1][i].slack_ms());
+      }
+    }
+    table.AddRow({TextTable::Fmt(limit_factor, 2),
+                  TextTable::Fmt(makespan.mean() / ref, 3),
+                  TextTable::Fmt(high_water, 2), TextTable::Fmt(slack.mean(), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("takeaway: raising the memory limit deepens injection (larger high "
+              "water), building safety stock (slack) that absorbs noise — lower "
+              "makespan. Tight limits recover 1F1B-like memory at 1F1B-like "
+              "fragility (Fig. 11's trade-off).\n");
+  return 0;
+}

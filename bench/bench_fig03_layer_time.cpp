@@ -1,0 +1,33 @@
+// Fig. 3: computation time of a single T5-11B Transformer encoder layer vs
+// sequence length (micro-batch size 1). The property to reproduce is super-linear
+// growth: doubling the sequence length more than doubles layer time once
+// compute-bound.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/model/layer_perf_model.h"
+
+int main() {
+  using namespace dynapipe;
+  bench::PrintHeader("Fig. 3", "single T5-11B encoder layer time vs sequence length");
+
+  const model::ModelConfig config = model::ModelConfig::T5_11B();
+  const model::HardwareSpec hw;
+  const model::LayerPerfModel layer(config, hw, 1);
+
+  TextTable table({"seq_len", "fwd_ms", "bwd_ms", "ratio_vs_half", "flops(G)"});
+  double prev = 0.0;
+  for (int32_t s = 512; s <= 16'384; s *= 2) {
+    const double fwd = layer.EncoderLayerFwdMs(1, s);
+    const double bwd = layer.EncoderLayerBwdMs(1, s, model::RecomputeMode::kNone);
+    table.AddRow({std::to_string(s), TextTable::Fmt(fwd, 3), TextTable::Fmt(bwd, 3),
+                  prev > 0.0 ? TextTable::Fmt(fwd / prev, 2) : "-",
+                  TextTable::Fmt(layer.EncoderLayerFwdFlops(1, s) / 1e9, 1)});
+    prev = fwd;
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("paper reference: super-linear growth (ratio_vs_half > 2 at long "
+              "sequence lengths)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 4: preliminary comparison of packing vs dynamic micro-batching — normalized
+// training throughput and padding efficiency vs maximum sequence length, for GPT
+// and T5 on a fixed 4-GPU pipeline configuration. The shapes to reproduce: packing
+// throughput decays sharply with max sequence length while dynamic micro-batching
+// decays only mildly; padding efficiencies are comparable (both high).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace {
+
+using namespace dynapipe;
+
+void RunModel(model::ModelArch arch, const std::vector<int32_t>& seq_lens) {
+  const model::ModelConfig config = model::ModelConfig::ForCluster(arch, 4);
+  const model::HardwareSpec hw;
+  // Fixed parallelism isolates the batching policy (Fig. 4 is single-setting).
+  const model::ParallelConfig parallel =
+      arch == model::ModelArch::kGpt ? model::ParallelConfig{1, 1, 4}
+                                     : model::ParallelConfig{1, 2, 2};
+  runtime::Trainer trainer(config, hw, parallel, bench::BenchProfile());
+  const data::Dataset dataset = bench::BenchDataset();
+
+  runtime::TrainerOptions topts;
+  topts.global_batch_tokens = 65'536;
+  topts.max_iterations = 2;
+
+  struct Row {
+    int32_t seq;
+    double packing_tps = 0.0;
+    double packing_eff = 0.0;
+    double dynamic_tps = 0.0;
+    double dynamic_eff = 0.0;
+  };
+  std::vector<Row> rows;
+  double best_dynamic = 0.0;
+  for (const int32_t seq : seq_lens) {
+    Row row;
+    row.seq = seq;
+    topts.max_input_len = seq;
+    const runtime::EpochResult dyn =
+        trainer.RunEpoch(dataset, bench::BenchPlanner(), topts);
+    if (dyn.feasible) {
+      row.dynamic_tps = dyn.tokens_per_second();
+      row.dynamic_eff = dyn.padding.overall_efficiency();
+      best_dynamic = std::max(best_dynamic, row.dynamic_tps);
+    }
+    // Packing baseline: best over a small micro-batch-size / recompute sweep.
+    for (const int32_t mbs : {1, 2, 4, 8}) {
+      for (const auto mode : {model::RecomputeMode::kNone,
+                              model::RecomputeMode::kSelective,
+                              model::RecomputeMode::kFull}) {
+        runtime::BaselineOptions base;
+        base.batching = runtime::BaselineBatching::kPacking;
+        base.microbatch_size = mbs;
+        base.recompute = mode;
+        const runtime::EpochResult packed =
+            trainer.RunEpochBaseline(dataset, base, topts);
+        if (packed.feasible && packed.tokens_per_second() > row.packing_tps) {
+          row.packing_tps = packed.tokens_per_second();
+          row.packing_eff = packed.padding.overall_efficiency();
+        }
+      }
+    }
+    rows.push_back(row);
+  }
+
+  TextTable table({"max_seq_len", "packing_tput(norm)", "dynamic_tput(norm)",
+                   "packing_pad_eff", "dynamic_pad_eff"});
+  for (const auto& row : rows) {
+    table.AddRow({std::to_string(row.seq),
+                  TextTable::Fmt(row.packing_tps / best_dynamic, 3),
+                  TextTable::Fmt(row.dynamic_tps / best_dynamic, 3),
+                  TextTable::Fmt(row.packing_eff, 3),
+                  TextTable::Fmt(row.dynamic_eff, 3)});
+  }
+  std::printf("%s (%s, %s)\n%s",
+              arch == model::ModelArch::kGpt ? "GPT" : "T5", config.name.c_str(),
+              parallel.ToString().c_str(), table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 4", "packing vs dynamic micro-batching");
+  RunModel(model::ModelArch::kGpt, {512, 1024, 2048, 4096, 8192});
+  RunModel(model::ModelArch::kT5, {512, 1024, 2048, 4096});
+  std::printf("paper reference: packing throughput drops >50%% from 512 to 8192; "
+              "dynamic micro-batching only slightly; padding efficiency comparable "
+              "(Fig. 4)\n");
+  return 0;
+}

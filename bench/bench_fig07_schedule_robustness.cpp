@@ -1,0 +1,64 @@
+// Fig. 7: per-iteration makespan of 1F1B vs adaptive scheduling under zero-mean
+// Gaussian disturbance of micro-batch execution time, for 2/4/8/16 pipeline
+// stages. Makespans are normalized to each schedule's no-noise case and averaged
+// over trials. The shape to reproduce: 1F1B's makespan grows rapidly with the
+// noise level (especially at more stages); adaptive stays much flatter.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/schedule/adaptive_scheduler.h"
+#include "src/schedule/executor_simulator.h"
+#include "src/schedule/one_f_one_b.h"
+
+int main() {
+  using namespace dynapipe;
+  using namespace dynapipe::schedule;
+  bench::PrintHeader("Fig. 7", "makespan vs micro-batch execution-time variation");
+
+  constexpr int32_t kMicrobatches = 32;
+  constexpr int kTrials = 20;
+  const std::vector<int32_t> stage_counts{2, 4, 8, 16};
+  const std::vector<double> sigmas{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+
+  TextTable table({"stages", "sigma", "1F1B(norm)", "adaptive(norm)"});
+  for (const int32_t c : stage_counts) {
+    const OpCosts base = OpCosts::Uniform(c, kMicrobatches, 1.0, 2.0, 1.0);
+    const double base_1f1b =
+        SimulateSchedule(OneFOneBSchedule(kMicrobatches, c), base).makespan_ms;
+    const auto adaptive_base = MemoryAwareAdaptiveSchedule(base);
+    const double base_adaptive =
+        SimulateSchedule(*adaptive_base, base).makespan_ms;
+
+    for (const double sigma : sigmas) {
+      double total_1f1b = 0.0;
+      double total_adaptive = 0.0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(static_cast<uint64_t>(trial) * 1000 +
+                static_cast<uint64_t>(sigma * 10) + c);
+        OpCosts noisy = base;
+        for (int32_t j = 0; j < c; ++j) {
+          for (int32_t i = 0; i < kMicrobatches; ++i) {
+            const double factor = std::max(0.05, 1.0 + rng.NextGaussian(0.0, sigma));
+            noisy.fwd_ms[j][i] *= factor;
+            noisy.bwd_ms[j][i] *= factor;
+          }
+        }
+        total_1f1b +=
+            SimulateSchedule(OneFOneBSchedule(kMicrobatches, c), noisy).makespan_ms;
+        const auto adaptive = MemoryAwareAdaptiveSchedule(noisy);
+        total_adaptive += SimulateSchedule(*adaptive, noisy).makespan_ms;
+      }
+      table.AddRow({std::to_string(c), TextTable::Fmt(sigma, 1),
+                    TextTable::Fmt(total_1f1b / kTrials / base_1f1b, 3),
+                    TextTable::Fmt(total_adaptive / kTrials / base_adaptive, 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("paper reference: 1F1B normalized makespan reaches ~1.6-2.6x at "
+              "sigma=3 (worse with more stages); adaptive stays well below "
+              "(Fig. 7)\n");
+  return 0;
+}

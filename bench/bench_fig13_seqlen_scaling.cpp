@@ -1,0 +1,65 @@
+// Fig. 13: end-to-end training throughput (non-padding tokens/s) vs maximum
+// sequence length, for GPT and T5 with grid-searched parallelism:
+//   MLM+DS      — packing baseline at its own best (dp, tp, pp, mbs, recompute)
+//   MLM+DS (C)  — packing baseline forced onto DynaPipe's best parallelism
+//   DynaPipe    — dynamic micro-batching + adaptive schedule + comm planning
+// Global batch fixed at 65536 tokens. 4- and 8-GPU clusters (the paper's
+// single-node artifact subset: Fig. 13 a, b, e, f).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace {
+
+using namespace dynapipe;
+
+void RunCluster(model::ModelArch arch, int32_t num_gpus,
+                const std::vector<int32_t>& seq_lens) {
+  const model::ModelConfig config = model::ModelConfig::ForCluster(arch, num_gpus);
+  const model::HardwareSpec hw;
+  const data::Dataset dataset = bench::BenchDataset();
+
+  TextTable table({"max_seq_len", "MLM+DS(C)", "MLM+DS", "DynaPipe", "dyna_cfg",
+                   "mlmds_cfg", "speedup"});
+  for (const int32_t seq : seq_lens) {
+    runtime::GridSearchOptions grid = bench::BenchGrid(65'536, seq);
+    const runtime::DynaPipeSearchResult dyna = runtime::GridSearchDynaPipe(
+        config, hw, num_gpus, dataset, bench::BenchPlanner(), grid);
+    const runtime::BaselineSearchResult mlmds = runtime::GridSearchBaseline(
+        config, hw, num_gpus, dataset, runtime::BaselineBatching::kPacking, grid);
+    runtime::BaselineSearchResult constrained;
+    if (dyna.found) {
+      constrained = runtime::GridSearchBaselineAtParallel(
+          config, hw, dyna.best, dataset, runtime::BaselineBatching::kPacking, grid);
+    }
+    const double speedup = (dyna.found && mlmds.found && mlmds.tokens_per_second > 0)
+                               ? dyna.tokens_per_second / mlmds.tokens_per_second
+                               : 0.0;
+    table.AddRow(
+        {std::to_string(seq),
+         constrained.found ? TextTable::Fmt(constrained.tokens_per_second, 0) : "OOM",
+         mlmds.found ? TextTable::Fmt(mlmds.tokens_per_second, 0) : "OOM",
+         dyna.found ? TextTable::Fmt(dyna.tokens_per_second, 0) : "OOM",
+         dyna.found ? dyna.best.ToString() : "-",
+         mlmds.found ? mlmds.best.ToString() : "-",
+         speedup > 0 ? TextTable::Fmt(speedup, 2) + "x" : "-"});
+  }
+  std::printf("-- %s on %d GPUs (tokens/s) --\n%s\n", config.name.c_str(), num_gpus,
+              table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 13", "throughput vs maximum sequence length");
+  RunCluster(model::ModelArch::kGpt, 4, {512, 1024, 2048, 4096, 8192});
+  RunCluster(model::ModelArch::kGpt, 8, {512, 1024, 2048, 4096, 8192});
+  RunCluster(model::ModelArch::kT5, 4, {512, 1024, 2048, 4096});
+  RunCluster(model::ModelArch::kT5, 8, {512, 1024, 2048, 4096});
+  std::printf("paper reference: MLM+DS decays rapidly with max seq len; DynaPipe "
+              "decays mildly (tracks average not max length); speedups up to "
+              "4.39x (T5) / 3.25x (GPT); DynaPipe scales to seq lens where "
+              "baselines OOM (Fig. 13)\n");
+  return 0;
+}

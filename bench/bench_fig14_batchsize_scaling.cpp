@@ -1,0 +1,57 @@
+// Fig. 14: training throughput vs global batch size (tokens) at max sequence
+// length 2048, for GPT and T5 on 4 and 8 GPUs, MLM+DS vs MLM+DS(C) vs DynaPipe.
+// The shapes to reproduce: throughput grows with global batch size for both
+// systems, and DynaPipe grows faster (larger batches give its DP more
+// micro-batch-splitting opportunities).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace {
+
+using namespace dynapipe;
+
+void RunCluster(model::ModelArch arch, int32_t num_gpus) {
+  const model::ModelConfig config = model::ModelConfig::ForCluster(arch, num_gpus);
+  const model::HardwareSpec hw;
+  const data::Dataset dataset = bench::BenchDataset();
+
+  TextTable table({"global_batch", "MLM+DS(C)", "MLM+DS", "DynaPipe", "speedup"});
+  for (const int64_t batch : {16'384ll, 32'768ll, 65'536ll, 131'072ll}) {
+    runtime::GridSearchOptions grid = bench::BenchGrid(batch, 2048);
+    const runtime::DynaPipeSearchResult dyna = runtime::GridSearchDynaPipe(
+        config, hw, num_gpus, dataset, bench::BenchPlanner(), grid);
+    const runtime::BaselineSearchResult mlmds = runtime::GridSearchBaseline(
+        config, hw, num_gpus, dataset, runtime::BaselineBatching::kPacking, grid);
+    runtime::BaselineSearchResult constrained;
+    if (dyna.found) {
+      constrained = runtime::GridSearchBaselineAtParallel(
+          config, hw, dyna.best, dataset, runtime::BaselineBatching::kPacking, grid);
+    }
+    const double speedup = (dyna.found && mlmds.found && mlmds.tokens_per_second > 0)
+                               ? dyna.tokens_per_second / mlmds.tokens_per_second
+                               : 0.0;
+    table.AddRow(
+        {std::to_string(batch),
+         constrained.found ? TextTable::Fmt(constrained.tokens_per_second, 0) : "OOM",
+         mlmds.found ? TextTable::Fmt(mlmds.tokens_per_second, 0) : "OOM",
+         dyna.found ? TextTable::Fmt(dyna.tokens_per_second, 0) : "OOM",
+         speedup > 0 ? TextTable::Fmt(speedup, 2) + "x" : "-"});
+  }
+  std::printf("-- %s on %d GPUs (tokens/s, max_seq_len 2048) --\n%s\n",
+              config.name.c_str(), num_gpus, table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 14", "throughput vs global batch size");
+  RunCluster(model::ModelArch::kGpt, 4);
+  RunCluster(model::ModelArch::kGpt, 8);
+  RunCluster(model::ModelArch::kT5, 4);
+  RunCluster(model::ModelArch::kT5, 8);
+  std::printf("paper reference: both systems improve with batch size; DynaPipe "
+              "improves faster (Fig. 14)\n");
+  return 0;
+}

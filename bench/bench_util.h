@@ -1,0 +1,67 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure from the paper's evaluation
+// (§8). They print the same rows/series the paper reports; absolute numbers come
+// from the simulated cluster (see DESIGN.md §2), so the *shape* — who wins, by
+// roughly what factor, where crossovers fall — is the comparison target, recorded
+// in EXPERIMENTS.md.
+#ifndef DYNAPIPE_BENCH_BENCH_UTIL_H_
+#define DYNAPIPE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/flan_generator.h"
+#include "src/model/hardware_spec.h"
+#include "src/model/model_config.h"
+#include "src/runtime/grid_search.h"
+#include "src/runtime/planner.h"
+#include "src/runtime/trainer.h"
+
+namespace dynapipe::bench {
+
+inline data::Dataset BenchDataset(int64_t num_samples = 4000, uint64_t seed = 42) {
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = num_samples;
+  gen.seed = seed;
+  return data::GenerateFlanLikeDataset(gen);
+}
+
+inline cost::ProfileOptions BenchProfile() {
+  cost::ProfileOptions opts;
+  opts.max_microbatch_size = 128;
+  opts.max_seq_len = 16'384;
+  return opts;
+}
+
+inline runtime::PlannerOptions BenchPlanner() {
+  runtime::PlannerOptions opts;
+  opts.max_tmax_candidates = 96;
+  opts.tmax_interval_ms = 0.2;
+  opts.max_microbatch_size = 128;
+  opts.dynamic_recompute = true;
+  return opts;
+}
+
+inline runtime::GridSearchOptions BenchGrid(int64_t global_batch_tokens,
+                                            int32_t max_input_len,
+                                            int32_t eval_iterations = 2) {
+  runtime::GridSearchOptions opts;
+  opts.eval_iterations = eval_iterations;
+  opts.profile = BenchProfile();
+  opts.trainer.global_batch_tokens = global_batch_tokens;
+  opts.trainer.max_input_len = max_input_len;
+  opts.microbatch_sizes = {1, 2, 4, 8, 16};
+  opts.recompute_modes = {model::RecomputeMode::kNone,
+                          model::RecomputeMode::kSelective,
+                          model::RecomputeMode::kFull};
+  return opts;
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), what.c_str());
+}
+
+}  // namespace dynapipe::bench
+
+#endif  // DYNAPIPE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,122 @@
+// Deadlock demo (§2.3 / §6): why dynamic pipelines need communication planning.
+//
+// Builds one adaptive-schedule iteration and executes it on NCCL-like channels
+// three ways:
+//   1. naive unfused  — send at production, receive at use, sequential launches:
+//                       DEADLOCKS (shown with the channel-head diagnostic);
+//   2. naive + fixed 1F1B-style fused pairs on a *uniform* 1F1B schedule: works
+//                       (this is the Megatron-LM status quo);
+//   3. DynaPipe's planner — sends and receives co-scheduled at tensor production
+//                       time: deadlock-free for the dynamic schedule, verified
+//                       statically and by execution.
+//
+// Run: ./build/examples/deadlock_demo
+#include <cstdio>
+
+#include "src/comm/comm_planner.h"
+#include "src/comm/verify.h"
+#include "src/common/rng.h"
+#include "src/schedule/adaptive_scheduler.h"
+#include "src/schedule/executor_simulator.h"
+#include "src/schedule/one_f_one_b.h"
+#include "src/sim/cluster_sim.h"
+
+namespace {
+
+using namespace dynapipe;
+
+class DemoGroundTruth : public sim::GroundTruth {
+ public:
+  double ComputeMs(int32_t, const sim::Instruction& instr) override {
+    const double tokens = static_cast<double>(instr.shape.padded_tokens());
+    return (instr.type == sim::InstrType::kForwardPass ? 1.0 : 2.0) *
+           (0.1 + tokens / 1000.0);
+  }
+  double ActivationMb(int32_t, const sim::Instruction& instr) override {
+    return static_cast<double>(instr.shape.padded_tokens()) / 100.0;
+  }
+  double TransferMs(int32_t, int32_t, int64_t bytes) override {
+    return 0.01 + static_cast<double>(bytes) / 1e7;
+  }
+};
+
+void Execute(const char* label, const sim::ExecutionPlan& plan, int32_t stages) {
+  DemoGroundTruth gt;
+  sim::ClusterSim cluster(stages, &gt);
+  const sim::SimResult res = cluster.Run(plan);
+  const auto violations = comm::VerifyChannelOrderConsistency(plan);
+  std::printf("%-34s static check: %-22s execution: ", label,
+              violations.empty() ? "consistent"
+                                 : (std::to_string(violations.size()) + " conflicts").c_str());
+  if (res.deadlocked) {
+    std::printf("DEADLOCK\n    diagnostic: %.160s...\n", res.diagnostic.c_str());
+  } else {
+    std::printf("completed in %.1f ms\n", res.makespan_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr int32_t kStages = 4;
+  constexpr int32_t kMicrobatches = 12;
+
+  // Variable-size micro-batches (the dynamic-pipeline setting).
+  Rng rng(5);
+  schedule::OpCosts costs;
+  std::vector<model::MicroBatchShape> shapes(kMicrobatches);
+  costs.fwd_ms.assign(kStages, std::vector<double>(kMicrobatches));
+  costs.bwd_ms = costs.fwd_ms;
+  costs.act_mb = costs.fwd_ms;
+  for (int32_t i = 0; i < kMicrobatches; ++i) {
+    shapes[i] = {static_cast<int32_t>(rng.NextInt(1, 8)),
+                 static_cast<int32_t>(rng.NextInt(64, 2048)), 0};
+    const double tokens = static_cast<double>(shapes[i].padded_tokens());
+    for (int32_t j = 0; j < kStages; ++j) {
+      costs.fwd_ms[j][i] = 0.1 + tokens / 1000.0;
+      costs.bwd_ms[j][i] = 2.0 * costs.fwd_ms[j][i];
+      costs.act_mb[j][i] = tokens / 100.0;
+    }
+  }
+
+  const auto adaptive = schedule::MemoryAwareAdaptiveSchedule(costs);
+  const auto adaptive_tl = schedule::SimulateSchedule(*adaptive, costs);
+
+  comm::CommPlannerInputs inputs;
+  inputs.schedule = &*adaptive;
+  inputs.timeline = &adaptive_tl;
+  inputs.shapes = shapes;
+  inputs.boundary_bytes = [&](int32_t, int32_t mb) {
+    return static_cast<int64_t>(shapes[mb].padded_tokens()) * 128;
+  };
+
+  std::printf("adaptive schedule, %d dynamic micro-batches, %d stages\n\n",
+              kMicrobatches, kStages);
+
+  comm::NaivePlanOptions unfused;
+  unfused.fuse_adjacent_pairs = false;
+  Execute("1. naive (unfused):", comm::PlanCommunicationNaive(inputs, unfused),
+          kStages);
+
+  // The Megatron status quo only exists for uniform 1F1B.
+  const auto one_f_one_b = schedule::OneFOneBSchedule(kMicrobatches, kStages);
+  schedule::OpCosts uniform =
+      schedule::OpCosts::Uniform(kStages, kMicrobatches, 1.0, 2.0, 1.0);
+  const auto uniform_tl = schedule::SimulateSchedule(one_f_one_b, uniform);
+  comm::CommPlannerInputs uniform_inputs = inputs;
+  uniform_inputs.schedule = &one_f_one_b;
+  uniform_inputs.timeline = &uniform_tl;
+  std::vector<model::MicroBatchShape> uniform_shapes(kMicrobatches, {2, 512, 0});
+  uniform_inputs.shapes = uniform_shapes;
+  uniform_inputs.boundary_bytes = [](int32_t, int32_t) { return int64_t{131072}; };
+  Execute("2. 1F1B + fused pairs (Megatron):",
+          comm::PlanCommunicationNaive(uniform_inputs), kStages);
+
+  Execute("3. DynaPipe comm planner:", comm::PlanCommunication(inputs), kStages);
+
+  std::printf("\ntakeaway: under dynamic schedules the naive order deadlocks on\n"
+              "NCCL-like ordered channels; DynaPipe co-schedules every send with its\n"
+              "receive at tensor-production time, keeping all per-pair orders\n"
+              "consistent without fused primitives (Fig. 8, Fig. 12).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Memory pressure demo (§5 / Fig. 11): the memory-aware adaptive scheduler and
+// dynamic recomputation under a shrinking device-memory budget.
+//
+// Runs the same GPT iteration while the per-device activation budget shrinks, and
+// shows how the system adapts: first by delaying micro-batch injection (lower
+// peak, slightly longer makespan), then by switching recomputation modes, and
+// finally reports infeasibility only when a single micro-batch cannot fit.
+//
+// Run: ./build/examples/memory_pressure
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/data/flan_generator.h"
+#include "src/runtime/ground_truth.h"
+#include "src/runtime/planner.h"
+#include "src/sim/cluster_sim.h"
+
+int main() {
+  using namespace dynapipe;
+
+  const model::ModelConfig config = model::ModelConfig::Gpt3_35B();
+  const model::ParallelConfig parallel{1, 1, 4};
+
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 3000;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  std::vector<data::Sample> minibatch;
+  int64_t tokens = 0;
+  for (const auto& s : dataset.samples()) {
+    const data::Sample t = data::Truncate(s, 4096, 0);
+    minibatch.push_back(t);
+    if ((tokens += t.total_tokens()) > 65'536) {
+      break;
+    }
+  }
+
+  TextTable table({"device_mem(GB)", "feasible", "recompute", "#microbatches",
+                   "predicted_ms", "measured_peak(MB)", "makespan_ms"});
+  for (const double mem_gb : {40.0, 26.0, 20.0, 17.0, 15.5, 15.0}) {
+    model::HardwareSpec hw;
+    hw.device_memory_mb = mem_gb * 1024.0;
+    const auto cost_model = cost::PipelineCostModel::Profile(config, hw, parallel, {});
+    runtime::PlannerOptions popts;
+    const runtime::IterationPlanner planner(cost_model, popts);
+    const runtime::IterationPlan plan = planner.PlanIteration(minibatch);
+    if (!plan.feasible) {
+      table.AddRow({TextTable::Fmt(mem_gb, 1), "no (" + plan.infeasible_reason + ")",
+                    "-", "-", "-", "-", "-"});
+      continue;
+    }
+    runtime::SimGroundTruth gt(config, hw, parallel, 0.05, 3);
+    sim::ClusterSimOptions sim_opts;
+    sim_opts.static_memory_mb = gt.StaticMemoryMb();
+    sim_opts.memory_limit_mb = hw.usable_memory_mb();
+    sim::ClusterSim cluster(parallel.pp, &gt, sim_opts);
+    const sim::SimResult res = cluster.Run(plan.replicas[0].exec_plan);
+    double peak = 0.0;
+    for (const auto& dev : res.devices) {
+      peak = std::max(peak, dev.peak_memory_mb);
+    }
+    table.AddRow({TextTable::Fmt(mem_gb, 1),
+                  res.oom ? "OOM at runtime!" : "yes",
+                  model::RecomputeModeName(plan.recompute),
+                  std::to_string(plan.total_microbatches()),
+                  TextTable::Fmt(plan.predicted_iteration_ms, 1),
+                  TextTable::Fmt(peak, 0), TextTable::Fmt(res.makespan_ms, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\ntakeaway: as memory shrinks the planner first delays injection and\n"
+              "re-partitions micro-batches, then pays recompute overhead, and only\n"
+              "reports OOM when even a single micro-batch cannot fit (Alg. 1,\n"
+              "dynamic recomputation, Fig. 11c).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "src/baselines/batchers.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::baselines {
+namespace {
+
+std::vector<mb::MicroBatch> ChunkBySize(const std::vector<data::Sample>& samples,
+                                        int32_t microbatch_size) {
+  DYNAPIPE_CHECK(microbatch_size >= 1);
+  std::vector<mb::MicroBatch> out;
+  for (size_t start = 0; start < samples.size();
+       start += static_cast<size_t>(microbatch_size)) {
+    const size_t end =
+        std::min(samples.size(), start + static_cast<size_t>(microbatch_size));
+    out.push_back(mb::MakeMicroBatch(std::vector<data::Sample>(
+        samples.begin() + static_cast<ptrdiff_t>(start),
+        samples.begin() + static_cast<ptrdiff_t>(end))));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<mb::MicroBatch> NaivePaddingMicroBatches(
+    const std::vector<data::Sample>& samples, int32_t microbatch_size) {
+  return ChunkBySize(samples, microbatch_size);
+}
+
+std::vector<mb::MicroBatch> FixedSizeMicroBatches(
+    const std::vector<data::Sample>& ordered, int32_t microbatch_size) {
+  return ChunkBySize(ordered, microbatch_size);
+}
+
+std::vector<mb::MicroBatch> TokenBasedMicroBatches(
+    const std::vector<data::Sample>& ordered, int64_t tokens_per_microbatch) {
+  DYNAPIPE_CHECK(tokens_per_microbatch >= 1);
+  std::vector<mb::MicroBatch> out;
+  std::vector<data::Sample> cur;
+  int32_t max_input = 0;
+  int32_t max_target = 0;
+  for (const auto& s : ordered) {
+    const int32_t next_input = std::max(max_input, s.input_len);
+    const int32_t next_target = std::max(max_target, s.target_len);
+    const int64_t padded = static_cast<int64_t>(cur.size() + 1) *
+                           (int64_t{next_input} + int64_t{next_target});
+    if (!cur.empty() && padded > tokens_per_microbatch) {
+      out.push_back(mb::MakeMicroBatch(std::move(cur)));
+      cur.clear();
+      max_input = 0;
+      max_target = 0;
+    }
+    max_input = std::max(max_input, s.input_len);
+    max_target = std::max(max_target, s.target_len);
+    cur.push_back(s);
+  }
+  if (!cur.empty()) {
+    out.push_back(mb::MakeMicroBatch(std::move(cur)));
+  }
+  return out;
+}
+
+}  // namespace dynapipe::baselines

@@ -1,0 +1,34 @@
+// Alternative micro-batching baselines the paper compares against (§2.3, Fig. 5 and
+// the Fig. 16a ablation):
+//
+//  - NaivePaddingMicroBatches: fixed micro-batch size over *unsorted* samples, every
+//    sample padded to the micro-batch maximum (the ">80% padding" strawman).
+//  - FixedSizeMicroBatches: fixed micro-batch size over ordered samples.
+//  - TokenBasedMicroBatches: split ordered samples so each micro-batch holds roughly
+//    the same number of (padded) tokens — fewer samples at longer lengths.
+#ifndef DYNAPIPE_SRC_BASELINES_BATCHERS_H_
+#define DYNAPIPE_SRC_BASELINES_BATCHERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/mb/micro_batch.h"
+
+namespace dynapipe::baselines {
+
+std::vector<mb::MicroBatch> NaivePaddingMicroBatches(
+    const std::vector<data::Sample>& samples, int32_t microbatch_size);
+
+// `ordered` is expected in planning order (e.g. mb::OrderSamples output).
+std::vector<mb::MicroBatch> FixedSizeMicroBatches(
+    const std::vector<data::Sample>& ordered, int32_t microbatch_size);
+
+// Each micro-batch closes once its padded token count (samples-so-far times the
+// running max lengths) reaches `tokens_per_microbatch`.
+std::vector<mb::MicroBatch> TokenBasedMicroBatches(
+    const std::vector<data::Sample>& ordered, int64_t tokens_per_microbatch);
+
+}  // namespace dynapipe::baselines
+
+#endif  // DYNAPIPE_SRC_BASELINES_BATCHERS_H_

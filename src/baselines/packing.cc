@@ -1,0 +1,86 @@
+#include "src/baselines/packing.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::baselines {
+
+std::vector<PackedBin> PackSamples(const std::vector<data::Sample>& samples,
+                                   const PackingOptions& options) {
+  DYNAPIPE_CHECK(options.max_input_len >= 1);
+  const int32_t max_target = options.max_target_len > 0
+                                 ? options.max_target_len
+                                 : std::max(1, options.max_input_len / 4);
+
+  std::vector<data::Sample> work;
+  work.reserve(samples.size());
+  for (const auto& s : samples) {
+    work.push_back(data::Truncate(s, options.max_input_len,
+                                  s.target_len > 0 ? max_target : 0));
+  }
+  if (options.sort_before_packing) {
+    std::sort(work.begin(), work.end(),
+              [](const data::Sample& a, const data::Sample& b) {
+                return a.total_tokens() > b.total_tokens();
+              });
+  }
+
+  std::vector<PackedBin> bins;
+  for (const auto& s : work) {
+    bool placed = false;
+    for (auto& bin : bins) {  // first fit
+      const bool input_fits = bin.input_fill + s.input_len <= options.max_input_len;
+      const bool target_fits =
+          s.target_len == 0 || bin.target_fill + s.target_len <= max_target;
+      if (input_fits && target_fits) {
+        bin.members.push_back(s);
+        bin.input_fill += s.input_len;
+        bin.target_fill += s.target_len;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      PackedBin bin;
+      bin.members.push_back(s);
+      bin.input_fill = s.input_len;
+      bin.target_fill = s.target_len;
+      bins.push_back(std::move(bin));
+    }
+  }
+  return bins;
+}
+
+std::vector<mb::MicroBatch> PackedMicroBatches(const std::vector<PackedBin>& bins,
+                                               int32_t microbatch_size,
+                                               int32_t max_input_len,
+                                               int32_t max_target_len) {
+  DYNAPIPE_CHECK(microbatch_size >= 1);
+  DYNAPIPE_CHECK(max_input_len >= 1);
+  std::vector<mb::MicroBatch> out;
+  for (size_t start = 0; start < bins.size();
+       start += static_cast<size_t>(microbatch_size)) {
+    const size_t end =
+        std::min(bins.size(), start + static_cast<size_t>(microbatch_size));
+    std::vector<data::Sample> packed;
+    bool any_target = false;
+    for (size_t b = start; b < end; ++b) {
+      data::Sample seq;
+      seq.id = static_cast<uint64_t>(b);
+      seq.task_id = -1;  // packed sequences span tasks
+      seq.input_len = bins[b].input_fill;
+      seq.target_len = bins[b].target_fill;
+      any_target = any_target || seq.target_len > 0;
+      packed.push_back(seq);
+    }
+    mb::MicroBatch m = mb::MakeMicroBatch(std::move(packed));
+    // Static packed dataloaders emit fixed-shape tensors regardless of fill.
+    m.shape.input_len = max_input_len;
+    m.shape.target_len = any_target ? max_target_len : 0;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace dynapipe::baselines

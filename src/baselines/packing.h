@@ -1,0 +1,60 @@
+// Packing baseline (the MLM+DS approach of §2.2 / §8).
+//
+// Short samples are concatenated along the sequence dimension into bins whose
+// length matches the configured maximum sequence length; samples longer than the
+// maximum are truncated. For encoder–decoder models a bin packs both sequences
+// (a sample fits if its input fits the remaining input capacity AND its target fits
+// the remaining target capacity). Each bin becomes one packed "sample"; bins are
+// then grouped into fixed-size micro-batches.
+//
+// Packing is padding-efficient but pays quadratic attention compute over the packed
+// length — which the performance model charges naturally, reproducing Fig. 3/4's
+// throughput gap. Cross-contamination masking (extra attention masks between packed
+// samples) is a model-correctness concern, not a simulated-cost one, and is noted
+// in DESIGN.md.
+#ifndef DYNAPIPE_SRC_BASELINES_PACKING_H_
+#define DYNAPIPE_SRC_BASELINES_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/mb/micro_batch.h"
+
+namespace dynapipe::baselines {
+
+struct PackingOptions {
+  int32_t max_input_len = 2048;
+  // <= 0 derives the target capacity from max_input_len / 4 (FLANv2 targets are much
+  // shorter than inputs); ignored for decoder-only models (target_len == 0).
+  int32_t max_target_len = 0;
+  // First-fit over arrival order (preserves sampling randomness, like the
+  // production dataloaders); true sorts by length first (first-fit decreasing).
+  bool sort_before_packing = false;
+};
+
+struct PackedBin {
+  std::vector<data::Sample> members;
+  int32_t input_fill = 0;
+  int32_t target_fill = 0;
+};
+
+// Packs (truncated) samples into bins.
+std::vector<PackedBin> PackSamples(const std::vector<data::Sample>& samples,
+                                   const PackingOptions& options);
+
+// Converts bins into micro-batches of `microbatch_size` packed sequences each
+// (the last micro-batch may be smaller). Every packed sequence is represented as
+// one synthetic sample of length (input_fill, target_fill) so real-token
+// accounting flows through, but the micro-batch *shape* is the fixed
+// (max_input_len, max_target_len) the static packed dataloader emits — for T5 the
+// input dimension saturates first, leaving the decoder dimension mostly padding
+// (the paper's Fig. 15b). Pass max_target_len = 0 for decoder-only models.
+std::vector<mb::MicroBatch> PackedMicroBatches(const std::vector<PackedBin>& bins,
+                                               int32_t microbatch_size,
+                                               int32_t max_input_len,
+                                               int32_t max_target_len);
+
+}  // namespace dynapipe::baselines
+
+#endif  // DYNAPIPE_SRC_BASELINES_PACKING_H_

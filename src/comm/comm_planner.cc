@@ -1,0 +1,240 @@
+#include "src/comm/comm_planner.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/common/check.h"
+
+namespace dynapipe::comm {
+namespace {
+
+using schedule::PipelineSchedule;
+using schedule::ScheduledOp;
+using sim::ExecutionPlan;
+using sim::Instruction;
+using sim::InstrType;
+
+void ValidateInputs(const CommPlannerInputs& in) {
+  DYNAPIPE_CHECK(in.schedule != nullptr);
+  DYNAPIPE_CHECK(in.boundary_bytes != nullptr);
+  DYNAPIPE_CHECK(in.shapes.size() ==
+                 static_cast<size_t>(in.schedule->num_microbatches));
+}
+
+Instruction ComputeInstr(const CommPlannerInputs& in, const ScheduledOp& op) {
+  Instruction instr;
+  instr.type = op.is_backward ? InstrType::kBackwardPass : InstrType::kForwardPass;
+  instr.microbatch = op.microbatch;
+  instr.shape = in.shapes[static_cast<size_t>(op.microbatch)];
+  instr.recompute = in.recompute;
+  return instr;
+}
+
+Instruction CommInstr(InstrType type, int32_t mb, int32_t peer, int64_t bytes) {
+  Instruction instr;
+  instr.type = type;
+  instr.microbatch = mb;
+  instr.peer = peer;
+  instr.bytes = bytes;
+  return instr;
+}
+
+// Insert the late Wait ops: immediately before every consuming compute op.
+void InsertWaits(const CommPlannerInputs& in, ExecutionPlan& plan) {
+  const int32_t c = in.schedule->num_stages();
+  for (int32_t j = 0; j < c; ++j) {
+    auto& instrs = plan.devices[static_cast<size_t>(j)].instructions;
+    std::vector<Instruction> out;
+    out.reserve(instrs.size() * 2);
+    for (const auto& instr : instrs) {
+      if (instr.type == InstrType::kForwardPass && j > 0) {
+        out.push_back(CommInstr(InstrType::kWaitRecvAct, instr.microbatch, j - 1,
+                                in.boundary_bytes(j - 1, instr.microbatch)));
+      } else if (instr.type == InstrType::kBackwardPass && j < c - 1) {
+        out.push_back(CommInstr(InstrType::kWaitRecvGrad, instr.microbatch, j + 1,
+                                in.boundary_bytes(j, instr.microbatch)));
+      }
+      out.push_back(instr);
+    }
+    instrs = std::move(out);
+  }
+}
+
+}  // namespace
+
+ExecutionPlan PlanCommunication(const CommPlannerInputs& in) {
+  ValidateInputs(in);
+  DYNAPIPE_CHECK(in.timeline != nullptr);
+  const PipelineSchedule& sched = *in.schedule;
+  const schedule::SimulatedTimeline& tl = *in.timeline;
+  const int32_t c = sched.num_stages();
+
+  ExecutionPlan plan;
+  plan.num_microbatches = sched.num_microbatches;
+  plan.devices.resize(static_cast<size_t>(c));
+
+  // Merge keys: (time, kind, seq) — compute ops at their own end time with kind 0
+  // (a sender posts right after producing), Start ops at their trigger's end time
+  // with kind 1 and a *globally shared* sequence so every device orders shared
+  // triggers identically.
+  struct Item {
+    double time;
+    int32_t kind;
+    int64_t seq;
+    Instruction instr;
+  };
+  std::vector<std::vector<Item>> streams(static_cast<size_t>(c));
+
+  // Compute ops, in schedule order (their end times are non-decreasing per device).
+  for (int32_t j = 0; j < c; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    int64_t seq = 0;
+    for (const auto& op : sched.devices[sj]) {
+      const auto& times = op.is_backward
+                              ? tl.bwd[sj][static_cast<size_t>(op.microbatch)]
+                              : tl.fwd[sj][static_cast<size_t>(op.microbatch)];
+      streams[sj].push_back(Item{times.end_ms, 0, seq++, ComputeInstr(in, op)});
+    }
+  }
+
+  // Triggers: every tensor-producing compute op, ascending by (end time, stage, mb,
+  // direction) — the deterministic global order all devices share.
+  struct Trigger {
+    double end_ms;
+    int32_t stage;
+    int32_t mb;
+    bool backward;
+  };
+  std::vector<Trigger> triggers;
+  for (int32_t j = 0; j < c; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    for (int32_t i = 0; i < sched.num_microbatches; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      if (j < c - 1) {
+        triggers.push_back(Trigger{tl.fwd[sj][si].end_ms, j, i, false});
+      }
+      if (j > 0) {
+        triggers.push_back(Trigger{tl.bwd[sj][si].end_ms, j, i, true});
+      }
+    }
+  }
+  std::sort(triggers.begin(), triggers.end(), [](const Trigger& a, const Trigger& b) {
+    return std::tie(a.end_ms, a.stage, a.mb, a.backward) <
+           std::tie(b.end_ms, b.stage, b.mb, b.backward);
+  });
+
+  int64_t global_seq = 0;
+  for (const auto& t : triggers) {
+    ++global_seq;
+    if (!t.backward) {
+      // Activation produced on stage t.stage flows to t.stage + 1.
+      const int64_t bytes = in.boundary_bytes(t.stage, t.mb);
+      streams[static_cast<size_t>(t.stage)].push_back(
+          Item{t.end_ms, 1, global_seq,
+               CommInstr(InstrType::kSendActStart, t.mb, t.stage + 1, bytes)});
+      streams[static_cast<size_t>(t.stage) + 1].push_back(
+          Item{t.end_ms, 1, global_seq,
+               CommInstr(InstrType::kRecvActStart, t.mb, t.stage, bytes)});
+    } else {
+      // Gradient produced on stage t.stage flows to t.stage - 1; its volume equals
+      // the activation that crossed that boundary forward.
+      const int64_t bytes = in.boundary_bytes(t.stage - 1, t.mb);
+      streams[static_cast<size_t>(t.stage)].push_back(
+          Item{t.end_ms, 1, global_seq,
+               CommInstr(InstrType::kSendGradStart, t.mb, t.stage - 1, bytes)});
+      streams[static_cast<size_t>(t.stage) - 1].push_back(
+          Item{t.end_ms, 1, global_seq,
+               CommInstr(InstrType::kRecvGradStart, t.mb, t.stage, bytes)});
+    }
+  }
+
+  for (int32_t j = 0; j < c; ++j) {
+    auto& stream = streams[static_cast<size_t>(j)];
+    std::stable_sort(stream.begin(), stream.end(), [](const Item& a, const Item& b) {
+      return std::tie(a.time, a.kind, a.seq) < std::tie(b.time, b.kind, b.seq);
+    });
+    auto& instrs = plan.devices[static_cast<size_t>(j)].instructions;
+    plan.devices[static_cast<size_t>(j)].device = j;
+    instrs.reserve(stream.size());
+    for (auto& item : stream) {
+      instrs.push_back(item.instr);
+    }
+  }
+
+  InsertWaits(in, plan);
+  return plan;
+}
+
+ExecutionPlan PlanCommunicationNaive(const CommPlannerInputs& in,
+                                     const NaivePlanOptions& options) {
+  ValidateInputs(in);
+  const PipelineSchedule& sched = *in.schedule;
+  const int32_t c = sched.num_stages();
+
+  ExecutionPlan plan;
+  plan.num_microbatches = sched.num_microbatches;
+  plan.devices.resize(static_cast<size_t>(c));
+
+  for (int32_t j = 0; j < c; ++j) {
+    auto& dev = plan.devices[static_cast<size_t>(j)];
+    dev.device = j;
+    for (const auto& op : sched.devices[static_cast<size_t>(j)]) {
+      const int32_t i = op.microbatch;
+      if (!op.is_backward) {
+        if (j > 0) {  // receive just before use
+          const int64_t bytes = in.boundary_bytes(j - 1, i);
+          dev.instructions.push_back(
+              CommInstr(InstrType::kRecvActStart, i, j - 1, bytes));
+          dev.instructions.push_back(
+              CommInstr(InstrType::kWaitRecvAct, i, j - 1, bytes));
+        }
+        dev.instructions.push_back(ComputeInstr(in, op));
+        if (j < c - 1) {  // send right after production
+          dev.instructions.push_back(CommInstr(InstrType::kSendActStart, i, j + 1,
+                                               in.boundary_bytes(j, i)));
+        }
+      } else {
+        if (j < c - 1) {
+          const int64_t bytes = in.boundary_bytes(j, i);
+          dev.instructions.push_back(
+              CommInstr(InstrType::kRecvGradStart, i, j + 1, bytes));
+          dev.instructions.push_back(
+              CommInstr(InstrType::kWaitRecvGrad, i, j + 1, bytes));
+        }
+        dev.instructions.push_back(ComputeInstr(in, op));
+        if (j > 0) {
+          dev.instructions.push_back(CommInstr(InstrType::kSendGradStart, i, j - 1,
+                                               in.boundary_bytes(j - 1, i)));
+        }
+      }
+    }
+  }
+
+  if (options.fuse_adjacent_pairs) {
+    // Fuse adjacent send/recv *pairs* to the same peer — exactly the fixed fused
+    // primitives (send_forward_recv_backward and friends) Megatron-LM's 1F1B uses
+    // for its crossing arrows (Fig. 8a). Dynamic schedules produce patterns these
+    // fixed primitives do not cover (extra sends interleave, §2.3), which is why
+    // the naive plan of an adaptive schedule still deadlocks.
+    int32_t next_group = 0;
+    for (auto& dev : plan.devices) {
+      auto& instrs = dev.instructions;
+      for (size_t k = 0; k + 1 < instrs.size(); ++k) {
+        if (!sim::IsCommStart(instrs[k].type) ||
+            !sim::IsCommStart(instrs[k + 1].type) ||
+            instrs[k].peer != instrs[k + 1].peer ||
+            instrs[k].fusion_group >= 0 ||
+            sim::IsSend(instrs[k].type) == sim::IsSend(instrs[k + 1].type)) {
+          continue;
+        }
+        instrs[k].fusion_group = next_group;
+        instrs[k + 1].fusion_group = next_group;
+        ++next_group;
+        ++k;  // do not chain the second op into another pair
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace dynapipe::comm

@@ -1,0 +1,59 @@
+// Ahead-of-time communication planning (§6).
+//
+// Given a pipeline schedule and its simulated compute timeline, compile per-device
+// instruction sequences in which every send *and its matching receive* are scheduled
+// together at the moment the tensor is produced (ordered by compute-op end time,
+// with a deterministic tie-break shared by all devices). Because every device
+// derives its per-pair communication order from the same global trigger order, the
+// orders agree pairwise and the plan is deadlock-free by construction. Wait ops are
+// placed as late as possible — immediately before the computation that consumes the
+// tensor — maximizing the window in which communication overlaps compute (Fig. 12).
+//
+// PlanCommunicationNaive implements the baseline the paper shows deadlocking:
+// send posted right after production, receive right before use. Under uniform 1F1B
+// its crossing send/recv pairs are fused (batched issue) like Megatron-LM does;
+// under dynamic schedules fusion is not possible (§2.3) and the naive order
+// deadlocks on NCCL-like channels.
+#ifndef DYNAPIPE_SRC_COMM_COMM_PLANNER_H_
+#define DYNAPIPE_SRC_COMM_COMM_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/model/shapes.h"
+#include "src/schedule/executor_simulator.h"
+#include "src/schedule/schedule_types.h"
+#include "src/sim/instruction.h"
+
+namespace dynapipe::comm {
+
+struct CommPlannerInputs {
+  const schedule::PipelineSchedule* schedule = nullptr;
+  // Timeline of *predicted* op times for the schedule (SimulateSchedule output);
+  // used only to order communication, so prediction error cannot break correctness.
+  const schedule::SimulatedTimeline* timeline = nullptr;
+  // Padded shape per micro-batch (embedded into compute instructions).
+  std::vector<model::MicroBatchShape> shapes;
+  // Bytes of the activation stage s sends to stage s+1 for micro-batch mb
+  // (gradients flow back with the same volume).
+  std::function<int64_t(int32_t stage, int32_t mb)> boundary_bytes;
+  model::RecomputeMode recompute = model::RecomputeMode::kNone;
+};
+
+// Deadlock-free plan: sends and receives co-scheduled at tensor production time.
+sim::ExecutionPlan PlanCommunication(const CommPlannerInputs& inputs);
+
+struct NaivePlanOptions {
+  // Fuse adjacent send/recv Start pairs to the same peer (what Megatron-LM's 1F1B
+  // does). Leave false to model a strictly sequential naive executor.
+  bool fuse_adjacent_pairs = true;
+};
+
+// Deadlock-prone baseline: send after production, receive just before use.
+sim::ExecutionPlan PlanCommunicationNaive(const CommPlannerInputs& inputs,
+                                          const NaivePlanOptions& options = {});
+
+}  // namespace dynapipe::comm
+
+#endif  // DYNAPIPE_SRC_COMM_COMM_PLANNER_H_

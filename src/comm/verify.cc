@@ -1,0 +1,199 @@
+#include "src/comm/verify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dynapipe::comm {
+namespace {
+
+using sim::ExecutionPlan;
+using sim::Instruction;
+using sim::InstrType;
+
+uint64_t TagFor(const Instruction& instr) {
+  const bool is_grad = instr.type == InstrType::kSendGradStart ||
+                       instr.type == InstrType::kRecvGradStart;
+  return (static_cast<uint64_t>(instr.microbatch) << 1) | (is_grad ? 1u : 0u);
+}
+
+struct StaticOp {
+  bool is_send = false;
+  uint64_t tag = 0;
+  bool matched = false;
+};
+
+// Groups as posted by a device toward one peer (respecting fusion).
+std::vector<std::vector<StaticOp>> PostedGroups(const std::vector<Instruction>& instrs,
+                                                int32_t peer) {
+  std::vector<std::vector<StaticOp>> groups;
+  size_t k = 0;
+  while (k < instrs.size()) {
+    const Instruction& in = instrs[k];
+    if (!sim::IsCommStart(in.type) || in.peer != peer) {
+      ++k;
+      continue;
+    }
+    std::vector<StaticOp> group;
+    group.push_back(StaticOp{sim::IsSend(in.type), TagFor(in), false});
+    size_t next = k + 1;
+    while (next < instrs.size() && sim::IsCommStart(instrs[next].type) &&
+           instrs[next].peer == peer && in.fusion_group >= 0 &&
+           instrs[next].fusion_group == in.fusion_group) {
+      group.push_back(
+          StaticOp{sim::IsSend(instrs[next].type), TagFor(instrs[next]), false});
+      ++next;
+    }
+    groups.push_back(std::move(group));
+    k = next;
+  }
+  return groups;
+}
+
+// Untimed replay of the Channel head-group matching rule. Returns true if both
+// sides drain completely.
+bool Drains(std::vector<std::vector<StaticOp>> a, std::vector<std::vector<StaticOp>> b,
+            std::string* stuck_detail) {
+  size_t ha = 0;
+  size_t hb = 0;
+  while (ha < a.size() && hb < b.size()) {
+    bool matched_any = false;
+    for (auto& opa : a[ha]) {
+      if (opa.matched) {
+        continue;
+      }
+      for (auto& opb : b[hb]) {
+        if (opb.matched || opa.is_send == opb.is_send || opa.tag != opb.tag) {
+          continue;
+        }
+        opa.matched = true;
+        opb.matched = true;
+        matched_any = true;
+        break;
+      }
+    }
+    auto all = [](const std::vector<StaticOp>& g) {
+      return std::all_of(g.begin(), g.end(),
+                         [](const StaticOp& o) { return o.matched; });
+    };
+    bool popped = false;
+    if (all(a[ha])) {
+      ++ha;
+      popped = true;
+    }
+    if (hb < b.size() && all(b[hb])) {
+      ++hb;
+      popped = true;
+    }
+    if (!matched_any && !popped) {
+      if (stuck_detail != nullptr) {
+        std::ostringstream oss;
+        oss << "stuck at group " << ha << " vs group " << hb;
+        *stuck_detail = oss.str();
+      }
+      return false;
+    }
+  }
+  if (ha < a.size() || hb < b.size()) {
+    if (stuck_detail != nullptr) {
+      *stuck_detail = "unmatched trailing groups";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> VerifyWellFormed(const ExecutionPlan& plan) {
+  std::vector<std::string> violations;
+  const int32_t c = plan.num_devices();
+  for (int32_t j = 0; j < c; ++j) {
+    const auto& instrs = plan.devices[static_cast<size_t>(j)].instructions;
+    std::set<std::tuple<InstrType, int32_t, int32_t>> started;
+    std::map<int32_t, int> fwd_count;
+    std::map<int32_t, int> bwd_count;
+    std::set<int32_t> act_waited;
+    std::set<int32_t> grad_waited;
+    for (const auto& in : instrs) {
+      if (sim::IsCommStart(in.type)) {
+        started.insert({in.type, in.microbatch, in.peer});
+      } else if (sim::IsCommWait(in.type)) {
+        InstrType start_type;
+        switch (in.type) {
+          case InstrType::kWaitSendAct:
+            start_type = InstrType::kSendActStart;
+            break;
+          case InstrType::kWaitRecvAct:
+            start_type = InstrType::kRecvActStart;
+            break;
+          case InstrType::kWaitSendGrad:
+            start_type = InstrType::kSendGradStart;
+            break;
+          default:
+            start_type = InstrType::kRecvGradStart;
+            break;
+        }
+        if (started.find({start_type, in.microbatch, in.peer}) == started.end()) {
+          violations.push_back("device " + std::to_string(j) + ": " + in.ToString() +
+                               " has no preceding Start");
+        }
+        if (in.type == InstrType::kWaitRecvAct) {
+          act_waited.insert(in.microbatch);
+        } else if (in.type == InstrType::kWaitRecvGrad) {
+          grad_waited.insert(in.microbatch);
+        }
+      } else if (in.type == InstrType::kForwardPass) {
+        ++fwd_count[in.microbatch];
+        if (j > 0 && act_waited.find(in.microbatch) == act_waited.end()) {
+          violations.push_back("device " + std::to_string(j) + ": fwd of mb " +
+                               std::to_string(in.microbatch) +
+                               " not preceded by WaitRecvAct");
+        }
+      } else if (in.type == InstrType::kBackwardPass) {
+        ++bwd_count[in.microbatch];
+        if (j < c - 1 && grad_waited.find(in.microbatch) == grad_waited.end()) {
+          violations.push_back("device " + std::to_string(j) + ": bwd of mb " +
+                               std::to_string(in.microbatch) +
+                               " not preceded by WaitRecvGrad");
+        }
+      }
+    }
+    for (int32_t i = 0; i < plan.num_microbatches; ++i) {
+      if (fwd_count[i] != 1 || bwd_count[i] != 1) {
+        violations.push_back("device " + std::to_string(j) + ": mb " +
+                             std::to_string(i) + " has " +
+                             std::to_string(fwd_count[i]) + " fwd / " +
+                             std::to_string(bwd_count[i]) + " bwd passes");
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> VerifyChannelOrderConsistency(const ExecutionPlan& plan) {
+  std::vector<std::string> violations;
+  const int32_t c = plan.num_devices();
+  for (int32_t a = 0; a < c; ++a) {
+    for (int32_t b = a + 1; b < c; ++b) {
+      const auto ga =
+          PostedGroups(plan.devices[static_cast<size_t>(a)].instructions, b);
+      const auto gb =
+          PostedGroups(plan.devices[static_cast<size_t>(b)].instructions, a);
+      if (ga.empty() && gb.empty()) {
+        continue;
+      }
+      std::string detail;
+      if (!Drains(ga, gb, &detail)) {
+        violations.push_back("pair (" + std::to_string(a) + "," + std::to_string(b) +
+                             "): " + detail);
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dynapipe::comm

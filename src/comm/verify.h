@@ -1,0 +1,29 @@
+// Static plan validation.
+//
+// VerifyWellFormed checks structural invariants every executable plan must satisfy
+// (each Wait preceded by its Start, each consuming compute op preceded by the
+// matching receive-Wait, one forward and one backward per micro-batch per device).
+//
+// VerifyChannelOrderConsistency replays each device pair's posted communication ops
+// through the untimed NCCL matching discipline (head-group conjugate matching, the
+// same rule sim::Channel enforces) and reports any pair whose orders cannot fully
+// drain — i.e., plans that would deadlock at runtime. The DynaPipe communication
+// planner's output always passes; the naive plan of a dynamic schedule generally
+// does not.
+#ifndef DYNAPIPE_SRC_COMM_VERIFY_H_
+#define DYNAPIPE_SRC_COMM_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/instruction.h"
+
+namespace dynapipe::comm {
+
+std::vector<std::string> VerifyWellFormed(const sim::ExecutionPlan& plan);
+
+std::vector<std::string> VerifyChannelOrderConsistency(const sim::ExecutionPlan& plan);
+
+}  // namespace dynapipe::comm
+
+#endif  // DYNAPIPE_SRC_COMM_VERIFY_H_

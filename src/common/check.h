@@ -1,0 +1,41 @@
+// Lightweight invariant checking. DYNAPIPE_CHECK is always on (planning code is not
+// hot enough for checks to matter), and failures abort with a message: planners that
+// continue past a broken invariant produce silently wrong schedules, which is worse
+// than a crash.
+#ifndef DYNAPIPE_SRC_COMMON_CHECK_H_
+#define DYNAPIPE_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dynapipe::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "DYNAPIPE_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace dynapipe::internal
+
+#define DYNAPIPE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dynapipe::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                     \
+  } while (0)
+
+#define DYNAPIPE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream oss_;                                            \
+      oss_ << "(" << (msg) << ")";                                        \
+      ::dynapipe::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                        oss_.str());                      \
+    }                                                                     \
+  } while (0)
+
+#endif  // DYNAPIPE_SRC_COMMON_CHECK_H_

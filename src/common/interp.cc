@@ -1,0 +1,78 @@
+#include "src/common/interp.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe {
+namespace {
+
+void CheckStrictlyIncreasing(const std::vector<double>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    DYNAPIPE_CHECK_MSG(v[i] > v[i - 1], "grid must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+LinearInterp1D::LinearInterp1D(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  DYNAPIPE_CHECK(xs_.size() == ys_.size());
+  DYNAPIPE_CHECK(xs_.size() >= 2);
+  CheckStrictlyIncreasing(xs_);
+}
+
+double LinearInterp1D::operator()(double x) const {
+  // Segment index, clamped so queries beyond the grid extrapolate from the edge.
+  size_t k = static_cast<size_t>(
+      std::upper_bound(xs_.begin(), xs_.end(), x) - xs_.begin());
+  k = std::clamp<size_t>(k, 1, xs_.size() - 1) - 1;
+  const double t = (x - xs_[k]) / (xs_[k + 1] - xs_[k]);
+  return ys_[k] + t * (ys_[k + 1] - ys_[k]);
+}
+
+BilinearInterp2D::BilinearInterp2D(std::vector<double> xs, std::vector<double> ys,
+                                   std::vector<std::vector<double>> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values)) {
+  DYNAPIPE_CHECK(!xs_.empty() && !ys_.empty());
+  DYNAPIPE_CHECK(values_.size() == xs_.size());
+  for (const auto& row : values_) {
+    DYNAPIPE_CHECK(row.size() == ys_.size());
+  }
+  CheckStrictlyIncreasing(xs_);
+  CheckStrictlyIncreasing(ys_);
+}
+
+void BilinearInterp2D::Locate(const std::vector<double>& grid, double v, size_t& k,
+                              double& frac) {
+  if (grid.size() == 1) {
+    k = 0;
+    frac = 0.0;
+    return;
+  }
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(grid.begin(), grid.end(), v) - grid.begin());
+  idx = std::clamp<size_t>(idx, 1, grid.size() - 1) - 1;
+  k = idx;
+  frac = (v - grid[k]) / (grid[k + 1] - grid[k]);
+}
+
+double BilinearInterp2D::operator()(double x, double y) const {
+  size_t i;
+  size_t j;
+  double tx;
+  double ty;
+  Locate(xs_, x, i, tx);
+  Locate(ys_, y, j, ty);
+  const size_t i1 = xs_.size() == 1 ? i : i + 1;
+  const size_t j1 = ys_.size() == 1 ? j : j + 1;
+  const double v00 = values_[i][j];
+  const double v01 = values_[i][j1];
+  const double v10 = values_[i1][j];
+  const double v11 = values_[i1][j1];
+  const double v0 = v00 + ty * (v01 - v00);
+  const double v1 = v10 + ty * (v11 - v10);
+  return v0 + tx * (v1 - v0);
+}
+
+}  // namespace dynapipe

@@ -1,0 +1,53 @@
+// Piecewise-linear interpolation helpers.
+//
+// The paper's cost model profiles (micro-batch size, sequence length) at power-of-two
+// grid points and bridges the gaps with linear interpolation (§3 "Cost models"). These
+// classes implement that: a 1D table over a sorted grid and a 2D table over a
+// rectangular grid with bilinear interpolation. Queries outside the grid extrapolate
+// linearly from the closest edge segment, matching how an interpolated profile would be
+// used beyond its sampled range.
+#ifndef DYNAPIPE_SRC_COMMON_INTERP_H_
+#define DYNAPIPE_SRC_COMMON_INTERP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dynapipe {
+
+class LinearInterp1D {
+ public:
+  // xs must be strictly increasing; xs.size() == ys.size() >= 2.
+  LinearInterp1D(std::vector<double> xs, std::vector<double> ys);
+
+  double operator()(double x) const;
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+class BilinearInterp2D {
+ public:
+  // values[i][j] corresponds to (xs[i], ys[j]). xs and ys strictly increasing,
+  // each of size >= 2 (size 1 along an axis degenerates to constant on that axis).
+  BilinearInterp2D(std::vector<double> xs, std::vector<double> ys,
+                   std::vector<std::vector<double>> values);
+
+  double operator()(double x, double y) const;
+
+ private:
+  // Index of the segment [grid[k], grid[k+1]] to use for v (clamped for
+  // extrapolation), plus the interpolation fraction (may fall outside [0,1]).
+  static void Locate(const std::vector<double>& grid, double v, size_t& k, double& frac);
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace dynapipe
+
+#endif  // DYNAPIPE_SRC_COMMON_INTERP_H_

@@ -1,0 +1,101 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dynapipe {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  DYNAPIPE_CHECK(!values.empty());
+  DYNAPIPE_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double MeanPercentageError(const std::vector<double>& estimated,
+                           const std::vector<double>& actual) {
+  DYNAPIPE_CHECK(estimated.size() == actual.size());
+  double total = 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == 0.0) {
+      continue;
+    }
+    total += std::abs(estimated[i] - actual[i]) / std::abs(actual[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n) * 100.0;
+}
+
+Histogram::Histogram(double lo, double hi, int num_buckets) : lo_(lo), hi_(hi) {
+  DYNAPIPE_CHECK(hi > lo);
+  DYNAPIPE_CHECK(num_buckets > 0);
+  counts_.assign(static_cast<size_t>(num_buckets), 0);
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  int idx = static_cast<int>(std::floor((x - lo_) / width));
+  idx = std::clamp(idx, 0, num_buckets() - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(int i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::ToString(int max_bar_width) const {
+  int64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream oss;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const int64_t c = counts_[static_cast<size_t>(i)];
+    // Log-scaled bar so heavy-tailed distributions (Fig. 1b uses a log y axis)
+    // remain visible.
+    const double frac =
+        c == 0 ? 0.0
+               : std::log1p(static_cast<double>(c)) / std::log1p(static_cast<double>(peak));
+    const int bar = static_cast<int>(frac * max_bar_width);
+    oss << "[" << static_cast<int64_t>(bucket_lo(i)) << ", "
+        << static_cast<int64_t>(bucket_hi(i)) << ")\t" << c << "\t"
+        << std::string(static_cast<size_t>(bar), '#') << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dynapipe

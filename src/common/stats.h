@@ -1,0 +1,63 @@
+// Small statistics helpers used by benches and tests: running moments, percentiles,
+// histograms, and the mean-percentage-error metric the paper reports in Fig. 18.
+#ifndef DYNAPIPE_SRC_COMMON_STATS_H_
+#define DYNAPIPE_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynapipe {
+
+// Single-pass mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance; 0 if count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// p in [0, 100]; linear interpolation between order statistics. Copies + sorts.
+double Percentile(std::vector<double> values, double p);
+
+// mean(|est - actual| / actual) * 100, skipping entries with actual == 0.
+double MeanPercentageError(const std::vector<double>& estimated,
+                           const std::vector<double>& actual);
+
+// Fixed-width-bucket histogram over [lo, hi); values outside are clamped to the
+// first/last bucket. Used to render Fig. 1b-style distributions in text.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_buckets);
+  void Add(double x);
+  int64_t bucket_count(int i) const { return counts_[i]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+  int64_t total() const { return total_; }
+  // One line per bucket: "[lo, hi) count bar".
+  std::string ToString(int max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dynapipe
+
+#endif  // DYNAPIPE_SRC_COMMON_STATS_H_

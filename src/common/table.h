@@ -1,0 +1,29 @@
+// Aligned text-table printer. Benches use it to print paper-style result rows
+// (one table/series per figure) without dragging in a formatting library.
+#ifndef DYNAPIPE_SRC_COMMON_TABLE_H_
+#define DYNAPIPE_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dynapipe {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dynapipe
+
+#endif  // DYNAPIPE_SRC_COMMON_TABLE_H_

@@ -1,0 +1,59 @@
+// Minimal fixed-size thread pool.
+//
+// DynaPipe overlaps CPU-side execution planning with GPU execution by planning
+// future iterations on spare cores (§3, Fig. 17). ThreadPool provides the worker
+// substrate: submit callables, get std::futures. Tasks must be independent — the
+// pool offers no ordering guarantees beyond the futures themselves.
+#ifndef DYNAPIPE_SRC_COMMON_THREAD_POOL_H_
+#define DYNAPIPE_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace dynapipe {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      DYNAPIPE_CHECK_MSG(!stopping_, "submit on a stopped pool");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  int32_t num_threads() const { return static_cast<int32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dynapipe
+
+#endif  // DYNAPIPE_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,127 @@
+#include "src/cost/grid_interp.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "src/common/check.h"
+
+namespace dynapipe::cost {
+namespace {
+
+// Segment index (clamped) and interpolation fraction for v on the grid; fraction may
+// fall outside [0, 1] for extrapolating queries. Degenerate axes pin to (0, 0).
+void Locate(const std::vector<double>& grid, double v, size_t& k, double& frac) {
+  if (grid.size() == 1) {
+    k = 0;
+    frac = 0.0;
+    return;
+  }
+  size_t idx =
+      static_cast<size_t>(std::upper_bound(grid.begin(), grid.end(), v) - grid.begin());
+  idx = std::clamp<size_t>(idx, 1, grid.size() - 1) - 1;
+  k = idx;
+  frac = (v - grid[k]) / (grid[k + 1] - grid[k]);
+}
+
+void CheckAxis(const std::vector<double>& axis) {
+  DYNAPIPE_CHECK(!axis.empty());
+  for (size_t i = 1; i < axis.size(); ++i) {
+    DYNAPIPE_CHECK_MSG(axis[i] > axis[i - 1], "grid axis must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+GridInterp3D::GridInterp3D(std::vector<double> xs, std::vector<double> ys,
+                           std::vector<double> zs,
+                           std::vector<std::vector<std::vector<double>>> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), zs_(std::move(zs)),
+      values_(std::move(values)) {
+  CheckAxis(xs_);
+  CheckAxis(ys_);
+  CheckAxis(zs_);
+  DYNAPIPE_CHECK(values_.size() == xs_.size());
+  for (const auto& plane : values_) {
+    DYNAPIPE_CHECK(plane.size() == ys_.size());
+    for (const auto& row : plane) {
+      DYNAPIPE_CHECK(row.size() == zs_.size());
+    }
+  }
+}
+
+void GridInterp3D::Save(std::ostream& os) const {
+  os << std::setprecision(17);
+  auto save_axis = [&](const std::vector<double>& axis) {
+    os << axis.size();
+    for (const double v : axis) {
+      os << " " << v;
+    }
+    os << "\n";
+  };
+  save_axis(xs_);
+  save_axis(ys_);
+  save_axis(zs_);
+  for (const auto& plane : values_) {
+    for (const auto& row : plane) {
+      for (const double v : row) {
+        os << v << " ";
+      }
+    }
+  }
+  os << "\n";
+}
+
+GridInterp3D GridInterp3D::Load(std::istream& is) {
+  auto load_axis = [&]() {
+    size_t n = 0;
+    DYNAPIPE_CHECK_MSG(static_cast<bool>(is >> n), "malformed profile: axis size");
+    DYNAPIPE_CHECK_MSG(n >= 1 && n < 1'000'000, "malformed profile: axis bounds");
+    std::vector<double> axis(n);
+    for (auto& v : axis) {
+      DYNAPIPE_CHECK_MSG(static_cast<bool>(is >> v), "malformed profile: axis value");
+    }
+    return axis;
+  };
+  std::vector<double> xs = load_axis();
+  std::vector<double> ys = load_axis();
+  std::vector<double> zs = load_axis();
+  std::vector<std::vector<std::vector<double>>> values(
+      xs.size(), std::vector<std::vector<double>>(ys.size(),
+                                                  std::vector<double>(zs.size())));
+  for (auto& plane : values) {
+    for (auto& row : plane) {
+      for (auto& v : row) {
+        DYNAPIPE_CHECK_MSG(static_cast<bool>(is >> v), "malformed profile: value");
+      }
+    }
+  }
+  return GridInterp3D(std::move(xs), std::move(ys), std::move(zs), std::move(values));
+}
+
+double GridInterp3D::operator()(double x, double y, double z) const {
+  DYNAPIPE_CHECK_MSG(!empty(), "querying an empty grid");
+  size_t i;
+  size_t j;
+  size_t k;
+  double tx;
+  double ty;
+  double tz;
+  Locate(xs_, x, i, tx);
+  Locate(ys_, y, j, ty);
+  Locate(zs_, z, k, tz);
+  const size_t i1 = xs_.size() == 1 ? i : i + 1;
+  const size_t j1 = ys_.size() == 1 ? j : j + 1;
+  const size_t k1 = zs_.size() == 1 ? k : k + 1;
+  auto lerp = [](double a, double b, double t) { return a + t * (b - a); };
+  const double c00 = lerp(values_[i][j][k], values_[i1][j][k], tx);
+  const double c01 = lerp(values_[i][j][k1], values_[i1][j][k1], tx);
+  const double c10 = lerp(values_[i][j1][k], values_[i1][j1][k], tx);
+  const double c11 = lerp(values_[i][j1][k1], values_[i1][j1][k1], tx);
+  const double c0 = lerp(c00, c10, ty);
+  const double c1 = lerp(c01, c11, ty);
+  return lerp(c0, c1, tz);
+}
+
+}  // namespace dynapipe::cost

@@ -1,0 +1,39 @@
+// Trilinear interpolation over a (micro-batch size, input length, target length)
+// profiling grid. Any axis may have a single grid point, in which case the function
+// is constant along it (used for GPT, whose target axis is degenerate). Queries
+// outside the grid extrapolate linearly from the edge cell, mirroring how a profiled
+// table behaves beyond its sampled range.
+#ifndef DYNAPIPE_SRC_COST_GRID_INTERP_H_
+#define DYNAPIPE_SRC_COST_GRID_INTERP_H_
+
+#include <iosfwd>
+#include <vector>
+
+namespace dynapipe::cost {
+
+class GridInterp3D {
+ public:
+  GridInterp3D() = default;
+  // values indexed [i][j][k] for (xs[i], ys[j], zs[k]); each axis strictly
+  // increasing and non-empty.
+  GridInterp3D(std::vector<double> xs, std::vector<double> ys, std::vector<double> zs,
+               std::vector<std::vector<std::vector<double>>> values);
+
+  double operator()(double x, double y, double z) const;
+
+  bool empty() const { return values_.empty(); }
+
+  // Plain-text (de)serialization; Load aborts on malformed input.
+  void Save(std::ostream& os) const;
+  static GridInterp3D Load(std::istream& is);
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> zs_;
+  std::vector<std::vector<std::vector<double>>> values_;
+};
+
+}  // namespace dynapipe::cost
+
+#endif  // DYNAPIPE_SRC_COST_GRID_INTERP_H_

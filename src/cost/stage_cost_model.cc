@@ -1,0 +1,118 @@
+#include "src/cost/stage_cost_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace dynapipe::cost {
+namespace {
+
+std::vector<double> PowerOfTwoGrid(int32_t lo, int32_t hi) {
+  std::vector<double> grid;
+  for (int64_t v = lo; v <= hi; v *= 2) {
+    grid.push_back(static_cast<double>(v));
+  }
+  DYNAPIPE_CHECK(grid.size() >= 2);
+  return grid;
+}
+
+constexpr model::RecomputeMode kModes[] = {model::RecomputeMode::kNone,
+                                           model::RecomputeMode::kSelective,
+                                           model::RecomputeMode::kFull};
+
+}  // namespace
+
+size_t StageCostModel::ModeIndex(model::RecomputeMode mode) {
+  return static_cast<size_t>(mode);
+}
+
+StageCostModel StageCostModel::Profile(const model::StagePerfModel& truth,
+                                       const ProfileOptions& options) {
+  DYNAPIPE_CHECK(options.max_microbatch_size >= 2);
+  DYNAPIPE_CHECK(options.min_seq_len >= 1);
+  DYNAPIPE_CHECK(options.max_seq_len > options.min_seq_len);
+
+  const std::vector<double> mbs_grid = PowerOfTwoGrid(1, options.max_microbatch_size);
+  const std::vector<double> input_grid =
+      PowerOfTwoGrid(options.min_seq_len, options.max_seq_len);
+  const std::vector<double> target_grid =
+      options.profile_target_axis
+          ? PowerOfTwoGrid(options.min_seq_len, options.max_seq_len)
+          : std::vector<double>{0.0};
+
+  auto make_table = [&](auto&& sample) {
+    std::vector<std::vector<std::vector<double>>> values(mbs_grid.size());
+    for (size_t i = 0; i < mbs_grid.size(); ++i) {
+      values[i].resize(input_grid.size());
+      for (size_t j = 0; j < input_grid.size(); ++j) {
+        values[i][j].resize(target_grid.size());
+        for (size_t k = 0; k < target_grid.size(); ++k) {
+          model::MicroBatchShape shape;
+          shape.num_samples = static_cast<int32_t>(mbs_grid[i]);
+          shape.input_len = static_cast<int32_t>(input_grid[j]);
+          shape.target_len = static_cast<int32_t>(target_grid[k]);
+          values[i][j][k] = sample(shape);
+        }
+      }
+    }
+    return GridInterp3D(mbs_grid, input_grid, target_grid, std::move(values));
+  };
+
+  StageCostModel cm;
+  cm.fwd_ms_ = make_table([&](const model::MicroBatchShape& s) { return truth.FwdMs(s); });
+  for (const auto mode : kModes) {
+    cm.bwd_ms_[ModeIndex(mode)] = make_table(
+        [&](const model::MicroBatchShape& s) { return truth.BwdMs(s, mode); });
+    cm.activation_mb_[ModeIndex(mode)] = make_table(
+        [&](const model::MicroBatchShape& s) { return truth.ActivationMb(s, mode); });
+  }
+  return cm;
+}
+
+void StageCostModel::Save(std::ostream& os) const {
+  fwd_ms_.Save(os);
+  for (const auto& table : bwd_ms_) {
+    table.Save(os);
+  }
+  for (const auto& table : activation_mb_) {
+    table.Save(os);
+  }
+}
+
+StageCostModel StageCostModel::Load(std::istream& is) {
+  StageCostModel cm;
+  cm.fwd_ms_ = GridInterp3D::Load(is);
+  for (auto& table : cm.bwd_ms_) {
+    table = GridInterp3D::Load(is);
+  }
+  for (auto& table : cm.activation_mb_) {
+    table = GridInterp3D::Load(is);
+  }
+  return cm;
+}
+
+double StageCostModel::FwdMs(const model::MicroBatchShape& shape) const {
+  // Clamp at a microsecond: edge extrapolation on the profiled grid can undershoot
+  // for tiny shapes, and the planner must never see a non-positive duration.
+  return std::max(0.001, fwd_ms_(shape.num_samples, shape.input_len, shape.target_len));
+}
+
+double StageCostModel::BwdMs(const model::MicroBatchShape& shape,
+                             model::RecomputeMode mode) const {
+  return std::max(0.001, bwd_ms_[ModeIndex(mode)](shape.num_samples, shape.input_len,
+                                                  shape.target_len));
+}
+
+double StageCostModel::FwdBwdMs(const model::MicroBatchShape& shape,
+                                model::RecomputeMode mode) const {
+  return FwdMs(shape) + BwdMs(shape, mode);
+}
+
+double StageCostModel::ActivationMb(const model::MicroBatchShape& shape,
+                                    model::RecomputeMode mode) const {
+  return std::max(0.0, activation_mb_[ModeIndex(mode)](
+                           shape.num_samples, shape.input_len, shape.target_len));
+}
+
+}  // namespace dynapipe::cost

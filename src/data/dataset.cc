@@ -1,0 +1,65 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+
+namespace dynapipe::data {
+
+Dataset::Dataset(std::vector<TaskSpec> tasks, std::vector<Sample> samples)
+    : tasks_(std::move(tasks)), samples_(std::move(samples)) {}
+
+int64_t Dataset::total_tokens() const {
+  int64_t total = 0;
+  for (const auto& s : samples_) {
+    total += s.total_tokens();
+  }
+  return total;
+}
+
+int64_t Dataset::total_tokens_truncated(int32_t max_input_len,
+                                        int32_t max_target_len) const {
+  int64_t total = 0;
+  for (const auto& s : samples_) {
+    total += Truncate(s, max_input_len, max_target_len).total_tokens();
+  }
+  return total;
+}
+
+int32_t Dataset::max_input_len() const {
+  int32_t m = 0;
+  for (const auto& s : samples_) {
+    m = std::max(m, s.input_len);
+  }
+  return m;
+}
+
+int32_t Dataset::max_target_len() const {
+  int32_t m = 0;
+  for (const auto& s : samples_) {
+    m = std::max(m, s.target_len);
+  }
+  return m;
+}
+
+double Dataset::mean_input_len() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (const auto& s : samples_) {
+    total += s.input_len;
+  }
+  return static_cast<double>(total) / static_cast<double>(samples_.size());
+}
+
+Sample Truncate(const Sample& s, int32_t max_input_len, int32_t max_target_len) {
+  Sample out = s;
+  if (max_input_len > 0) {
+    out.input_len = std::min(out.input_len, max_input_len);
+  }
+  if (max_target_len > 0) {
+    out.target_len = std::min(out.target_len, max_target_len);
+  }
+  return out;
+}
+
+}  // namespace dynapipe::data

@@ -1,0 +1,78 @@
+// Multi-task dataset abstractions.
+//
+// DynaPipe's planner consumes only the token lengths of each training sample: the
+// encoder (input) sequence length and, for encoder–decoder models, the decoder
+// (target) sequence length. A Sample carries those lengths plus provenance (task id)
+// so padding/packing efficiency and task-mixture statistics can be reported.
+#ifndef DYNAPIPE_SRC_DATA_DATASET_H_
+#define DYNAPIPE_SRC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynapipe::data {
+
+struct Sample {
+  // Unique id within a dataset (index order == generation order).
+  uint64_t id = 0;
+  // Which task/dataset in the mixture produced this sample.
+  int32_t task_id = 0;
+  // Input (encoder) sequence length, in tokens. For decoder-only models the full
+  // sample (prompt + response) lives here and target_len is 0.
+  int32_t input_len = 0;
+  // Target (decoder) sequence length, in tokens. 0 for decoder-only models.
+  int32_t target_len = 0;
+
+  int64_t total_tokens() const { return int64_t{input_len} + int64_t{target_len}; }
+};
+
+// A task in the mixture (e.g., summarization, translation, grammar acceptability).
+// Lengths are drawn from log-normal distributions, which match the long-tailed
+// per-task length histograms of instruction-tuning mixtures (Fig. 1).
+struct TaskSpec {
+  std::string name;
+  // Log-normal parameters for the input sequence length.
+  double input_log_mean = 4.0;
+  double input_log_stddev = 0.5;
+  // Log-normal parameters for the target sequence length.
+  double target_log_mean = 3.0;
+  double target_log_stddev = 0.5;
+  // Relative sampling weight in the mixture.
+  double mixture_weight = 1.0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<TaskSpec> tasks, std::vector<Sample> samples);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
+  size_t size() const { return samples_.size(); }
+
+  // Sum of all (non-padding) tokens in the dataset, the denominator-free part of the
+  // paper's throughput metric (§8 "Metrics").
+  int64_t total_tokens() const;
+
+  // Tokens after clamping every sequence at max_seq_len (the truncation the paper
+  // applies when scaling maximum sequence length, §8.1).
+  int64_t total_tokens_truncated(int32_t max_input_len, int32_t max_target_len) const;
+
+  // Per-dataset length statistics used by benches.
+  int32_t max_input_len() const;
+  int32_t max_target_len() const;
+  double mean_input_len() const;
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::vector<Sample> samples_;
+};
+
+// Returns a copy of `s` with sequence lengths clamped to the given maxima
+// (truncation; maxima <= 0 mean "no limit").
+Sample Truncate(const Sample& s, int32_t max_input_len, int32_t max_target_len);
+
+}  // namespace dynapipe::data
+
+#endif  // DYNAPIPE_SRC_DATA_DATASET_H_

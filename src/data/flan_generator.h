@@ -1,0 +1,45 @@
+// Synthetic FLANv2-like dataset generator.
+//
+// The paper evaluates on the FLANv2 zero-shot mixture (1836 tasks, downsampled to
+// 100K samples), whose input-length histogram (Fig. 1b) is extremely heavy-tailed:
+// most samples are short (tens to hundreds of tokens — QA, entailment, grammar), a
+// large minority are long (summarization ~1000 tokens), and a thin tail reaches tens
+// of thousands of tokens. We reproduce that shape with a mixture of per-task
+// log-normal length distributions spanning four qualitative task families:
+//
+//   short-input tasks    (grammar acceptability, sentiment; ~30–80 tokens)
+//   medium-input tasks   (QA, translation; ~100–400 tokens)
+//   long-input tasks     (summarization, information extraction; ~700–2000 tokens)
+//   very-long-tail tasks (multi-document tasks; thousands to tens of thousands)
+//
+// The planner only ever sees (input_len, target_len) pairs, so matching this
+// distribution reproduces the paper's entire optimization problem.
+#ifndef DYNAPIPE_SRC_DATA_FLAN_GENERATOR_H_
+#define DYNAPIPE_SRC_DATA_FLAN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+
+namespace dynapipe::data {
+
+struct FlanGeneratorOptions {
+  uint64_t seed = 42;
+  // Number of samples to generate (the paper downsamples FLANv2 to 100K).
+  int64_t num_samples = 100'000;
+  // Number of distinct tasks across the four families (FLANv2 has 1836; a few dozen
+  // is enough to reproduce the mixture statistics at our scale).
+  int32_t num_tasks = 48;
+  // Hard cap applied at generation (Fig. 1b truncates its x axis at 65536).
+  int32_t length_cap = 65'536;
+};
+
+// Builds the task mixture and samples a dataset from it. Deterministic in the seed.
+Dataset GenerateFlanLikeDataset(const FlanGeneratorOptions& options);
+
+// The task mixture alone (exposed for tests and custom sampling).
+std::vector<TaskSpec> MakeFlanLikeTaskMixture(int32_t num_tasks, uint64_t seed);
+
+}  // namespace dynapipe::data
+
+#endif  // DYNAPIPE_SRC_DATA_FLAN_GENERATOR_H_

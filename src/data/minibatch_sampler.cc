@@ -1,0 +1,54 @@
+#include "src/data/minibatch_sampler.h"
+
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace dynapipe::data {
+
+MiniBatchSampler::MiniBatchSampler(const Dataset& dataset,
+                                   const MiniBatchSamplerOptions& options)
+    : dataset_(dataset), options_(options) {
+  DYNAPIPE_CHECK(options_.global_batch_tokens > 0);
+  DYNAPIPE_CHECK(dataset_.size() > 0);
+  order_.resize(dataset_.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  Rng rng(options_.seed);
+  rng.Shuffle(order_);
+}
+
+bool MiniBatchSampler::HasNext() const { return cursor_ < order_.size(); }
+
+std::vector<Sample> MiniBatchSampler::Next() {
+  DYNAPIPE_CHECK(HasNext());
+  std::vector<Sample> batch;
+  int64_t tokens = 0;
+  while (cursor_ < order_.size()) {
+    Sample s = Truncate(dataset_.samples()[order_[cursor_]], options_.max_input_len,
+                        options_.max_target_len);
+    if (!batch.empty() && tokens + s.total_tokens() > options_.global_batch_tokens) {
+      break;
+    }
+    batch.push_back(s);
+    tokens += s.total_tokens();
+    ++cursor_;
+    if (tokens >= options_.global_batch_tokens) {
+      break;
+    }
+  }
+  return batch;
+}
+
+int64_t MiniBatchSampler::CountBatchesInEpoch() const {
+  MiniBatchSampler clone(dataset_, options_);
+  int64_t n = 0;
+  while (clone.HasNext()) {
+    clone.Next();
+    ++n;
+  }
+  return n;
+}
+
+void MiniBatchSampler::Reset() { cursor_ = 0; }
+
+}  // namespace dynapipe::data

@@ -1,0 +1,56 @@
+// Token-budget mini-batch sampling.
+//
+// The paper fixes the *global batch size in tokens* (e.g., 65536) and fills each
+// training iteration's mini-batch by randomly sampling dataset examples until the
+// token budget is met (§8.1). Sampling is random — DynaPipe deliberately does not
+// sort the dataset (bucketing destroys batch randomness, §2.1); it only reorders
+// samples *within* a mini-batch later, preserving mathematical equivalence.
+#ifndef DYNAPIPE_SRC_DATA_MINIBATCH_SAMPLER_H_
+#define DYNAPIPE_SRC_DATA_MINIBATCH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+
+namespace dynapipe::data {
+
+struct MiniBatchSamplerOptions {
+  // Target tokens per mini-batch (input + target, after truncation).
+  int64_t global_batch_tokens = 65'536;
+  // Truncation limits applied to every sample (<= 0 disables).
+  int32_t max_input_len = 0;
+  int32_t max_target_len = 0;
+  uint64_t seed = 7;
+};
+
+// One pass ("epoch") over a shuffled dataset, emitting mini-batches that each hold
+// roughly global_batch_tokens tokens. The final partial mini-batch is emitted too.
+class MiniBatchSampler {
+ public:
+  MiniBatchSampler(const Dataset& dataset, const MiniBatchSamplerOptions& options);
+
+  // True if another mini-batch is available.
+  bool HasNext() const;
+
+  // Next mini-batch of (truncated) samples. A mini-batch always contains at least
+  // one sample, even if that sample alone exceeds the token budget.
+  std::vector<Sample> Next();
+
+  // Number of mini-batches a full epoch will produce (computed lazily by cloning
+  // the iteration; O(dataset size)).
+  int64_t CountBatchesInEpoch() const;
+
+  void Reset();
+
+ private:
+  const Dataset& dataset_;
+  MiniBatchSamplerOptions options_;
+  std::vector<uint32_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace dynapipe::data
+
+#endif  // DYNAPIPE_SRC_DATA_MINIBATCH_SAMPLER_H_

@@ -1,0 +1,266 @@
+#include "src/mb/dp_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace dynapipe::mb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Window {
+  double time_ms = 0.0;
+  double act_mb = 0.0;
+};
+
+model::MicroBatchShape WindowShape(const std::vector<data::Sample>& s, size_t start,
+                                   size_t width) {
+  model::MicroBatchShape shape;
+  shape.num_samples = static_cast<int32_t>(width);
+  for (size_t i = start; i < start + width; ++i) {
+    shape.input_len = std::max(shape.input_len, s[i].input_len);
+    shape.target_len = std::max(shape.target_len, s[i].target_len);
+  }
+  return shape;
+}
+
+}  // namespace
+
+DpPartitioner::DpPartitioner(const MicroBatchCostFn& cost, DpPartitionerOptions options)
+    : cost_(cost), options_(std::move(options)) {
+  DYNAPIPE_CHECK(options_.num_stages >= 1);
+  DYNAPIPE_CHECK(options_.num_replicas >= 1);
+  DYNAPIPE_CHECK(options_.max_microbatch_size >= 1);
+  DYNAPIPE_CHECK(options_.tmax_interval_ms > 0.0);
+  DYNAPIPE_CHECK(options_.max_tmax_candidates >= 2);
+}
+
+PartitionResult DpPartitioner::Partition(
+    const std::vector<data::Sample>& ordered) const {
+  PartitionResult result;
+  const size_t n = ordered.size();
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // --- Precompute feasible windows. windows[i][w-1] covers ordered[i .. i+w-1].
+  // Window time and activation are monotone non-decreasing in w (the count grows and
+  // padded lengths never shrink), so each start index has a contiguous feasible
+  // range and we can stop extending at the first violation.
+  std::vector<std::vector<Window>> windows(n);
+  double min_single_time = kInf;
+  double max_single_time = 0.0;
+  double max_window_time = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    model::MicroBatchShape shape;
+    for (size_t w = 1; i + w <= n && w <= static_cast<size_t>(options_.max_microbatch_size);
+         ++w) {
+      shape.num_samples = static_cast<int32_t>(w);
+      shape.input_len = std::max(shape.input_len, ordered[i + w - 1].input_len);
+      shape.target_len = std::max(shape.target_len, ordered[i + w - 1].target_len);
+      Window win;
+      win.act_mb = cost_.ActivationMb(shape);
+      if (options_.activation_limit_mb > 0.0 &&
+          win.act_mb > options_.activation_limit_mb) {
+        break;
+      }
+      win.time_ms = cost_.TimeMs(shape);
+      if (w == 1) {
+        min_single_time = std::min(min_single_time, win.time_ms);
+        max_single_time = std::max(max_single_time, win.time_ms);
+      }
+      max_window_time = std::max(max_window_time, win.time_ms);
+      windows[i].push_back(win);
+    }
+    if (windows[i].empty()) {
+      // A single sample exceeds the memory limit: no partition can help (§4 "the
+      // training can continue ... as long as the activation of one single
+      // micro-batch fits into device memory" — here it does not).
+      result.feasible = false;
+      return result;
+    }
+  }
+
+  // --- t_max candidates: quantized distinct window times, at or above the largest
+  // single-sample time (smaller values cannot cover that sample).
+  std::vector<double> candidates;
+  {
+    const double interval = options_.tmax_interval_ms;
+    std::vector<double> quantized;
+    for (const auto& per_start : windows) {
+      for (const auto& win : per_start) {
+        if (win.time_ms + 1e-12 < max_single_time) {
+          continue;
+        }
+        quantized.push_back(std::ceil(win.time_ms / interval) * interval);
+      }
+    }
+    std::sort(quantized.begin(), quantized.end());
+    quantized.erase(std::unique(quantized.begin(), quantized.end()), quantized.end());
+    DYNAPIPE_CHECK(!quantized.empty());
+    const size_t cap = static_cast<size_t>(options_.max_tmax_candidates);
+    if (quantized.size() <= cap) {
+      candidates = std::move(quantized);
+    } else {
+      // Even subsample, always keeping the extremes.
+      candidates.reserve(cap);
+      for (size_t k = 0; k < cap; ++k) {
+        const size_t idx = k * (quantized.size() - 1) / (cap - 1);
+        candidates.push_back(quantized[idx]);
+      }
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+    }
+  }
+
+  // --- DP per candidate. f[k] = min total time over partitions of the first k
+  // samples with every micro-batch time <= tmax; parent[k] = width of the last
+  // micro-batch in an optimal partition of the first k.
+  std::vector<double> f(n + 1);
+  std::vector<int32_t> parent(n + 1);
+  double best_objective = kInf;
+  std::vector<int32_t> best_widths;
+
+  for (const double tmax : candidates) {
+    f.assign(n + 1, kInf);
+    parent.assign(n + 1, 0);
+    f[0] = 0.0;
+    for (size_t k = 1; k <= n; ++k) {
+      // Last micro-batch covers ordered[k-w .. k-1].
+      const size_t wmax = std::min(k, static_cast<size_t>(options_.max_microbatch_size));
+      for (size_t w = 1; w <= wmax; ++w) {
+        const size_t start = k - w;
+        if (w > windows[start].size()) {
+          continue;  // infeasible by memory/size; wider is worse but other starts differ
+        }
+        const Window& win = windows[start][w - 1];
+        if (win.time_ms > tmax + 1e-12) {
+          continue;
+        }
+        if (f[start] + win.time_ms < f[k]) {
+          f[k] = f[start] + win.time_ms;
+          parent[k] = static_cast<int32_t>(w);
+        }
+      }
+      if (f[k] == kInf && k == n) {
+        break;
+      }
+    }
+    if (f[n] == kInf) {
+      continue;
+    }
+    // Reconstruct and score with the *realized* max (<= tmax), which is the exact
+    // Eq. 1 objective rather than the candidate upper bound.
+    std::vector<int32_t> widths;
+    double realized_max = 0.0;
+    for (size_t k = n; k > 0;) {
+      const int32_t w = parent[k];
+      DYNAPIPE_CHECK(w >= 1);
+      widths.push_back(w);
+      realized_max =
+          std::max(realized_max, windows[k - static_cast<size_t>(w)][w - 1].time_ms);
+      k -= static_cast<size_t>(w);
+    }
+    const double objective =
+        (options_.num_stages - 1) * realized_max + f[n] / options_.num_replicas;
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_widths = std::move(widths);
+    }
+  }
+  result.candidates_tried = static_cast<int32_t>(candidates.size());
+
+  if (best_widths.empty()) {
+    result.feasible = false;
+    return result;
+  }
+
+  // Widths were collected back-to-front.
+  std::reverse(best_widths.begin(), best_widths.end());
+  size_t pos = 0;
+  for (const int32_t w : best_widths) {
+    std::vector<data::Sample> group(ordered.begin() + static_cast<ptrdiff_t>(pos),
+                                    ordered.begin() + static_cast<ptrdiff_t>(pos + w));
+    MicroBatch m = MakeMicroBatch(std::move(group));
+    const Window& win = windows[pos][static_cast<size_t>(w) - 1];
+    m.predicted_time_ms = win.time_ms;
+    m.predicted_activation_mb = win.act_mb;
+    result.micro_batches.push_back(std::move(m));
+    result.max_time_ms = std::max(result.max_time_ms, win.time_ms);
+    result.total_time_ms += win.time_ms;
+    pos += static_cast<size_t>(w);
+  }
+  DYNAPIPE_CHECK(pos == n);
+  result.objective_ms = (options_.num_stages - 1) * result.max_time_ms +
+                        result.total_time_ms / options_.num_replicas;
+  result.feasible = true;
+  return result;
+}
+
+PartitionResult BruteForcePartition(const MicroBatchCostFn& cost,
+                                    const DpPartitionerOptions& options,
+                                    const std::vector<data::Sample>& ordered) {
+  const size_t n = ordered.size();
+  PartitionResult best;
+  if (n == 0) {
+    best.feasible = true;
+    return best;
+  }
+  DYNAPIPE_CHECK_MSG(n <= 20, "brute force is exponential; use small inputs");
+  double best_objective = kInf;
+  // Bitmask b: bit k set means a split between samples k and k+1.
+  for (uint64_t mask = 0; mask < (1ull << (n - 1)); ++mask) {
+    double total = 0.0;
+    double max_t = 0.0;
+    bool ok = true;
+    size_t start = 0;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (size_t k = 0; k <= n - 1 && ok; ++k) {
+      const bool split_here = k == n - 1 || (mask >> k & 1ull) != 0;
+      if (!split_here) {
+        continue;
+      }
+      const size_t width = k + 1 - start;
+      if (width > static_cast<size_t>(options.max_microbatch_size)) {
+        ok = false;
+        break;
+      }
+      const model::MicroBatchShape shape = WindowShape(ordered, start, width);
+      const double act = cost.ActivationMb(shape);
+      if (options.activation_limit_mb > 0.0 && act > options.activation_limit_mb) {
+        ok = false;
+        break;
+      }
+      const double t = cost.TimeMs(shape);
+      total += t;
+      max_t = std::max(max_t, t);
+      ranges.emplace_back(start, width);
+      start = k + 1;
+    }
+    if (!ok) {
+      continue;
+    }
+    const double objective =
+        (options.num_stages - 1) * max_t + total / options.num_replicas;
+    if (objective < best_objective) {
+      best_objective = objective;
+      best.micro_batches.clear();
+      for (const auto& [s, w] : ranges) {
+        std::vector<data::Sample> group(ordered.begin() + static_cast<ptrdiff_t>(s),
+                                        ordered.begin() + static_cast<ptrdiff_t>(s + w));
+        best.micro_batches.push_back(MakeMicroBatch(std::move(group)));
+      }
+      best.max_time_ms = max_t;
+      best.total_time_ms = total;
+      best.objective_ms = objective;
+      best.feasible = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace dynapipe::mb

@@ -1,0 +1,155 @@
+#include "src/mb/karmarkar_karp.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace dynapipe::mb {
+namespace {
+
+// A partial partition: `num_groups` buckets, each a (sum, item-indices) pair, kept
+// sorted by sum descending. The LDM key is the spread between largest and smallest
+// bucket sums.
+struct Tuple {
+  std::vector<double> sums;
+  std::vector<std::vector<int32_t>> items;
+
+  double spread() const { return sums.front() - sums.back(); }
+};
+
+void SortTuple(Tuple& t) {
+  const size_t k = t.sums.size();
+  std::vector<size_t> order(k);
+  for (size_t i = 0; i < k; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return t.sums[a] > t.sums[b]; });
+  Tuple sorted;
+  sorted.sums.reserve(k);
+  sorted.items.reserve(k);
+  for (const size_t i : order) {
+    sorted.sums.push_back(t.sums[i]);
+    sorted.items.push_back(std::move(t.items[i]));
+  }
+  t = std::move(sorted);
+}
+
+BalanceResult FinishResult(Tuple t) {
+  BalanceResult result;
+  result.max_sum = t.sums.front();
+  result.min_sum = t.sums.back();
+  result.groups = std::move(t.items);
+  return result;
+}
+
+}  // namespace
+
+BalanceResult KarmarkarKarp(const std::vector<double>& weights, int32_t num_groups) {
+  DYNAPIPE_CHECK(num_groups >= 1);
+  const size_t k = static_cast<size_t>(num_groups);
+
+  if (weights.empty()) {
+    BalanceResult result;
+    result.groups.resize(k);
+    return result;
+  }
+
+  // Max-heap by spread: LDM always combines the two partial partitions whose
+  // imbalance is largest, pairing big buckets with small ones.
+  auto cmp = [](const Tuple& a, const Tuple& b) { return a.spread() < b.spread(); };
+  std::priority_queue<Tuple, std::vector<Tuple>, decltype(cmp)> heap(cmp);
+
+  for (size_t i = 0; i < weights.size(); ++i) {
+    Tuple t;
+    t.sums.assign(k, 0.0);
+    t.items.resize(k);
+    t.sums[0] = weights[i];
+    t.items[0].push_back(static_cast<int32_t>(i));
+    SortTuple(t);
+    heap.push(std::move(t));
+  }
+
+  while (heap.size() > 1) {
+    Tuple a = heap.top();
+    heap.pop();
+    Tuple b = heap.top();
+    heap.pop();
+    // Pair a's largest bucket with b's smallest, and so on.
+    Tuple merged;
+    merged.sums.resize(k);
+    merged.items.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = k - 1 - i;
+      merged.sums[i] = a.sums[i] + b.sums[j];
+      merged.items[i] = std::move(a.items[i]);
+      auto& src = b.items[j];
+      merged.items[i].insert(merged.items[i].end(), src.begin(), src.end());
+    }
+    SortTuple(merged);
+    heap.push(std::move(merged));
+  }
+
+  return FinishResult(heap.top());
+}
+
+BalanceResult RoundRobinBalance(const std::vector<double>& weights,
+                                int32_t num_groups) {
+  DYNAPIPE_CHECK(num_groups >= 1);
+  const size_t k = static_cast<size_t>(num_groups);
+  Tuple t;
+  t.sums.assign(k, 0.0);
+  t.items.resize(k);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    t.sums[i % k] += weights[i];
+    t.items[i % k].push_back(static_cast<int32_t>(i));
+  }
+  SortTuple(t);
+  return FinishResult(std::move(t));
+}
+
+BalanceResult BruteForceBalance(const std::vector<double>& weights,
+                                int32_t num_groups) {
+  DYNAPIPE_CHECK(num_groups >= 1);
+  DYNAPIPE_CHECK_MSG(weights.size() <= 12, "brute force is exponential");
+  const size_t k = static_cast<size_t>(num_groups);
+  const size_t n = weights.size();
+  std::vector<size_t> assignment(n, 0);
+  std::vector<size_t> best_assignment(n, 0);
+  double best_max = std::numeric_limits<double>::infinity();
+
+  // Odometer over k^n assignments.
+  while (true) {
+    std::vector<double> sums(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      sums[assignment[i]] += weights[i];
+    }
+    const double mx = *std::max_element(sums.begin(), sums.end());
+    if (mx < best_max) {
+      best_max = mx;
+      best_assignment = assignment;
+    }
+    size_t pos = 0;
+    while (pos < n && ++assignment[pos] == k) {
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) {
+      break;
+    }
+  }
+
+  Tuple t;
+  t.sums.assign(k, 0.0);
+  t.items.resize(k);
+  for (size_t i = 0; i < n; ++i) {
+    t.sums[best_assignment[i]] += weights[i];
+    t.items[best_assignment[i]].push_back(static_cast<int32_t>(i));
+  }
+  SortTuple(t);
+  return FinishResult(std::move(t));
+}
+
+}  // namespace dynapipe::mb

@@ -1,0 +1,38 @@
+// Multi-way number partitioning via the Karmarkar–Karp largest differencing method.
+//
+// After the DP produces micro-batches for the whole mini-batch, hybrid data+pipeline
+// training must spread them over D data-parallel replicas so the *maximum* total
+// micro-batch time across replicas is small (§4 "Balance data parallel model
+// replicas"). The paper solves this subset-partition step approximately with the
+// Karmarkar–Karp algorithm; this is the k-way generalization (largest differencing
+// over k-tuples of subset sums).
+#ifndef DYNAPIPE_SRC_MB_KARMARKAR_KARP_H_
+#define DYNAPIPE_SRC_MB_KARMARKAR_KARP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dynapipe::mb {
+
+struct BalanceResult {
+  // groups[d] holds indices into the input weight vector assigned to replica d.
+  std::vector<std::vector<int32_t>> groups;
+  double max_sum = 0.0;
+  double min_sum = 0.0;
+
+  double imbalance() const { return max_sum - min_sum; }
+};
+
+// Partitions `weights` into `num_groups` sets minimizing (heuristically) the largest
+// set sum. Every group is present in the output even if empty.
+BalanceResult KarmarkarKarp(const std::vector<double>& weights, int32_t num_groups);
+
+// Baseline used in tests/ablation: round-robin assignment in input order.
+BalanceResult RoundRobinBalance(const std::vector<double>& weights, int32_t num_groups);
+
+// Exhaustive optimum for small inputs (tests only; O(num_groups^N)).
+BalanceResult BruteForceBalance(const std::vector<double>& weights, int32_t num_groups);
+
+}  // namespace dynapipe::mb
+
+#endif  // DYNAPIPE_SRC_MB_KARMARKAR_KARP_H_

@@ -1,0 +1,66 @@
+#include "src/mb/micro_batch.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::mb {
+
+int64_t MicroBatch::real_tokens() const {
+  int64_t total = 0;
+  for (const auto& s : samples) {
+    total += s.total_tokens();
+  }
+  return total;
+}
+
+int64_t MicroBatch::padded_tokens() const { return shape.padded_tokens(); }
+
+MicroBatch MakeMicroBatch(std::vector<data::Sample> samples) {
+  DYNAPIPE_CHECK(!samples.empty());
+  MicroBatch m;
+  m.shape.num_samples = static_cast<int32_t>(samples.size());
+  for (const auto& s : samples) {
+    m.shape.input_len = std::max(m.shape.input_len, s.input_len);
+    m.shape.target_len = std::max(m.shape.target_len, s.target_len);
+  }
+  m.samples = std::move(samples);
+  return m;
+}
+
+double PaddingStats::input_efficiency() const {
+  return padded_input_tokens == 0
+             ? 1.0
+             : static_cast<double>(real_input_tokens) /
+                   static_cast<double>(padded_input_tokens);
+}
+
+double PaddingStats::target_efficiency() const {
+  return padded_target_tokens == 0
+             ? 1.0
+             : static_cast<double>(real_target_tokens) /
+                   static_cast<double>(padded_target_tokens);
+}
+
+double PaddingStats::overall_efficiency() const {
+  const int64_t real = real_input_tokens + real_target_tokens;
+  const int64_t padded = padded_input_tokens + padded_target_tokens;
+  return padded == 0 ? 1.0 : static_cast<double>(real) / static_cast<double>(padded);
+}
+
+PaddingStats ComputePaddingStats(const std::vector<MicroBatch>& micro_batches) {
+  PaddingStats stats;
+  for (const auto& m : micro_batches) {
+    stats.padded_input_tokens +=
+        int64_t{m.shape.num_samples} * m.shape.input_len;
+    stats.padded_target_tokens +=
+        int64_t{m.shape.num_samples} * m.shape.target_len;
+    for (const auto& s : m.samples) {
+      stats.real_input_tokens += s.input_len;
+      stats.real_target_tokens += s.target_len;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dynapipe::mb

@@ -1,0 +1,46 @@
+// Micro-batch: a group of samples padded to a common shape.
+#ifndef DYNAPIPE_SRC_MB_MICRO_BATCH_H_
+#define DYNAPIPE_SRC_MB_MICRO_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/model/shapes.h"
+
+namespace dynapipe::mb {
+
+struct MicroBatch {
+  std::vector<data::Sample> samples;
+  // Padded tensor shape: (|samples|, max input_len, max target_len).
+  model::MicroBatchShape shape;
+  // Planner predictions attached at construction (cost-model units).
+  double predicted_time_ms = 0.0;
+  double predicted_activation_mb = 0.0;
+
+  int64_t real_tokens() const;    // non-padding tokens
+  int64_t padded_tokens() const;  // shape.padded_tokens()
+};
+
+// Builds a MicroBatch from samples (shape = element-wise max of lengths).
+MicroBatch MakeMicroBatch(std::vector<data::Sample> samples);
+
+// Aggregate padding efficiency: real / padded tokens over a set of micro-batches
+// (the paper's Fig. 4/15 metric). Encoder and decoder sides are reported separately
+// for encoder–decoder models.
+struct PaddingStats {
+  int64_t real_input_tokens = 0;
+  int64_t padded_input_tokens = 0;
+  int64_t real_target_tokens = 0;
+  int64_t padded_target_tokens = 0;
+
+  double input_efficiency() const;
+  double target_efficiency() const;
+  double overall_efficiency() const;
+};
+
+PaddingStats ComputePaddingStats(const std::vector<MicroBatch>& micro_batches);
+
+}  // namespace dynapipe::mb
+
+#endif  // DYNAPIPE_SRC_MB_MICRO_BATCH_H_

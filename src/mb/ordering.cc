@@ -1,0 +1,121 @@
+#include "src/mb/ordering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace dynapipe::mb {
+namespace {
+
+double Dist(const data::Sample& a, const data::Sample& b) {
+  return std::abs(static_cast<double>(a.input_len) - b.input_len) +
+         std::abs(static_cast<double>(a.target_len) - b.target_len);
+}
+
+std::vector<data::Sample> SortByLength(std::vector<data::Sample> samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](const data::Sample& a, const data::Sample& b) {
+              if (a.input_len != b.input_len) {
+                return a.input_len < b.input_len;
+              }
+              if (a.target_len != b.target_len) {
+                return a.target_len < b.target_len;
+              }
+              return a.id < b.id;
+            });
+  return samples;
+}
+
+std::vector<data::Sample> TspOrder(std::vector<data::Sample> samples) {
+  const size_t n = samples.size();
+  if (n <= 2) {
+    return samples;
+  }
+  // Nearest-neighbour construction starting from the shortest sample.
+  size_t start = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (samples[i].total_tokens() < samples[start].total_tokens()) {
+      start = i;
+    }
+  }
+  std::vector<size_t> tour;
+  std::vector<bool> used(n, false);
+  tour.reserve(n);
+  tour.push_back(start);
+  used[start] = true;
+  for (size_t step = 1; step < n; ++step) {
+    const data::Sample& cur = samples[tour.back()];
+    size_t best = n;
+    double best_d = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) {
+        continue;
+      }
+      const double d = Dist(cur, samples[i]);
+      if (best == n || d < best_d) {
+        best = i;
+        best_d = d;
+      }
+    }
+    tour.push_back(best);
+    used[best] = true;
+  }
+  // 2-opt improvement on the open path. Bounded passes keep planning time linear-ish
+  // in practice; the tour is already near-good after nearest-neighbour.
+  constexpr int kMaxPasses = 4;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool improved = false;
+    for (size_t i = 0; i + 2 < n; ++i) {
+      for (size_t j = i + 2; j < n; ++j) {
+        // Reversing tour[i+1..j] replaces edges (i,i+1) and (j,j+1) with (i,j) and
+        // (i+1,j+1); for the open path the (j,j+1) edge vanishes at j == n-1.
+        const double before = Dist(samples[tour[i]], samples[tour[i + 1]]) +
+                              (j + 1 < n ? Dist(samples[tour[j]], samples[tour[j + 1]])
+                                         : 0.0);
+        const double after = Dist(samples[tour[i]], samples[tour[j]]) +
+                             (j + 1 < n ? Dist(samples[tour[i + 1]], samples[tour[j + 1]])
+                                        : 0.0);
+        if (after + 1e-9 < before) {
+          std::reverse(tour.begin() + static_cast<ptrdiff_t>(i) + 1,
+                       tour.begin() + static_cast<ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  std::vector<data::Sample> out;
+  out.reserve(n);
+  for (const size_t idx : tour) {
+    out.push_back(samples[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<data::Sample> OrderSamples(std::vector<data::Sample> samples,
+                                       OrderingMethod method) {
+  switch (method) {
+    case OrderingMethod::kSortByLength:
+      return SortByLength(std::move(samples));
+    case OrderingMethod::kTsp:
+      return TspOrder(std::move(samples));
+  }
+  DYNAPIPE_CHECK(false);
+}
+
+double TourCost(const std::vector<data::Sample>& samples) {
+  double total = 0.0;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    total += Dist(samples[i - 1], samples[i]);
+  }
+  return total;
+}
+
+}  // namespace dynapipe::mb

@@ -1,0 +1,33 @@
+// Sample ordering within a mini-batch (§4 "Determine the order of samples").
+//
+// Before the dynamic program groups *consecutive* samples into micro-batches, the
+// mini-batch is reordered so neighbours have similar lengths:
+//  - kSortByLength: sort by input length, tie-break by target length. Optimal for
+//    decoder-only models; the paper's default.
+//  - kTsp: treat (input_len, target_len) as 2D points and find a short visiting
+//    order (nearest-neighbour construction + 2-opt improvement) — the paper's
+//    TSP-solver alternative for encoder-decoder models.
+// Reordering only permutes samples *within* the mini-batch, preserving the
+// mathematical equivalence of training (§9).
+#ifndef DYNAPIPE_SRC_MB_ORDERING_H_
+#define DYNAPIPE_SRC_MB_ORDERING_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace dynapipe::mb {
+
+enum class OrderingMethod { kSortByLength, kTsp };
+
+// Returns the samples in planning order.
+std::vector<data::Sample> OrderSamples(std::vector<data::Sample> samples,
+                                       OrderingMethod method);
+
+// Total adjacent-pair L1 distance in (input_len, target_len) space — the TSP tour
+// objective; exposed for tests and the ordering-quality ablation.
+double TourCost(const std::vector<data::Sample>& samples);
+
+}  // namespace dynapipe::mb
+
+#endif  // DYNAPIPE_SRC_MB_ORDERING_H_

@@ -1,0 +1,53 @@
+// Simulated accelerator and interconnect parameters.
+//
+// Defaults approximate one EC2 p4d node: A100-40GB GPUs (312 TFLOPS fp16 peak),
+// NVSwitch within a node, EFA across nodes. The utilization curve makes small
+// matmuls slow (launch-bound) and large ones approach a realistic MFU, which is what
+// produces the paper's "computation efficiency improves with micro-batch size" effect
+// and the super-linear time growth of Fig. 3 together with the quadratic attention
+// term.
+#ifndef DYNAPIPE_SRC_MODEL_HARDWARE_SPEC_H_
+#define DYNAPIPE_SRC_MODEL_HARDWARE_SPEC_H_
+
+#include <cstdint>
+
+namespace dynapipe::model {
+
+struct HardwareSpec {
+  // Compute.
+  double peak_tflops = 312.0;       // fp16 tensor-core peak
+  double max_utilization = 0.55;    // achievable MFU at saturation
+  // Tokens/op at which utilization reaches half of max. LLM-sized GEMMs saturate
+  // tensor cores with a few hundred rows, so the knee sits low; pushing it higher
+  // overweights batching and understates the cost of packing's long sequences.
+  double util_half_tokens = 256.0;
+  // Relative efficiency of the O(s^2) attention interior (QK^T, softmax/mask/
+  // dropout, A*V) versus dense GEMMs. Pre-FlashAttention stacks run the softmax/
+  // mask/dropout passes as separate memory-bound kernels (fp32 for stability), so
+  // per s^2 unit they move ~20-30 bytes against ~4*kv_channels tensor-core FLOPs —
+  // an effective ~10% of GEMM throughput. This is what makes packing's quadratic
+  // term so expensive on real hardware (Fig. 3/4).
+  double attention_efficiency = 0.10;
+  double kernel_overhead_us = 25.0; // fixed per-layer per-pass launch overhead
+
+  // Memory.
+  double device_memory_mb = 40.0 * 1024.0;  // A100 40GB
+  // Fraction reserved for workspace/fragmentation slack (cuBLAS workspaces, NCCL
+  // buffers, allocator slack); activations must fit in what remains.
+  double memory_reserved_fraction = 0.08;
+
+  // Interconnect.
+  double intra_node_bw_gbs = 250.0;  // NVSwitch effective GB/s per GPU pair
+  double inter_node_bw_gbs = 20.0;   // EFA effective GB/s per GPU pair
+  double p2p_latency_us = 12.0;
+  double allreduce_latency_us = 25.0;
+  int32_t gpus_per_node = 8;
+
+  double usable_memory_mb() const {
+    return device_memory_mb * (1.0 - memory_reserved_fraction);
+  }
+};
+
+}  // namespace dynapipe::model
+
+#endif  // DYNAPIPE_SRC_MODEL_HARDWARE_SPEC_H_

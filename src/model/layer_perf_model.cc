@@ -1,0 +1,217 @@
+#include "src/model/layer_perf_model.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dynapipe::model {
+namespace {
+
+constexpr double kBytesPerValue = 2.0;  // fp16
+constexpr double kMb = 1024.0 * 1024.0;
+
+}  // namespace
+
+LayerPerfModel::LayerPerfModel(const ModelConfig& config, const HardwareSpec& hw,
+                               int32_t tp)
+    : config_(config), hw_(hw), tp_(tp) {
+  DYNAPIPE_CHECK(tp >= 1);
+  DYNAPIPE_CHECK_MSG(config.num_heads % tp == 0 || tp <= config.num_heads,
+                     "tensor parallel degree must divide attention heads");
+}
+
+double LayerPerfModel::EncoderLayerFwdFlops(int32_t b, int32_t s) const {
+  const double h = config_.hidden_dim;
+  const double p = static_cast<double>(config_.projection_dim());
+  const double f = config_.ffn_dim;
+  const double bd = b;
+  const double sd = s;
+  const double attn = 8.0 * bd * sd * h * p + 4.0 * bd * sd * sd * p;
+  const double ffn = 4.0 * bd * sd * h * f;
+  return attn + ffn;
+}
+
+double LayerPerfModel::DecoderLayerFwdFlops(int32_t b, int32_t s_dec,
+                                            int32_t s_enc) const {
+  const double h = config_.hidden_dim;
+  const double p = static_cast<double>(config_.projection_dim());
+  const double f = config_.ffn_dim;
+  const double bd = b;
+  const double sd = s_dec;
+  const double se = s_enc;
+  const double self_attn = 8.0 * bd * sd * h * p + 4.0 * bd * sd * sd * p;
+  const double ffn = 4.0 * bd * sd * h * f;
+  if (config_.arch == ModelArch::kGpt) {
+    return self_attn + ffn;
+  }
+  // T5 decoder layer: + cross-attention (Q from decoder, K/V from encoder output).
+  const double cross =
+      4.0 * bd * sd * h * p + 4.0 * bd * se * h * p + 4.0 * bd * sd * se * p;
+  return self_attn + cross + ffn;
+}
+
+double LayerPerfModel::LmHeadFwdFlops(int32_t b, int32_t s) const {
+  return 2.0 * static_cast<double>(b) * s * config_.hidden_dim * config_.vocab_size;
+}
+
+double LayerPerfModel::FlopsToMs(double flops, double tokens) const {
+  return PassTimeMs(flops, 0.0, tokens);
+}
+
+double LayerPerfModel::PassTimeMs(double linear_flops, double quad_flops,
+                                  double tokens) const {
+  // Tensor parallelism narrows every GEMM by tp, so saturating the device takes
+  // proportionally more rows — without this, grid search always degenerates to
+  // tp-only parallelism.
+  const double half_tokens = hw_.util_half_tokens * tp_;
+  const double util = hw_.max_utilization * tokens / (tokens + half_tokens);
+  const double peak_flops_per_ms = hw_.peak_tflops * 1e12 / 1e3;
+  // The O(s^2) attention interior (QK^T, softmax, A*V) is bandwidth-bound and runs
+  // at a fraction of dense-GEMM throughput (hw_.attention_efficiency) — the reason
+  // packing's long sequences cost more than their FLOP count suggests.
+  return hw_.kernel_overhead_us / 1e3 +
+         linear_flops / (peak_flops_per_ms * util) +
+         quad_flops / (peak_flops_per_ms * util * hw_.attention_efficiency);
+}
+
+double LayerPerfModel::EncoderQuadFlops(int32_t b, int32_t s) const {
+  return 4.0 * static_cast<double>(b) * s * s *
+         static_cast<double>(config_.projection_dim());
+}
+
+double LayerPerfModel::DecoderQuadFlops(int32_t b, int32_t s_dec,
+                                        int32_t s_enc) const {
+  const double p = static_cast<double>(config_.projection_dim());
+  double quad = 4.0 * static_cast<double>(b) * s_dec * s_dec * p;
+  if (config_.arch == ModelArch::kT5) {
+    quad += 4.0 * static_cast<double>(b) * s_dec * s_enc * p;  // cross-attention
+  }
+  return quad;
+}
+
+double LayerPerfModel::TpAllreduceMs(int32_t b, int32_t s) const {
+  if (tp_ <= 1) {
+    return 0.0;
+  }
+  // Ring allreduce of the (b, s, h) activation among tp GPUs, twice per layer pass
+  // (after attention and after FFN), NVSwitch bandwidth (tp is intra-node).
+  const double bytes =
+      static_cast<double>(b) * s * config_.hidden_dim * kBytesPerValue;
+  const double ring_factor = 2.0 * (tp_ - 1) / tp_;
+  const double gb = bytes * ring_factor / 1e9;
+  const double per_allreduce_ms =
+      hw_.allreduce_latency_us / 1e3 + gb / hw_.intra_node_bw_gbs * 1e3;
+  return 2.0 * per_allreduce_ms;
+}
+
+double LayerPerfModel::EncoderLayerFwdMs(int32_t b, int32_t s) const {
+  const double tokens = static_cast<double>(b) * s;
+  const double quad = EncoderQuadFlops(b, s);
+  const double linear = EncoderLayerFwdFlops(b, s) - quad;
+  return PassTimeMs(linear / tp_, quad / tp_, tokens) + TpAllreduceMs(b, s);
+}
+
+double LayerPerfModel::DecoderLayerFwdMs(int32_t b, int32_t s_dec,
+                                         int32_t s_enc) const {
+  // Cross-attention kernels touch both streams, so the utilization operating point
+  // covers decoder and encoder tokens. (Also keeps time monotone in either length,
+  // which the micro-batch DP exploits.)
+  const double tokens =
+      static_cast<double>(b) *
+      (s_dec + (config_.arch == ModelArch::kT5 ? s_enc : 0));
+  const double quad = DecoderQuadFlops(b, s_dec, s_enc);
+  const double linear = DecoderLayerFwdFlops(b, s_dec, s_enc) - quad;
+  return PassTimeMs(linear / tp_, quad / tp_, tokens) + TpAllreduceMs(b, s_dec);
+}
+
+double LayerPerfModel::LmHeadFwdMs(int32_t b, int32_t s) const {
+  const double tokens = static_cast<double>(b) * s;
+  return FlopsToMs(LmHeadFwdFlops(b, s) / tp_, tokens);
+}
+
+namespace {
+
+// Backward compute is ~2x forward (grads w.r.t. both inputs and weights); recompute
+// replays forward work before the backward proper: kSelective replays only the
+// quadratic attention interior, kFull replays everything.
+double BwdLinearFactor(RecomputeMode mode) {
+  return mode == RecomputeMode::kFull ? 3.0 : 2.0;
+}
+
+double BwdQuadFactor(RecomputeMode mode) {
+  return mode == RecomputeMode::kNone ? 2.0 : 3.0;
+}
+
+}  // namespace
+
+double LayerPerfModel::EncoderLayerBwdMs(int32_t b, int32_t s,
+                                         RecomputeMode mode) const {
+  const double quad = EncoderQuadFlops(b, s);
+  const double linear = EncoderLayerFwdFlops(b, s) - quad;
+  const double tokens = static_cast<double>(b) * s;
+  // Backward runs the same allreduce pattern on gradients.
+  return PassTimeMs(linear * BwdLinearFactor(mode) / tp_,
+                    quad * BwdQuadFactor(mode) / tp_, tokens) +
+         TpAllreduceMs(b, s);
+}
+
+double LayerPerfModel::DecoderLayerBwdMs(int32_t b, int32_t s_dec, int32_t s_enc,
+                                         RecomputeMode mode) const {
+  const double quad = DecoderQuadFlops(b, s_dec, s_enc);
+  const double linear = DecoderLayerFwdFlops(b, s_dec, s_enc) - quad;
+  const double tokens =
+      static_cast<double>(b) *
+      (s_dec + (config_.arch == ModelArch::kT5 ? s_enc : 0));
+  return PassTimeMs(linear * BwdLinearFactor(mode) / tp_,
+                    quad * BwdQuadFactor(mode) / tp_, tokens) +
+         TpAllreduceMs(b, s_dec);
+}
+
+double LayerPerfModel::EncoderLayerActivationMb(int32_t b, int32_t s,
+                                                RecomputeMode mode) const {
+  const double h = config_.hidden_dim;
+  const double p = static_cast<double>(config_.projection_dim()) / tp_;
+  const double f = static_cast<double>(config_.ffn_dim) / tp_;
+  const double a = static_cast<double>(config_.num_heads) / tp_;
+  const double bs = static_cast<double>(b) * s;
+  switch (mode) {
+    case RecomputeMode::kFull:
+      // Only the layer input survives; everything else is recomputed.
+      return bs * h * kBytesPerValue / kMb;
+    case RecomputeMode::kSelective: {
+      // Linear activations stay (input, Q/K/V, attn out, FFN hidden); the O(s^2)
+      // score matrix is recomputed.
+      const double linear = bs * (2.0 * h + 3.0 * p + f) * kBytesPerValue;
+      return linear / kMb;
+    }
+    case RecomputeMode::kNone: {
+      const double linear = bs * (2.0 * h + 3.0 * p + f) * kBytesPerValue;
+      const double scores = static_cast<double>(b) * a * s * s * kBytesPerValue;
+      return (linear + scores) / kMb;
+    }
+  }
+  return 0.0;
+}
+
+double LayerPerfModel::DecoderLayerActivationMb(int32_t b, int32_t s_dec,
+                                                int32_t s_enc,
+                                                RecomputeMode mode) const {
+  const double enc_like = EncoderLayerActivationMb(b, s_dec, mode);
+  if (config_.arch == ModelArch::kGpt) {
+    return enc_like;
+  }
+  // Cross-attention adds K/V over the encoder sequence and (mode-dependent) the
+  // s_dec x s_enc score matrix.
+  const double p = static_cast<double>(config_.projection_dim()) / tp_;
+  const double a = static_cast<double>(config_.num_heads) / tp_;
+  double extra = 0.0;
+  if (mode != RecomputeMode::kFull) {
+    extra += static_cast<double>(b) * s_enc * 2.0 * p * kBytesPerValue;
+    if (mode == RecomputeMode::kNone) {
+      extra += static_cast<double>(b) * a * s_dec * s_enc * kBytesPerValue;
+    }
+  }
+  return enc_like + extra / kMb;
+}
+
+}  // namespace dynapipe::model

@@ -1,0 +1,78 @@
+// Analytic per-layer performance model — the repo's stand-in for real GPU kernels.
+//
+// FLOP counts use the standard transformer formulas (2 FLOPs per multiply-add):
+//   self-attention:   8*b*s*h*p + 4*b*s^2*p          (QKV/out projections + scores/context)
+//   cross-attention:  4*b*sd*h*p + 4*b*se*h*p + 4*b*sd*se*p
+//   feed-forward:     4*b*s*h*f
+// where h = hidden_dim, p = heads*kv_channels, f = ffn_dim. Time is
+//   kernel_overhead + flops / (peak * utilization(tokens))
+// with utilization(t) = max_util * t / (t + half_tokens) — a saturating curve, so
+// small micro-batches are launch/bandwidth-bound and large ones compute-bound. The
+// quadratic s^2 terms give Fig. 3's super-linear growth. Tensor parallelism divides
+// FLOPs by tp and adds two allreduces of the layer output per pass.
+//
+// Activation memory distinguishes the linear b*s terms from the quadratic b*a*s^2
+// attention-score matrices; the recompute mode decides which are retained between
+// forward and backward (see RecomputeMode).
+//
+// The planner's CostModel never calls these formulas directly — it profiles them on a
+// power-of-two grid and interpolates, exactly like the paper profiles real kernels.
+#ifndef DYNAPIPE_SRC_MODEL_LAYER_PERF_MODEL_H_
+#define DYNAPIPE_SRC_MODEL_LAYER_PERF_MODEL_H_
+
+#include "src/model/hardware_spec.h"
+#include "src/model/model_config.h"
+#include "src/model/shapes.h"
+
+namespace dynapipe::model {
+
+class LayerPerfModel {
+ public:
+  LayerPerfModel(const ModelConfig& config, const HardwareSpec& hw, int32_t tp);
+
+  // --- FLOPs (per single layer, forward pass, not divided by tp) ---
+  double EncoderLayerFwdFlops(int32_t b, int32_t s) const;
+  double DecoderLayerFwdFlops(int32_t b, int32_t s_dec, int32_t s_enc) const;
+  // Embedding lookup is bandwidth-bound and negligible; the LM head logit matmul
+  // (b*s tokens against the vocabulary) is not:
+  double LmHeadFwdFlops(int32_t b, int32_t s) const;
+
+  // --- Time (milliseconds, per single layer on this tp degree) ---
+  double EncoderLayerFwdMs(int32_t b, int32_t s) const;
+  double DecoderLayerFwdMs(int32_t b, int32_t s_dec, int32_t s_enc) const;
+  double LmHeadFwdMs(int32_t b, int32_t s) const;
+  // Backward ≈ 2x forward compute; recompute modes replay part/all of the forward.
+  double EncoderLayerBwdMs(int32_t b, int32_t s, RecomputeMode mode) const;
+  double DecoderLayerBwdMs(int32_t b, int32_t s_dec, int32_t s_enc,
+                           RecomputeMode mode) const;
+
+  // --- Activation memory retained between forward and backward (MB, per layer) ---
+  double EncoderLayerActivationMb(int32_t b, int32_t s, RecomputeMode mode) const;
+  double DecoderLayerActivationMb(int32_t b, int32_t s_dec, int32_t s_enc,
+                                  RecomputeMode mode) const;
+
+  const ModelConfig& config() const { return config_; }
+  const HardwareSpec& hw() const { return hw_; }
+  int32_t tp() const { return tp_; }
+
+ private:
+  // Convert FLOPs (already divided by tp) to milliseconds, including the utilization
+  // curve and fixed overhead. `tokens` drives the utilization operating point.
+  double FlopsToMs(double flops, double tokens) const;
+  // Like FlopsToMs but charges `quad_flops` (the attention interior) at the lower
+  // attention_efficiency throughput.
+  double PassTimeMs(double linear_flops, double quad_flops, double tokens) const;
+  // O(s^2) FLOPs of a layer's attention interior (already counted in *FwdFlops).
+  double EncoderQuadFlops(int32_t b, int32_t s) const;
+  double DecoderQuadFlops(int32_t b, int32_t s_dec, int32_t s_enc) const;
+  // Per-pass tensor-parallel allreduce time for a (b, s, h) activation.
+  double TpAllreduceMs(int32_t b, int32_t s) const;
+
+  ModelConfig config_;
+  HardwareSpec hw_;
+  int32_t tp_;
+};
+
+}  // namespace dynapipe::model
+
+#endif  // DYNAPIPE_SRC_MODEL_LAYER_PERF_MODEL_H_

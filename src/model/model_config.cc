@@ -1,0 +1,152 @@
+#include "src/model/model_config.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace dynapipe::model {
+
+int32_t ModelConfig::total_layers() const {
+  return arch == ModelArch::kT5 ? 2 * num_layers : num_layers;
+}
+
+int64_t ModelConfig::params_per_encoder_layer() const {
+  const int64_t h = hidden_dim;
+  const int64_t p = projection_dim();
+  const int64_t f = ffn_dim;
+  // Self-attention: Q,K,V (h->p each) + output (p->h); FFN: h->f + f->h.
+  // Biases and layernorm gains are negligible at these scales and omitted.
+  return 4 * h * p + 2 * h * f;
+}
+
+int64_t ModelConfig::params_per_decoder_layer() const {
+  if (arch == ModelArch::kGpt) {
+    return params_per_encoder_layer();
+  }
+  // T5 decoder layer adds a cross-attention block (another 4*h*p).
+  return params_per_encoder_layer() + 4 * int64_t{hidden_dim} * projection_dim();
+}
+
+int64_t ModelConfig::embedding_params() const {
+  return int64_t{vocab_size} * hidden_dim;
+}
+
+int64_t ModelConfig::total_params() const {
+  if (arch == ModelArch::kGpt) {
+    return num_layers * params_per_decoder_layer() + embedding_params();
+  }
+  return num_layers * (params_per_encoder_layer() + params_per_decoder_layer()) +
+         embedding_params();
+}
+
+double ModelConfig::total_params_billions() const {
+  return static_cast<double>(total_params()) / 1e9;
+}
+
+namespace {
+
+ModelConfig MakeGpt(std::string name, int32_t layers, int32_t hidden, int32_t heads,
+                    int32_t ffn) {
+  ModelConfig c;
+  c.arch = ModelArch::kGpt;
+  c.name = std::move(name);
+  c.num_layers = layers;
+  c.hidden_dim = hidden;
+  c.num_heads = heads;
+  c.kv_channels = hidden / heads;
+  c.ffn_dim = ffn;
+  return c;
+}
+
+ModelConfig MakeT5(std::string name, int32_t layers) {
+  // T5 scaling in the paper keeps T5-11B's width (model dim 1024, 128 heads of 128
+  // kv channels, FFN 65536) and scales the layer count: 12/24/48/96.
+  ModelConfig c;
+  c.arch = ModelArch::kT5;
+  c.name = std::move(name);
+  c.num_layers = layers;
+  c.hidden_dim = 1024;
+  c.num_heads = 128;
+  c.kv_channels = 128;
+  c.ffn_dim = 65'536;
+  return c;
+}
+
+}  // namespace
+
+// Table 1: GPT layers 16/32/40/16, dims 4096/4096/5140/12288, heads 32/32/40/96,
+// kv channels 128, FFN 16384/16384/20560/49152.
+ModelConfig ModelConfig::Gpt3_35B() { return MakeGpt("GPT-3.35B", 16, 4096, 32, 16'384); }
+ModelConfig ModelConfig::Gpt6_7B() { return MakeGpt("GPT-6.7B", 32, 4096, 32, 16'384); }
+ModelConfig ModelConfig::Gpt13B() { return MakeGpt("GPT-13B", 40, 5140, 40, 20'560); }
+ModelConfig ModelConfig::Gpt29B() { return MakeGpt("GPT-29B", 16, 12'288, 96, 49'152); }
+
+ModelConfig ModelConfig::T5_5_5B() { return MakeT5("T5-5.5B", 12); }
+ModelConfig ModelConfig::T5_11B() { return MakeT5("T5-11B", 24); }
+ModelConfig ModelConfig::T5_22B() { return MakeT5("T5-22B", 48); }
+ModelConfig ModelConfig::T5_44B() { return MakeT5("T5-44B", 96); }
+
+ModelConfig ModelConfig::ForCluster(ModelArch arch, int32_t num_gpus) {
+  if (arch == ModelArch::kGpt) {
+    switch (num_gpus) {
+      case 4:
+        return Gpt3_35B();
+      case 8:
+        return Gpt6_7B();
+      case 16:
+        return Gpt13B();
+      case 32:
+        return Gpt29B();
+      default:
+        break;
+    }
+  } else {
+    switch (num_gpus) {
+      case 4:
+        return T5_5_5B();
+      case 8:
+        return T5_11B();
+      case 16:
+        return T5_22B();
+      case 32:
+        return T5_44B();
+      default:
+        break;
+    }
+  }
+  DYNAPIPE_CHECK_MSG(false, "no Table 1 model for this cluster size");
+}
+
+std::string ParallelConfig::ToString() const {
+  return "dp" + std::to_string(dp) + "/tp" + std::to_string(tp) + "/pp" +
+         std::to_string(pp);
+}
+
+std::vector<ParallelConfig> EnumerateParallelConfigs(int32_t num_gpus,
+                                                     int32_t gpus_per_node,
+                                                     int32_t max_pp) {
+  DYNAPIPE_CHECK(num_gpus >= 1);
+  std::vector<ParallelConfig> configs;
+  for (int32_t tp = 1; tp <= num_gpus; tp *= 2) {
+    if (tp > gpus_per_node) {
+      break;
+    }
+    for (int32_t pp = 1; tp * pp <= num_gpus; pp *= 2) {
+      if (pp > max_pp) {
+        break;
+      }
+      if (num_gpus % (tp * pp) != 0) {
+        continue;
+      }
+      const int32_t dp = num_gpus / (tp * pp);
+      // Only power-of-two dp (always true when num_gpus is a power of two).
+      if ((dp & (dp - 1)) != 0) {
+        continue;
+      }
+      configs.push_back(ParallelConfig{dp, tp, pp});
+    }
+  }
+  return configs;
+}
+
+}  // namespace dynapipe::model

@@ -1,0 +1,79 @@
+// Model and parallelism configuration.
+//
+// Model shapes follow Table 1 of the paper exactly: GPT (decoder-only) scaled per the
+// GPT-3 paper to 3.35/6.7/13/29B for 4/8/16/32 GPUs, and T5 (encoder–decoder) scaled
+// in depth to 5.5/11/22/44B. "num_layers" for T5 counts layers in *each* of the
+// encoder and decoder, as in the paper.
+#ifndef DYNAPIPE_SRC_MODEL_MODEL_CONFIG_H_
+#define DYNAPIPE_SRC_MODEL_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynapipe::model {
+
+enum class ModelArch {
+  kGpt,  // decoder-only; samples have input_len only
+  kT5,   // encoder-decoder; samples have (input_len, target_len)
+};
+
+struct ModelConfig {
+  ModelArch arch = ModelArch::kGpt;
+  std::string name;
+  int32_t num_layers = 0;    // per stack (T5: encoder depth == decoder depth)
+  int32_t hidden_dim = 0;    // model dimension h
+  int32_t num_heads = 0;
+  int32_t kv_channels = 0;   // per-head dimension; projection dim p = heads * kv
+  int32_t ffn_dim = 0;
+  int32_t vocab_size = 50'304;
+
+  // Attention projection width p = num_heads * kv_channels. For GPT this equals
+  // hidden_dim; T5-11B famously uses p = 16384 with h = 1024.
+  int64_t projection_dim() const { return int64_t{num_heads} * kv_channels; }
+
+  // Total transformer layers in the model (T5: encoder + decoder stacks).
+  int32_t total_layers() const;
+
+  // Parameter counts (used to validate against Table 1 and to size optimizer state).
+  int64_t params_per_encoder_layer() const;
+  int64_t params_per_decoder_layer() const;  // includes cross-attention for T5
+  int64_t embedding_params() const;
+  int64_t total_params() const;
+  double total_params_billions() const;
+
+  // Table 1 rows.
+  static ModelConfig Gpt3_35B();  // 4 GPUs
+  static ModelConfig Gpt6_7B();   // 8 GPUs
+  static ModelConfig Gpt13B();    // 16 GPUs
+  static ModelConfig Gpt29B();    // 32 GPUs
+  static ModelConfig T5_5_5B();   // 4 GPUs
+  static ModelConfig T5_11B();    // 8 GPUs
+  static ModelConfig T5_22B();    // 16 GPUs
+  static ModelConfig T5_44B();    // 32 GPUs
+
+  // The Table 1 model for a given architecture and GPU count (4/8/16/32).
+  static ModelConfig ForCluster(ModelArch arch, int32_t num_gpus);
+};
+
+// 3D parallelism degrees. num_gpus = dp * tp * pp.
+struct ParallelConfig {
+  int32_t dp = 1;  // data parallel replicas
+  int32_t tp = 1;  // tensor parallel degree (intra-node only, like the paper)
+  int32_t pp = 1;  // pipeline stages
+
+  int32_t num_gpus() const { return dp * tp * pp; }
+  std::string ToString() const;
+  bool operator==(const ParallelConfig&) const = default;
+};
+
+// All (dp, tp, pp) combinations with power-of-two degrees that multiply to num_gpus,
+// with tp capped at gpus_per_node (the paper limits tensor parallelism to intra-node)
+// and pp capped at the number of pipeline-partitionable layers.
+std::vector<ParallelConfig> EnumerateParallelConfigs(int32_t num_gpus,
+                                                     int32_t gpus_per_node,
+                                                     int32_t max_pp);
+
+}  // namespace dynapipe::model
+
+#endif  // DYNAPIPE_SRC_MODEL_MODEL_CONFIG_H_

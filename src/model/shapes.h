@@ -1,0 +1,50 @@
+// Micro-batch shape: the padded tensor dimensions a micro-batch occupies.
+//
+// Every sample in a micro-batch is padded to the micro-batch's (input_len,
+// target_len); the planner's entire job is choosing groupings for which that padding
+// is small while execution stays efficient.
+#ifndef DYNAPIPE_SRC_MODEL_SHAPES_H_
+#define DYNAPIPE_SRC_MODEL_SHAPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dynapipe::model {
+
+struct MicroBatchShape {
+  int32_t num_samples = 0;  // micro-batch size (batch dimension)
+  int32_t input_len = 0;    // padded encoder (or full, for GPT) sequence length
+  int32_t target_len = 0;   // padded decoder sequence length (0 for GPT)
+
+  int64_t padded_tokens() const {
+    return int64_t{num_samples} * (int64_t{input_len} + int64_t{target_len});
+  }
+  bool operator==(const MicroBatchShape&) const = default;
+  std::string ToString() const {
+    return "(" + std::to_string(num_samples) + ", " + std::to_string(input_len) +
+           ", " + std::to_string(target_len) + ")";
+  }
+};
+
+// How activations are (re)computed in the backward pass. Matches the recomputation
+// schemes the paper's dynamic recomputation chooses among (§7):
+//   kNone      — store everything, cheapest compute, highest memory;
+//   kSelective — recompute the O(s^2) attention interior (Megatron "selective");
+//   kFull      — store only layer inputs, replay the forward (Megatron "full").
+enum class RecomputeMode { kNone, kSelective, kFull };
+
+inline const char* RecomputeModeName(RecomputeMode m) {
+  switch (m) {
+    case RecomputeMode::kNone:
+      return "none";
+    case RecomputeMode::kSelective:
+      return "selective";
+    case RecomputeMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+}  // namespace dynapipe::model
+
+#endif  // DYNAPIPE_SRC_MODEL_SHAPES_H_

@@ -1,0 +1,38 @@
+#include "src/model/stage_partition.h"
+
+#include "src/common/check.h"
+
+namespace dynapipe::model {
+
+std::vector<StageLayout> PartitionStages(const ModelConfig& config, int32_t pp) {
+  DYNAPIPE_CHECK(pp >= 1);
+  const int32_t total = config.total_layers();
+  DYNAPIPE_CHECK_MSG(pp <= total, "more stages than layers");
+
+  // Evenly spread `total` layers over `pp` stages: the first (total % pp) stages get
+  // one extra layer, matching Megatron-LM's uniform partitioner.
+  std::vector<StageLayout> stages(static_cast<size_t>(pp));
+  const int32_t base = total / pp;
+  const int32_t extra = total % pp;
+  const int32_t encoder_total =
+      config.arch == ModelArch::kT5 ? config.num_layers : 0;
+
+  int32_t consumed = 0;
+  for (int32_t s = 0; s < pp; ++s) {
+    StageLayout& st = stages[static_cast<size_t>(s)];
+    st.stage_index = s;
+    const int32_t count = base + (s < extra ? 1 : 0);
+    // Of this stage's layers, how many fall in the encoder range [0, encoder_total)?
+    const int32_t enc_here =
+        std::max(0, std::min(consumed + count, encoder_total) - consumed);
+    st.num_encoder_layers = enc_here;
+    st.num_decoder_layers = count - enc_here;
+    st.has_embedding = (s == 0);
+    st.has_lm_head = (s == pp - 1);
+    consumed += count;
+  }
+  DYNAPIPE_CHECK(consumed == total);
+  return stages;
+}
+
+}  // namespace dynapipe::model

@@ -1,0 +1,33 @@
+// Pipeline stage partitioning.
+//
+// Layers are split as evenly as possible across pp stages. For T5 the encoder stack
+// precedes the decoder stack in pipeline order (encoder layers fill the early stages,
+// decoder layers the late ones), so a stage may hold encoder layers, decoder layers,
+// or both at the boundary. The first stage additionally owns the input embedding and
+// the last stage the LM head (tied embeddings still cost the logit matmul).
+#ifndef DYNAPIPE_SRC_MODEL_STAGE_PARTITION_H_
+#define DYNAPIPE_SRC_MODEL_STAGE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/model_config.h"
+
+namespace dynapipe::model {
+
+struct StageLayout {
+  int32_t stage_index = 0;
+  int32_t num_encoder_layers = 0;  // 0 for GPT
+  int32_t num_decoder_layers = 0;  // GPT layers count as decoder layers
+  bool has_embedding = false;      // first stage
+  bool has_lm_head = false;        // last stage
+
+  int32_t num_layers() const { return num_encoder_layers + num_decoder_layers; }
+};
+
+// Partition `config` into `pp` stages. Requires pp <= total_layers().
+std::vector<StageLayout> PartitionStages(const ModelConfig& config, int32_t pp);
+
+}  // namespace dynapipe::model
+
+#endif  // DYNAPIPE_SRC_MODEL_STAGE_PARTITION_H_

@@ -1,0 +1,133 @@
+#include "src/runtime/grid_search.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::runtime {
+namespace {
+
+std::vector<model::ParallelConfig> Candidates(const model::ModelConfig& config,
+                                              const model::HardwareSpec& hw,
+                                              int32_t num_gpus) {
+  const int32_t max_pp = std::min(config.total_layers(), num_gpus);
+  return model::EnumerateParallelConfigs(num_gpus, hw.gpus_per_node, max_pp);
+}
+
+}  // namespace
+
+DynaPipeSearchResult GridSearchDynaPipe(const model::ModelConfig& config,
+                                        const model::HardwareSpec& hw,
+                                        int32_t num_gpus,
+                                        const data::Dataset& dataset,
+                                        const PlannerOptions& planner,
+                                        const GridSearchOptions& options) {
+  DynaPipeSearchResult result;
+  TrainerOptions trainer_opts = options.trainer;
+  trainer_opts.max_iterations = options.eval_iterations;
+
+  for (const auto& parallel : Candidates(config, hw, num_gpus)) {
+    Trainer trainer(config, hw, parallel, options.profile);
+    const EpochResult epoch = trainer.RunEpoch(dataset, planner, trainer_opts);
+    ConfigScore score;
+    score.parallel = parallel;
+    score.feasible = epoch.feasible;
+    score.tokens_per_second = epoch.feasible ? epoch.tokens_per_second() : 0.0;
+    score.note = epoch.failure;
+    result.all.push_back(score);
+    if (epoch.feasible && score.tokens_per_second > result.tokens_per_second) {
+      result.found = true;
+      result.best = parallel;
+      result.tokens_per_second = score.tokens_per_second;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+BaselineSearchResult SearchBaselineOverConfigs(
+    const model::ModelConfig& config, const model::HardwareSpec& hw,
+    const std::vector<model::ParallelConfig>& parallels,
+    const data::Dataset& dataset, BaselineBatching batching,
+    const GridSearchOptions& options) {
+  BaselineSearchResult result;
+  TrainerOptions trainer_opts = options.trainer;
+  trainer_opts.max_iterations = options.eval_iterations;
+
+  const bool token_based = batching == BaselineBatching::kTokenBased;
+
+  for (const auto& parallel : parallels) {
+    Trainer trainer(config, hw, parallel, options.profile);
+    for (const auto recompute : options.recompute_modes) {
+      if (token_based) {
+        for (const int64_t tokens : options.token_counts) {
+          BaselineOptions base;
+          base.batching = batching;
+          base.tokens_per_microbatch = tokens;
+          base.recompute = recompute;
+          const EpochResult epoch =
+              trainer.RunEpochBaseline(dataset, base, trainer_opts);
+          ConfigScore score;
+          score.parallel = parallel;
+          score.feasible = epoch.feasible;
+          score.tokens_per_second = epoch.feasible ? epoch.tokens_per_second() : 0.0;
+          score.note = "tokens/mb=" + std::to_string(tokens);
+          result.all.push_back(score);
+          if (epoch.feasible && score.tokens_per_second > result.tokens_per_second) {
+            result.found = true;
+            result.best = parallel;
+            result.tokens_per_microbatch = tokens;
+            result.recompute = recompute;
+            result.tokens_per_second = score.tokens_per_second;
+          }
+        }
+      } else {
+        for (const int32_t mbs : options.microbatch_sizes) {
+          BaselineOptions base;
+          base.batching = batching;
+          base.microbatch_size = mbs;
+          base.recompute = recompute;
+          const EpochResult epoch =
+              trainer.RunEpochBaseline(dataset, base, trainer_opts);
+          ConfigScore score;
+          score.parallel = parallel;
+          score.feasible = epoch.feasible;
+          score.tokens_per_second = epoch.feasible ? epoch.tokens_per_second() : 0.0;
+          score.note = "mbs=" + std::to_string(mbs);
+          result.all.push_back(score);
+          if (epoch.feasible && score.tokens_per_second > result.tokens_per_second) {
+            result.found = true;
+            result.best = parallel;
+            result.microbatch_size = mbs;
+            result.recompute = recompute;
+            result.tokens_per_second = score.tokens_per_second;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+BaselineSearchResult GridSearchBaseline(const model::ModelConfig& config,
+                                        const model::HardwareSpec& hw,
+                                        int32_t num_gpus,
+                                        const data::Dataset& dataset,
+                                        BaselineBatching batching,
+                                        const GridSearchOptions& options) {
+  return SearchBaselineOverConfigs(config, hw, Candidates(config, hw, num_gpus),
+                                   dataset, batching, options);
+}
+
+BaselineSearchResult GridSearchBaselineAtParallel(
+    const model::ModelConfig& config, const model::HardwareSpec& hw,
+    const model::ParallelConfig& parallel, const data::Dataset& dataset,
+    BaselineBatching batching, const GridSearchOptions& options) {
+  return SearchBaselineOverConfigs(config, hw, {parallel}, dataset, batching,
+                                   options);
+}
+
+}  // namespace dynapipe::runtime

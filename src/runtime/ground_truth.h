@@ -1,0 +1,42 @@
+// Production GroundTruth: backs the cluster simulator with the analytic stage
+// performance models plus run-time execution noise. This is the "hardware" the
+// planner's profiled cost model tries to predict.
+#ifndef DYNAPIPE_SRC_RUNTIME_GROUND_TRUTH_H_
+#define DYNAPIPE_SRC_RUNTIME_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/hardware_spec.h"
+#include "src/model/model_config.h"
+#include "src/model/stage_perf_model.h"
+#include "src/sim/cluster_sim.h"
+#include "src/sim/noise.h"
+
+namespace dynapipe::runtime {
+
+class SimGroundTruth : public sim::GroundTruth {
+ public:
+  SimGroundTruth(const model::ModelConfig& config, const model::HardwareSpec& hw,
+                 const model::ParallelConfig& parallel, double noise_stddev,
+                 uint64_t noise_seed);
+
+  double ComputeMs(int32_t device, const sim::Instruction& instr) override;
+  double ActivationMb(int32_t device, const sim::Instruction& instr) override;
+  double TransferMs(int32_t src, int32_t dst, int64_t bytes) override;
+
+  // Per-stage static (weights/grads/optimizer) memory, for ClusterSimOptions.
+  std::vector<double> StaticMemoryMb() const;
+
+  const std::vector<model::StagePerfModel>& stages() const { return stages_; }
+
+ private:
+  model::HardwareSpec hw_;
+  model::ParallelConfig parallel_;
+  std::vector<model::StagePerfModel> stages_;
+  sim::NoiseModel noise_;
+};
+
+}  // namespace dynapipe::runtime
+
+#endif  // DYNAPIPE_SRC_RUNTIME_GROUND_TRUTH_H_

@@ -1,0 +1,60 @@
+// In-process stand-in for DynaPipe's distributed instruction store (§3).
+//
+// Planners push compiled execution plans keyed by (iteration, replica); executors
+// fetch them when the iteration starts. The paper uses Redis in host memory so
+// CPU-side planning of future iterations overlaps GPU execution; in this
+// single-process reproduction the store keeps the same publish-before-fetch
+// contract (fetching a missing plan is an error) and is thread-safe so planning
+// could be offloaded to worker threads.
+#ifndef DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_
+#define DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/sim/instruction.h"
+
+namespace dynapipe::runtime {
+
+class InstructionStore {
+ public:
+  void Push(int64_t iteration, int32_t replica, sim::ExecutionPlan plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto key = std::make_pair(iteration, replica);
+    DYNAPIPE_CHECK_MSG(plans_.find(key) == plans_.end(),
+                       "plan already published for this iteration/replica");
+    plans_.emplace(key, std::move(plan));
+  }
+
+  // Fetch removes the plan (each plan is executed exactly once).
+  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(std::make_pair(iteration, replica));
+    DYNAPIPE_CHECK_MSG(it != plans_.end(), "fetching unpublished plan");
+    sim::ExecutionPlan plan = std::move(it->second);
+    plans_.erase(it);
+    return plan;
+  }
+
+  bool Contains(int64_t iteration, int32_t replica) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plans_.find(std::make_pair(iteration, replica)) != plans_.end();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plans_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<int64_t, int32_t>, sim::ExecutionPlan> plans_;
+};
+
+}  // namespace dynapipe::runtime
+
+#endif  // DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_

@@ -1,0 +1,172 @@
+#include "src/runtime/trainer.h"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <optional>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/runtime/ground_truth.h"
+#include "src/runtime/instruction_store.h"
+#include "src/sim/cluster_sim.h"
+
+namespace dynapipe::runtime {
+
+Trainer::Trainer(const model::ModelConfig& config, const model::HardwareSpec& hw,
+                 const model::ParallelConfig& parallel,
+                 const cost::ProfileOptions& profile_options)
+    : config_(config), hw_(hw), parallel_(parallel),
+      cost_model_(cost::PipelineCostModel::Profile(config, hw, parallel,
+                                                   profile_options)) {}
+
+EpochResult Trainer::RunEpoch(const data::Dataset& dataset,
+                              const PlannerOptions& planner,
+                              const TrainerOptions& options) {
+  IterationPlanner iteration_planner(cost_model_, planner);
+  return RunEpochImpl(dataset, options,
+                      [&](const std::vector<data::Sample>& minibatch) {
+                        return iteration_planner.PlanIteration(minibatch);
+                      });
+}
+
+EpochResult Trainer::RunEpochBaseline(const data::Dataset& dataset,
+                                      const BaselineOptions& baseline,
+                                      const TrainerOptions& options) {
+  BaselineOptions opts = baseline;
+  opts.max_input_len = options.max_input_len;
+  if (options.max_target_len > 0) {
+    opts.max_target_len = options.max_target_len;
+  }
+  return RunEpochImpl(dataset, options,
+                      [&, opts](const std::vector<data::Sample>& minibatch) {
+                        return PlanBaselineIteration(cost_model_, opts, minibatch);
+                      });
+}
+
+EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
+                                  const TrainerOptions& options,
+                                  const PlanFn& plan_fn) {
+  EpochResult result;
+  const bool is_t5 = config_.arch == model::ModelArch::kT5;
+  data::MiniBatchSamplerOptions sampler_opts;
+  sampler_opts.global_batch_tokens = options.global_batch_tokens;
+  sampler_opts.max_input_len = options.max_input_len;
+  sampler_opts.max_target_len =
+      options.max_target_len > 0
+          ? options.max_target_len
+          : (is_t5 ? std::max(1, options.max_input_len / 4) : 0);
+  sampler_opts.seed = options.sampler_seed;
+  data::MiniBatchSampler sampler(dataset, sampler_opts);
+
+  SimGroundTruth ground_truth(config_, hw_, parallel_, options.noise_stddev,
+                              options.noise_seed);
+  sim::ClusterSimOptions sim_opts;
+  sim_opts.static_memory_mb = ground_truth.StaticMemoryMb();
+  sim_opts.memory_limit_mb = hw_.usable_memory_mb();
+
+  InstructionStore store;
+
+  // Plan-ahead pipeline: worker threads plan future iterations while the cluster
+  // executes the current one (the paper overlaps planning with GPU time the same
+  // way). A bounded look-ahead window keeps memory in check; with <= 1 thread the
+  // deque is trivially depth-1 and planning is inline.
+  std::optional<ThreadPool> pool;
+  if (options.planning_threads > 1) {
+    pool.emplace(options.planning_threads);
+  }
+  const size_t lookahead =
+      pool.has_value() ? 2 * static_cast<size_t>(options.planning_threads) : 1;
+  std::deque<std::future<IterationPlan>> pending;
+  int64_t submitted = 0;
+  auto top_up = [&]() {
+    while (pending.size() < lookahead && sampler.HasNext() &&
+           (options.max_iterations <= 0 || submitted < options.max_iterations)) {
+      std::vector<data::Sample> minibatch = sampler.Next();
+      if (minibatch.empty()) {
+        continue;
+      }
+      ++submitted;
+      if (pool.has_value()) {
+        pending.push_back(pool->Submit(
+            [&plan_fn, mb = std::move(minibatch)]() { return plan_fn(mb); }));
+      } else {
+        std::promise<IterationPlan> ready;
+        ready.set_value(plan_fn(minibatch));
+        pending.push_back(ready.get_future());
+      }
+    }
+  };
+
+  int64_t iteration = 0;
+  for (top_up(); !pending.empty(); top_up()) {
+    IterationPlan plan = pending.front().get();
+    pending.pop_front();
+    result.planning_time_ms += plan.planning_time_ms;
+    if (!plan.feasible) {
+      result.feasible = false;
+      result.failure = "iteration " + std::to_string(iteration) +
+                       " planning failed: " + plan.infeasible_reason;
+      return result;
+    }
+
+    IterationRecord record;
+    record.planning_ms = plan.planning_time_ms;
+    record.predicted_ms = plan.predicted_iteration_ms;
+    record.num_microbatches = plan.total_microbatches();
+    record.recompute = plan.recompute;
+    for (const double peak : plan.predicted_peak_mb) {
+      record.predicted_peak_mb = std::max(record.predicted_peak_mb, peak);
+    }
+
+    // Publish, then execute each replica's plan on the simulated cluster.
+    for (size_t d = 0; d < plan.replicas.size(); ++d) {
+      store.Push(iteration, static_cast<int32_t>(d),
+                 std::move(plan.replicas[d].exec_plan));
+    }
+    double measured = 0.0;
+    for (size_t d = 0; d < plan.replicas.size(); ++d) {
+      const sim::ExecutionPlan exec =
+          store.Fetch(iteration, static_cast<int32_t>(d));
+      sim::ClusterSim cluster(parallel_.pp, &ground_truth, sim_opts);
+      const sim::SimResult res = cluster.Run(exec);
+      if (res.deadlocked) {
+        ++result.deadlocks;
+        result.feasible = false;
+        result.failure = "iteration " + std::to_string(iteration) +
+                         " replica " + std::to_string(d) + " " + res.diagnostic;
+        return result;
+      }
+      if (res.oom) {
+        ++result.ooms;
+        result.feasible = false;
+        result.failure = "iteration " + std::to_string(iteration) + " replica " +
+                         std::to_string(d) + " " + res.diagnostic;
+        return result;
+      }
+      measured = std::max(measured, res.makespan_ms);
+      for (const auto& dev : res.devices) {
+        record.measured_peak_mb = std::max(record.measured_peak_mb, dev.peak_memory_mb);
+      }
+    }
+    measured += cost_model_.DpGradSyncMs();
+    record.measured_ms = measured;
+
+    for (const auto& replica : plan.replicas) {
+      for (const auto& m : replica.micro_batches) {
+        result.real_tokens += m.real_tokens();
+      }
+    }
+    result.padding.real_input_tokens += plan.padding.real_input_tokens;
+    result.padding.padded_input_tokens += plan.padding.padded_input_tokens;
+    result.padding.real_target_tokens += plan.padding.real_target_tokens;
+    result.padding.padded_target_tokens += plan.padding.padded_target_tokens;
+    result.train_time_ms += measured;
+    result.records.push_back(record);
+    ++result.iterations;
+    ++iteration;
+  }
+  return result;
+}
+
+}  // namespace dynapipe::runtime

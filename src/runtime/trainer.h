@@ -1,0 +1,106 @@
+// Epoch-level training loop on the simulated cluster.
+//
+// For every mini-batch the planner (DynaPipe or baseline) produces per-replica
+// execution plans; each replica's plan runs on a ClusterSim backed by the noisy
+// ground-truth model. Measured iteration time is the slowest replica's makespan
+// plus the data-parallel gradient allreduce. Throughput follows the paper's metric:
+// real (non-padding) tokens divided by total training time (§8 "Metrics").
+#ifndef DYNAPIPE_SRC_RUNTIME_TRAINER_H_
+#define DYNAPIPE_SRC_RUNTIME_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cost/pipeline_cost_model.h"
+#include "src/data/dataset.h"
+#include "src/data/minibatch_sampler.h"
+#include "src/runtime/planner.h"
+
+namespace dynapipe::runtime {
+
+struct TrainerOptions {
+  int64_t global_batch_tokens = 65'536;
+  int32_t max_input_len = 2048;
+  // <= 0 derives max target length as max_input_len / 4 for T5 (0 for GPT).
+  int32_t max_target_len = 0;
+  uint64_t sampler_seed = 7;
+  // 0 = full epoch. Benches subsample iterations for tractable run times; the
+  // throughput metric is per-time so subsampling is unbiased.
+  int32_t max_iterations = 0;
+  // Run-time execution noise (relative stddev) applied by the ground truth.
+  double noise_stddev = 0.05;
+  uint64_t noise_seed = 99;
+  // Plan future iterations on worker threads (<= 1 plans inline). Mirrors the
+  // paper's overlap of CPU-side planning with GPU execution (§3, Fig. 17); the
+  // look-ahead window is 2x the thread count. Results are identical to serial
+  // planning — only wall-clock planning latency changes.
+  int32_t planning_threads = 0;
+};
+
+struct IterationRecord {
+  double planning_ms = 0.0;
+  double predicted_ms = 0.0;
+  double measured_ms = 0.0;
+  double predicted_peak_mb = 0.0;
+  double measured_peak_mb = 0.0;
+  int32_t num_microbatches = 0;
+  model::RecomputeMode recompute = model::RecomputeMode::kNone;
+};
+
+struct EpochResult {
+  // False when any iteration could not be planned (OOM) or execution failed
+  // (deadlock / OOM at run time); `failure` explains why. Configurations that fail
+  // are excluded from grid search, like the paper's OOM bars.
+  bool feasible = true;
+  std::string failure;
+
+  int64_t iterations = 0;
+  int64_t real_tokens = 0;
+  double train_time_ms = 0.0;
+  double planning_time_ms = 0.0;
+  mb::PaddingStats padding;
+  std::vector<IterationRecord> records;
+  int64_t deadlocks = 0;
+  int64_t ooms = 0;
+
+  double tokens_per_second() const {
+    return train_time_ms <= 0.0 ? 0.0 : static_cast<double>(real_tokens) /
+                                            (train_time_ms / 1000.0);
+  }
+};
+
+class Trainer {
+ public:
+  Trainer(const model::ModelConfig& config, const model::HardwareSpec& hw,
+          const model::ParallelConfig& parallel,
+          const cost::ProfileOptions& profile_options = {});
+
+  // DynaPipe planning path.
+  EpochResult RunEpoch(const data::Dataset& dataset, const PlannerOptions& planner,
+                       const TrainerOptions& options);
+
+  // MLM+DS-style baseline path.
+  EpochResult RunEpochBaseline(const data::Dataset& dataset,
+                               const BaselineOptions& baseline,
+                               const TrainerOptions& options);
+
+  const cost::PipelineCostModel& cost_model() const { return cost_model_; }
+  const model::ParallelConfig& parallel() const { return parallel_; }
+
+ private:
+  using PlanFn = std::function<IterationPlan(const std::vector<data::Sample>&)>;
+
+  EpochResult RunEpochImpl(const data::Dataset& dataset, const TrainerOptions& options,
+                           const PlanFn& plan_fn);
+
+  model::ModelConfig config_;
+  model::HardwareSpec hw_;
+  model::ParallelConfig parallel_;
+  cost::PipelineCostModel cost_model_;
+};
+
+}  // namespace dynapipe::runtime
+
+#endif  // DYNAPIPE_SRC_RUNTIME_TRAINER_H_

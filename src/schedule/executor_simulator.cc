@@ -1,0 +1,125 @@
+#include "src/schedule/executor_simulator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::schedule {
+
+double SimulatedTimeline::MeanBubbleFraction() const {
+  if (device_busy_ms.empty() || makespan_ms <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const double busy : device_busy_ms) {
+    total += 1.0 - busy / makespan_ms;
+  }
+  return total / static_cast<double>(device_busy_ms.size());
+}
+
+SimulatedTimeline SimulateSchedule(const PipelineSchedule& schedule,
+                                   const OpCosts& costs,
+                                   const ExecutorSimOptions& options) {
+  costs.Validate();
+  const int32_t c = schedule.num_stages();
+  const int32_t m = schedule.num_microbatches;
+  DYNAPIPE_CHECK(c == costs.num_stages());
+  DYNAPIPE_CHECK(m == costs.num_microbatches());
+  for (int32_t j = 0; j < c; ++j) {
+    DYNAPIPE_CHECK_MSG(
+        schedule.devices[static_cast<size_t>(j)].size() == static_cast<size_t>(2 * m),
+        "each stage must run one fwd and one bwd per micro-batch");
+  }
+
+  SimulatedTimeline tl;
+  tl.fwd.assign(static_cast<size_t>(c), std::vector<OpTimes>(static_cast<size_t>(m)));
+  tl.bwd.assign(static_cast<size_t>(c), std::vector<OpTimes>(static_cast<size_t>(m)));
+  std::vector<std::vector<bool>> fwd_done(static_cast<size_t>(c),
+                                          std::vector<bool>(static_cast<size_t>(m)));
+  std::vector<std::vector<bool>> bwd_done(static_cast<size_t>(c),
+                                          std::vector<bool>(static_cast<size_t>(m)));
+  std::vector<size_t> pc(static_cast<size_t>(c), 0);
+  std::vector<double> clock(static_cast<size_t>(c), 0.0);
+  tl.device_busy_ms.assign(static_cast<size_t>(c), 0.0);
+
+  auto comm = [&](int32_t from, int32_t to, int32_t mb, bool backward) {
+    return options.comm_delay_ms ? options.comm_delay_ms(from, to, mb, backward) : 0.0;
+  };
+
+  int32_t remaining = 2 * m * c;
+  while (remaining > 0) {
+    bool progress = false;
+    for (int32_t j = 0; j < c; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      while (pc[sj] < schedule.devices[sj].size()) {
+        const ScheduledOp op = schedule.devices[sj][pc[sj]];
+        const size_t si = static_cast<size_t>(op.microbatch);
+        double ready = 0.0;
+        if (!op.is_backward) {
+          if (j > 0) {
+            if (!fwd_done[sj - 1][si]) {
+              break;
+            }
+            ready = tl.fwd[sj - 1][si].end_ms + comm(j - 1, j, op.microbatch, false);
+          }
+        } else {
+          if (j == c - 1) {
+            if (!fwd_done[sj][si]) {
+              break;
+            }
+            ready = tl.fwd[sj][si].end_ms;
+          } else {
+            if (!bwd_done[sj + 1][si]) {
+              break;
+            }
+            ready = tl.bwd[sj + 1][si].end_ms + comm(j + 1, j, op.microbatch, true);
+          }
+        }
+        const double dur = op.is_backward ? costs.bwd_ms[sj][si] : costs.fwd_ms[sj][si];
+        OpTimes& t = op.is_backward ? tl.bwd[sj][si] : tl.fwd[sj][si];
+        t.ready_ms = ready;
+        t.start_ms = std::max(clock[sj], ready);
+        t.end_ms = t.start_ms + dur;
+        clock[sj] = t.end_ms;
+        tl.device_busy_ms[sj] += dur;
+        (op.is_backward ? bwd_done : fwd_done)[sj][si] = true;
+        ++pc[sj];
+        --remaining;
+        progress = true;
+      }
+    }
+    DYNAPIPE_CHECK_MSG(progress, "schedule cannot make progress (dependency cycle)");
+  }
+
+  for (const double t : clock) {
+    tl.makespan_ms = std::max(tl.makespan_ms, t);
+  }
+
+  // Timed activation high-water mark per device: +act at fwd start, -act at bwd
+  // end; frees sort before allocations at equal timestamps.
+  tl.device_peak_mb.assign(static_cast<size_t>(c), 0.0);
+  for (int32_t j = 0; j < c; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    std::vector<std::pair<double, double>> events;  // (time, delta)
+    events.reserve(static_cast<size_t>(2 * m));
+    for (int32_t i = 0; i < m; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      events.emplace_back(tl.fwd[sj][si].start_ms, costs.act_mb[sj][si]);
+      events.emplace_back(tl.bwd[sj][si].end_ms, -costs.act_mb[sj][si]);
+    }
+    std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) {
+        return a.first < b.first;
+      }
+      return a.second < b.second;
+    });
+    double cur = 0.0;
+    for (const auto& [time, delta] : events) {
+      cur += delta;
+      tl.device_peak_mb[sj] = std::max(tl.device_peak_mb[sj], cur);
+    }
+  }
+  return tl;
+}
+
+}  // namespace dynapipe::schedule

@@ -1,0 +1,61 @@
+// Planning-side timeline simulation of a pipeline schedule.
+//
+// Given a PipelineSchedule and per-op costs, computes when every forward/backward
+// would start and end if devices execute their op orders respecting cross-stage
+// dependencies (fwd i on stage j needs fwd i on stage j-1; bwd i on stage j needs
+// bwd i on stage j+1, and on the last stage its own fwd). This is the simulation the
+// paper uses to (a) study schedule robustness (Fig. 7), (b) evaluate micro-batch
+// injection orders, and (c) lay out the communication timeline (Fig. 12). It
+// deliberately ignores channel-ordering effects — that is ClusterSim's job — and
+// models communication as a per-boundary delay.
+#ifndef DYNAPIPE_SRC_SCHEDULE_EXECUTOR_SIMULATOR_H_
+#define DYNAPIPE_SRC_SCHEDULE_EXECUTOR_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/schedule/schedule_types.h"
+
+namespace dynapipe::schedule {
+
+struct OpTimes {
+  double ready_ms = 0.0;  // all dependencies satisfied
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+
+  // How long the op sat ready before its device picked it up — the observable
+  // counterpart of a positive safety stock.
+  double slack_ms() const { return start_ms - ready_ms; }
+};
+
+struct SimulatedTimeline {
+  // Indexed [stage][microbatch].
+  std::vector<std::vector<OpTimes>> fwd;
+  std::vector<std::vector<OpTimes>> bwd;
+  double makespan_ms = 0.0;
+  std::vector<double> device_busy_ms;
+  std::vector<double> device_peak_mb;  // timed activation high-water mark
+
+  // Mean fraction of the makespan devices spend idle (pipeline bubble).
+  double MeanBubbleFraction() const;
+};
+
+struct ExecutorSimOptions {
+  // Delay between producing stage `from` and consuming stage `to` for micro-batch
+  // `mb` (activation if !backward, gradient otherwise). Null means zero delay.
+  std::function<double(int32_t from_stage, int32_t to_stage, int32_t mb,
+                       bool backward)>
+      comm_delay_ms;
+};
+
+// Aborts (DYNAPIPE_CHECK) if the schedule is inconsistent (op counts wrong or
+// execution cannot make progress, which cannot happen for schedules produced by the
+// schedulers in this library).
+SimulatedTimeline SimulateSchedule(const PipelineSchedule& schedule,
+                                   const OpCosts& costs,
+                                   const ExecutorSimOptions& options = {});
+
+}  // namespace dynapipe::schedule
+
+#endif  // DYNAPIPE_SRC_SCHEDULE_EXECUTOR_SIMULATOR_H_

@@ -1,0 +1,34 @@
+#include "src/schedule/one_f_one_b.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::schedule {
+
+PipelineSchedule OneFOneBSchedule(int32_t num_microbatches, int32_t num_stages) {
+  DYNAPIPE_CHECK(num_microbatches >= 1);
+  DYNAPIPE_CHECK(num_stages >= 1);
+  PipelineSchedule sched;
+  sched.num_microbatches = num_microbatches;
+  sched.devices.resize(static_cast<size_t>(num_stages));
+  for (int32_t j = 0; j < num_stages; ++j) {
+    auto& order = sched.devices[static_cast<size_t>(j)];
+    const int32_t warmup = std::min(num_microbatches, num_stages - 1 - j);
+    int32_t next_fwd = 0;
+    int32_t next_bwd = 0;
+    for (int32_t i = 0; i < warmup; ++i) {
+      order.push_back({next_fwd++, false});
+    }
+    while (next_fwd < num_microbatches) {
+      order.push_back({next_fwd++, false});
+      order.push_back({next_bwd++, true});
+    }
+    while (next_bwd < num_microbatches) {
+      order.push_back({next_bwd++, true});
+    }
+  }
+  return sched;
+}
+
+}  // namespace dynapipe::schedule

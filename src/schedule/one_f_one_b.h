@@ -1,0 +1,21 @@
+// The 1F1B (PipeDream-Flush) schedule — the baseline used by Megatron-LM and the
+// schedule DynaPipe's adaptive scheduler is compared against.
+//
+// Stage j first runs min(m, c-1-j) warm-up forward passes, then alternates one
+// forward / one backward in the steady state, then drains the remaining backwards.
+// Stage j therefore never holds more than (c - j) micro-batch activations, which is
+// where the paper's 1/c per-micro-batch memory-limit factor comes from.
+#ifndef DYNAPIPE_SRC_SCHEDULE_ONE_F_ONE_B_H_
+#define DYNAPIPE_SRC_SCHEDULE_ONE_F_ONE_B_H_
+
+#include <cstdint>
+
+#include "src/schedule/schedule_types.h"
+
+namespace dynapipe::schedule {
+
+PipelineSchedule OneFOneBSchedule(int32_t num_microbatches, int32_t num_stages);
+
+}  // namespace dynapipe::schedule
+
+#endif  // DYNAPIPE_SRC_SCHEDULE_ONE_F_ONE_B_H_

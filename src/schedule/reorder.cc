@@ -1,0 +1,132 @@
+#include "src/schedule/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace dynapipe::schedule {
+
+std::vector<int32_t> ClusterByTime(const std::vector<double>& values,
+                                   int32_t num_clusters) {
+  DYNAPIPE_CHECK(num_clusters >= 1);
+  const size_t n = values.size();
+  const size_t k =
+      std::min<size_t>(static_cast<size_t>(num_clusters), std::max<size_t>(n, 1));
+  std::vector<int32_t> assign(n, 0);
+  if (n == 0 || k <= 1) {
+    return assign;
+  }
+
+  // Quantile initialization over the sorted values.
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> centers(k);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t idx = (2 * c + 1) * (n - 1) / (2 * k);
+    centers[c] = sorted[idx];
+  }
+
+  for (int iter = 0; iter < 32; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::abs(values[i] - centers[0]);
+      for (size_t c = 1; c < k; ++c) {
+        const double d = std::abs(values[i] - centers[c]);
+        if (d < best_d) {
+          best = c;
+          best_d = d;
+        }
+      }
+      if (assign[i] != static_cast<int32_t>(best)) {
+        assign[i] = static_cast<int32_t>(best);
+        changed = true;
+      }
+    }
+    std::vector<double> sums(k, 0.0);
+    std::vector<int64_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      sums[static_cast<size_t>(assign[i])] += values[i];
+      ++counts[static_cast<size_t>(assign[i])];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        centers[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Relabel clusters so index order follows center order (deterministic output).
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return centers[a] < centers[b]; });
+  std::vector<int32_t> relabel(k);
+  for (size_t rank = 0; rank < k; ++rank) {
+    relabel[order[rank]] = static_cast<int32_t>(rank);
+  }
+  for (auto& a : assign) {
+    a = relabel[static_cast<size_t>(a)];
+  }
+  return assign;
+}
+
+ReorderResult ReorderMicroBatches(const OpCosts& costs,
+                                  const std::vector<double>& microbatch_time_ms,
+                                  const ReorderOptions& options) {
+  costs.Validate();
+  const int32_t m = costs.num_microbatches();
+  DYNAPIPE_CHECK(microbatch_time_ms.size() == static_cast<size_t>(m));
+
+  const std::vector<int32_t> cluster =
+      ClusterByTime(microbatch_time_ms, options.num_clusters);
+  const int32_t k = cluster.empty()
+                        ? 1
+                        : 1 + *std::max_element(cluster.begin(), cluster.end());
+
+  // Members per cluster in original (DP output) order.
+  std::vector<std::vector<int32_t>> members(static_cast<size_t>(k));
+  for (int32_t i = 0; i < m; ++i) {
+    members[static_cast<size_t>(cluster[static_cast<size_t>(i)])].push_back(i);
+  }
+
+  ReorderResult best;
+  best.makespan_ms = std::numeric_limits<double>::infinity();
+
+  std::vector<int32_t> perm(static_cast<size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    std::vector<int32_t> order;
+    order.reserve(static_cast<size_t>(m));
+    for (const int32_t c : perm) {
+      const auto& ms = members[static_cast<size_t>(c)];
+      order.insert(order.end(), ms.begin(), ms.end());
+    }
+    AdaptiveScheduleOptions sched_opts;
+    sched_opts.device_limit_mb = options.device_limit_mb;
+    sched_opts.injection_order = order;
+    std::optional<PipelineSchedule> sched =
+        MemoryAwareAdaptiveSchedule(costs, sched_opts);
+    ++best.orders_tried;
+    if (!sched.has_value()) {
+      continue;
+    }
+    const SimulatedTimeline tl = SimulateSchedule(*sched, costs, options.sim_options);
+    if (tl.makespan_ms < best.makespan_ms) {
+      best.makespan_ms = tl.makespan_ms;
+      best.injection_order = std::move(order);
+      best.schedule = std::move(*sched);
+      best.feasible = true;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  return best;
+}
+
+}  // namespace dynapipe::schedule

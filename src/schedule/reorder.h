@@ -1,0 +1,53 @@
+// Micro-batch injection ordering (§5 "Micro-batch ordering").
+//
+// The injection order of micro-batches into the pipeline affects throughput when
+// their execution times differ, but the scheduling problem is too hard to model
+// directly. Following the paper: cluster micro-batches by predicted execution time
+// into a small number of clusters (3–4 suffice empirically), then try every
+// permutation of the clusters (keeping within-cluster order), score each candidate
+// order by simulating the memory-aware adaptive schedule, and keep the best.
+#ifndef DYNAPIPE_SRC_SCHEDULE_REORDER_H_
+#define DYNAPIPE_SRC_SCHEDULE_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/schedule/adaptive_scheduler.h"
+#include "src/schedule/executor_simulator.h"
+#include "src/schedule/schedule_types.h"
+
+namespace dynapipe::schedule {
+
+struct ReorderOptions {
+  // Number of execution-time clusters to permute. The paper finds 3 or 4 adequate;
+  // candidate orders grow as clusters! so keep this small.
+  int32_t num_clusters = 3;
+  // Device memory limits forwarded to the adaptive scheduler.
+  std::vector<double> device_limit_mb;
+  // Communication model forwarded to the timeline simulation.
+  ExecutorSimOptions sim_options;
+};
+
+struct ReorderResult {
+  std::vector<int32_t> injection_order;  // best order found
+  PipelineSchedule schedule;             // adaptive schedule under that order
+  double makespan_ms = 0.0;
+  int32_t orders_tried = 0;
+  bool feasible = false;
+};
+
+// `microbatch_time_ms[i]` is the predicted execution time of micro-batch i (the
+// clustering key). Costs drive scheduling/simulation as usual.
+ReorderResult ReorderMicroBatches(const OpCosts& costs,
+                                  const std::vector<double>& microbatch_time_ms,
+                                  const ReorderOptions& options);
+
+// 1D k-means (Lloyd's with quantile init) used for the execution-time clustering;
+// exposed for tests. Returns cluster index per element, clusters sorted by center
+// ascending.
+std::vector<int32_t> ClusterByTime(const std::vector<double>& values,
+                                   int32_t num_clusters);
+
+}  // namespace dynapipe::schedule
+
+#endif  // DYNAPIPE_SRC_SCHEDULE_REORDER_H_

@@ -1,0 +1,44 @@
+#include "src/schedule/schedule_types.h"
+
+#include <sstream>
+
+namespace dynapipe::schedule {
+
+std::string PipelineSchedule::ToString() const {
+  std::ostringstream oss;
+  for (size_t j = 0; j < devices.size(); ++j) {
+    oss << "stage " << j << ": ";
+    for (const auto& op : devices[j]) {
+      oss << (op.is_backward ? "B" : "F") << op.microbatch << " ";
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void OpCosts::Validate() const {
+  const size_t stages = fwd_ms.size();
+  DYNAPIPE_CHECK(bwd_ms.size() == stages);
+  DYNAPIPE_CHECK(act_mb.size() == stages);
+  DYNAPIPE_CHECK(stages >= 1);
+  const size_t mbs = fwd_ms.front().size();
+  for (size_t j = 0; j < stages; ++j) {
+    DYNAPIPE_CHECK(fwd_ms[j].size() == mbs);
+    DYNAPIPE_CHECK(bwd_ms[j].size() == mbs);
+    DYNAPIPE_CHECK(act_mb[j].size() == mbs);
+  }
+}
+
+OpCosts OpCosts::Uniform(int32_t num_stages, int32_t num_microbatches, double fwd_ms,
+                         double bwd_ms, double act_mb) {
+  OpCosts costs;
+  costs.fwd_ms.assign(static_cast<size_t>(num_stages),
+                      std::vector<double>(static_cast<size_t>(num_microbatches), fwd_ms));
+  costs.bwd_ms.assign(static_cast<size_t>(num_stages),
+                      std::vector<double>(static_cast<size_t>(num_microbatches), bwd_ms));
+  costs.act_mb.assign(static_cast<size_t>(num_stages),
+                      std::vector<double>(static_cast<size_t>(num_microbatches), act_mb));
+  return costs;
+}
+
+}  // namespace dynapipe::schedule

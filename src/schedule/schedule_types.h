@@ -1,0 +1,54 @@
+// Pipeline schedule representation shared by the schedulers, the planning-side
+// executor simulator, and the communication planner.
+//
+// A PipelineSchedule fixes, for every device (stage), the order in which it runs the
+// forward and backward passes of the iteration's micro-batches. Times are *not* part
+// of the schedule — they emerge from execution (simulated or real); the schedule only
+// pins relative order per device.
+#ifndef DYNAPIPE_SRC_SCHEDULE_SCHEDULE_TYPES_H_
+#define DYNAPIPE_SRC_SCHEDULE_SCHEDULE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace dynapipe::schedule {
+
+struct ScheduledOp {
+  int32_t microbatch = 0;
+  bool is_backward = false;
+
+  bool operator==(const ScheduledOp&) const = default;
+};
+
+struct PipelineSchedule {
+  // devices[j] is the op order for pipeline stage j.
+  std::vector<std::vector<ScheduledOp>> devices;
+  int32_t num_microbatches = 0;
+
+  int32_t num_stages() const { return static_cast<int32_t>(devices.size()); }
+  std::string ToString() const;
+};
+
+// Per-op planning inputs, indexed [stage][microbatch].
+struct OpCosts {
+  std::vector<std::vector<double>> fwd_ms;
+  std::vector<std::vector<double>> bwd_ms;
+  std::vector<std::vector<double>> act_mb;  // activation held from fwd until bwd
+
+  int32_t num_stages() const { return static_cast<int32_t>(fwd_ms.size()); }
+  int32_t num_microbatches() const {
+    return fwd_ms.empty() ? 0 : static_cast<int32_t>(fwd_ms.front().size());
+  }
+  void Validate() const;
+
+  // Uniform-cost helper (every micro-batch identical), used by tests and Fig. 7.
+  static OpCosts Uniform(int32_t num_stages, int32_t num_microbatches, double fwd_ms,
+                         double bwd_ms, double act_mb);
+};
+
+}  // namespace dynapipe::schedule
+
+#endif  // DYNAPIPE_SRC_SCHEDULE_SCHEDULE_TYPES_H_

@@ -1,0 +1,167 @@
+#include "src/sim/caching_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::sim {
+namespace {
+
+constexpr int64_t kSmallGranularity = 512;
+constexpr int64_t kLargeGranularity = 2ll << 20;  // 2 MB
+constexpr int64_t kSmallLimit = 1ll << 20;        // 1 MB
+
+int64_t RoundUp(int64_t v, int64_t g) { return (v + g - 1) / g * g; }
+
+}  // namespace
+
+// ---------------- CachingAllocator ----------------
+
+CachingAllocator::CachingAllocator(int64_t device_capacity_bytes)
+    : capacity_(device_capacity_bytes) {
+  DYNAPIPE_CHECK(capacity_ > 0);
+}
+
+int64_t CachingAllocator::RoundSize(int64_t bytes) {
+  return bytes < kSmallLimit ? RoundUp(bytes, kSmallGranularity)
+                             : RoundUp(bytes, kLargeGranularity);
+}
+
+std::optional<int64_t> CachingAllocator::Allocate(int64_t bytes) {
+  DYNAPIPE_CHECK(bytes > 0);
+  ++stats_.alloc_requests;
+  const int64_t need = RoundSize(bytes);
+
+  auto take_block = [&](int64_t block_id) -> int64_t {
+    Block& blk = blocks_[block_id];
+    blk.in_use = true;
+    // Split if the cached block is much larger than the request (PyTorch splits
+    // large blocks; retaining oversized blocks whole is a fragmentation source,
+    // splitting leaves remainders that may fit nothing — both modelled).
+    const int64_t remainder = blk.size - need;
+    if (remainder >= kLargeGranularity) {
+      blk.size = need;
+      const int64_t rest_id = ++next_block_id_;
+      blocks_[rest_id] = Block{remainder, false};
+      free_blocks_.emplace(remainder, rest_id);
+    }
+    const int64_t handle = ++next_handle_;
+    handles_[handle] = {block_id, bytes};
+    live_requested_ += bytes;
+    stats_.peak_requested = std::max(stats_.peak_requested, live_requested_);
+    return handle;
+  };
+
+  // Best-fit in the free cache: smallest cached block that fits.
+  auto it = free_blocks_.lower_bound(need);
+  if (it != free_blocks_.end()) {
+    const int64_t block_id = it->second;
+    free_blocks_.erase(it);
+    return take_block(block_id);
+  }
+
+  // Cache miss: device malloc if capacity allows.
+  auto device_malloc = [&]() -> std::optional<int64_t> {
+    if (reserved_ + need > capacity_) {
+      return std::nullopt;
+    }
+    ++stats_.device_mallocs;
+    reserved_ += need;
+    stats_.peak_reserved = std::max(stats_.peak_reserved, reserved_);
+    const int64_t block_id = ++next_block_id_;
+    blocks_[block_id] = Block{need, false};
+    return take_block(block_id);
+  };
+
+  if (auto handle = device_malloc()) {
+    return handle;
+  }
+
+  // Out of device memory: flush the cache (free every unused block back to the
+  // device — PyTorch's empty_cache defrag path, which blocks on cudaFree).
+  ++stats_.cache_flushes;
+  for (auto& [size, block_id] : free_blocks_) {
+    reserved_ -= blocks_[block_id].size;
+    blocks_.erase(block_id);
+    ++stats_.device_frees;
+  }
+  free_blocks_.clear();
+
+  if (auto handle = device_malloc()) {
+    return handle;
+  }
+  ++stats_.failed_allocs;
+  return std::nullopt;
+}
+
+void CachingAllocator::Free(int64_t handle) {
+  auto it = handles_.find(handle);
+  DYNAPIPE_CHECK_MSG(it != handles_.end(), "freeing unknown handle");
+  const auto [block_id, requested] = it->second;
+  handles_.erase(it);
+  ++stats_.free_requests;
+  live_requested_ -= requested;
+  Block& blk = blocks_[block_id];
+  blk.in_use = false;
+  free_blocks_.emplace(blk.size, block_id);  // cached, not returned to device
+}
+
+// ---------------- PooledAllocator ----------------
+
+PooledAllocator::PooledAllocator(int64_t pool_bytes) : pool_bytes_(pool_bytes) {
+  DYNAPIPE_CHECK(pool_bytes_ > 0);
+  free_spans_[0] = pool_bytes_;
+  // The single upfront reservation.
+  stats_.device_mallocs = 1;
+  stats_.peak_reserved = pool_bytes_;
+}
+
+std::optional<int64_t> PooledAllocator::Allocate(int64_t bytes) {
+  DYNAPIPE_CHECK(bytes > 0);
+  ++stats_.alloc_requests;
+  // First fit over coalesced spans.
+  for (auto it = free_spans_.begin(); it != free_spans_.end(); ++it) {
+    if (it->second < bytes) {
+      continue;
+    }
+    const int64_t offset = it->first;
+    const int64_t span = it->second;
+    free_spans_.erase(it);
+    if (span > bytes) {
+      free_spans_[offset + bytes] = span - bytes;
+    }
+    const int64_t handle = ++next_handle_;
+    handles_[handle] = Span{offset, bytes};
+    live_ += bytes;
+    stats_.peak_requested = std::max(stats_.peak_requested, live_);
+    return handle;
+  }
+  ++stats_.failed_allocs;
+  return std::nullopt;
+}
+
+void PooledAllocator::Free(int64_t handle) {
+  auto it = handles_.find(handle);
+  DYNAPIPE_CHECK_MSG(it != handles_.end(), "freeing unknown handle");
+  Span span = it->second;
+  handles_.erase(it);
+  ++stats_.free_requests;
+  live_ -= span.size;
+  // Insert and coalesce with neighbours.
+  auto next = free_spans_.lower_bound(span.offset);
+  if (next != free_spans_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == span.offset) {
+      span.offset = prev->first;
+      span.size += prev->second;
+      free_spans_.erase(prev);
+    }
+  }
+  if (next != free_spans_.end() && span.offset + span.size == next->first) {
+    span.size += next->second;
+    free_spans_.erase(next);
+  }
+  free_spans_[span.offset] = span.size;
+}
+
+}  // namespace dynapipe::sim

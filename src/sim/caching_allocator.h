@@ -1,0 +1,112 @@
+// Caching GPU-memory allocator simulation (§7 "Reducing memory fragmentation").
+//
+// Dynamic tensor shapes stress caching allocators (PyTorch-style): every
+// iteration requests differently-sized activations, so cached blocks rarely fit
+// exactly, free lists fragment, and the allocator falls back to blocking
+// cudaMalloc/cudaFree (and, under pressure, full defragmentation flushes) that
+// stall training. DynaPipe's mitigation is a single pre-allocated unified pool.
+//
+// CachingAllocator models the PyTorch behaviour: power-of-two-ish size-bucketed
+// free lists, best-fit with block splitting, device-malloc fallback, and a
+// flush-everything defrag when the device is exhausted. It reports the event
+// counts (device mallocs/frees, flushes) whose real counterparts block the GPU,
+// plus a fragmentation metric. PooledAllocator models DynaPipe's fix: one upfront
+// reservation, contiguous first-fit with immediate coalescing, zero runtime
+// device calls. The bench_abl_allocator bench replays real iteration allocation
+// traces through both.
+#ifndef DYNAPIPE_SRC_SIM_CACHING_ALLOCATOR_H_
+#define DYNAPIPE_SRC_SIM_CACHING_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace dynapipe::sim {
+
+struct AllocatorStats {
+  int64_t alloc_requests = 0;
+  int64_t free_requests = 0;
+  // Blocking events: each corresponds to a cudaMalloc/cudaFree/defrag-flush on
+  // real hardware.
+  int64_t device_mallocs = 0;
+  int64_t device_frees = 0;
+  int64_t cache_flushes = 0;
+  int64_t failed_allocs = 0;  // true OOM even after flushing
+  // High-water marks (bytes).
+  int64_t peak_reserved = 0;   // memory taken from the device
+  int64_t peak_requested = 0;  // live bytes actually requested
+
+  // reserved-but-unusable share at peak: 1 - requested/reserved.
+  double fragmentation() const {
+    return peak_reserved == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(peak_requested) /
+                           static_cast<double>(peak_reserved);
+  }
+};
+
+// PyTorch-style caching allocator over a fixed device capacity.
+class CachingAllocator {
+ public:
+  explicit CachingAllocator(int64_t device_capacity_bytes);
+
+  // Returns a handle, or nullopt on OOM (after attempting a cache flush).
+  std::optional<int64_t> Allocate(int64_t bytes);
+  void Free(int64_t handle);
+
+  const AllocatorStats& stats() const { return stats_; }
+  int64_t reserved_bytes() const { return reserved_; }
+  int64_t live_bytes() const { return live_requested_; }
+
+ private:
+  struct Block {
+    int64_t size = 0;
+    bool in_use = false;
+  };
+
+  // Size-class rounding (mirrors PyTorch: 512B granularity below 1MB, 2MB
+  // granularity above).
+  static int64_t RoundSize(int64_t bytes);
+
+  int64_t capacity_;
+  int64_t reserved_ = 0;
+  int64_t live_requested_ = 0;
+  int64_t next_handle_ = 0;
+  int64_t next_block_id_ = 0;
+  // Free blocks bucketed by (rounded) size.
+  std::multimap<int64_t, int64_t> free_blocks_;  // size -> block id
+  std::unordered_map<int64_t, Block> blocks_;    // block id -> block
+  std::unordered_map<int64_t, std::pair<int64_t, int64_t>> handles_;  // handle -> (block, requested)
+  AllocatorStats stats_;
+};
+
+// DynaPipe's pre-allocated unified pool: reserves the full budget once; runtime
+// allocation is offset bookkeeping with immediate coalescing, never a device call.
+class PooledAllocator {
+ public:
+  explicit PooledAllocator(int64_t pool_bytes);
+
+  std::optional<int64_t> Allocate(int64_t bytes);
+  void Free(int64_t handle);
+
+  const AllocatorStats& stats() const { return stats_; }
+
+ private:
+  struct Span {
+    int64_t offset = 0;
+    int64_t size = 0;
+  };
+
+  int64_t pool_bytes_;
+  int64_t live_ = 0;
+  int64_t next_handle_ = 0;
+  std::map<int64_t, int64_t> free_spans_;  // offset -> size, coalesced
+  std::unordered_map<int64_t, Span> handles_;
+  AllocatorStats stats_;
+};
+
+}  // namespace dynapipe::sim
+
+#endif  // DYNAPIPE_SRC_SIM_CACHING_ALLOCATOR_H_

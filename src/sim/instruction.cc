@@ -1,0 +1,114 @@
+#include "src/sim/instruction.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dynapipe::sim {
+
+bool IsCompute(InstrType t) {
+  return t == InstrType::kForwardPass || t == InstrType::kBackwardPass;
+}
+
+bool IsCommStart(InstrType t) {
+  switch (t) {
+    case InstrType::kSendActStart:
+    case InstrType::kRecvActStart:
+    case InstrType::kSendGradStart:
+    case InstrType::kRecvGradStart:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCommWait(InstrType t) {
+  switch (t) {
+    case InstrType::kWaitSendAct:
+    case InstrType::kWaitRecvAct:
+    case InstrType::kWaitSendGrad:
+    case InstrType::kWaitRecvGrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSend(InstrType t) {
+  switch (t) {
+    case InstrType::kSendActStart:
+    case InstrType::kSendGradStart:
+    case InstrType::kWaitSendAct:
+    case InstrType::kWaitSendGrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+InstrType WaitFor(InstrType start) {
+  switch (start) {
+    case InstrType::kSendActStart:
+      return InstrType::kWaitSendAct;
+    case InstrType::kRecvActStart:
+      return InstrType::kWaitRecvAct;
+    case InstrType::kSendGradStart:
+      return InstrType::kWaitSendGrad;
+    case InstrType::kRecvGradStart:
+      return InstrType::kWaitRecvGrad;
+    default:
+      DYNAPIPE_CHECK_MSG(false, "WaitFor on non-Start instruction");
+  }
+}
+
+const char* InstrTypeName(InstrType t) {
+  switch (t) {
+    case InstrType::kForwardPass:
+      return "ForwardPass";
+    case InstrType::kBackwardPass:
+      return "BackwardPass";
+    case InstrType::kSendActStart:
+      return "SendActStart";
+    case InstrType::kRecvActStart:
+      return "RecvActStart";
+    case InstrType::kSendGradStart:
+      return "SendGradStart";
+    case InstrType::kRecvGradStart:
+      return "RecvGradStart";
+    case InstrType::kWaitSendAct:
+      return "WaitSendAct";
+    case InstrType::kWaitRecvAct:
+      return "WaitRecvAct";
+    case InstrType::kWaitSendGrad:
+      return "WaitSendGrad";
+    case InstrType::kWaitRecvGrad:
+      return "WaitRecvGrad";
+  }
+  return "?";
+}
+
+std::string Instruction::ToString() const {
+  std::ostringstream oss;
+  oss << InstrTypeName(type) << "(mb=" << microbatch;
+  if (peer >= 0) {
+    oss << ", peer=" << peer;
+  }
+  if (IsCompute(type)) {
+    oss << ", shape=" << shape.ToString();
+  }
+  oss << ")";
+  return oss.str();
+}
+
+std::string ExecutionPlan::ToString() const {
+  std::ostringstream oss;
+  for (const auto& dev : devices) {
+    oss << "device " << dev.device << ":\n";
+    for (const auto& instr : dev.instructions) {
+      oss << "  " << instr.ToString() << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace dynapipe::sim

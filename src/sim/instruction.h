@@ -1,0 +1,82 @@
+// Pipeline instruction set.
+//
+// Execution plans are sequences of these instructions, one sequence per executor
+// (device), following the paper's §3: ForwardPass/BackwardPass run compute;
+// communication is split into conjugate *Start* ops (launch an async transfer on the
+// communication stream) and *Wait* ops (make the compute stream wait on that
+// transfer). The split is what gives the communication planner freedom to place
+// sends/receives early and waits late (Fig. 12) while keeping per-device-pair
+// ordering consistent.
+#ifndef DYNAPIPE_SRC_SIM_INSTRUCTION_H_
+#define DYNAPIPE_SRC_SIM_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/shapes.h"
+
+namespace dynapipe::sim {
+
+enum class InstrType : uint8_t {
+  kForwardPass,
+  kBackwardPass,
+  kSendActStart,
+  kRecvActStart,
+  kSendGradStart,
+  kRecvGradStart,
+  kWaitSendAct,
+  kWaitRecvAct,
+  kWaitSendGrad,
+  kWaitRecvGrad,
+};
+
+bool IsCompute(InstrType t);
+bool IsCommStart(InstrType t);
+bool IsCommWait(InstrType t);
+bool IsSend(InstrType t);  // Start or Wait of a send
+// The Wait op conjugate to a Start op.
+InstrType WaitFor(InstrType start);
+const char* InstrTypeName(InstrType t);
+
+struct Instruction {
+  InstrType type = InstrType::kForwardPass;
+  // Micro-batch index within the iteration (plan-wide numbering).
+  int32_t microbatch = 0;
+  // Peer device for communication ops; -1 for compute ops.
+  int32_t peer = -1;
+  // Transfer size for comm ops (plan embeds tensor shapes so executors never
+  // exchange shape metadata at runtime, §6).
+  int64_t bytes = 0;
+  // Padded shape of the micro-batch (compute ops; used by the ground-truth model).
+  model::MicroBatchShape shape;
+  // Recomputation scheme chosen for this iteration (affects backward duration and
+  // activation memory).
+  model::RecomputeMode recompute = model::RecomputeMode::kNone;
+  // Comm Start ops only: consecutive Start instructions on the same device with the
+  // same non-negative fusion_group and the same peer are issued as one fused/batched
+  // NCCL group (how uniform 1F1B implements its crossing send/recv pairs). -1 means
+  // unfused.
+  int32_t fusion_group = -1;
+
+  std::string ToString() const;
+};
+
+// Instruction sequence for one executor.
+struct DevicePlan {
+  int32_t device = 0;
+  std::vector<Instruction> instructions;
+};
+
+// A full iteration's plan for one pipeline (one data-parallel replica).
+struct ExecutionPlan {
+  std::vector<DevicePlan> devices;
+  int32_t num_microbatches = 0;
+
+  int32_t num_devices() const { return static_cast<int32_t>(devices.size()); }
+  std::string ToString() const;
+};
+
+}  // namespace dynapipe::sim
+
+#endif  // DYNAPIPE_SRC_SIM_INSTRUCTION_H_

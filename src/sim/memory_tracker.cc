@@ -1,0 +1,51 @@
+#include "src/sim/memory_tracker.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dynapipe::sim {
+
+MemoryTracker::MemoryTracker(double base_mb, double limit_mb)
+    : limit_mb_(limit_mb), current_mb_(base_mb), peak_mb_(base_mb) {
+  if (limit_mb_ > 0.0 && current_mb_ > limit_mb_) {
+    oom_ = true;
+    oom_at_mb_ = current_mb_;
+  }
+}
+
+bool MemoryTracker::Allocate(int64_t label, double mb) {
+  DYNAPIPE_CHECK_MSG(sizes_.find(label) == sizes_.end(), "duplicate allocation label");
+  DYNAPIPE_CHECK(mb >= 0.0);
+  sizes_[label] = mb;
+  current_mb_ += mb;
+  if (current_mb_ > peak_mb_) {
+    peak_mb_ = current_mb_;
+  }
+  if (limit_mb_ > 0.0 && current_mb_ > limit_mb_) {
+    if (!oom_) {
+      oom_ = true;
+      oom_at_mb_ = current_mb_;
+    }
+    return false;
+  }
+  return true;
+}
+
+void MemoryTracker::Free(int64_t label) {
+  auto it = sizes_.find(label);
+  DYNAPIPE_CHECK_MSG(it != sizes_.end(), "freeing unknown allocation label");
+  current_mb_ -= it->second;
+  sizes_.erase(it);
+}
+
+std::string MemoryTracker::DescribeOom() const {
+  if (!oom_) {
+    return "";
+  }
+  std::ostringstream oss;
+  oss << "OOM: reached " << oom_at_mb_ << " MB against limit " << limit_mb_ << " MB";
+  return oss.str();
+}
+
+}  // namespace dynapipe::sim

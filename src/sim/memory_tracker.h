@@ -1,0 +1,47 @@
+// Per-device activation memory accounting.
+//
+// Tracks current and peak usage over labelled allocations (micro-batch activations).
+// The simulator uses it both to report peak memory (Fig. 18b) and to detect OOM
+// against a configured device limit.
+#ifndef DYNAPIPE_SRC_SIM_MEMORY_TRACKER_H_
+#define DYNAPIPE_SRC_SIM_MEMORY_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace dynapipe::sim {
+
+class MemoryTracker {
+ public:
+  // base_mb: static consumption (weights/optimizer) present from t=0.
+  // limit_mb: device limit; <= 0 disables OOM detection.
+  explicit MemoryTracker(double base_mb = 0.0, double limit_mb = 0.0);
+
+  // Allocate `mb` under `label` (e.g. micro-batch id). Returns false on OOM
+  // (allocation still recorded so diagnostics show the overshoot).
+  bool Allocate(int64_t label, double mb);
+
+  // Free the allocation made under `label`. Freeing an unknown label is an error.
+  void Free(int64_t label);
+
+  double current_mb() const { return current_mb_; }
+  double peak_mb() const { return peak_mb_; }
+  double limit_mb() const { return limit_mb_; }
+  bool oom() const { return oom_; }
+  int64_t live_allocations() const { return static_cast<int64_t>(sizes_.size()); }
+
+  std::string DescribeOom() const;
+
+ private:
+  double limit_mb_;
+  double current_mb_;
+  double peak_mb_;
+  bool oom_ = false;
+  double oom_at_mb_ = 0.0;
+  std::unordered_map<int64_t, double> sizes_;
+};
+
+}  // namespace dynapipe::sim
+
+#endif  // DYNAPIPE_SRC_SIM_MEMORY_TRACKER_H_

@@ -1,0 +1,27 @@
+#include "src/sim/noise.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::sim {
+namespace {
+// A kernel can run somewhat faster than its mean, but not arbitrarily fast.
+constexpr double kFloorFactor = 0.05;
+}  // namespace
+
+NoiseModel::NoiseModel(double relative_stddev, uint64_t seed)
+    : relative_stddev_(relative_stddev), rng_(seed) {
+  DYNAPIPE_CHECK(relative_stddev >= 0.0);
+}
+
+double NoiseModel::Apply(double duration_ms) {
+  if (relative_stddev_ == 0.0) {
+    return duration_ms;
+  }
+  const double factor =
+      std::max(kFloorFactor, 1.0 + rng_.NextGaussian(0.0, relative_stddev_));
+  return duration_ms * factor;
+}
+
+}  // namespace dynapipe::sim

@@ -1,0 +1,32 @@
+// Execution-time noise injection.
+//
+// Real kernels never take exactly their mean time; the paper studies schedule
+// robustness under zero-mean Gaussian disturbance of micro-batch execution times
+// (Fig. 7). NoiseModel applies multiplicative noise (1 + N(0, sigma)) clamped to a
+// floor so durations stay positive; sigma = 0 is exact determinism.
+#ifndef DYNAPIPE_SRC_SIM_NOISE_H_
+#define DYNAPIPE_SRC_SIM_NOISE_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace dynapipe::sim {
+
+class NoiseModel {
+ public:
+  NoiseModel(double relative_stddev, uint64_t seed);
+
+  // duration * max(floor, 1 + N(0, sigma)).
+  double Apply(double duration_ms);
+
+  double relative_stddev() const { return relative_stddev_; }
+
+ private:
+  double relative_stddev_;
+  Rng rng_;
+};
+
+}  // namespace dynapipe::sim
+
+#endif  // DYNAPIPE_SRC_SIM_NOISE_H_

@@ -1,0 +1,51 @@
+#include "src/sim/trace.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dynapipe::sim {
+
+void TraceRecorder::AddSpan(std::string name, int32_t track, double start_ms,
+                            double end_ms) {
+  DYNAPIPE_CHECK(end_ms >= start_ms);
+  spans_.push_back(TraceSpan{std::move(name), track, start_ms, end_ms});
+}
+
+std::string TraceRecorder::ToChromeTrace() const {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans_) {
+    if (!first) {
+      oss << ",";
+    }
+    first = false;
+    // Complete ("X") events: ts/dur in microseconds. pid 0, tid = track.
+    oss << "{\"name\":\"" << span.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+        << span.track << ",\"ts\":" << span.start_ms * 1000.0
+        << ",\"dur\":" << (span.end_ms - span.start_ms) * 1000.0 << "}";
+  }
+  // Track name metadata, once per distinct track.
+  std::vector<int32_t> tracks;
+  for (const auto& span : spans_) {
+    bool seen = false;
+    for (const int32_t t : tracks) {
+      seen = seen || t == span.track;
+    }
+    if (!seen) {
+      tracks.push_back(span.track);
+    }
+  }
+  for (const int32_t t : tracks) {
+    oss << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+        << ",\"args\":{\"name\":\""
+        << (t < 1000 ? "device " + std::to_string(t)
+                     : "channel " + std::to_string(t - 1000))
+        << "\"}}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace dynapipe::sim

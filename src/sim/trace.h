@@ -1,0 +1,41 @@
+// Execution trace recording and Chrome-trace export.
+//
+// ClusterSim can record every compute op and transfer as a timed span; ToChromeTrace
+// serializes them in the Chrome tracing JSON format (chrome://tracing, Perfetto),
+// with one row per device compute stream and one per channel — the same way the
+// paper visualizes pipelines (Figs. 6/8/11). Spans are in simulated milliseconds
+// mapped to trace microseconds.
+#ifndef DYNAPIPE_SRC_SIM_TRACE_H_
+#define DYNAPIPE_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynapipe::sim {
+
+struct TraceSpan {
+  std::string name;   // e.g. "F3", "B7", "act mb3 0->1"
+  int32_t track = 0;  // device id for compute, 1000 + channel index for transfers
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void AddSpan(std::string name, int32_t track, double start_ms, double end_ms);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  // Chrome tracing JSON ("traceEvents" array of complete events). Compute tracks
+  // are named "device N"; transfer tracks "channel A<->B".
+  std::string ToChromeTrace() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace dynapipe::sim
+
+#endif  // DYNAPIPE_SRC_SIM_TRACE_H_

@@ -1,0 +1,181 @@
+// Tests for the caching/pooled allocator simulation (§7 memory fragmentation).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/caching_allocator.h"
+
+namespace dynapipe::sim {
+namespace {
+
+constexpr int64_t kMB = 1ll << 20;
+
+// ---------- CachingAllocator ----------
+
+TEST(CachingAllocatorTest, FirstAllocationHitsDevice) {
+  CachingAllocator alloc(100 * kMB);
+  const auto h = alloc.Allocate(10 * kMB);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(alloc.stats().device_mallocs, 1);
+  EXPECT_GE(alloc.reserved_bytes(), 10 * kMB);
+}
+
+TEST(CachingAllocatorTest, FreedBlockIsReusedNotReturned) {
+  CachingAllocator alloc(100 * kMB);
+  const auto h1 = alloc.Allocate(10 * kMB);
+  alloc.Free(*h1);
+  EXPECT_GE(alloc.reserved_bytes(), 10 * kMB);  // cached, not freed to device
+  const auto h2 = alloc.Allocate(10 * kMB);
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(alloc.stats().device_mallocs, 1);  // cache hit, no new device call
+}
+
+TEST(CachingAllocatorTest, SmallerRequestFitsCachedBlock) {
+  CachingAllocator alloc(100 * kMB);
+  const auto h1 = alloc.Allocate(10 * kMB);
+  alloc.Free(*h1);
+  const auto h2 = alloc.Allocate(6 * kMB);
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(alloc.stats().device_mallocs, 1);  // block split, still no device call
+}
+
+TEST(CachingAllocatorTest, LargerRequestMissesCache) {
+  CachingAllocator alloc(100 * kMB);
+  const auto h1 = alloc.Allocate(10 * kMB);
+  alloc.Free(*h1);
+  const auto h2 = alloc.Allocate(20 * kMB);
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(alloc.stats().device_mallocs, 2);  // cached 10MB block cannot serve it
+}
+
+TEST(CachingAllocatorTest, FlushUnderPressureThenSucceeds) {
+  CachingAllocator alloc(32 * kMB);
+  // Fill the device with cached-but-free blocks of the wrong size.
+  std::vector<int64_t> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(*alloc.Allocate(7 * kMB));
+  }
+  for (const auto h : handles) {
+    alloc.Free(h);
+  }
+  // A 20MB request fits no cached block and no headroom -> flush, then succeed.
+  const auto big = alloc.Allocate(20 * kMB);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(alloc.stats().cache_flushes, 1);
+  EXPECT_GT(alloc.stats().device_frees, 0);
+}
+
+TEST(CachingAllocatorTest, TrueOomReported) {
+  CachingAllocator alloc(8 * kMB);
+  const auto h = alloc.Allocate(16 * kMB);
+  EXPECT_FALSE(h.has_value());
+  EXPECT_EQ(alloc.stats().failed_allocs, 1);
+}
+
+TEST(CachingAllocatorTest, DynamicShapesCauseMoreDeviceCallsThanStatic) {
+  // The §7 observation: variable tensor sizes defeat the cache.
+  Rng rng(3);
+  CachingAllocator dynamic_alloc(512 * kMB);
+  CachingAllocator static_alloc(512 * kMB);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t dyn_size = rng.NextInt(1, 48) * kMB;
+    const auto hd = dynamic_alloc.Allocate(dyn_size);
+    const auto hs = static_alloc.Allocate(24 * kMB);
+    ASSERT_TRUE(hd.has_value());
+    ASSERT_TRUE(hs.has_value());
+    dynamic_alloc.Free(*hd);
+    static_alloc.Free(*hs);
+  }
+  EXPECT_GT(dynamic_alloc.stats().device_mallocs,
+            2 * static_alloc.stats().device_mallocs);
+}
+
+// ---------- PooledAllocator ----------
+
+TEST(PooledAllocatorTest, SingleUpfrontReservation) {
+  PooledAllocator pool(64 * kMB);
+  const auto h1 = pool.Allocate(10 * kMB);
+  const auto h2 = pool.Allocate(20 * kMB);
+  ASSERT_TRUE(h1.has_value());
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(pool.stats().device_mallocs, 1);  // only the pool reservation
+  EXPECT_EQ(pool.stats().cache_flushes, 0);
+}
+
+TEST(PooledAllocatorTest, CoalescingPreventsFragmentation) {
+  PooledAllocator pool(30 * kMB);
+  const auto a = pool.Allocate(10 * kMB);
+  const auto b = pool.Allocate(10 * kMB);
+  const auto c = pool.Allocate(10 * kMB);
+  pool.Free(*a);
+  pool.Free(*c);
+  pool.Free(*b);  // middle free merges all three spans
+  const auto big = pool.Allocate(30 * kMB);
+  EXPECT_TRUE(big.has_value());
+}
+
+TEST(PooledAllocatorTest, OomWhenPoolExhausted) {
+  PooledAllocator pool(16 * kMB);
+  const auto a = pool.Allocate(12 * kMB);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(pool.Allocate(8 * kMB).has_value());
+  EXPECT_EQ(pool.stats().failed_allocs, 1);
+}
+
+TEST(PooledAllocatorTest, RandomTraceNeverTouchesDeviceAgain) {
+  Rng rng(9);
+  PooledAllocator pool(1024 * kMB);
+  std::vector<int64_t> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.55) {
+      const auto h = pool.Allocate(rng.NextInt(1, 8) * kMB);
+      if (h.has_value()) {
+        live.push_back(*h);
+      }
+    } else {
+      const size_t idx = static_cast<size_t>(rng.NextBelow(live.size()));
+      pool.Free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(pool.stats().device_mallocs, 1);
+}
+
+// LIFO-ish activation traces: alloc on forward, free on backward — both
+// allocators must survive an entire epoch-like trace without failures when sized
+// to the high-water mark.
+class AllocatorTraceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorTraceTest, BothAllocatorsServeActivationTrace) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 50);
+  const int64_t budget = 2048 * kMB;
+  CachingAllocator caching(budget);
+  PooledAllocator pooled(budget);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<std::pair<int64_t, int64_t>> live;  // (caching, pooled)
+    const int depth = static_cast<int>(rng.NextInt(2, 8));
+    for (int d = 0; d < depth; ++d) {
+      const int64_t size = rng.NextInt(4, 64) * kMB;
+      const auto hc = caching.Allocate(size);
+      const auto hp = pooled.Allocate(size);
+      ASSERT_TRUE(hc.has_value());
+      ASSERT_TRUE(hp.has_value());
+      live.emplace_back(*hc, *hp);
+    }
+    while (!live.empty()) {
+      caching.Free(live.back().first);
+      pooled.Free(live.back().second);
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(caching.stats().failed_allocs, 0);
+  EXPECT_EQ(pooled.stats().failed_allocs, 0);
+  EXPECT_EQ(pooled.stats().device_mallocs, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorTraceTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dynapipe::sim

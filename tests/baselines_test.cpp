@@ -1,0 +1,217 @@
+// Tests for src/baselines: packing correctness and the alternative batchers.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/batchers.h"
+#include "src/baselines/packing.h"
+#include "src/common/rng.h"
+#include "src/mb/ordering.h"
+
+namespace dynapipe::baselines {
+namespace {
+
+data::Sample S(int32_t input, int32_t target = 0, uint64_t id = 0) {
+  data::Sample s;
+  s.id = id;
+  s.input_len = input;
+  s.target_len = target;
+  return s;
+}
+
+std::vector<data::Sample> RandomSamples(int n, uint64_t seed, int32_t max_in = 3000,
+                                        int32_t max_tg = 400) {
+  dynapipe::Rng rng(seed);
+  std::vector<data::Sample> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(S(static_cast<int32_t>(rng.NextInt(1, max_in)),
+                    static_cast<int32_t>(rng.NextInt(1, max_tg)),
+                    static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+// ---------- Packing ----------
+
+TEST(PackingTest, NoBinExceedsCapacity) {
+  PackingOptions opts;
+  opts.max_input_len = 2048;
+  opts.max_target_len = 512;
+  const auto bins = PackSamples(RandomSamples(500, 1), opts);
+  for (const auto& bin : bins) {
+    EXPECT_LE(bin.input_fill, 2048);
+    EXPECT_LE(bin.target_fill, 512);
+    EXPECT_FALSE(bin.members.empty());
+  }
+}
+
+TEST(PackingTest, EverySamplePlacedExactlyOnce) {
+  PackingOptions opts;
+  opts.max_input_len = 1024;
+  const auto samples = RandomSamples(300, 2, 900, 100);
+  const auto bins = PackSamples(samples, opts);
+  std::set<uint64_t> seen;
+  for (const auto& bin : bins) {
+    for (const auto& s : bin.members) {
+      EXPECT_TRUE(seen.insert(s.id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), samples.size());
+}
+
+TEST(PackingTest, LongSamplesTruncated) {
+  PackingOptions opts;
+  opts.max_input_len = 512;
+  opts.max_target_len = 64;
+  const auto bins = PackSamples({S(10'000, 500)}, opts);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].input_fill, 512);
+  EXPECT_EQ(bins[0].target_fill, 64);
+}
+
+TEST(PackingTest, ShortSamplesShareBins) {
+  PackingOptions opts;
+  opts.max_input_len = 1000;
+  opts.max_target_len = 1000;
+  const auto bins = PackSamples({S(300, 10), S(300, 10), S(300, 10)}, opts);
+  EXPECT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].members.size(), 3u);
+  EXPECT_EQ(bins[0].input_fill, 900);
+}
+
+TEST(PackingTest, HighFillEfficiencyOnShortSamples) {
+  // Packing many short samples should fill bins nearly to capacity — the paper's
+  // premise that packing is padding-efficient.
+  PackingOptions opts;
+  opts.max_input_len = 2048;
+  opts.max_target_len = 512;
+  const auto samples = RandomSamples(2000, 3, 300, 40);
+  const auto bins = PackSamples(samples, opts);
+  int64_t fill = 0;
+  for (const auto& bin : bins) {
+    fill += bin.input_fill;
+  }
+  const double mean_fill =
+      static_cast<double>(fill) / static_cast<double>(bins.size());
+  EXPECT_GT(mean_fill / 2048.0, 0.85);
+}
+
+TEST(PackingTest, SortBeforePackingDoesNotLoseSamples) {
+  PackingOptions opts;
+  opts.max_input_len = 1024;
+  opts.sort_before_packing = true;
+  const auto samples = RandomSamples(200, 4, 800, 100);
+  const auto bins = PackSamples(samples, opts);
+  size_t total = 0;
+  for (const auto& bin : bins) {
+    total += bin.members.size();
+  }
+  EXPECT_EQ(total, samples.size());
+}
+
+TEST(PackedMicroBatchesTest, GroupsBinsBySize) {
+  PackingOptions opts;
+  opts.max_input_len = 512;
+  opts.max_target_len = 128;
+  const auto bins = PackSamples(RandomSamples(400, 5, 450, 60), opts);
+  const auto mbs = PackedMicroBatches(bins, 4, 512, 128);
+  size_t total_seqs = 0;
+  for (const auto& m : mbs) {
+    EXPECT_LE(m.shape.num_samples, 4);
+    total_seqs += m.samples.size();
+  }
+  EXPECT_EQ(total_seqs, bins.size());
+}
+
+TEST(PackedMicroBatchesTest, ShapeIsTheStaticPackedShape) {
+  PackingOptions opts;
+  opts.max_input_len = 1024;
+  opts.max_target_len = 256;
+  const auto bins = PackSamples(RandomSamples(1000, 6, 200, 30), opts);
+  const auto mbs = PackedMicroBatches(bins, 8, 1024, 256);
+  // Static dataloaders emit fixed-shape tensors: the quadratic-attention cost of
+  // packing follows from every sequence being max_seq_len long.
+  for (const auto& m : mbs) {
+    EXPECT_EQ(m.shape.input_len, 1024);
+    EXPECT_EQ(m.shape.target_len, 256);
+  }
+}
+
+TEST(PackedMicroBatchesTest, T5DecoderSideMostlyPadding) {
+  // The input dimension saturates bins first, so decoder fill stays low — the
+  // paper's Fig. 15b packing behaviour.
+  PackingOptions opts;
+  opts.max_input_len = 2048;
+  opts.max_target_len = 512;
+  const auto samples = RandomSamples(2000, 12, 600, 40);  // targets ~20 tokens
+  const auto bins = PackSamples(samples, opts);
+  const auto mbs = PackedMicroBatches(bins, 4, 2048, 512);
+  const mb::PaddingStats stats = mb::ComputePaddingStats(mbs);
+  EXPECT_GT(stats.input_efficiency(), 0.75);
+  EXPECT_LT(stats.target_efficiency(), 0.5);
+}
+
+// ---------- Token-based / fixed-size / naive ----------
+
+TEST(TokenBasedTest, RespectsTokenBudget) {
+  auto ordered = mb::OrderSamples(RandomSamples(300, 7),
+                                  mb::OrderingMethod::kSortByLength);
+  const auto mbs = TokenBasedMicroBatches(ordered, 8192);
+  for (const auto& m : mbs) {
+    if (m.shape.num_samples > 1) {
+      // Removing the last sample must bring it under budget.
+      const int64_t without_one =
+          static_cast<int64_t>(m.shape.num_samples - 1) *
+          (m.shape.input_len + m.shape.target_len);
+      EXPECT_LE(without_one, 8192);
+    }
+  }
+}
+
+TEST(TokenBasedTest, CoversAllSamplesInOrder) {
+  auto ordered = mb::OrderSamples(RandomSamples(150, 8),
+                                  mb::OrderingMethod::kSortByLength);
+  const auto mbs = TokenBasedMicroBatches(ordered, 4096);
+  size_t idx = 0;
+  for (const auto& m : mbs) {
+    for (const auto& s : m.samples) {
+      EXPECT_EQ(s.id, ordered[idx++].id);
+    }
+  }
+  EXPECT_EQ(idx, ordered.size());
+}
+
+TEST(TokenBasedTest, LargerBudgetFewerMicroBatches) {
+  auto ordered = mb::OrderSamples(RandomSamples(300, 9),
+                                  mb::OrderingMethod::kSortByLength);
+  const auto small = TokenBasedMicroBatches(ordered, 2048);
+  const auto large = TokenBasedMicroBatches(ordered, 16'384);
+  EXPECT_GT(small.size(), large.size());
+}
+
+TEST(TokenBasedTest, OversizedSingleSampleGetsOwnMicroBatch) {
+  const auto mbs = TokenBasedMicroBatches({S(10'000, 100)}, 1024);
+  ASSERT_EQ(mbs.size(), 1u);
+  EXPECT_EQ(mbs[0].shape.num_samples, 1);
+}
+
+TEST(FixedSizeTest, ExactChunking) {
+  const auto mbs = FixedSizeMicroBatches(RandomSamples(10, 10), 4);
+  ASSERT_EQ(mbs.size(), 3u);
+  EXPECT_EQ(mbs[0].shape.num_samples, 4);
+  EXPECT_EQ(mbs[1].shape.num_samples, 4);
+  EXPECT_EQ(mbs[2].shape.num_samples, 2);
+}
+
+TEST(NaivePaddingTest, UnsortedChunksHaveWorsePaddingThanSorted) {
+  const auto samples = RandomSamples(256, 11);
+  const auto naive = NaivePaddingMicroBatches(samples, 16);
+  auto ordered = mb::OrderSamples(samples, mb::OrderingMethod::kSortByLength);
+  const auto sorted = FixedSizeMicroBatches(ordered, 16);
+  const double naive_eff = mb::ComputePaddingStats(naive).overall_efficiency();
+  const double sorted_eff = mb::ComputePaddingStats(sorted).overall_efficiency();
+  EXPECT_LT(naive_eff, sorted_eff);
+}
+
+}  // namespace
+}  // namespace dynapipe::baselines

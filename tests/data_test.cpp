@@ -1,0 +1,290 @@
+// Unit tests for src/data: dataset accounting, synthetic FLAN generator, sampler.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/data/dataset.h"
+#include "src/data/flan_generator.h"
+#include "src/data/minibatch_sampler.h"
+
+namespace dynapipe::data {
+namespace {
+
+Dataset SmallDataset() {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 10; ++i) {
+    Sample s;
+    s.id = static_cast<uint64_t>(i);
+    s.input_len = 10 * (i + 1);
+    s.target_len = i + 1;
+    samples.push_back(s);
+  }
+  return Dataset({}, samples);
+}
+
+TEST(DatasetTest, TotalTokens) {
+  const Dataset d = SmallDataset();
+  // inputs 10+20+...+100 = 550; targets 1+...+10 = 55.
+  EXPECT_EQ(d.total_tokens(), 605);
+}
+
+TEST(DatasetTest, TruncatedTokens) {
+  const Dataset d = SmallDataset();
+  // Inputs clamp at 50: 10+20+30+40+50*6 = 400; targets clamp at 5: 1+2+3+4+5*6=40.
+  EXPECT_EQ(d.total_tokens_truncated(50, 5), 440);
+}
+
+TEST(DatasetTest, MaxLens) {
+  const Dataset d = SmallDataset();
+  EXPECT_EQ(d.max_input_len(), 100);
+  EXPECT_EQ(d.max_target_len(), 10);
+  EXPECT_DOUBLE_EQ(d.mean_input_len(), 55.0);
+}
+
+TEST(TruncateTest, ClampsOnlyWhenLimitPositive) {
+  Sample s;
+  s.input_len = 100;
+  s.target_len = 50;
+  const Sample t = Truncate(s, 80, 0);
+  EXPECT_EQ(t.input_len, 80);
+  EXPECT_EQ(t.target_len, 50);
+}
+
+// ---------- Flan generator ----------
+
+TEST(FlanGeneratorTest, GeneratesRequestedCount) {
+  FlanGeneratorOptions opts;
+  opts.num_samples = 5000;
+  const Dataset d = GenerateFlanLikeDataset(opts);
+  EXPECT_EQ(d.size(), 5000u);
+  EXPECT_EQ(static_cast<int32_t>(d.tasks().size()), opts.num_tasks);
+}
+
+TEST(FlanGeneratorTest, DeterministicInSeed) {
+  FlanGeneratorOptions opts;
+  opts.num_samples = 500;
+  const Dataset a = GenerateFlanLikeDataset(opts);
+  const Dataset b = GenerateFlanLikeDataset(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples()[i].input_len, b.samples()[i].input_len);
+    EXPECT_EQ(a.samples()[i].target_len, b.samples()[i].target_len);
+    EXPECT_EQ(a.samples()[i].task_id, b.samples()[i].task_id);
+  }
+}
+
+TEST(FlanGeneratorTest, DifferentSeedsDiffer) {
+  FlanGeneratorOptions a_opts;
+  a_opts.num_samples = 500;
+  FlanGeneratorOptions b_opts = a_opts;
+  b_opts.seed = a_opts.seed + 1;
+  const Dataset a = GenerateFlanLikeDataset(a_opts);
+  const Dataset b = GenerateFlanLikeDataset(b_opts);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    same += a.samples()[i].input_len == b.samples()[i].input_len ? 1 : 0;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(FlanGeneratorTest, LengthsWithinCap) {
+  FlanGeneratorOptions opts;
+  opts.num_samples = 20'000;
+  opts.length_cap = 4096;
+  const Dataset d = GenerateFlanLikeDataset(opts);
+  for (const auto& s : d.samples()) {
+    EXPECT_GE(s.input_len, 1);
+    EXPECT_LE(s.input_len, 4096);
+    EXPECT_GE(s.target_len, 1);
+    EXPECT_LE(s.target_len, 4096);
+  }
+}
+
+TEST(FlanGeneratorTest, DistributionIsHeavyTailed) {
+  // Fig. 1b's property: the bulk is short but a visible tail extends far beyond the
+  // median (orders of magnitude, log-scale histogram).
+  FlanGeneratorOptions opts;
+  opts.num_samples = 50'000;
+  const Dataset d = GenerateFlanLikeDataset(opts);
+  std::vector<double> lens;
+  lens.reserve(d.size());
+  for (const auto& s : d.samples()) {
+    lens.push_back(s.input_len);
+  }
+  const double p50 = dynapipe::Percentile(lens, 50.0);
+  const double p99 = dynapipe::Percentile(lens, 99.0);
+  const double pmax = dynapipe::Percentile(lens, 100.0);
+  EXPECT_LT(p50, 400.0);      // bulk is short
+  EXPECT_GT(p99, 5.0 * p50);  // heavy tail
+  EXPECT_GT(pmax, 4000.0);    // very long sequences exist
+}
+
+TEST(FlanGeneratorTest, HighLengthVariance) {
+  // The coefficient of variation of input lengths should be large (>1), the
+  // defining property motivating dynamic micro-batching.
+  FlanGeneratorOptions opts;
+  opts.num_samples = 50'000;
+  const Dataset d = GenerateFlanLikeDataset(opts);
+  dynapipe::RunningStats stats;
+  for (const auto& s : d.samples()) {
+    stats.Add(s.input_len);
+  }
+  EXPECT_GT(stats.stddev() / stats.mean(), 1.0);
+}
+
+TEST(FlanGeneratorTest, TargetsShorterThanInputsOnAverage) {
+  FlanGeneratorOptions opts;
+  opts.num_samples = 20'000;
+  const Dataset d = GenerateFlanLikeDataset(opts);
+  double input_total = 0.0;
+  double target_total = 0.0;
+  for (const auto& s : d.samples()) {
+    input_total += s.input_len;
+    target_total += s.target_len;
+  }
+  EXPECT_LT(target_total, input_total / 2.0);
+}
+
+TEST(FlanGeneratorTest, AllTasksProduceSamples) {
+  FlanGeneratorOptions opts;
+  opts.num_samples = 50'000;
+  opts.num_tasks = 16;
+  const Dataset d = GenerateFlanLikeDataset(opts);
+  std::set<int32_t> tasks;
+  for (const auto& s : d.samples()) {
+    tasks.insert(s.task_id);
+  }
+  EXPECT_EQ(tasks.size(), 16u);
+}
+
+TEST(MakeFlanLikeTaskMixtureTest, FamiliesSpanShortToVeryLong) {
+  const std::vector<TaskSpec> tasks = MakeFlanLikeTaskMixture(48, 1);
+  EXPECT_EQ(tasks.size(), 48u);
+  double min_median = 1e18;
+  double max_median = 0.0;
+  for (const auto& t : tasks) {
+    const double median = std::exp(t.input_log_mean);
+    min_median = std::min(min_median, median);
+    max_median = std::max(max_median, median);
+  }
+  EXPECT_LT(min_median, 100.0);
+  EXPECT_GT(max_median, 3000.0);
+}
+
+// ---------- MiniBatchSampler ----------
+
+TEST(MiniBatchSamplerTest, BatchesRespectTokenBudget) {
+  FlanGeneratorOptions gen;
+  gen.num_samples = 2000;
+  const Dataset d = GenerateFlanLikeDataset(gen);
+  MiniBatchSamplerOptions opts;
+  opts.global_batch_tokens = 8192;
+  MiniBatchSampler sampler(d, opts);
+  while (sampler.HasNext()) {
+    const auto batch = sampler.Next();
+    ASSERT_FALSE(batch.empty());
+    int64_t tokens = 0;
+    for (const auto& s : batch) {
+      tokens += s.total_tokens();
+    }
+    // A batch may exceed the budget only via its final sample (or a single
+    // oversized sample).
+    if (batch.size() > 1) {
+      int64_t without_last = tokens - batch.back().total_tokens();
+      EXPECT_LE(without_last, opts.global_batch_tokens);
+    }
+  }
+}
+
+TEST(MiniBatchSamplerTest, EpochCoversEverySampleExactlyOnce) {
+  FlanGeneratorOptions gen;
+  gen.num_samples = 777;
+  const Dataset d = GenerateFlanLikeDataset(gen);
+  MiniBatchSamplerOptions opts;
+  opts.global_batch_tokens = 4096;
+  MiniBatchSampler sampler(d, opts);
+  std::set<uint64_t> seen;
+  int64_t count = 0;
+  while (sampler.HasNext()) {
+    for (const auto& s : sampler.Next()) {
+      seen.insert(s.id);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 777);
+  EXPECT_EQ(seen.size(), 777u);
+}
+
+TEST(MiniBatchSamplerTest, TruncationApplied) {
+  FlanGeneratorOptions gen;
+  gen.num_samples = 500;
+  const Dataset d = GenerateFlanLikeDataset(gen);
+  MiniBatchSamplerOptions opts;
+  opts.global_batch_tokens = 4096;
+  opts.max_input_len = 512;
+  opts.max_target_len = 128;
+  MiniBatchSampler sampler(d, opts);
+  while (sampler.HasNext()) {
+    for (const auto& s : sampler.Next()) {
+      EXPECT_LE(s.input_len, 512);
+      EXPECT_LE(s.target_len, 128);
+    }
+  }
+}
+
+TEST(MiniBatchSamplerTest, DeterministicInSeed) {
+  FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  const Dataset d = GenerateFlanLikeDataset(gen);
+  MiniBatchSamplerOptions opts;
+  opts.global_batch_tokens = 2048;
+  MiniBatchSampler a(d, opts);
+  MiniBatchSampler b(d, opts);
+  while (a.HasNext()) {
+    ASSERT_TRUE(b.HasNext());
+    const auto ba = a.Next();
+    const auto bb = b.Next();
+    ASSERT_EQ(ba.size(), bb.size());
+    for (size_t i = 0; i < ba.size(); ++i) {
+      EXPECT_EQ(ba[i].id, bb[i].id);
+    }
+  }
+  EXPECT_FALSE(b.HasNext());
+}
+
+TEST(MiniBatchSamplerTest, ResetRestartsEpoch) {
+  FlanGeneratorOptions gen;
+  gen.num_samples = 100;
+  const Dataset d = GenerateFlanLikeDataset(gen);
+  MiniBatchSamplerOptions opts;
+  opts.global_batch_tokens = 1024;
+  MiniBatchSampler sampler(d, opts);
+  const auto first = sampler.Next();
+  sampler.Reset();
+  const auto again = sampler.Next();
+  ASSERT_EQ(first.size(), again.size());
+  EXPECT_EQ(first.front().id, again.front().id);
+}
+
+TEST(MiniBatchSamplerTest, CountBatchesMatchesIteration) {
+  FlanGeneratorOptions gen;
+  gen.num_samples = 400;
+  const Dataset d = GenerateFlanLikeDataset(gen);
+  MiniBatchSamplerOptions opts;
+  opts.global_batch_tokens = 4096;
+  MiniBatchSampler sampler(d, opts);
+  const int64_t expected = sampler.CountBatchesInEpoch();
+  int64_t n = 0;
+  while (sampler.HasNext()) {
+    sampler.Next();
+    ++n;
+  }
+  EXPECT_EQ(n, expected);
+}
+
+}  // namespace
+}  // namespace dynapipe::data

@@ -1,0 +1,383 @@
+// Unit + property tests for src/mb: micro-batch math, sample ordering, the DP
+// partitioner (validated against brute force), and Karmarkar–Karp balancing.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/mb/dp_partitioner.h"
+#include "src/mb/karmarkar_karp.h"
+#include "src/mb/micro_batch.h"
+#include "src/mb/ordering.h"
+
+namespace dynapipe::mb {
+namespace {
+
+data::Sample S(int32_t input, int32_t target = 0, uint64_t id = 0) {
+  data::Sample s;
+  s.id = id;
+  s.input_len = input;
+  s.target_len = target;
+  return s;
+}
+
+// ---------- MicroBatch ----------
+
+TEST(MicroBatchTest, ShapeIsElementwiseMax) {
+  const MicroBatch m = MakeMicroBatch({S(10, 5), S(20, 3), S(15, 8)});
+  EXPECT_EQ(m.shape.num_samples, 3);
+  EXPECT_EQ(m.shape.input_len, 20);
+  EXPECT_EQ(m.shape.target_len, 8);
+}
+
+TEST(MicroBatchTest, TokenAccounting) {
+  const MicroBatch m = MakeMicroBatch({S(10, 5), S(20, 3)});
+  EXPECT_EQ(m.real_tokens(), 38);
+  EXPECT_EQ(m.padded_tokens(), 2 * (20 + 5));
+}
+
+TEST(PaddingStatsTest, PerfectWhenUniform) {
+  const std::vector<MicroBatch> mbs{MakeMicroBatch({S(10, 5), S(10, 5)})};
+  const PaddingStats st = ComputePaddingStats(mbs);
+  EXPECT_DOUBLE_EQ(st.overall_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(st.input_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(st.target_efficiency(), 1.0);
+}
+
+TEST(PaddingStatsTest, SeparatesEncoderAndDecoderSides) {
+  const std::vector<MicroBatch> mbs{MakeMicroBatch({S(10, 10), S(10, 5)})};
+  const PaddingStats st = ComputePaddingStats(mbs);
+  EXPECT_DOUBLE_EQ(st.input_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(st.target_efficiency(), 15.0 / 20.0);
+}
+
+// ---------- Ordering ----------
+
+TEST(OrderingTest, SortByLengthIsSorted) {
+  auto out = OrderSamples({S(30), S(10), S(20)}, OrderingMethod::kSortByLength);
+  EXPECT_EQ(out[0].input_len, 10);
+  EXPECT_EQ(out[1].input_len, 20);
+  EXPECT_EQ(out[2].input_len, 30);
+}
+
+TEST(OrderingTest, SortBreaksTiesByTarget) {
+  auto out = OrderSamples({S(10, 9), S(10, 1), S(10, 5)},
+                          OrderingMethod::kSortByLength);
+  EXPECT_EQ(out[0].target_len, 1);
+  EXPECT_EQ(out[1].target_len, 5);
+  EXPECT_EQ(out[2].target_len, 9);
+}
+
+TEST(OrderingTest, OrderingsPreserveMultiset) {
+  Rng rng(3);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back(S(static_cast<int32_t>(rng.NextInt(1, 1000)),
+                        static_cast<int32_t>(rng.NextInt(1, 200)),
+                        static_cast<uint64_t>(i)));
+  }
+  for (const auto method : {OrderingMethod::kSortByLength, OrderingMethod::kTsp}) {
+    auto out = OrderSamples(samples, method);
+    std::multiset<uint64_t> in_ids;
+    std::multiset<uint64_t> out_ids;
+    for (const auto& s : samples) {
+      in_ids.insert(s.id);
+    }
+    for (const auto& s : out) {
+      out_ids.insert(s.id);
+    }
+    EXPECT_EQ(in_ids, out_ids);
+  }
+}
+
+TEST(OrderingTest, TspBeatsRandomOrderOnTourCost) {
+  Rng rng(17);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 80; ++i) {
+    samples.push_back(S(static_cast<int32_t>(rng.NextInt(1, 4000)),
+                        static_cast<int32_t>(rng.NextInt(1, 500)),
+                        static_cast<uint64_t>(i)));
+  }
+  const double random_cost = TourCost(samples);
+  const double tsp_cost = TourCost(OrderSamples(samples, OrderingMethod::kTsp));
+  EXPECT_LT(tsp_cost, random_cost * 0.5);
+}
+
+TEST(OrderingTest, SortAndTspSimilarQualityFor1D) {
+  // For decoder-only models (target 0), sorting is optimal; TSP should come close.
+  Rng rng(23);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 60; ++i) {
+    samples.push_back(S(static_cast<int32_t>(rng.NextInt(1, 5000)), 0,
+                        static_cast<uint64_t>(i)));
+  }
+  const double sort_cost =
+      TourCost(OrderSamples(samples, OrderingMethod::kSortByLength));
+  const double tsp_cost = TourCost(OrderSamples(samples, OrderingMethod::kTsp));
+  EXPECT_LE(sort_cost, tsp_cost * 1.001);  // sorted is optimal in 1D
+  EXPECT_LE(tsp_cost, sort_cost * 1.5);
+}
+
+// ---------- DP partitioner ----------
+
+// Simple cost oracle: time = a + b*samples*len + c*samples*len^2 (quadratic
+// "attention" term), activation = samples * len.
+class QuadraticCost : public MicroBatchCostFn {
+ public:
+  double TimeMs(const model::MicroBatchShape& shape) const override {
+    const double tokens =
+        static_cast<double>(shape.num_samples) * (shape.input_len + shape.target_len);
+    const double quad = static_cast<double>(shape.num_samples) *
+                        std::pow(shape.input_len + shape.target_len, 2.0);
+    return 0.5 + 0.001 * tokens + 1e-6 * quad;
+  }
+  double ActivationMb(const model::MicroBatchShape& shape) const override {
+    return static_cast<double>(shape.num_samples) *
+           (shape.input_len + shape.target_len) * 0.01;
+  }
+};
+
+DpPartitionerOptions SmallOptions() {
+  DpPartitionerOptions opts;
+  opts.num_stages = 4;
+  opts.tmax_interval_ms = 0.001;
+  opts.max_tmax_candidates = 4096;
+  return opts;
+}
+
+TEST(DpPartitionerTest, EmptyInputFeasible) {
+  QuadraticCost cost;
+  DpPartitioner part(cost, SmallOptions());
+  const PartitionResult res = part.Partition({});
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(res.micro_batches.empty());
+}
+
+TEST(DpPartitionerTest, SingleSample) {
+  QuadraticCost cost;
+  DpPartitioner part(cost, SmallOptions());
+  const PartitionResult res = part.Partition({S(100, 10)});
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.micro_batches.size(), 1u);
+  EXPECT_EQ(res.micro_batches[0].shape.num_samples, 1);
+}
+
+TEST(DpPartitionerTest, CoversAllSamplesInOrder) {
+  QuadraticCost cost;
+  DpPartitioner part(cost, SmallOptions());
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back(S(10 * (i + 1), i, static_cast<uint64_t>(i)));
+  }
+  const PartitionResult res = part.Partition(samples);
+  ASSERT_TRUE(res.feasible);
+  uint64_t expect_id = 0;
+  for (const auto& m : res.micro_batches) {
+    for (const auto& s : m.samples) {
+      EXPECT_EQ(s.id, expect_id++);
+    }
+  }
+  EXPECT_EQ(expect_id, 40u);
+}
+
+TEST(DpPartitionerTest, RespectsActivationLimit) {
+  QuadraticCost cost;
+  DpPartitionerOptions opts = SmallOptions();
+  opts.activation_limit_mb = 20.0;  // 2000 tokens per micro-batch
+  DpPartitioner part(cost, opts);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back(S(500, 0, static_cast<uint64_t>(i)));
+  }
+  const PartitionResult res = part.Partition(samples);
+  ASSERT_TRUE(res.feasible);
+  for (const auto& m : res.micro_batches) {
+    EXPECT_LE(cost.ActivationMb(m.shape), 20.0 + 1e-9);
+  }
+}
+
+TEST(DpPartitionerTest, InfeasibleWhenSingleSampleTooBig) {
+  QuadraticCost cost;
+  DpPartitionerOptions opts = SmallOptions();
+  opts.activation_limit_mb = 1.0;  // 100 tokens
+  DpPartitioner part(cost, opts);
+  const PartitionResult res = part.Partition({S(500)});
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(DpPartitionerTest, RespectsMaxMicrobatchSize) {
+  QuadraticCost cost;
+  DpPartitionerOptions opts = SmallOptions();
+  opts.max_microbatch_size = 3;
+  DpPartitioner part(cost, opts);
+  std::vector<data::Sample> samples(20, S(10));
+  const PartitionResult res = part.Partition(samples);
+  ASSERT_TRUE(res.feasible);
+  for (const auto& m : res.micro_batches) {
+    EXPECT_LE(m.shape.num_samples, 3);
+  }
+}
+
+TEST(DpPartitionerTest, UniformSamplesGroupTogether) {
+  // With identical samples and a quadratic term, some batching is cheaper than
+  // one-per-micro-batch (amortizing the per-op constant) but a single huge
+  // micro-batch pays (c-1)*tmax; DP should find an interior optimum.
+  QuadraticCost cost;
+  DpPartitioner part(cost, SmallOptions());
+  std::vector<data::Sample> samples(32, S(100));
+  const PartitionResult res = part.Partition(samples);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GT(res.micro_batches.size(), 1u);
+  EXPECT_LT(res.micro_batches.size(), 32u);
+}
+
+// Property: DP matches brute force on small random instances.
+class DpVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsBruteForce, ObjectiveMatches) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<data::Sample> samples;
+  const int n = 2 + static_cast<int>(rng.NextBelow(8));
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(S(static_cast<int32_t>(rng.NextInt(10, 2000)),
+                        static_cast<int32_t>(rng.NextInt(0, 300)),
+                        static_cast<uint64_t>(i)));
+  }
+  auto ordered = OrderSamples(samples, OrderingMethod::kSortByLength);
+  QuadraticCost cost;
+  DpPartitionerOptions opts;
+  opts.num_stages = 1 + static_cast<int32_t>(rng.NextBelow(6));
+  opts.num_replicas = 1 + static_cast<int32_t>(rng.NextBelow(3));
+  opts.activation_limit_mb = rng.NextDouble(15.0, 80.0);
+  opts.tmax_interval_ms = 1e-6;  // effectively exact candidates
+  opts.max_tmax_candidates = 100'000;
+  DpPartitioner part(cost, opts);
+  const PartitionResult dp_res = part.Partition(ordered);
+  const PartitionResult bf_res = BruteForcePartition(cost, opts, ordered);
+  ASSERT_EQ(dp_res.feasible, bf_res.feasible);
+  if (dp_res.feasible) {
+    EXPECT_NEAR(dp_res.objective_ms, bf_res.objective_ms,
+                1e-6 + 1e-9 * bf_res.objective_ms)
+        << "n=" << n << " stages=" << opts.num_stages;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DpVsBruteForce, ::testing::Range(0, 40));
+
+// Property: quantized t_max sampling degrades the objective only boundedly.
+class DpQuantization : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpQuantization, CoarseCandidatesStayClose) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back(S(static_cast<int32_t>(rng.NextInt(10, 3000)), 0,
+                        static_cast<uint64_t>(i)));
+  }
+  auto ordered = OrderSamples(samples, OrderingMethod::kSortByLength);
+  QuadraticCost cost;
+  DpPartitionerOptions fine = SmallOptions();
+  fine.tmax_interval_ms = 1e-5;
+  fine.max_tmax_candidates = 1'000'000;
+  DpPartitionerOptions coarse = SmallOptions();
+  coarse.tmax_interval_ms = 0.5;
+  coarse.max_tmax_candidates = 64;
+  const PartitionResult f = DpPartitioner(cost, fine).Partition(ordered);
+  const PartitionResult c = DpPartitioner(cost, coarse).Partition(ordered);
+  ASSERT_TRUE(f.feasible);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_LE(f.objective_ms, c.objective_ms + 1e-9);
+  EXPECT_LE(c.objective_ms, f.objective_ms * 1.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DpQuantization, ::testing::Range(0, 10));
+
+// ---------- Karmarkar–Karp ----------
+
+TEST(KarmarkarKarpTest, AssignsEveryItemExactlyOnce) {
+  Rng rng(5);
+  std::vector<double> w;
+  for (int i = 0; i < 50; ++i) {
+    w.push_back(rng.NextDouble(1.0, 100.0));
+  }
+  const BalanceResult res = KarmarkarKarp(w, 4);
+  ASSERT_EQ(res.groups.size(), 4u);
+  std::set<int32_t> seen;
+  for (const auto& g : res.groups) {
+    for (const int32_t idx : g) {
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(KarmarkarKarpTest, SumsConsistentWithAssignment) {
+  std::vector<double> w{10.0, 20.0, 30.0, 40.0};
+  const BalanceResult res = KarmarkarKarp(w, 2);
+  double max_sum = 0.0;
+  for (const auto& g : res.groups) {
+    double sum = 0.0;
+    for (const int32_t idx : g) {
+      sum += w[static_cast<size_t>(idx)];
+    }
+    max_sum = std::max(max_sum, sum);
+  }
+  EXPECT_DOUBLE_EQ(max_sum, res.max_sum);
+  EXPECT_DOUBLE_EQ(res.max_sum, 50.0);  // perfect split exists: {40,10},{30,20}
+}
+
+TEST(KarmarkarKarpTest, EmptyInput) {
+  const BalanceResult res = KarmarkarKarp({}, 3);
+  EXPECT_EQ(res.groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.max_sum, 0.0);
+}
+
+TEST(KarmarkarKarpTest, SingleGroupGetsEverything) {
+  const BalanceResult res = KarmarkarKarp({1.0, 2.0, 3.0}, 1);
+  EXPECT_EQ(res.groups[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(res.max_sum, 6.0);
+}
+
+TEST(KarmarkarKarpTest, FewerItemsThanGroups) {
+  const BalanceResult res = KarmarkarKarp({5.0, 7.0}, 4);
+  EXPECT_EQ(res.groups.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.max_sum, 7.0);
+  EXPECT_DOUBLE_EQ(res.min_sum, 0.0);
+}
+
+class KkVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(KkVsBruteForce, WithinFactorOfOptimal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 77);
+  const int n = 4 + static_cast<int>(rng.NextBelow(7));
+  const int k = 2 + static_cast<int>(rng.NextBelow(3));
+  std::vector<double> w;
+  for (int i = 0; i < n; ++i) {
+    w.push_back(rng.NextDouble(1.0, 50.0));
+  }
+  const BalanceResult kk = KarmarkarKarp(w, k);
+  const BalanceResult opt = BruteForceBalance(w, k);
+  EXPECT_GE(kk.max_sum, opt.max_sum - 1e-9);
+  EXPECT_LE(kk.max_sum, opt.max_sum * 1.25);  // LDM is near-optimal on small inputs
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KkVsBruteForce, ::testing::Range(0, 30));
+
+TEST(KarmarkarKarpTest, BeatsOrMatchesRoundRobinOnSkewedInput) {
+  Rng rng(31);
+  std::vector<double> w;
+  for (int i = 0; i < 64; ++i) {
+    // Heavy-tailed weights, the realistic case for micro-batch times.
+    w.push_back(std::exp(rng.NextGaussian(2.0, 1.0)));
+  }
+  const BalanceResult kk = KarmarkarKarp(w, 4);
+  const BalanceResult rr = RoundRobinBalance(w, 4);
+  EXPECT_LE(kk.max_sum, rr.max_sum + 1e-9);
+  EXPECT_LT(kk.imbalance(), rr.imbalance() * 0.9);
+}
+
+}  // namespace
+}  // namespace dynapipe::mb

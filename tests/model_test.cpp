@@ -1,0 +1,329 @@
+// Unit tests for src/model: Table 1 configs, stage partitioning, the analytic
+// layer/stage performance model, and parallel-config enumeration.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/model/hardware_spec.h"
+#include "src/model/layer_perf_model.h"
+#include "src/model/model_config.h"
+#include "src/model/shapes.h"
+#include "src/model/stage_partition.h"
+#include "src/model/stage_perf_model.h"
+
+namespace dynapipe::model {
+namespace {
+
+// ---------- Table 1 parameter counts ----------
+
+TEST(ModelConfigTest, GptParamCountsMatchTable1) {
+  EXPECT_NEAR(ModelConfig::Gpt3_35B().total_params_billions(), 3.35, 0.35);
+  EXPECT_NEAR(ModelConfig::Gpt6_7B().total_params_billions(), 6.7, 0.7);
+  EXPECT_NEAR(ModelConfig::Gpt13B().total_params_billions(), 13.0, 1.3);
+  EXPECT_NEAR(ModelConfig::Gpt29B().total_params_billions(), 29.0, 2.9);
+}
+
+TEST(ModelConfigTest, T5ParamCountsMatchTable1) {
+  EXPECT_NEAR(ModelConfig::T5_5_5B().total_params_billions(), 5.5, 0.6);
+  EXPECT_NEAR(ModelConfig::T5_11B().total_params_billions(), 11.0, 1.1);
+  EXPECT_NEAR(ModelConfig::T5_22B().total_params_billions(), 22.0, 2.2);
+  EXPECT_NEAR(ModelConfig::T5_44B().total_params_billions(), 44.0, 4.4);
+}
+
+TEST(ModelConfigTest, T5UsesWideProjection) {
+  // T5-11B: 128 heads x 128 kv channels = 16384 projection over hidden 1024.
+  const ModelConfig c = ModelConfig::T5_11B();
+  EXPECT_EQ(c.projection_dim(), 16'384);
+  EXPECT_EQ(c.hidden_dim, 1024);
+  EXPECT_EQ(c.ffn_dim, 65'536);
+}
+
+TEST(ModelConfigTest, TotalLayersDoublesForT5) {
+  EXPECT_EQ(ModelConfig::T5_11B().total_layers(), 48);
+  EXPECT_EQ(ModelConfig::Gpt6_7B().total_layers(), 32);
+}
+
+TEST(ModelConfigTest, ForClusterSelectsPerTable1) {
+  EXPECT_EQ(ModelConfig::ForCluster(ModelArch::kGpt, 4).name, "GPT-3.35B");
+  EXPECT_EQ(ModelConfig::ForCluster(ModelArch::kGpt, 32).name, "GPT-29B");
+  EXPECT_EQ(ModelConfig::ForCluster(ModelArch::kT5, 8).name, "T5-11B");
+  EXPECT_EQ(ModelConfig::ForCluster(ModelArch::kT5, 16).name, "T5-22B");
+}
+
+TEST(ModelConfigTest, DecoderLayerLargerThanEncoderForT5) {
+  const ModelConfig c = ModelConfig::T5_11B();
+  EXPECT_GT(c.params_per_decoder_layer(), c.params_per_encoder_layer());
+}
+
+// ---------- Parallel config enumeration ----------
+
+TEST(ParallelConfigTest, EnumerationCoversAllFactorizations) {
+  const auto configs = EnumerateParallelConfigs(8, 8, 8);
+  // tp*pp*dp = 8, all power-of-two: (1,1,8),(1,2,4),(1,4,2),(1,8,1),
+  // (2,1,4),(2,2,2),(2,4,1),(4,1,2),(4,2,1),(8,1,1) = 10 combos.
+  EXPECT_EQ(configs.size(), 10u);
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.num_gpus(), 8);
+  }
+}
+
+TEST(ParallelConfigTest, TensorParallelLimitedToNode) {
+  const auto configs = EnumerateParallelConfigs(32, 8, 32);
+  for (const auto& c : configs) {
+    EXPECT_LE(c.tp, 8);
+  }
+}
+
+TEST(ParallelConfigTest, PipelineCappedByLayers) {
+  const auto configs = EnumerateParallelConfigs(32, 8, 4);
+  for (const auto& c : configs) {
+    EXPECT_LE(c.pp, 4);
+  }
+}
+
+// ---------- Stage partition ----------
+
+TEST(StagePartitionTest, ConservesLayers) {
+  for (int pp : {1, 2, 3, 4, 8}) {
+    const auto stages = PartitionStages(ModelConfig::Gpt6_7B(), pp);
+    int total = 0;
+    for (const auto& s : stages) {
+      total += s.num_layers();
+      EXPECT_EQ(s.num_encoder_layers, 0);  // GPT has no encoder stack
+    }
+    EXPECT_EQ(total, 32);
+  }
+}
+
+TEST(StagePartitionTest, BalancedWithinOne) {
+  const auto stages = PartitionStages(ModelConfig::Gpt13B(), 16);  // 40 layers / 16
+  int mn = 1000;
+  int mx = 0;
+  for (const auto& s : stages) {
+    mn = std::min(mn, s.num_layers());
+    mx = std::max(mx, s.num_layers());
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(StagePartitionTest, EmbeddingAndHeadFlags) {
+  const auto stages = PartitionStages(ModelConfig::Gpt6_7B(), 4);
+  EXPECT_TRUE(stages.front().has_embedding);
+  EXPECT_TRUE(stages.back().has_lm_head);
+  for (size_t i = 1; i + 1 < stages.size(); ++i) {
+    EXPECT_FALSE(stages[i].has_embedding);
+    EXPECT_FALSE(stages[i].has_lm_head);
+  }
+}
+
+TEST(StagePartitionTest, T5EncoderPrecedesDecoder) {
+  const auto stages = PartitionStages(ModelConfig::T5_11B(), 4);  // 48 layers
+  // First two stages must be pure encoder (24 encoder layers / 12 per stage),
+  // last two pure decoder.
+  EXPECT_EQ(stages[0].num_encoder_layers, 12);
+  EXPECT_EQ(stages[0].num_decoder_layers, 0);
+  EXPECT_EQ(stages[1].num_encoder_layers, 12);
+  EXPECT_EQ(stages[3].num_decoder_layers, 12);
+  EXPECT_EQ(stages[3].num_encoder_layers, 0);
+}
+
+TEST(StagePartitionTest, T5MixedBoundaryStage) {
+  const auto stages = PartitionStages(ModelConfig::T5_11B(), 3);  // 48 layers / 3 = 16
+  // Stage 1 holds encoder layers 16..23 (8 layers) and decoder layers 0..7.
+  EXPECT_EQ(stages[1].num_encoder_layers, 8);
+  EXPECT_EQ(stages[1].num_decoder_layers, 8);
+}
+
+TEST(StagePartitionTest, SingleStageHoldsEverything) {
+  const auto stages = PartitionStages(ModelConfig::T5_5_5B(), 1);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_TRUE(stages[0].has_embedding);
+  EXPECT_TRUE(stages[0].has_lm_head);
+  EXPECT_EQ(stages[0].num_layers(), 24);
+}
+
+// ---------- Layer performance model ----------
+
+class LayerPerfModelTest : public ::testing::Test {
+ protected:
+  ModelConfig config_ = ModelConfig::Gpt3_35B();
+  HardwareSpec hw_;
+  LayerPerfModel lm_{config_, hw_, 1};
+};
+
+TEST_F(LayerPerfModelTest, FlopsScaleLinearlyInBatch) {
+  const double f1 = lm_.EncoderLayerFwdFlops(1, 512);
+  const double f4 = lm_.EncoderLayerFwdFlops(4, 512);
+  EXPECT_NEAR(f4 / f1, 4.0, 1e-9);
+}
+
+TEST_F(LayerPerfModelTest, FlopsSuperLinearInSequence) {
+  // Doubling s more than doubles FLOPs (quadratic attention term).
+  const double f1 = lm_.EncoderLayerFwdFlops(1, 2048);
+  const double f2 = lm_.EncoderLayerFwdFlops(1, 4096);
+  EXPECT_GT(f2, 2.0 * f1);
+}
+
+TEST_F(LayerPerfModelTest, TimeSuperLinearAtLongSequences) {
+  // Fig. 3's property (measured there on a T5-11B encoder layer): per-layer time
+  // grows super-linearly with sequence length once compute-bound.
+  LayerPerfModel t5(ModelConfig::T5_11B(), hw_, 1);
+  const double t4k = t5.EncoderLayerFwdMs(1, 4096);
+  const double t8k = t5.EncoderLayerFwdMs(1, 8192);
+  EXPECT_GT(t8k, 2.0 * t4k);
+  // GPT's wider hidden dim dilutes the quadratic term; still at least linear.
+  EXPECT_GT(lm_.EncoderLayerFwdMs(1, 8192), 1.9 * lm_.EncoderLayerFwdMs(1, 4096));
+}
+
+TEST_F(LayerPerfModelTest, SmallShapesLaunchBound) {
+  // At tiny shapes, time is dominated by fixed overhead: halving work does not
+  // halve time.
+  const double t64 = lm_.EncoderLayerFwdMs(1, 64);
+  const double t32 = lm_.EncoderLayerFwdMs(1, 32);
+  EXPECT_GT(t32, 0.4 * t64);
+}
+
+TEST_F(LayerPerfModelTest, BackwardCostsAboutTwiceForward) {
+  const double fwd = lm_.EncoderLayerFwdMs(4, 1024);
+  const double bwd = lm_.EncoderLayerBwdMs(4, 1024, RecomputeMode::kNone);
+  EXPECT_GT(bwd, 1.5 * fwd);
+  EXPECT_LT(bwd, 2.6 * fwd);
+}
+
+TEST_F(LayerPerfModelTest, RecomputeOrderingOnBackwardTime) {
+  const double none = lm_.EncoderLayerBwdMs(4, 1024, RecomputeMode::kNone);
+  const double sel = lm_.EncoderLayerBwdMs(4, 1024, RecomputeMode::kSelective);
+  const double full = lm_.EncoderLayerBwdMs(4, 1024, RecomputeMode::kFull);
+  EXPECT_LT(none, sel);
+  EXPECT_LT(sel, full);
+}
+
+TEST_F(LayerPerfModelTest, RecomputeOrderingOnActivationMemory) {
+  const double none = lm_.EncoderLayerActivationMb(4, 1024, RecomputeMode::kNone);
+  const double sel = lm_.EncoderLayerActivationMb(4, 1024, RecomputeMode::kSelective);
+  const double full = lm_.EncoderLayerActivationMb(4, 1024, RecomputeMode::kFull);
+  EXPECT_GT(none, sel);
+  EXPECT_GT(sel, full);
+}
+
+TEST_F(LayerPerfModelTest, AttentionScoresDominateMemoryAtLongSeq) {
+  // The s^2 score matrices make kNone memory grow super-linearly in s.
+  const double m2k = lm_.EncoderLayerActivationMb(1, 2048, RecomputeMode::kNone);
+  const double m8k = lm_.EncoderLayerActivationMb(1, 8192, RecomputeMode::kNone);
+  EXPECT_GT(m8k, 4.0 * m2k);
+  // While kFull stays linear.
+  const double f2k = lm_.EncoderLayerActivationMb(1, 2048, RecomputeMode::kFull);
+  const double f8k = lm_.EncoderLayerActivationMb(1, 8192, RecomputeMode::kFull);
+  EXPECT_NEAR(f8k / f2k, 4.0, 0.01);
+}
+
+TEST_F(LayerPerfModelTest, TensorParallelReducesTimeButNotToZero) {
+  LayerPerfModel tp4(config_, hw_, 4);
+  const double t1 = lm_.EncoderLayerFwdMs(8, 2048);
+  const double t4 = tp4.EncoderLayerFwdMs(8, 2048);
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 4.0);  // allreduce + overhead prevent perfect scaling
+}
+
+TEST_F(LayerPerfModelTest, T5DecoderCrossAttentionAddsCost) {
+  const ModelConfig t5 = ModelConfig::T5_11B();
+  LayerPerfModel lm(t5, hw_, 1);
+  const double self_only = lm.EncoderLayerFwdFlops(2, 256);
+  const double with_cross = lm.DecoderLayerFwdFlops(2, 256, 1024);
+  EXPECT_GT(with_cross, self_only);
+}
+
+TEST_F(LayerPerfModelTest, GptDecoderHasNoCrossAttention) {
+  EXPECT_DOUBLE_EQ(lm_.DecoderLayerFwdFlops(2, 512, 9999),
+                   lm_.EncoderLayerFwdFlops(2, 512));
+}
+
+// ---------- Stage performance model ----------
+
+TEST(StagePerfModelTest, FwdTimeScalesWithLayerCount) {
+  const ModelConfig config = ModelConfig::Gpt6_7B();
+  const HardwareSpec hw;
+  const auto stages4 = BuildStageModels(config, hw, 4, 1);
+  const auto stages8 = BuildStageModels(config, hw, 8, 1);
+  MicroBatchShape shape{4, 1024, 0};
+  // Interior stages: 8 layers vs 4 layers -> roughly 2x.
+  const double t4 = stages4[1].FwdMs(shape);
+  const double t8 = stages8[1].FwdMs(shape);
+  EXPECT_NEAR(t4 / t8, 2.0, 0.1);
+}
+
+TEST(StagePerfModelTest, LastStagePaysLmHead) {
+  const ModelConfig config = ModelConfig::Gpt6_7B();
+  const HardwareSpec hw;
+  const auto stages = BuildStageModels(config, hw, 4, 1);
+  MicroBatchShape shape{4, 1024, 0};
+  EXPECT_GT(stages[3].FwdMs(shape), stages[1].FwdMs(shape));
+}
+
+TEST(StagePerfModelTest, StaticMemoryShrinksWithZeroDp) {
+  const ModelConfig config = ModelConfig::Gpt6_7B();
+  const HardwareSpec hw;
+  const auto stages = BuildStageModels(config, hw, 4, 1);
+  // ZeRO-1: optimizer state shards across dp.
+  EXPECT_GT(stages[1].StaticMemoryMb(1), stages[1].StaticMemoryMb(4));
+}
+
+TEST(StagePerfModelTest, StaticMemoryMatchesParamArithmetic) {
+  const ModelConfig config = ModelConfig::Gpt3_35B();
+  const HardwareSpec hw;
+  const auto stages = BuildStageModels(config, hw, 1, 1);
+  // Whole model on one device, dp=1: 16 bytes/param.
+  const double expected_mb =
+      static_cast<double>(config.total_params()) * 16.0 / (1024.0 * 1024.0);
+  EXPECT_NEAR(stages[0].StaticMemoryMb(1), expected_mb, expected_mb * 0.01);
+}
+
+TEST(StagePerfModelTest, BoundaryBytesGpt) {
+  const ModelConfig config = ModelConfig::Gpt3_35B();
+  const HardwareSpec hw;
+  const auto stages = BuildStageModels(config, hw, 4, 1);
+  MicroBatchShape shape{2, 512, 0};
+  // b * s * h * 2 bytes.
+  EXPECT_DOUBLE_EQ(stages[0].OutputActivationBytes(shape),
+                   2.0 * 512 * 4096 * 2.0);
+  EXPECT_DOUBLE_EQ(stages[3].OutputActivationBytes(shape), 0.0);  // last stage
+}
+
+TEST(StagePerfModelTest, BoundaryBytesT5CarriesEncoderOutputThroughDecoder) {
+  const ModelConfig config = ModelConfig::T5_11B();
+  const HardwareSpec hw;
+  const auto stages = BuildStageModels(config, hw, 4, 1);
+  MicroBatchShape shape{2, 512, 128};
+  // Encoder-side boundary: b*s_enc*h*2; decoder-side adds the decoder stream.
+  const double enc_bytes = stages[0].OutputActivationBytes(shape);
+  const double dec_bytes = stages[2].OutputActivationBytes(shape);
+  EXPECT_DOUBLE_EQ(enc_bytes, 2.0 * 512 * 1024 * 2.0);
+  EXPECT_DOUBLE_EQ(dec_bytes, 2.0 * (512.0 + 128.0) * 1024 * 2.0);
+}
+
+TEST(StagePerfModelTest, DpGradSyncGrowsWithModelShare) {
+  const ModelConfig config = ModelConfig::Gpt6_7B();
+  const HardwareSpec hw;
+  const auto layouts = PartitionStages(config, 2);
+  EXPECT_EQ(DpGradSyncMs(config, hw, layouts[0], 1, 1), 0.0);
+  const double dp2 = DpGradSyncMs(config, hw, layouts[0], 1, 2);
+  const double dp8 = DpGradSyncMs(config, hw, layouts[0], 1, 8);
+  EXPECT_GT(dp2, 0.0);
+  EXPECT_GT(dp8, dp2);  // ring factor 2(d-1)/d grows with d
+}
+
+TEST(StagePerfModelTest, T5StageTimeDependsOnBothSequences) {
+  const ModelConfig config = ModelConfig::T5_11B();
+  const HardwareSpec hw;
+  const auto stages = BuildStageModels(config, hw, 2, 1);
+  // Stage 1 is pure decoder: its time must react to both target and input length
+  // (cross-attention reads the encoder output).
+  const double base = stages[1].FwdMs({2, 512, 128});
+  const double longer_target = stages[1].FwdMs({2, 512, 256});
+  const double longer_input = stages[1].FwdMs({2, 1024, 128});
+  EXPECT_GT(longer_target, base);
+  EXPECT_GT(longer_input, base);
+}
+
+}  // namespace
+}  // namespace dynapipe::model
