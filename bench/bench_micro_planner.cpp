@@ -2,10 +2,18 @@
 // queries, the micro-batch DP, adaptive scheduling, timeline simulation, and
 // communication planning. These are the per-iteration CPU costs that Fig. 17
 // aggregates; keeping them fast is what lets planning overlap training.
+//
+// The headline pair (bench/README.md "Planning-time methodology"):
+//   BM_DpPartition               — the seed path: uncached oracle, serial sweep
+//   BM_DpPartitionCachedPool/T   — memoized oracle + T-thread t_max fan-out
+// Their ratio at the same token count is the planning-time speedup; outputs
+// are bit-identical (tests/planning_parallel_test.cpp holds that line).
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "src/comm/comm_planner.h"
+#include "src/common/thread_pool.h"
+#include "src/cost/cost_cache.h"
 #include "src/mb/dp_partitioner.h"
 #include "src/mb/karmarkar_karp.h"
 #include "src/mb/ordering.h"
@@ -58,22 +66,68 @@ void BM_CostModelQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelQuery);
 
-void BM_DpPartition(benchmark::State& state) {
-  const auto ordered = OrderedMiniBatch(state.range(0));
-  CostAdapter cost_fn;
+// Same query mix as BM_CostModelQuery through the memoizing oracle; the shape
+// sequence cycles, so this measures the steady-state (warm) hit path.
+void BM_CachedCostQuery(benchmark::State& state) {
+  const cost::CachedCostOracle oracle(SharedCostModel());
+  model::MicroBatchShape shape{4, 777, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.TimeMs(shape, model::RecomputeMode::kNone));
+    shape.input_len = shape.input_len % 4000 + 13;
+  }
+  state.SetLabel("hit rate " +
+                 std::to_string(oracle.counters().hit_rate()).substr(0, 4));
+}
+BENCHMARK(BM_CachedCostQuery);
+
+mb::DpPartitionerOptions PartitionBenchOptions() {
   mb::DpPartitionerOptions opts;
   opts.num_stages = 4;
   opts.activation_limit_mb = SharedCostModel().ActivationBudgetMb();
   opts.tmax_interval_ms = 0.2;
   opts.max_tmax_candidates = 96;
   opts.max_microbatch_size = 128;
-  mb::DpPartitioner partitioner(cost_fn, opts);
+  return opts;
+}
+
+// Seed path: uncached cost oracle, serial t_max sweep.
+void BM_DpPartition(benchmark::State& state) {
+  const auto ordered = OrderedMiniBatch(state.range(0));
+  CostAdapter cost_fn;
+  mb::DpPartitioner partitioner(cost_fn, PartitionBenchOptions());
   for (auto _ : state) {
     benchmark::DoNotOptimize(partitioner.Partition(ordered));
   }
   state.SetLabel(std::to_string(ordered.size()) + " samples");
 }
 BENCHMARK(BM_DpPartition)->Arg(16'384)->Arg(65'536);
+
+// Parallel, cache-aware path: memoized oracle shared across iterations (the
+// planner keeps its oracle for the epoch, so warm-cache steady state is the
+// representative regime) + per-t_max DPs fanned over a pool. Second arg is the
+// pool size; compare against BM_DpPartition at the same token count.
+void BM_DpPartitionCachedPool(benchmark::State& state) {
+  const auto ordered = OrderedMiniBatch(state.range(0));
+  const int32_t threads = static_cast<int32_t>(state.range(1));
+  const cost::CachedCostOracle oracle(SharedCostModel());
+  const runtime::CachedCostAdapter cost_fn(oracle, model::RecomputeMode::kNone);
+  ThreadPool pool(threads);
+  mb::DpPartitionerOptions opts = PartitionBenchOptions();
+  opts.pool = &pool;
+  mb::DpPartitioner partitioner(cost_fn, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.Partition(ordered));
+  }
+  state.SetLabel(std::to_string(ordered.size()) + " samples, " +
+                 std::to_string(threads) + " threads, hit rate " +
+                 std::to_string(oracle.counters().hit_rate()).substr(0, 4));
+}
+BENCHMARK(BM_DpPartitionCachedPool)
+    ->Args({16'384, 1})
+    ->Args({16'384, 2})
+    ->Args({16'384, 4})
+    ->Args({16'384, 8})
+    ->Args({65'536, 4});
 
 void BM_SampleOrderingTsp(benchmark::State& state) {
   const data::Dataset dataset = bench::BenchDataset(4000, 5);

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify for CI: configure, build, ctest — with -Wall -Wextra promoted
+# to errors for src/ (the library). Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-${BUILD_DIR:-build-check}}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" \
+  -DDYNAPIPE_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -4,13 +4,24 @@
 // future iterations on spare cores (§3, Fig. 17). ThreadPool provides the worker
 // substrate: submit callables, get std::futures. Tasks must be independent — the
 // pool offers no ordering guarantees beyond the futures themselves.
+//
+// ParallelFor is the fan-out primitive the planning stack builds on (per-t_max
+// DPs, recompute modes, grid-search configs). The calling thread participates
+// and, while waiting for stragglers, helps drain the pool's queue — so nested
+// fan-outs sharing one pool (a recompute-mode task fanning its t_max DPs onto
+// the same workers) cannot deadlock even on a single-thread pool.
 #ifndef DYNAPIPE_SRC_COMMON_THREAD_POOL_H_
 #define DYNAPIPE_SRC_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -44,6 +55,11 @@ class ThreadPool {
 
   int32_t num_threads() const { return static_cast<int32_t>(workers_.size()); }
 
+  // Pops and runs one queued task on the calling thread; returns false when the
+  // queue is empty. A thread blocked on work it fanned onto the pool calls this
+  // in its wait loop so the pool can never wedge on nested fan-outs.
+  bool RunPendingTask();
+
  private:
   void WorkerLoop();
 
@@ -53,6 +69,107 @@ class ThreadPool {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
+
+// Runs fn(0) .. fn(n-1) across `pool`, returning only once every index has
+// completed. Indices are claimed from a shared atomic counter, so execution
+// order is unspecified: fn must treat indices as independent and write any
+// output into per-index slots (that is also what makes parallel callers
+// deterministic — merge the slots serially afterwards). fn must not throw.
+// A null pool, a single-thread pool, or n <= 1 degrades to a plain serial loop.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    // Helpers not yet spawned. Spawning is lazy and cascading: the caller
+    // submits one helper, and each helper that actually finds work submits the
+    // next before starting. A fan-out whose indices the caller drains alone
+    // (small n, or a fully loaded machine) therefore pays for one queue push
+    // instead of pool-width thread wakeups — the difference between the pool
+    // being free and costing more than it returns on busy single-core boxes.
+    std::atomic<int32_t> helpers_left{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  // remove_reference: Fn deduces to L& for lvalue callables, and a pointer to
+  // reference is ill-formed.
+  std::remove_reference_t<Fn>* fn_ptr = &fn;
+  // Helpers are capped by spare hardware threads as well as pool width: the
+  // caller occupies one, and oversubscribing CPU-bound index work only adds
+  // context-switch thrash (a 4-thread pool on a 1-core container must degrade
+  // to the serial path, not run 4x slower). hardware_concurrency() == 0 means
+  // unknown; trust the pool width then.
+  const size_t hw = static_cast<size_t>(std::thread::hardware_concurrency());
+  size_t max_helpers = static_cast<size_t>(pool->num_threads());
+  if (hw > 0) {
+    max_helpers = std::min(max_helpers, hw - 1);
+  }
+  state->helpers_left.store(
+      static_cast<int32_t>(std::min(n - 1, max_helpers)));
+  // Helpers that find the counter exhausted exit without touching fn, so the
+  // ones still queued when ParallelFor returns are harmless no-ops; `state`
+  // is shared_ptr-owned for exactly that reason.
+  struct Drain {
+    std::shared_ptr<State> state;
+    size_t n;
+    std::remove_reference_t<Fn>* fn_ptr;
+    ThreadPool* pool;
+    void operator()() const {
+      size_t i = state->next.fetch_add(1);
+      if (i >= n) {
+        return;
+      }
+      if (state->helpers_left.fetch_sub(1) > 0) {
+        pool->Submit(*this);
+      } else {
+        state->helpers_left.fetch_add(1);  // undo; floor stays >= some negative
+      }
+      for (; i < n; i = state->next.fetch_add(1)) {
+        (*fn_ptr)(i);
+        // Notify only the completion the caller can be waiting for — the last
+        // one. Taking the mutex first closes the lost-wakeup window: a waiter
+        // that saw done < n is either still holding mu (and will re-check) or
+        // already blocked in wait (and will hear this notify).
+        if (state->done.fetch_add(1) + 1 == n) {
+          { std::lock_guard<std::mutex> lock(state->mu); }
+          state->cv.notify_all();
+        }
+      }
+    }
+  };
+  const Drain drain{state, n, fn_ptr, pool};
+  if (state->helpers_left.fetch_sub(1) > 0) {
+    pool->Submit(drain);
+  }
+  // The caller claims indices like any helper, minus the cascade step (its
+  // helper was submitted above) and minus the completion notify — the caller
+  // is the only thread that ever waits on this fan-out's cv.
+  for (size_t i = state->next.fetch_add(1); i < n;
+       i = state->next.fetch_add(1)) {
+    (*fn_ptr)(i);
+    state->done.fetch_add(1);
+  }
+  // Indices may still be in flight on workers; help with other queued work
+  // (possibly a nested fan-out's indices) instead of blocking outright. Once
+  // the queue is dry, sleep until a completion notify — stragglers are on live
+  // threads (or nested waiters that bottom out on live threads), so progress
+  // is guaranteed without this thread's help. The timeout is only a hedge.
+  while (state->done.load(std::memory_order_acquire) < n) {
+    if (!pool->RunPendingTask()) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return state->done.load(std::memory_order_acquire) >= n;
+      });
+    }
+  }
+}
 
 }  // namespace dynapipe
 

@@ -1,0 +1,18 @@
+// Tiny wall-clock helper shared by the planning stack's phase timers.
+#ifndef DYNAPIPE_SRC_COMMON_TIMING_H_
+#define DYNAPIPE_SRC_COMMON_TIMING_H_
+
+#include <chrono>
+
+namespace dynapipe {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline double ElapsedMs(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+}  // namespace dynapipe
+
+#endif  // DYNAPIPE_SRC_COMMON_TIMING_H_

@@ -1,10 +1,13 @@
 #include "src/mb/dp_partitioner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timing.h"
 
 namespace dynapipe::mb {
 namespace {
@@ -46,12 +49,19 @@ PartitionResult DpPartitioner::Partition(
     result.feasible = true;
     return result;
   }
+  const auto counters_before = cost_.CacheCounters();
+  const auto precompute_start = SteadyClock::now();
 
-  // --- Precompute feasible windows. windows[i][w-1] covers ordered[i .. i+w-1].
-  // Window time and activation are monotone non-decreasing in w (the count grows and
-  // padded lengths never shrink), so each start index has a contiguous feasible
-  // range and we can stop extending at the first violation.
+  // --- Precompute feasible windows, shared by every t_max candidate below.
+  // windows[i][w-1] covers ordered[i .. i+w-1]. Window time and activation are
+  // monotone non-decreasing in w (the count grows and padded lengths never
+  // shrink), so each start index has a contiguous feasible range and we can
+  // stop extending at the first violation.
   std::vector<std::vector<Window>> windows(n);
+  // Times-only mirror of `windows` for the DP sweep: per start the array is
+  // contiguous and monotone in w, so the inner relax loop scans sequentially
+  // and stops at the first time over t_max.
+  std::vector<std::vector<double>> win_times(n);
   double min_single_time = kInf;
   double max_single_time = 0.0;
   double max_window_time = 0.0;
@@ -63,18 +73,17 @@ PartitionResult DpPartitioner::Partition(
       shape.input_len = std::max(shape.input_len, ordered[i + w - 1].input_len);
       shape.target_len = std::max(shape.target_len, ordered[i + w - 1].target_len);
       Window win;
-      win.act_mb = cost_.ActivationMb(shape);
-      if (options_.activation_limit_mb > 0.0 &&
-          win.act_mb > options_.activation_limit_mb) {
+      if (!cost_.WindowCosts(shape, options_.activation_limit_mb, &win.time_ms,
+                             &win.act_mb)) {
         break;
       }
-      win.time_ms = cost_.TimeMs(shape);
       if (w == 1) {
         min_single_time = std::min(min_single_time, win.time_ms);
         max_single_time = std::max(max_single_time, win.time_ms);
       }
       max_window_time = std::max(max_window_time, win.time_ms);
       windows[i].push_back(win);
+      win_times[i].push_back(win.time_ms);
     }
     if (windows[i].empty()) {
       // A single sample exceeds the memory limit: no partition can help (§4 "the
@@ -85,94 +94,196 @@ PartitionResult DpPartitioner::Partition(
     }
   }
 
+  result.stats.window_precompute_ms = ElapsedMs(precompute_start);
+  const auto search_start = SteadyClock::now();
+
   // --- t_max candidates: quantized distinct window times, at or above the largest
   // single-sample time (smaller values cannot cover that sample).
   std::vector<double> candidates;
   {
     const double interval = options_.tmax_interval_ms;
+    // Quantized times are multiples of `interval`, so distinct sorted values
+    // come from bucket presence-marking in O(windows + buckets) instead of an
+    // O(W log W) sort of every window time — the sort dominated the whole
+    // candidate phase on large batches. Degenerate intervals (so fine that the
+    // bucket table would dwarf the window count) fall back to sort+unique.
     std::vector<double> quantized;
-    for (const auto& per_start : windows) {
-      for (const auto& win : per_start) {
-        if (win.time_ms + 1e-12 < max_single_time) {
-          continue;
+    const double bucket_span = max_window_time / interval;
+    const size_t max_buckets = 16 * (n * static_cast<size_t>(
+                                             options_.max_microbatch_size) +
+                                     1024);
+    if (bucket_span > 0.0 && bucket_span < static_cast<double>(max_buckets)) {
+      const size_t num_buckets = static_cast<size_t>(bucket_span) + 2;
+      std::vector<uint8_t> present(num_buckets, 0);
+      for (const auto& per_start : windows) {
+        for (const auto& win : per_start) {
+          if (win.time_ms + 1e-12 < max_single_time) {
+            continue;
+          }
+          const size_t q = static_cast<size_t>(std::ceil(win.time_ms / interval));
+          DYNAPIPE_CHECK(q < num_buckets);
+          present[q] = 1;
         }
-        quantized.push_back(std::ceil(win.time_ms / interval) * interval);
       }
+      for (size_t q = 0; q < num_buckets; ++q) {
+        if (present[q] != 0) {
+          quantized.push_back(static_cast<double>(q) * interval);
+        }
+      }
+    } else {
+      for (const auto& per_start : windows) {
+        for (const auto& win : per_start) {
+          if (win.time_ms + 1e-12 < max_single_time) {
+            continue;
+          }
+          quantized.push_back(std::ceil(win.time_ms / interval) * interval);
+        }
+      }
+      std::sort(quantized.begin(), quantized.end());
+      quantized.erase(std::unique(quantized.begin(), quantized.end()),
+                      quantized.end());
     }
-    std::sort(quantized.begin(), quantized.end());
-    quantized.erase(std::unique(quantized.begin(), quantized.end()), quantized.end());
     DYNAPIPE_CHECK(!quantized.empty());
     const size_t cap = static_cast<size_t>(options_.max_tmax_candidates);
     if (quantized.size() <= cap) {
       candidates = std::move(quantized);
     } else {
-      // Even subsample, always keeping the extremes.
+      // Even subsample of the interior with both extremes pinned explicitly:
+      // the smallest candidate anchors the min-max end of the sweep and the
+      // largest guarantees at least one feasible candidate, so neither may
+      // fall victim to rounding or dedup.
       candidates.reserve(cap);
-      for (size_t k = 0; k < cap; ++k) {
+      candidates.push_back(quantized.front());
+      for (size_t k = 1; k + 1 < cap; ++k) {
         const size_t idx = k * (quantized.size() - 1) / (cap - 1);
-        candidates.push_back(quantized[idx]);
+        if (quantized[idx] > candidates.back()) {
+          candidates.push_back(quantized[idx]);
+        }
       }
-      candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                       candidates.end());
+      if (quantized.back() > candidates.back()) {
+        candidates.push_back(quantized.back());
+      }
     }
   }
 
   // --- DP per candidate. f[k] = min total time over partitions of the first k
   // samples with every micro-batch time <= tmax; parent[k] = width of the last
-  // micro-batch in an optimal partition of the first k.
-  std::vector<double> f(n + 1);
-  std::vector<int32_t> parent(n + 1);
-  double best_objective = kInf;
-  std::vector<int32_t> best_widths;
+  // micro-batch in an optimal partition of the first k. Candidates are
+  // independent given the shared window table, so they fan out over the pool;
+  // each writes its outcome into its own slot and the merge below is serial.
+  struct CandidateOutcome {
+    bool feasible = false;
+    double objective = kInf;
+    std::vector<int32_t> widths;  // back-to-front, as reconstructed
+  };
+  std::vector<CandidateOutcome> outcomes(candidates.size());
 
-  for (const double tmax : candidates) {
-    f.assign(n + 1, kInf);
-    parent.assign(n + 1, 0);
-    f[0] = 0.0;
-    for (size_t k = 1; k <= n; ++k) {
-      // Last micro-batch covers ordered[k-w .. k-1].
-      const size_t wmax = std::min(k, static_cast<size_t>(options_.max_microbatch_size));
-      for (size_t w = 1; w <= wmax; ++w) {
-        const size_t start = k - w;
-        if (w > windows[start].size()) {
-          continue;  // infeasible by memory/size; wider is worse but other starts differ
-        }
-        const Window& win = windows[start][w - 1];
-        if (win.time_ms > tmax + 1e-12) {
-          continue;
-        }
-        if (f[start] + win.time_ms < f[k]) {
-          f[k] = f[start] + win.time_ms;
-          parent[k] = static_cast<int32_t>(w);
-        }
+  // cuts[i * |candidates| + c]: windows from start i usable under candidate c
+  // (times <= candidate + eps). Candidates and per-start times are both sorted,
+  // so one merge-walk per start computes every cutoff — the per-candidate DPs
+  // then run branch-free, with no searching inside the hot loop.
+  const size_t num_cand = candidates.size();
+  std::vector<uint32_t> cuts(n * num_cand);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double>& times = win_times[i];
+    size_t cut = 0;
+    uint32_t* row = cuts.data() + i * num_cand;
+    for (size_t c = 0; c < num_cand; ++c) {
+      const double tmax = candidates[c] + 1e-12;
+      while (cut < times.size() && times[cut] <= tmax) {
+        ++cut;
       }
-      if (f[k] == kInf && k == n) {
+      row[c] = static_cast<uint32_t>(cut);
+    }
+  }
+
+  ParallelFor(options_.pool, candidates.size(), [&](size_t c_idx) {
+    const double tmax = candidates[c_idx] + 1e-12;
+    // Forward DP, start-major: windows starting at i extend f[i] to f[i+w].
+    // No parent array — the relax loop is then a pure contiguous min that the
+    // compiler vectorizes, and widths are reconstructed below by exact float
+    // equality (f[i] is final when start i is processed, so f[k] is bitwise
+    // equal to f[start] + time for some achieving window). Thread-locals avoid
+    // per-candidate allocation; a thread runs one candidate at a time
+    // (ParallelFor only steals other work between candidates, never inside
+    // one), so reuse is safe.
+    thread_local std::vector<double> f;
+    f.assign(n + 1, kInf);
+    f[0] = 0.0;
+    bool reachable = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (f[i] == kInf) {
+        // An unreachable prefix dooms the whole candidate: any window crossing
+        // sample i-1 contains the sub-window with the same start ending at i,
+        // which by cost monotonicity is no more expensive — so if some
+        // partition covered sample i-1, f[i] would be finite. (The seed had
+        // this guard with `&& k == n` attached, making it dead.)
+        reachable = false;
         break;
       }
+      const double fi = f[i];
+      const size_t cut = cuts[i * num_cand + c_idx];
+      // restrict lets the compiler vectorize the min: f's tail and this start's
+      // time array never alias.
+      const double* __restrict tp = win_times[i].data();
+      double* __restrict fk = f.data() + i + 1;
+      for (size_t w = 0; w < cut; ++w) {
+        fk[w] = std::min(fk[w], fi + tp[w]);
+      }
     }
-    if (f[n] == kInf) {
-      continue;
+    if (!reachable || f[n] == kInf) {
+      return;
     }
     // Reconstruct and score with the *realized* max (<= tmax), which is the exact
-    // Eq. 1 objective rather than the candidate upper bound.
-    std::vector<int32_t> widths;
+    // Eq. 1 objective rather than the candidate upper bound. The smallest width
+    // whose add reproduces f[k] bitwise is a deterministic optimal choice.
+    CandidateOutcome& out = outcomes[c_idx];
     double realized_max = 0.0;
     for (size_t k = n; k > 0;) {
-      const int32_t w = parent[k];
-      DYNAPIPE_CHECK(w >= 1);
-      widths.push_back(w);
-      realized_max =
-          std::max(realized_max, windows[k - static_cast<size_t>(w)][w - 1].time_ms);
-      k -= static_cast<size_t>(w);
+      const size_t wmax =
+          std::min(k, static_cast<size_t>(options_.max_microbatch_size));
+      size_t found = 0;
+      for (size_t w = 1; w <= wmax; ++w) {
+        const size_t start = k - w;
+        if (w > win_times[start].size()) {
+          continue;
+        }
+        const double t = win_times[start][w - 1];
+        if (t > tmax) {
+          continue;
+        }
+        if (f[start] + t == f[k]) {
+          found = w;
+          realized_max = std::max(realized_max, t);
+          break;
+        }
+      }
+      DYNAPIPE_CHECK(found >= 1);
+      out.widths.push_back(static_cast<int32_t>(found));
+      k -= found;
     }
-    const double objective =
+    out.objective =
         (options_.num_stages - 1) * realized_max + f[n] / options_.num_replicas;
-    if (objective < best_objective) {
-      best_objective = objective;
-      best_widths = std::move(widths);
+    out.feasible = true;
+  });
+
+  // Deterministic merge in ascending-t_max order: strict improvement only, so
+  // ties keep the earliest (lowest) candidate — exactly the serial loop's pick.
+  double best_objective = kInf;
+  std::vector<int32_t> best_widths;
+  for (auto& out : outcomes) {
+    if (out.feasible && out.objective < best_objective) {
+      best_objective = out.objective;
+      best_widths = std::move(out.widths);
     }
   }
   result.candidates_tried = static_cast<int32_t>(candidates.size());
+  result.stats.candidate_search_ms = ElapsedMs(search_start);
+  result.stats.parallel_workers =
+      options_.pool != nullptr ? std::max(1, options_.pool->num_threads()) : 1;
+  const auto counters_after = cost_.CacheCounters();
+  result.stats.cost_cache_hits = counters_after.first - counters_before.first;
+  result.stats.cost_cache_misses = counters_after.second - counters_before.second;
 
   if (best_widths.empty()) {
     result.feasible = false;

@@ -22,22 +22,47 @@
 #define DYNAPIPE_SRC_MB_DP_PARTITIONER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/data/dataset.h"
 #include "src/mb/micro_batch.h"
 #include "src/model/shapes.h"
 
+namespace dynapipe {
+class ThreadPool;
+}  // namespace dynapipe
+
 namespace dynapipe::mb {
 
 // Cost oracle for a candidate micro-batch. Backed by the profiled PipelineCostModel
 // in production (bottleneck-stage fwd+bwd time and activation memory) and by
-// synthetic functions in tests.
+// synthetic functions in tests. Implementations must be thread-safe: the
+// partitioner issues queries from pool workers when given a ThreadPool.
 class MicroBatchCostFn {
  public:
   virtual ~MicroBatchCostFn() = default;
   virtual double TimeMs(const model::MicroBatchShape& shape) const = 0;
   virtual double ActivationMb(const model::MicroBatchShape& shape) const = 0;
+  // One feasible-window probe, the DP precompute's hot call: returns false when
+  // the activation footprint exceeds `limit` (if limit > 0; *time_ms is then
+  // untouched), otherwise fills both values. The default preserves the
+  // laziness of the split calls — time is never computed for over-limit
+  // windows; memoizing oracles override it to serve both from a single lookup.
+  virtual bool WindowCosts(const model::MicroBatchShape& shape, double limit,
+                           double* time_ms, double* act_mb) const {
+    *act_mb = ActivationMb(shape);
+    if (limit > 0.0 && *act_mb > limit) {
+      return false;
+    }
+    *time_ms = TimeMs(shape);
+    return true;
+  }
+  // Instrumentation hook: oracles backed by a memoizing cache report cumulative
+  // (hits, misses) so PartitionResult can carry per-call deltas; oracles
+  // without a cache keep the default zeros. A "query" is one TimeMs,
+  // ActivationMb, or WindowCosts call.
+  virtual std::pair<int64_t, int64_t> CacheCounters() const { return {0, 0}; }
 };
 
 struct DpPartitionerOptions {
@@ -56,6 +81,27 @@ struct DpPartitionerOptions {
   double tmax_interval_ms = 0.05;
   // Upper bound on candidates actually tried (evenly subsampled if exceeded).
   int32_t max_tmax_candidates = 512;
+  // Fan the per-t_max DPs (independent by construction) over this pool; null
+  // runs them serially. Output is bit-identical either way: candidate outcomes
+  // land in per-candidate slots and are merged in ascending-t_max order with
+  // the same strict-improvement rule the serial loop applies, so ties go to
+  // the lowest t_max regardless of which worker finished first.
+  ThreadPool* pool = nullptr;
+};
+
+// Per-call instrumentation: where planning time went and how well the cost
+// cache absorbed queries (what bench_fig17_planning_time / bench_micro_planner
+// report without re-instrumenting the planner).
+struct PartitionStats {
+  // Phase 1: feasible-window precompute (the cost-oracle-bound part).
+  double window_precompute_ms = 0.0;
+  // Phase 2: per-t_max DPs + reconstruction + merge.
+  double candidate_search_ms = 0.0;
+  // Cost-oracle cache activity during this call (zeros for uncached oracles).
+  int64_t cost_cache_hits = 0;
+  int64_t cost_cache_misses = 0;
+  // Worker threads the candidate sweep could draw on (1 = serial).
+  int32_t parallel_workers = 1;
 };
 
 struct PartitionResult {
@@ -67,6 +113,7 @@ struct PartitionResult {
   // Realized Eq. 1 objective.
   double objective_ms = 0.0;
   int32_t candidates_tried = 0;
+  PartitionStats stats;
 };
 
 class DpPartitioner {

@@ -16,6 +16,10 @@
 #include "src/runtime/planner.h"
 #include "src/runtime/trainer.h"
 
+namespace dynapipe {
+class ThreadPool;
+}  // namespace dynapipe
+
 namespace dynapipe::runtime {
 
 struct GridSearchOptions {
@@ -28,6 +32,12 @@ struct GridSearchOptions {
   std::vector<model::RecomputeMode> recompute_modes = {
       model::RecomputeMode::kNone, model::RecomputeMode::kSelective,
       model::RecomputeMode::kFull};
+  // Evaluate parallelism configurations on this pool (profiling + sample epochs
+  // are independent per configuration); null evaluates serially. Results are
+  // identical either way: per-config scores land in per-config slots, and the
+  // winner is merged in enumeration order with strict improvement, so ties go
+  // to the earliest-enumerated configuration exactly like the serial loop.
+  ThreadPool* pool = nullptr;
 };
 
 struct ConfigScore {

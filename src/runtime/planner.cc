@@ -4,9 +4,12 @@
 #include <chrono>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "src/comm/comm_planner.h"
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timing.h"
 #include "src/mb/karmarkar_karp.h"
 #include "src/schedule/adaptive_scheduler.h"
 #include "src/schedule/one_f_one_b.h"
@@ -15,14 +18,9 @@
 namespace dynapipe::runtime {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ElapsedMs(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
-// Cost-oracle adapter for the DP partitioner: bottleneck-stage time and the worst
-// per-stage activation footprint.
+// Uncached cost-oracle adapter for the DP partitioner: bottleneck-stage time and
+// the worst per-stage activation footprint. The seed path; kept for
+// PlannerOptions::cost_cache = false (benchmark baselines, equivalence tests).
 class PipelineCostAdapter : public mb::MicroBatchCostFn {
  public:
   PipelineCostAdapter(const cost::PipelineCostModel& cm, model::RecomputeMode mode)
@@ -219,12 +217,16 @@ int32_t IterationPlan::total_microbatches() const {
 
 IterationPlanner::IterationPlanner(const cost::PipelineCostModel& cost_model,
                                    PlannerOptions options)
-    : cm_(cost_model), options_(std::move(options)) {}
+    : cm_(cost_model), options_(std::move(options)),
+      oracle_(options_.cost_cache
+                  ? std::make_unique<cost::CachedCostOracle>(cost_model)
+                  : nullptr) {}
 
 IterationPlan IterationPlanner::PlanWithRecompute(
     const std::vector<data::Sample>& ordered, model::RecomputeMode mode) const {
   IterationPlan plan;
   plan.recompute = mode;
+  plan.stats.recompute_modes_tried = 1;
   const int32_t c = cm_.num_stages();
   const int32_t dp = cm_.parallel().dp;
 
@@ -240,7 +242,15 @@ IterationPlan IterationPlanner::PlanWithRecompute(
   const double per_mb_limit =
       options_.adaptive_schedule ? budget : budget / static_cast<double>(c);
 
-  PipelineCostAdapter adapter(cm_, mode);
+  const PipelineCostAdapter plain_adapter(cm_, mode);
+  std::optional<CachedCostAdapter> cached_adapter;
+  if (oracle_ != nullptr) {
+    cached_adapter.emplace(*oracle_, mode);
+  }
+  const mb::MicroBatchCostFn& adapter =
+      cached_adapter.has_value()
+          ? static_cast<const mb::MicroBatchCostFn&>(*cached_adapter)
+          : plain_adapter;
   mb::DpPartitionerOptions dp_opts;
   dp_opts.num_stages = c;
   dp_opts.num_replicas = dp;
@@ -248,13 +258,19 @@ IterationPlan IterationPlanner::PlanWithRecompute(
   dp_opts.max_microbatch_size = options_.max_microbatch_size;
   dp_opts.tmax_interval_ms = options_.tmax_interval_ms;
   dp_opts.max_tmax_candidates = options_.max_tmax_candidates;
+  dp_opts.pool = options_.pool;
   mb::DpPartitioner partitioner(adapter, dp_opts);
+  const auto partition_start = SteadyClock::now();
   mb::PartitionResult part = partitioner.Partition(ordered);
+  plan.stats.partition_ms = ElapsedMs(partition_start);
+  plan.stats.cost_cache_hits = part.stats.cost_cache_hits;
+  plan.stats.cost_cache_misses = part.stats.cost_cache_misses;
   if (!part.feasible) {
     plan.infeasible_reason = "no micro-batch partition fits the memory limit";
     return plan;
   }
   plan.padding = mb::ComputePaddingStats(part.micro_batches);
+  const auto schedule_start = SteadyClock::now();
 
   std::vector<std::vector<mb::MicroBatch>> replica_mbs =
       BalanceReplicas(std::move(part.micro_batches), dp);
@@ -278,15 +294,17 @@ IterationPlan IterationPlanner::PlanWithRecompute(
     }
     plan.replicas.push_back(std::move(rb.plan));
   }
+  plan.stats.schedule_ms = ElapsedMs(schedule_start);
   plan.feasible = true;
   return plan;
 }
 
 IterationPlan IterationPlanner::PlanIteration(
     const std::vector<data::Sample>& minibatch) const {
-  const auto start = Clock::now();
+  const auto start = SteadyClock::now();
   const std::vector<data::Sample> ordered = mb::OrderSamples(
       CanonicalizeForArch(cm_.config(), minibatch), options_.ordering);
+  const double order_ms = ElapsedMs(start);
 
   std::vector<model::RecomputeMode> modes;
   if (options_.dynamic_recompute) {
@@ -296,10 +314,27 @@ IterationPlan IterationPlanner::PlanIteration(
     modes = {options_.static_recompute};
   }
 
+  // Recompute modes are independent end-to-end plans over the same ordered
+  // samples, so they fan out over the pool into per-mode slots. (Each mode's
+  // t_max sweep nests another fan-out on the same pool — safe, see
+  // ParallelFor.) The serial merge below prefers strictly faster plans in mode
+  // order, which is exactly the seed's serial-loop tie-breaking: kNone beats an
+  // equally fast kSelective beats an equally fast kFull.
+  std::vector<IterationPlan> outcomes(modes.size());
+  ParallelFor(options_.pool, modes.size(), [&](size_t i) {
+    outcomes[i] = PlanWithRecompute(ordered, modes[i]);
+  });
+
   IterationPlan best;
   best.predicted_iteration_ms = std::numeric_limits<double>::infinity();
-  for (const auto mode : modes) {
-    IterationPlan candidate = PlanWithRecompute(ordered, mode);
+  PlanningStats stats;
+  stats.order_ms = order_ms;
+  for (auto& candidate : outcomes) {
+    stats.partition_ms += candidate.stats.partition_ms;
+    stats.schedule_ms += candidate.stats.schedule_ms;
+    stats.cost_cache_hits += candidate.stats.cost_cache_hits;
+    stats.cost_cache_misses += candidate.stats.cost_cache_misses;
+    stats.recompute_modes_tried += candidate.stats.recompute_modes_tried;
     if (candidate.feasible &&
         candidate.predicted_iteration_ms < best.predicted_iteration_ms) {
       best = std::move(candidate);
@@ -311,6 +346,7 @@ IterationPlan IterationPlanner::PlanIteration(
   if (!best.feasible) {
     best.predicted_iteration_ms = 0.0;
   }
+  best.stats = stats;
   best.planning_time_ms = ElapsedMs(start);
   return best;
 }
@@ -318,7 +354,7 @@ IterationPlan IterationPlanner::PlanIteration(
 IterationPlan PlanBaselineIteration(const cost::PipelineCostModel& cost_model,
                                     const BaselineOptions& options,
                                     const std::vector<data::Sample>& raw_minibatch) {
-  const auto start = Clock::now();
+  const auto start = SteadyClock::now();
   const std::vector<data::Sample> minibatch =
       CanonicalizeForArch(cost_model.config(), raw_minibatch);
   IterationPlan plan;

@@ -115,6 +115,10 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     record.predicted_ms = plan.predicted_iteration_ms;
     record.num_microbatches = plan.total_microbatches();
     record.recompute = plan.recompute;
+    record.cost_cache_hits = plan.stats.cost_cache_hits;
+    record.cost_cache_misses = plan.stats.cost_cache_misses;
+    record.partition_ms = plan.stats.partition_ms;
+    record.schedule_ms = plan.stats.schedule_ms;
     for (const double peak : plan.predicted_peak_mb) {
       record.predicted_peak_mb = std::max(record.predicted_peak_mb, peak);
     }

@@ -47,6 +47,12 @@ struct IterationRecord {
   double measured_peak_mb = 0.0;
   int32_t num_microbatches = 0;
   model::RecomputeMode recompute = model::RecomputeMode::kNone;
+  // Copied from IterationPlan::stats so benches (Fig. 17) report cost-cache hit
+  // rates and phase splits without re-instrumenting the planner.
+  int64_t cost_cache_hits = 0;
+  int64_t cost_cache_misses = 0;
+  double partition_ms = 0.0;
+  double schedule_ms = 0.0;
 };
 
 struct EpochResult {

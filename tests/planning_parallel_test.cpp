@@ -1,0 +1,356 @@
+// Tests for the parallel, cache-aware planning subsystem: ParallelFor
+// (including nested fan-outs), the memoized cost oracle (bit-equality with the
+// uncached cost model, counters), parallel-vs-serial determinism of the DP
+// partitioner and the full planner, and ThreadPool-backed grid search
+// equivalence.
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/cost/cost_cache.h"
+#include "src/data/flan_generator.h"
+#include "src/mb/dp_partitioner.h"
+#include "src/runtime/grid_search.h"
+#include "src/runtime/planner.h"
+#include "src/runtime/trainer.h"
+
+namespace dynapipe {
+namespace {
+
+// ---------- ParallelFor ----------
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(100);
+  ParallelFor(&pool, counts.size(), [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  int sum = 0;
+  ParallelFor(nullptr, 10, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelForTest, AcceptsLvalueCallable) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  auto body = [&](size_t i) { sum.fetch_add(static_cast<int>(i)); };
+  ParallelFor(&pool, 10, body);  // Fn deduces to L&; must still compile
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelForTest, NestedFanOutsComplete) {
+  // A fan-out whose tasks fan out again onto the same pool must not deadlock
+  // even when the pool is narrower than the nesting (help-draining waiters).
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 4, [&](size_t) {
+    ParallelFor(&pool, 4, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+// ---------- Cost cache ----------
+
+cost::ProfileOptions SmallProfile() {
+  cost::ProfileOptions opts;
+  opts.max_microbatch_size = 32;
+  opts.max_seq_len = 4096;
+  return opts;
+}
+
+runtime::PlannerOptions FastPlanner() {
+  runtime::PlannerOptions opts;
+  opts.max_tmax_candidates = 48;
+  opts.tmax_interval_ms = 0.5;
+  opts.max_microbatch_size = 32;
+  opts.reorder_clusters = 2;
+  opts.dynamic_recompute = true;
+  return opts;
+}
+
+class CostCacheTest : public ::testing::Test {
+ protected:
+  CostCacheTest()
+      : cm_(cost::PipelineCostModel::Profile(model::ModelConfig::Gpt3_35B(),
+                                             model::HardwareSpec{}, {1, 1, 4},
+                                             SmallProfile())) {}
+
+  cost::PipelineCostModel cm_;
+};
+
+TEST_F(CostCacheTest, CachedValuesBitEqualUncached) {
+  const cost::CachedCostOracle oracle(cm_);
+  for (const auto mode :
+       {model::RecomputeMode::kNone, model::RecomputeMode::kSelective,
+        model::RecomputeMode::kFull}) {
+    for (int32_t b : {1, 3, 8, 17}) {
+      for (int32_t s : {33, 64, 301, 1024, 2999}) {
+        const model::MicroBatchShape shape{b, s, 0};
+        // Twice each: the second query must be a hit and still bit-equal.
+        for (int rep = 0; rep < 2; ++rep) {
+          EXPECT_EQ(oracle.TimeMs(shape, mode), cm_.MicroBatchTimeMs(shape, mode));
+          EXPECT_EQ(oracle.ActivationMb(shape, mode),
+                    cm_.MaxActivationMb(shape, mode));
+        }
+      }
+    }
+  }
+  const cost::CostCacheCounters c = oracle.counters();
+  EXPECT_GT(c.hits, 0);
+  EXPECT_GT(c.misses, 0);
+  EXPECT_GT(oracle.size(), 0u);
+  EXPECT_LE(oracle.size(), oracle.capacity());
+}
+
+TEST_F(CostCacheTest, LazyTimeUpgradeAfterActOnlyQuery) {
+  const cost::CachedCostOracle oracle(cm_);
+  const model::MicroBatchShape shape{4, 777, 0};
+  const auto mode = model::RecomputeMode::kSelective;
+  // Act-only query caches the entry without pricing it...
+  EXPECT_EQ(oracle.ActivationMb(shape, mode), cm_.MaxActivationMb(shape, mode));
+  // ...and a later time query on the same key upgrades it, bit-equal.
+  EXPECT_EQ(oracle.TimeMs(shape, mode), cm_.MicroBatchTimeMs(shape, mode));
+  EXPECT_EQ(oracle.TimeMs(shape, mode), cm_.MicroBatchTimeMs(shape, mode));
+}
+
+TEST_F(CostCacheTest, WindowQueryRespectsLimit) {
+  const cost::CachedCostOracle oracle(cm_);
+  const model::MicroBatchShape shape{8, 2048, 0};
+  const auto mode = model::RecomputeMode::kNone;
+  const double act = cm_.MaxActivationMb(shape, mode);
+  // Over-limit window probe: act returned, time not required to be computed.
+  bool hit = true;
+  const auto over = oracle.Query(shape, mode, &hit, act / 2.0);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(over.act_mb, act);
+  // Within-limit probe of the same key must now produce the real time.
+  const auto within = oracle.Query(shape, mode, &hit, act * 2.0);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(within.time_ms, cm_.MicroBatchTimeMs(shape, mode));
+}
+
+TEST_F(CostCacheTest, HitRateCountsOnOrderedBatch) {
+  // Length-ordered batches with duplicate lengths produce repeated padded
+  // window shapes — the cache's bread and butter.
+  const cost::CachedCostOracle oracle(cm_);
+  runtime::CachedCostAdapter adapter(oracle, model::RecomputeMode::kNone);
+  mb::DpPartitionerOptions opts;
+  opts.num_stages = 4;
+  opts.max_microbatch_size = 8;
+  mb::DpPartitioner partitioner(adapter, opts);
+  std::vector<data::Sample> ordered;
+  for (int i = 0; i < 60; ++i) {
+    data::Sample s;
+    s.id = static_cast<uint64_t>(i);
+    s.input_len = 64 + 32 * (i / 20);  // runs of identical lengths
+    ordered.push_back(s);
+  }
+  const mb::PartitionResult result = partitioner.Partition(ordered);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.stats.cost_cache_hits, 0);
+  EXPECT_GT(result.stats.cost_cache_misses, 0);
+  const auto [hits, misses] = adapter.CacheCounters();
+  EXPECT_EQ(hits, result.stats.cost_cache_hits);
+  EXPECT_EQ(misses, result.stats.cost_cache_misses);
+}
+
+// ---------- DpPartitioner parallel determinism ----------
+
+// Synthetic monotone cost oracle (cheap, deterministic).
+class SyntheticCost : public mb::MicroBatchCostFn {
+ public:
+  double TimeMs(const model::MicroBatchShape& shape) const override {
+    return 0.3 + 0.002 * static_cast<double>(shape.padded_tokens());
+  }
+  double ActivationMb(const model::MicroBatchShape& shape) const override {
+    return 0.05 * static_cast<double>(shape.padded_tokens());
+  }
+};
+
+std::vector<data::Sample> RandomOrderedSamples(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < n; ++i) {
+    data::Sample s;
+    s.id = static_cast<uint64_t>(i);
+    s.input_len = static_cast<int32_t>(rng.NextInt(10, 300));
+    s.target_len = static_cast<int32_t>(rng.NextInt(0, 60));
+    samples.push_back(s);
+  }
+  return mb::OrderSamples(samples, mb::OrderingMethod::kSortByLength);
+}
+
+TEST(DpPartitionerParallelTest, PoolOutputBitIdenticalToSerial) {
+  const auto ordered = RandomOrderedSamples(200, 11);
+  SyntheticCost cost;
+  mb::DpPartitionerOptions opts;
+  opts.num_stages = 4;
+  opts.num_replicas = 2;
+  opts.activation_limit_mb = 40.0;
+  opts.max_microbatch_size = 16;
+  opts.tmax_interval_ms = 0.05;
+  opts.max_tmax_candidates = 64;
+
+  mb::DpPartitioner serial(cost, opts);
+  const mb::PartitionResult base = serial.Partition(ordered);
+  ASSERT_TRUE(base.feasible);
+  ASSERT_GT(base.micro_batches.size(), 1u);
+
+  for (const int32_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    mb::DpPartitionerOptions popts = opts;
+    popts.pool = &pool;
+    mb::DpPartitioner parallel(cost, popts);
+    const mb::PartitionResult got = parallel.Partition(ordered);
+    ASSERT_TRUE(got.feasible);
+    // Bit-identical: same widths, same realized times, same objective.
+    ASSERT_EQ(got.micro_batches.size(), base.micro_batches.size());
+    for (size_t k = 0; k < base.micro_batches.size(); ++k) {
+      EXPECT_EQ(got.micro_batches[k].samples.size(),
+                base.micro_batches[k].samples.size());
+      EXPECT_EQ(got.micro_batches[k].predicted_time_ms,
+                base.micro_batches[k].predicted_time_ms);
+    }
+    EXPECT_EQ(got.objective_ms, base.objective_ms);
+    EXPECT_EQ(got.max_time_ms, base.max_time_ms);
+    EXPECT_EQ(got.total_time_ms, base.total_time_ms);
+    EXPECT_EQ(got.candidates_tried, base.candidates_tried);
+  }
+}
+
+TEST(DpPartitionerParallelTest, SubsampledCandidatesKeepExtremesFeasible) {
+  // With the candidate cap at its minimum the subsample must still include the
+  // largest quantized window time, without which no candidate is feasible.
+  const auto ordered = RandomOrderedSamples(120, 7);
+  SyntheticCost cost;
+  mb::DpPartitionerOptions opts;
+  opts.num_stages = 2;
+  opts.max_microbatch_size = 16;
+  opts.tmax_interval_ms = 0.01;  // many distinct quantized times
+  opts.max_tmax_candidates = 2;
+  mb::DpPartitioner partitioner(cost, opts);
+  const mb::PartitionResult result = partitioner.Partition(ordered);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.candidates_tried, 2);
+}
+
+// ---------- Planner determinism and stats ----------
+
+class PlannerParallelTest : public ::testing::Test {
+ protected:
+  PlannerParallelTest()
+      : cm_(cost::PipelineCostModel::Profile(model::ModelConfig::Gpt3_35B(),
+                                             model::HardwareSpec{}, {1, 1, 4},
+                                             SmallProfile())) {}
+
+  static std::vector<data::Sample> MiniBatch(int n, uint64_t seed) {
+    data::FlanGeneratorOptions gen;
+    gen.num_samples = n;
+    gen.seed = seed;
+    gen.length_cap = 1024;
+    return data::GenerateFlanLikeDataset(gen).samples();
+  }
+
+  static void ExpectPlansBitIdentical(const runtime::IterationPlan& a,
+                                      const runtime::IterationPlan& b) {
+    ASSERT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.recompute, b.recompute);
+    EXPECT_EQ(a.predicted_iteration_ms, b.predicted_iteration_ms);
+    ASSERT_EQ(a.replicas.size(), b.replicas.size());
+    for (size_t d = 0; d < a.replicas.size(); ++d) {
+      ASSERT_EQ(a.replicas[d].micro_batches.size(),
+                b.replicas[d].micro_batches.size());
+      for (size_t k = 0; k < a.replicas[d].micro_batches.size(); ++k) {
+        EXPECT_EQ(a.replicas[d].micro_batches[k].samples.size(),
+                  b.replicas[d].micro_batches[k].samples.size());
+        EXPECT_EQ(a.replicas[d].micro_batches[k].predicted_time_ms,
+                  b.replicas[d].micro_batches[k].predicted_time_ms);
+      }
+    }
+  }
+
+  cost::PipelineCostModel cm_;
+};
+
+TEST_F(PlannerParallelTest, CachedPlanningBitIdenticalToUncached) {
+  const auto minibatch = MiniBatch(60, 21);
+  runtime::PlannerOptions uncached = FastPlanner();
+  uncached.cost_cache = false;
+  runtime::PlannerOptions cached = FastPlanner();
+  cached.cost_cache = true;
+  const runtime::IterationPlanner p1(cm_, uncached);
+  const runtime::IterationPlanner p2(cm_, cached);
+  const runtime::IterationPlan a = p1.PlanIteration(minibatch);
+  const runtime::IterationPlan b = p2.PlanIteration(minibatch);
+  ASSERT_TRUE(a.feasible);
+  ExpectPlansBitIdentical(a, b);
+  EXPECT_EQ(a.stats.cost_cache_hits + a.stats.cost_cache_misses, 0);
+  EXPECT_GT(b.stats.cost_cache_hits + b.stats.cost_cache_misses, 0);
+  EXPECT_EQ(b.stats.recompute_modes_tried, 3);
+}
+
+TEST_F(PlannerParallelTest, PooledPlanningBitIdenticalToSerial) {
+  const auto minibatch = MiniBatch(60, 22);
+  const runtime::IterationPlanner serial(cm_, FastPlanner());
+  const runtime::IterationPlan base = serial.PlanIteration(minibatch);
+  ASSERT_TRUE(base.feasible);
+  for (const int32_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    runtime::PlannerOptions opts = FastPlanner();
+    opts.pool = &pool;
+    const runtime::IterationPlanner parallel(cm_, opts);
+    const runtime::IterationPlan got = parallel.PlanIteration(minibatch);
+    ExpectPlansBitIdentical(base, got);
+  }
+}
+
+// ---------- Grid search equivalence ----------
+
+TEST(GridSearchParallelTest, PooledSearchMatchesSerial) {
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 150;
+  gen.length_cap = 512;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+
+  runtime::GridSearchOptions opts;
+  opts.eval_iterations = 1;
+  opts.profile = SmallProfile();
+  opts.trainer.global_batch_tokens = 4096;
+  opts.trainer.max_input_len = 512;
+
+  runtime::PlannerOptions planner = FastPlanner();
+  planner.dynamic_recompute = false;
+
+  const runtime::DynaPipeSearchResult serial =
+      GridSearchDynaPipe(config, hw, 2, dataset, planner, opts);
+
+  ThreadPool pool(4);
+  runtime::GridSearchOptions popts = opts;
+  popts.pool = &pool;
+  const runtime::DynaPipeSearchResult parallel =
+      GridSearchDynaPipe(config, hw, 2, dataset, planner, popts);
+
+  ASSERT_EQ(serial.found, parallel.found);
+  EXPECT_EQ(serial.best.dp, parallel.best.dp);
+  EXPECT_EQ(serial.best.tp, parallel.best.tp);
+  EXPECT_EQ(serial.best.pp, parallel.best.pp);
+  EXPECT_EQ(serial.tokens_per_second, parallel.tokens_per_second);
+  ASSERT_EQ(serial.all.size(), parallel.all.size());
+  for (size_t i = 0; i < serial.all.size(); ++i) {
+    EXPECT_EQ(serial.all[i].feasible, parallel.all[i].feasible);
+    EXPECT_EQ(serial.all[i].tokens_per_second, parallel.all[i].tokens_per_second);
+  }
+}
+
+}  // namespace
+}  // namespace dynapipe
