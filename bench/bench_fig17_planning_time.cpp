@@ -16,6 +16,12 @@
 // the cost cache lives for the planner's lifetime, so a training run's steady
 // state — the regime Fig. 17 is about, where planning must keep up with the
 // GPU for thousands of iterations — is the warm cache, not the first batch.
+//
+// A second table measures the plan-ahead service (src/service): per-iteration
+// planning *stall* — the time the executors actually waited for a plan — as a
+// function of lookahead depth and the cross-iteration plan cache. Stall, not
+// planning time, is the paper's Fig. 17 claim ("planning hides behind GPU
+// execution"); see bench/README.md "Plan-ahead methodology".
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -34,13 +40,18 @@ struct EpochPlanTimes {
   RunningStats plan_stats;
   std::vector<double> plan_ms;
   RunningStats iter_stats;
+  RunningStats stall_stats;
+  std::vector<double> stall_ms;
   double hit_rate = 0.0;
+  double plan_cache_hit_rate = 0.0;
+  int64_t serialized_kb = 0;
   bool ok = false;
 };
 
 EpochPlanTimes MeasureEpoch(runtime::Trainer& trainer, const data::Dataset& dataset,
-                            const runtime::PlannerOptions& planner, int64_t batch) {
-  runtime::TrainerOptions topts;
+                            const runtime::PlannerOptions& planner, int64_t batch,
+                            const runtime::TrainerOptions& base_topts = {}) {
+  runtime::TrainerOptions topts = base_topts;
   topts.global_batch_tokens = batch;
   topts.max_input_len = 2048;
   topts.max_iterations = kMeasuredIters;
@@ -56,12 +67,20 @@ EpochPlanTimes MeasureEpoch(runtime::Trainer& trainer, const data::Dataset& data
     out.plan_ms.push_back(rec.planning_ms);
     out.plan_stats.Add(rec.planning_ms);
     out.iter_stats.Add(rec.measured_ms);
+    out.stall_ms.push_back(rec.plan_stall_ms);
+    out.stall_stats.Add(rec.plan_stall_ms);
     hits += rec.cost_cache_hits;
     misses += rec.cost_cache_misses;
   }
   out.hit_rate = hits + misses == 0
                      ? 0.0
                      : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  const int64_t plan_lookups = r.plan_cache_hits + r.plan_cache_misses;
+  out.plan_cache_hit_rate =
+      plan_lookups == 0 ? 0.0
+                        : static_cast<double>(r.plan_cache_hits) /
+                              static_cast<double>(plan_lookups);
+  out.serialized_kb = r.serialized_plan_bytes / 1024;
   // An epoch that drained inside the warm-up window has no steady state to
   // report (and Percentile() on an empty vector would abort).
   out.ok = !out.plan_ms.empty();
@@ -110,6 +129,70 @@ void RunModel(model::ModelArch arch, int32_t pool_threads) {
               parallel.ToString().c_str(), pool_threads, table.ToString().c_str());
 }
 
+// Plan-ahead stall: how much planning latency the executors actually see per
+// iteration under the PlanAheadService, at lookahead 0 (inline: stall ==
+// planning time) vs >= 2 (pipelined), and with the cross-iteration plan cache
+// replaying an epoch (recurring batch signatures skip planning entirely).
+// Plans are serialized through the instruction store in every row, so the
+// stall numbers include the encode/decode distribution path.
+void RunPlanAhead(model::ModelArch arch, int32_t pool_threads, int64_t batch) {
+  const model::ModelConfig config = model::ModelConfig::ForCluster(arch, 4);
+  const model::HardwareSpec hw;
+  const model::ParallelConfig parallel =
+      arch == model::ModelArch::kGpt ? model::ParallelConfig{1, 1, 4}
+                                     : model::ParallelConfig{1, 2, 2};
+  const data::Dataset dataset = bench::BenchDataset(16'000);
+
+  ThreadPool pool(pool_threads);
+  runtime::PlannerOptions planner = bench::BenchPlanner();
+  planner.cost_cache = true;
+  planner.pool = &pool;
+
+  struct Row {
+    const char* label;
+    int32_t lookahead;
+    bool plan_cache;
+    int32_t epochs;  // epoch > 1 replays the same sampler stream (cache hits)
+  };
+  const Row rows[] = {
+      {"inline (lookahead 0)", 0, false, 1},
+      {"lookahead 2", 2, false, 1},
+      {"lookahead 4", 4, false, 1},
+      {"lookahead 2 + plan cache, epoch 2", 2, true, 2},
+  };
+
+  TextTable table({"variant", "stall_ms(mean)", "stall_ms(p95)", "plan_ms(mean)",
+                   "plan$ hit%", "plan_bytes(KB)"});
+  for (const Row& row : rows) {
+    // Fresh trainer per row: the plan cache lives on the trainer, so hit-rate
+    // rows warm it with their own first epoch instead of inheriting state.
+    runtime::Trainer trainer(config, hw, parallel, bench::BenchProfile());
+    runtime::TrainerOptions topts;
+    topts.plan_lookahead = row.lookahead;
+    topts.plan_cache = row.plan_cache;
+    topts.serialize_plans = true;
+    EpochPlanTimes last;
+    for (int32_t e = 0; e < row.epochs; ++e) {
+      last = MeasureEpoch(trainer, dataset, planner, batch, topts);
+      if (!last.ok) {
+        break;
+      }
+    }
+    if (!last.ok) {
+      table.AddRow({row.label, "OOM", "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({row.label, TextTable::Fmt(last.stall_stats.mean(), 2),
+                  TextTable::Fmt(Percentile(last.stall_ms, 95.0), 2),
+                  TextTable::Fmt(last.plan_stats.mean(), 1),
+                  TextTable::Fmt(100.0 * last.plan_cache_hit_rate, 1),
+                  std::to_string(last.serialized_kb)});
+  }
+  std::printf("-- %s plan-ahead stall (batch=%lld tokens, pool=%d) --\n%s\n",
+              config.name.c_str(), static_cast<long long>(batch), pool_threads,
+              table.ToString().c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -117,10 +200,16 @@ int main() {
   constexpr int32_t kPoolThreads = 4;
   RunModel(model::ModelArch::kGpt, kPoolThreads);
   RunModel(model::ModelArch::kT5, kPoolThreads);
+  RunPlanAhead(model::ModelArch::kGpt, kPoolThreads, 65'536);
+  RunPlanAhead(model::ModelArch::kT5, kPoolThreads, 65'536);
   std::printf("paper reference: planning time grows with global batch size; "
               "plan/iteration ratio stays small enough to overlap with training "
               "(peaks at 12.9x single-thread in the paper) (Fig. 17). Here the "
               "memoized cost oracle + 4-thread pool give the `speedup` column "
-              "over the serial seed planner, with identical plans.\n");
+              "over the serial seed planner, with identical plans. The "
+              "plan-ahead tables report the *stall* executors see through the "
+              "PlanAheadService: lookahead >= 2 overlaps planning with "
+              "execution (needs spare cores), and a replayed epoch's plan-cache "
+              "hits drive stall to ~0 on any machine.\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/mb/dp_partitioner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -62,10 +63,21 @@ PartitionResult DpPartitioner::Partition(
   // contiguous and monotone in w, so the inner relax loop scans sequentially
   // and stops at the first time over t_max.
   std::vector<std::vector<double>> win_times(n);
-  double min_single_time = kInf;
-  double max_single_time = 0.0;
-  double max_window_time = 0.0;
-  for (size_t i = 0; i < n; ++i) {
+  // Start indices are independent, so the precompute — the dominant planning
+  // phase once the DPs are vectorized — fans out over the pool. Each index
+  // writes only its own slots; the min/max reductions below run serially over
+  // the finished table, so the result is bit-identical to the serial loop
+  // (min/max need no FP associativity). Racing cost-cache misses on shared
+  // shapes derive identical values (see CachedCostOracle). An empty window
+  // row means even a single sample breaks the memory limit and the whole
+  // partition is infeasible; the flag lets remaining indices bail instead of
+  // finishing the O(n*W) table as wasted work (the serial loop's early
+  // return).
+  std::atomic<bool> infeasible{false};
+  ParallelFor(options_.pool, n, [&](size_t i) {
+    if (infeasible.load(std::memory_order_relaxed)) {
+      return;
+    }
     model::MicroBatchShape shape;
     for (size_t w = 1; i + w <= n && w <= static_cast<size_t>(options_.max_microbatch_size);
          ++w) {
@@ -77,20 +89,29 @@ PartitionResult DpPartitioner::Partition(
                              &win.act_mb)) {
         break;
       }
-      if (w == 1) {
-        min_single_time = std::min(min_single_time, win.time_ms);
-        max_single_time = std::max(max_single_time, win.time_ms);
-      }
-      max_window_time = std::max(max_window_time, win.time_ms);
       windows[i].push_back(win);
       win_times[i].push_back(win.time_ms);
     }
     if (windows[i].empty()) {
-      // A single sample exceeds the memory limit: no partition can help (§4 "the
-      // training can continue ... as long as the activation of one single
-      // micro-batch fits into device memory" — here it does not).
-      result.feasible = false;
-      return result;
+      infeasible.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (infeasible.load(std::memory_order_relaxed)) {
+    // A single sample exceeds the memory limit: no partition can help (§4 "the
+    // training can continue ... as long as the activation of one single
+    // micro-batch fits into device memory" — here it does not).
+    result.feasible = false;
+    return result;
+  }
+  double min_single_time = kInf;
+  double max_single_time = 0.0;
+  double max_window_time = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    DYNAPIPE_CHECK(!windows[i].empty());
+    min_single_time = std::min(min_single_time, windows[i].front().time_ms);
+    max_single_time = std::max(max_single_time, windows[i].front().time_ms);
+    for (const Window& win : windows[i]) {
+      max_window_time = std::max(max_window_time, win.time_ms);
     }
   }
 

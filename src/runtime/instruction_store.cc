@@ -1,0 +1,74 @@
+#include "src/runtime/instruction_store.h"
+
+#include "src/common/check.h"
+#include "src/service/plan_serde.h"
+
+namespace dynapipe::runtime {
+
+void InstructionStore::Push(int64_t iteration, int32_t replica,
+                            sim::ExecutionPlan plan) {
+  // Serialize outside the lock: encoding is the expensive part and needs no
+  // store state.
+  Entry entry;
+  size_t encoded_bytes = 0;
+  if (options_.serialized) {
+    entry.bytes = service::EncodeExecutionPlan(plan);
+    encoded_bytes = entry.bytes.size();
+  } else {
+    entry.plan = std::move(plan);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return shutdown_ || options_.capacity == 0 ||
+           plans_.size() < options_.capacity;
+  });
+  if (shutdown_) {
+    return;  // dropped; the consumer is gone
+  }
+  const auto key = std::make_pair(iteration, replica);
+  DYNAPIPE_CHECK_MSG(plans_.find(key) == plans_.end(),
+                     "plan already published for this iteration/replica");
+  serialized_bytes_total_ += static_cast<int64_t>(encoded_bytes);
+  plans_.emplace(key, std::move(entry));
+}
+
+sim::ExecutionPlan InstructionStore::Fetch(int64_t iteration, int32_t replica) {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(std::make_pair(iteration, replica));
+    DYNAPIPE_CHECK_MSG(it != plans_.end(), "fetching unpublished plan");
+    entry = std::move(it->second);
+    plans_.erase(it);
+  }
+  cv_.notify_all();
+  // Decode outside the lock, mirroring Push.
+  return options_.serialized ? service::DecodeExecutionPlan(entry.bytes)
+                             : std::move(entry.plan);
+}
+
+bool InstructionStore::Contains(int64_t iteration, int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.find(std::make_pair(iteration, replica)) != plans_.end();
+}
+
+size_t InstructionStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+void InstructionStore::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t InstructionStore::serialized_bytes_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serialized_bytes_total_;
+}
+
+}  // namespace dynapipe::runtime

@@ -1,58 +1,81 @@
 // In-process stand-in for DynaPipe's distributed instruction store (§3).
 //
-// Planners push compiled execution plans keyed by (iteration, replica); executors
-// fetch them when the iteration starts. The paper uses Redis in host memory so
-// CPU-side planning of future iterations overlaps GPU execution; in this
-// single-process reproduction the store keeps the same publish-before-fetch
-// contract (fetching a missing plan is an error) and is thread-safe so planning
-// could be offloaded to worker threads.
+// Planners push compiled execution plans keyed by (iteration, replica);
+// executors fetch them when the iteration starts. The paper uses Redis in host
+// memory holding *serialized* instruction streams so CPU-side planning of
+// future iterations overlaps GPU execution; this store keeps the same
+// publish-before-fetch contract (fetching a missing plan is a fatal error, as
+// is double-publishing) and adds the two properties the plan-ahead pipeline
+// needs:
+//   - serialized mode: plans are encoded to the compact plan_serde byte format
+//     on Push and decoded on Fetch, so the contract is exercised across a real
+//     encode/decode boundary instead of moving in-process objects around;
+//   - a capacity bound: Push blocks while `capacity` plans are resident, which
+//     backpressures planners that run ahead of the executors (the paper's
+//     bounded Redis working set).
+// Thread-safe; one producer pipeline and any number of fetching executors.
 #ifndef DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_
 #define DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <optional>
+#include <string>
 #include <utility>
 
-#include "src/common/check.h"
 #include "src/sim/instruction.h"
 
 namespace dynapipe::runtime {
 
+struct InstructionStoreOptions {
+  // Encode plans on Push and decode on Fetch (service/plan_serde format).
+  bool serialized = false;
+  // Maximum resident plans; Push blocks until a Fetch frees a slot. 0 means
+  // unbounded (the in-process default).
+  size_t capacity = 0;
+};
+
 class InstructionStore {
  public:
-  void Push(int64_t iteration, int32_t replica, sim::ExecutionPlan plan) {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto key = std::make_pair(iteration, replica);
-    DYNAPIPE_CHECK_MSG(plans_.find(key) == plans_.end(),
-                       "plan already published for this iteration/replica");
-    plans_.emplace(key, std::move(plan));
-  }
+  InstructionStore() = default;
+  explicit InstructionStore(InstructionStoreOptions options)
+      : options_(options) {}
 
-  // Fetch removes the plan (each plan is executed exactly once).
-  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = plans_.find(std::make_pair(iteration, replica));
-    DYNAPIPE_CHECK_MSG(it != plans_.end(), "fetching unpublished plan");
-    sim::ExecutionPlan plan = std::move(it->second);
-    plans_.erase(it);
-    return plan;
-  }
+  // Publishes one replica's plan. Blocks while the store is at capacity;
+  // publishing a key twice aborts. After Shutdown, Push drops the plan and
+  // returns immediately (the pipeline is being torn down).
+  void Push(int64_t iteration, int32_t replica, sim::ExecutionPlan plan);
 
-  bool Contains(int64_t iteration, int32_t replica) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return plans_.find(std::make_pair(iteration, replica)) != plans_.end();
-  }
+  // Fetch removes the plan (each plan is executed exactly once) and unblocks
+  // one waiting Push. Fetching an unpublished plan aborts.
+  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return plans_.size();
-  }
+  bool Contains(int64_t iteration, int32_t replica) const;
+  size_t size() const;
+
+  // Unblocks and disarms all current and future Push calls. For tearing down
+  // a plan-ahead pipeline whose consumer stopped fetching (e.g. the epoch
+  // failed mid-flight); fetch of already-published plans still works.
+  void Shutdown();
+
+  const InstructionStoreOptions& options() const { return options_; }
+  // Cumulative encoded bytes pushed in serialized mode (0 otherwise) — the
+  // "wire" volume the paper's Redis store would carry.
+  int64_t serialized_bytes_total() const;
 
  private:
+  struct Entry {
+    sim::ExecutionPlan plan;  // in-memory mode
+    std::string bytes;        // serialized mode
+  };
+
+  InstructionStoreOptions options_;
   mutable std::mutex mu_;
-  std::map<std::pair<int64_t, int32_t>, sim::ExecutionPlan> plans_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  int64_t serialized_bytes_total_ = 0;
+  std::map<std::pair<int64_t, int32_t>, Entry> plans_;
 };
 
 }  // namespace dynapipe::runtime

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <unordered_map>
 
 #include "src/comm/comm_planner.h"
 #include "src/common/check.h"
@@ -91,14 +92,45 @@ ReplicaBuild BuildReplica(const cost::PipelineCostModel& cm,
   for (int32_t k = 0; k < m; ++k) {
     shapes[static_cast<size_t>(k)] = mbs[static_cast<size_t>(k)].shape;
   }
+  // The per-stage profile walks (StageFwdMs/StageBwdMs/StageActivationMb) are
+  // the schedule phase's dominant cost, and micro-batches from runs of
+  // equal-length samples share padded shapes — query each distinct shape once
+  // per stage and fan the values out.
+  std::vector<size_t> distinct_of(static_cast<size_t>(m));
+  std::vector<model::MicroBatchShape> distinct;
+  {
+    std::unordered_map<uint64_t, size_t> seen;
+    seen.reserve(static_cast<size_t>(m));
+    for (int32_t k = 0; k < m; ++k) {
+      const model::MicroBatchShape& shape = shapes[static_cast<size_t>(k)];
+      // Lengths are < 2^24 and counts < 2^16, so the pack is collision-free.
+      const uint64_t key = (static_cast<uint64_t>(shape.num_samples) << 48) |
+                           (static_cast<uint64_t>(shape.input_len) << 24) |
+                           static_cast<uint64_t>(shape.target_len);
+      const auto [it, inserted] = seen.emplace(key, distinct.size());
+      if (inserted) {
+        distinct.push_back(shape);
+      }
+      distinct_of[static_cast<size_t>(k)] = it->second;
+    }
+  }
+  std::vector<double> d_fwd(distinct.size());
+  std::vector<double> d_bwd(distinct.size());
+  std::vector<double> d_act(distinct.size());
   for (int32_t s = 0; s < c; ++s) {
     const size_t ss = static_cast<size_t>(s);
+    for (size_t u = 0; u < distinct.size(); ++u) {
+      d_fwd[u] = cm.StageFwdMs(s, distinct[u]);
+      d_bwd[u] = cm.StageBwdMs(s, distinct[u], mode);
+      d_act[u] = cm.StageActivationMb(s, distinct[u], mode);
+    }
     for (int32_t k = 0; k < m; ++k) {
       const size_t sk = static_cast<size_t>(k);
-      costs.fwd_ms[ss][sk] = cm.StageFwdMs(s, shapes[sk]);
-      costs.bwd_ms[ss][sk] = cm.StageBwdMs(s, shapes[sk], mode);
-      costs.act_mb[ss][sk] = cm.StageActivationMb(s, shapes[sk], mode);
-      mb_time[sk] = std::max(mb_time[sk], costs.fwd_ms[ss][sk] + costs.bwd_ms[ss][sk]);
+      const size_t u = distinct_of[sk];
+      costs.fwd_ms[ss][sk] = d_fwd[u];
+      costs.bwd_ms[ss][sk] = d_bwd[u];
+      costs.act_mb[ss][sk] = d_act[u];
+      mb_time[sk] = std::max(mb_time[sk], d_fwd[u] + d_bwd[u]);
     }
   }
 

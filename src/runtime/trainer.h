@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,13 @@
 #include "src/data/dataset.h"
 #include "src/data/minibatch_sampler.h"
 #include "src/runtime/planner.h"
+
+namespace dynapipe {
+class ThreadPool;
+namespace service {
+class PlanCache;
+}  // namespace service
+}  // namespace dynapipe
 
 namespace dynapipe::runtime {
 
@@ -32,11 +40,38 @@ struct TrainerOptions {
   // Run-time execution noise (relative stddev) applied by the ground truth.
   double noise_stddev = 0.05;
   uint64_t noise_seed = 99;
-  // Plan future iterations on worker threads (<= 1 plans inline). Mirrors the
-  // paper's overlap of CPU-side planning with GPU execution (§3, Fig. 17); the
-  // look-ahead window is 2x the thread count. Results are identical to serial
-  // planning — only wall-clock planning latency changes.
+  // --- Plan-ahead service (src/service/plan_ahead_service.h) ---
+  // Every epoch obtains plans through the PlanAheadService; the fields below
+  // configure it. Results are identical to inline serial planning — only
+  // wall-clock planning latency (and, with quantization > 1, padding) changes.
+  //
+  // Worker threads for planning future iterations (<= 1 plans inline unless
+  // plan_lookahead says otherwise). Mirrors the paper's overlap of CPU-side
+  // planning with GPU execution (§3, Fig. 17). The pool is shared with the
+  // planner's intra-iteration fan-outs, so iteration i+1's window precompute
+  // overlaps iteration i's candidate sweep; when the PlannerOptions already
+  // carry a pool, that one is shared instead of creating a second herd.
   int32_t planning_threads = 0;
+  // Look-ahead window depth (iterations planned beyond the one executing).
+  // < 0 derives the old trainer heuristic: 2x planning_threads when
+  // planning_threads > 1, else 0 (inline).
+  int32_t plan_lookahead = -1;
+  // Cross-iteration plan cache (service/plan_cache.h): mini-batches whose
+  // sequence-length multiset recurs skip planning entirely. The cache lives on
+  // the Trainer, so consecutive epochs share it (epoch 2 of a replayed
+  // shuffle hits epoch 1's plans). DynaPipe planning only — the baseline path
+  // repacks samples and cannot be rebound.
+  bool plan_cache = false;
+  size_t plan_cache_capacity = 256;
+  // Round sequence lengths up to this multiple before keying *and* planning
+  // (1 = exact). > 1 trades padding for cache hits across nearly-identical
+  // batches; plans are then no longer bit-identical to exact planning.
+  int32_t plan_cache_quantization = 1;
+  // Distribute plans through the instruction store as serialized bytes
+  // (service/plan_serde.h), and bound the store's resident plans (Push
+  // backpressure; 0 = unbounded, must be >= dp replicas otherwise).
+  bool serialize_plans = false;
+  size_t instruction_store_capacity = 0;
 };
 
 struct IterationRecord {
@@ -53,6 +88,12 @@ struct IterationRecord {
   int64_t cost_cache_misses = 0;
   double partition_ms = 0.0;
   double schedule_ms = 0.0;
+  // Plan-ahead service: whether this iteration's plan came from the
+  // cross-iteration plan cache (its phase counters above are then 0), and how
+  // long the trainer stalled waiting for the plan (planning latency the
+  // look-ahead pipeline failed to hide; the paper's Fig. 17 overlap target).
+  bool plan_cache_hit = false;
+  double plan_stall_ms = 0.0;
 };
 
 struct EpochResult {
@@ -66,6 +107,14 @@ struct EpochResult {
   int64_t real_tokens = 0;
   double train_time_ms = 0.0;
   double planning_time_ms = 0.0;
+  // Plan-ahead service totals: stall is the planning latency the executors
+  // actually waited for (<= planning_time_ms once the pipeline is warm);
+  // plan-cache counters aggregate the per-iteration hits; serialized bytes is
+  // the instruction-store wire volume (serialized mode only).
+  double plan_stall_ms = 0.0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t serialized_plan_bytes = 0;
   mb::PaddingStats padding;
   std::vector<IterationRecord> records;
   int64_t deadlocks = 0;
@@ -98,13 +147,20 @@ class Trainer {
  private:
   using PlanFn = std::function<IterationPlan(const std::vector<data::Sample>&)>;
 
+  // `pool` (nullable) is shared with the plan-ahead service; `config_hash`
+  // pins the planning configuration for plan-cache signatures;
+  // `allow_plan_cache` gates the cache to rebindable (DynaPipe) plans.
   EpochResult RunEpochImpl(const data::Dataset& dataset, const TrainerOptions& options,
-                           const PlanFn& plan_fn);
+                           const PlanFn& plan_fn, ThreadPool* pool,
+                           uint64_t config_hash, bool allow_plan_cache);
 
   model::ModelConfig config_;
   model::HardwareSpec hw_;
   model::ParallelConfig parallel_;
   cost::PipelineCostModel cost_model_;
+  // Lazily created when TrainerOptions::plan_cache is set; persists across
+  // RunEpoch calls so replayed epochs hit.
+  std::shared_ptr<service::PlanCache> plan_cache_;
 };
 
 }  // namespace dynapipe::runtime

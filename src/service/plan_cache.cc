@@ -1,0 +1,187 @@
+#include "src/service/plan_cache.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynapipe::service {
+namespace {
+
+// Packed canonical length pair of one sample: fold (GPT) then quantize, to
+// match what the planner actually plans on.
+uint64_t PackedPair(const data::Sample& s, bool fold, int32_t q) {
+  int32_t input = s.input_len;
+  int32_t target = s.target_len;
+  if (fold) {
+    input += target;
+    target = 0;
+  }
+  input = PlanCache::Quantize(input, q);
+  target = PlanCache::Quantize(target, q);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(input)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(target));
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheOptions options) : options_(options) {
+  DYNAPIPE_CHECK(options_.capacity >= 1);
+}
+
+int32_t PlanCache::Quantize(int32_t len, int32_t q) {
+  if (q <= 1 || len <= 0) {
+    return len;
+  }
+  return (len + q - 1) / q * q;
+}
+
+PlanSignature PlanCache::Signature(const std::vector<data::Sample>& minibatch,
+                                   bool fold_target_lengths,
+                                   int32_t quantization, uint64_t config_hash) {
+  PlanSignature sig;
+  sig.key.reserve(minibatch.size());
+  for (const auto& s : minibatch) {
+    sig.key.push_back(PackedPair(s, fold_target_lengths, quantization));
+  }
+  std::sort(sig.key.begin(), sig.key.end());
+  uint64_t h = HashCombine(kHashBasis, config_hash);
+  h = HashCombine(h, static_cast<uint64_t>(quantization));
+  h = HashCombine(h, fold_target_lengths ? 1u : 0u);
+  h = HashCombine(h, sig.key.size());
+  for (const uint64_t k : sig.key) {
+    h = HashCombine(h, k);
+  }
+  sig.hash = h;
+  return sig;
+}
+
+std::vector<data::Sample> PlanCache::CanonicalizeForPlanning(
+    const std::vector<data::Sample>& minibatch, bool fold_target_lengths,
+    int32_t quantization) {
+  std::vector<data::Sample> out = minibatch;
+  if (quantization <= 1) {
+    // Exact mode plans the raw samples (the planner folds decoder-only
+    // lengths itself); returning them untouched keeps the miss path
+    // bit-identical to inline planning with no rebind step.
+    return out;
+  }
+  for (auto& s : out) {
+    if (fold_target_lengths) {
+      s.input_len = Quantize(s.input_len + s.target_len, quantization);
+      s.target_len = 0;
+    } else {
+      s.input_len = Quantize(s.input_len, quantization);
+      s.target_len = Quantize(s.target_len, quantization);
+    }
+  }
+  return out;
+}
+
+runtime::IterationPlan PlanCache::Rebind(
+    runtime::IterationPlan plan, const std::vector<data::Sample>& minibatch,
+    bool fold_target_lengths, int32_t quantization) {
+  // Bucket the new samples by canonical pair; every cached slot then pops a
+  // matching sample. Signature equality guarantees the multisets line up.
+  std::unordered_map<uint64_t, std::vector<const data::Sample*>> buckets;
+  buckets.reserve(minibatch.size());
+  for (const auto& s : minibatch) {
+    buckets[PackedPair(s, fold_target_lengths, quantization)].push_back(&s);
+  }
+  size_t bound = 0;
+  for (auto& replica : plan.replicas) {
+    for (auto& micro_batch : replica.micro_batches) {
+      for (auto& slot : micro_batch.samples) {
+        // The cached plan's samples already carry canonical lengths (the
+        // planner folded them, and quantized planning rounded them), so their
+        // pair is the bucket key directly; quantizing again is the identity.
+        const uint64_t key =
+            PackedPair(slot, /*fold=*/fold_target_lengths, quantization);
+        auto it = buckets.find(key);
+        DYNAPIPE_CHECK_MSG(it != buckets.end() && !it->second.empty(),
+                           "plan cache rebind: length multiset mismatch");
+        slot = *it->second.back();
+        it->second.pop_back();
+        ++bound;
+      }
+    }
+  }
+  DYNAPIPE_CHECK_MSG(bound == minibatch.size(),
+                     "plan cache rebind: sample count mismatch");
+  return plan;
+}
+
+PlanCache::EntryList::iterator PlanCache::FindLocked(const PlanSignature& sig) {
+  auto chain = index_.find(sig.hash);
+  if (chain == index_.end()) {
+    return entries_.end();
+  }
+  for (const auto it : chain->second) {
+    if (it->sig == sig) {
+      return it;
+    }
+  }
+  return entries_.end();
+}
+
+std::optional<runtime::IterationPlan> PlanCache::Lookup(
+    const PlanSignature& sig, const std::vector<data::Sample>& minibatch,
+    bool fold_target_lengths, int32_t quantization) {
+  std::shared_ptr<const runtime::IterationPlan> cached;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = FindLocked(sig);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it);  // refresh LRU
+    cached = it->plan;  // refcount bump only; the plan copy happens outside
+  }
+  // The shared_ptr keeps the plan alive even if the entry is evicted while we
+  // copy; Rebind's by-value parameter is that copy.
+  return Rebind(*cached, minibatch, fold_target_lengths, quantization);
+}
+
+void PlanCache::Insert(const PlanSignature& sig,
+                       const runtime::IterationPlan& plan) {
+  if (!plan.feasible) {
+    return;
+  }
+  // Copy the plan before taking the lock; a racing insert then only wastes
+  // the copy instead of serializing other workers behind it.
+  auto copy = std::make_shared<const runtime::IterationPlan>(plan);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto existing = FindLocked(sig);
+  if (existing != entries_.end()) {
+    // Racing miss already filled this signature with the same deterministic
+    // plan; keep the first copy.
+    entries_.splice(entries_.begin(), entries_, existing);
+    return;
+  }
+  entries_.push_front(Entry{sig, std::move(copy)});
+  index_[sig.hash].push_back(entries_.begin());
+  ++stats_.insertions;
+  while (entries_.size() > options_.capacity) {
+    const auto victim = std::prev(entries_.end());
+    auto& chain = index_[victim->sig.hash];
+    chain.erase(std::find(chain.begin(), chain.end(), victim));
+    if (chain.empty()) {
+      index_.erase(victim->sig.hash);
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dynapipe::service

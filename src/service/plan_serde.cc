@@ -1,0 +1,149 @@
+#include "src/service/plan_serde.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace dynapipe::service {
+namespace {
+
+uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t Unzigzag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+int32_t ParseInt32(std::string_view bytes, size_t* pos) {
+  const int64_t v = ParseZigzag(bytes, pos);
+  DYNAPIPE_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+                     "plan serde: field out of int32 range");
+  return static_cast<int32_t>(v);
+}
+
+uint8_t ParseByte(std::string_view bytes, size_t* pos) {
+  DYNAPIPE_CHECK_MSG(*pos < bytes.size(), "plan serde: truncated buffer");
+  return static_cast<uint8_t>(bytes[(*pos)++]);
+}
+
+}  // namespace
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendZigzag(int64_t v, std::string* out) { AppendVarint(Zigzag(v), out); }
+
+uint64_t ParseVarint(std::string_view bytes, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    DYNAPIPE_CHECK_MSG(*pos < bytes.size(), "plan serde: truncated varint");
+    DYNAPIPE_CHECK_MSG(shift < 64, "plan serde: overlong varint");
+    const uint8_t b = static_cast<uint8_t>(bytes[(*pos)++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+int64_t ParseZigzag(std::string_view bytes, size_t* pos) {
+  return Unzigzag(ParseVarint(bytes, pos));
+}
+
+void AppendInstruction(const sim::Instruction& instr, std::string* out) {
+  out->push_back(static_cast<char>(instr.type));
+  AppendZigzag(instr.microbatch, out);
+  AppendZigzag(instr.peer, out);
+  AppendZigzag(instr.bytes, out);
+  AppendZigzag(instr.shape.num_samples, out);
+  AppendZigzag(instr.shape.input_len, out);
+  AppendZigzag(instr.shape.target_len, out);
+  out->push_back(static_cast<char>(instr.recompute));
+  AppendZigzag(instr.fusion_group, out);
+}
+
+sim::Instruction ParseInstruction(std::string_view bytes, size_t* pos) {
+  sim::Instruction instr;
+  const uint8_t type = ParseByte(bytes, pos);
+  DYNAPIPE_CHECK_MSG(type < sim::kNumInstrTypes,
+                     "plan serde: unknown instruction type");
+  instr.type = static_cast<sim::InstrType>(type);
+  instr.microbatch = ParseInt32(bytes, pos);
+  instr.peer = ParseInt32(bytes, pos);
+  instr.bytes = ParseZigzag(bytes, pos);
+  instr.shape.num_samples = ParseInt32(bytes, pos);
+  instr.shape.input_len = ParseInt32(bytes, pos);
+  instr.shape.target_len = ParseInt32(bytes, pos);
+  const uint8_t recompute = ParseByte(bytes, pos);
+  DYNAPIPE_CHECK_MSG(recompute <= static_cast<uint8_t>(model::RecomputeMode::kFull),
+                     "plan serde: unknown recompute mode");
+  instr.recompute = static_cast<model::RecomputeMode>(recompute);
+  instr.fusion_group = ParseInt32(bytes, pos);
+  return instr;
+}
+
+std::string EncodeExecutionPlan(const sim::ExecutionPlan& plan) {
+  std::string out;
+  // Typical plans are a few hundred instructions at ~6 bytes each; one
+  // reservation avoids regrowth in the common case.
+  size_t instructions = 0;
+  for (const auto& dev : plan.devices) {
+    instructions += dev.instructions.size();
+  }
+  out.reserve(sizeof(kPlanSerdeMagic) + 16 + 8 * plan.devices.size() +
+              12 * instructions);
+  out.append(kPlanSerdeMagic, sizeof(kPlanSerdeMagic));
+  out.push_back(static_cast<char>(kPlanSerdeVersion));
+  AppendZigzag(plan.num_microbatches, &out);
+  AppendVarint(plan.devices.size(), &out);
+  for (const auto& dev : plan.devices) {
+    AppendZigzag(dev.device, &out);
+    AppendVarint(dev.instructions.size(), &out);
+    for (const auto& instr : dev.instructions) {
+      AppendInstruction(instr, &out);
+    }
+  }
+  return out;
+}
+
+sim::ExecutionPlan DecodeExecutionPlan(std::string_view bytes) {
+  size_t pos = 0;
+  DYNAPIPE_CHECK_MSG(bytes.size() >= sizeof(kPlanSerdeMagic) + 1 &&
+                         std::memcmp(bytes.data(), kPlanSerdeMagic,
+                                     sizeof(kPlanSerdeMagic)) == 0,
+                     "plan serde: bad magic");
+  pos = sizeof(kPlanSerdeMagic);
+  const uint8_t version = ParseByte(bytes, &pos);
+  DYNAPIPE_CHECK_MSG(version == kPlanSerdeVersion,
+                     "plan serde: unsupported version");
+  sim::ExecutionPlan plan;
+  plan.num_microbatches = ParseInt32(bytes, &pos);
+  const uint64_t num_devices = ParseVarint(bytes, &pos);
+  // A device count that cannot possibly fit in the remaining bytes means a
+  // corrupt length field; catch it before resize tries to allocate it.
+  DYNAPIPE_CHECK_MSG(num_devices <= bytes.size() - pos,
+                     "plan serde: implausible device count");
+  plan.devices.resize(num_devices);
+  for (auto& dev : plan.devices) {
+    dev.device = ParseInt32(bytes, &pos);
+    const uint64_t num_instr = ParseVarint(bytes, &pos);
+    DYNAPIPE_CHECK_MSG(num_instr <= bytes.size() - pos,
+                       "plan serde: implausible instruction count");
+    dev.instructions.reserve(num_instr);
+    for (uint64_t i = 0; i < num_instr; ++i) {
+      dev.instructions.push_back(ParseInstruction(bytes, &pos));
+    }
+  }
+  DYNAPIPE_CHECK_MSG(pos == bytes.size(), "plan serde: trailing bytes");
+  return plan;
+}
+
+}  // namespace dynapipe::service

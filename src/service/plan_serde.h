@@ -1,0 +1,56 @@
+// Binary serialization of execution plans.
+//
+// The paper distributes compiled instruction streams to executors through a
+// Redis store holding *serialized* plans (§3): dataloader-side planners encode,
+// executors decode. This is that wire format — a compact varint byte layout
+// that round-trips sim::ExecutionPlan losslessly (every field of every
+// instruction kind), so InstructionStore's serialized mode exercises the
+// publish-before-fetch contract across a real encode/decode boundary instead
+// of passing in-process pointers around.
+//
+// Layout (all multi-byte integers are LEB128 varints; signed fields are
+// zigzag-encoded so the -1 sentinels of `peer`/`fusion_group` stay 1 byte):
+//   magic "DPEX", version byte,
+//   zigzag(num_microbatches), varint(num_devices),
+//   per device: zigzag(device), varint(num_instructions),
+//   per instruction: type byte, zigzag(microbatch), zigzag(peer),
+//     zigzag(bytes), zigzag(num_samples), zigzag(input_len),
+//     zigzag(target_len), recompute byte, zigzag(fusion_group).
+// Decoding a malformed buffer (truncation, bad magic/version, out-of-range
+// enum, trailing bytes) is a fatal error: a corrupted plan must never reach an
+// executor.
+#ifndef DYNAPIPE_SRC_SERVICE_PLAN_SERDE_H_
+#define DYNAPIPE_SRC_SERVICE_PLAN_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/sim/instruction.h"
+
+namespace dynapipe::service {
+
+inline constexpr char kPlanSerdeMagic[4] = {'D', 'P', 'E', 'X'};
+inline constexpr uint8_t kPlanSerdeVersion = 1;
+
+// Varint primitives, exposed for tests and future serialized records (plan
+// metadata, cache snapshots).
+void AppendVarint(uint64_t v, std::string* out);
+void AppendZigzag(int64_t v, std::string* out);
+// Parse starting at *pos, advancing it past the consumed bytes. Fatal on
+// truncated or overlong input.
+uint64_t ParseVarint(std::string_view bytes, size_t* pos);
+int64_t ParseZigzag(std::string_view bytes, size_t* pos);
+
+// One instruction, appended to / parsed from a byte buffer. These are the
+// per-instruction hooks the whole-plan codec is built from.
+void AppendInstruction(const sim::Instruction& instr, std::string* out);
+sim::Instruction ParseInstruction(std::string_view bytes, size_t* pos);
+
+// Whole-plan codec. Decode(Encode(p)) == p for every well-formed plan.
+std::string EncodeExecutionPlan(const sim::ExecutionPlan& plan);
+sim::ExecutionPlan DecodeExecutionPlan(std::string_view bytes);
+
+}  // namespace dynapipe::service
+
+#endif  // DYNAPIPE_SRC_SERVICE_PLAN_SERDE_H_

@@ -31,6 +31,11 @@ enum class InstrType : uint8_t {
   kWaitRecvGrad,
 };
 
+// Number of InstrType values. The binary plan serde (src/service/plan_serde)
+// encodes the enum as a byte and validates decoded values against this bound;
+// keep it in sync when adding instruction kinds.
+inline constexpr int32_t kNumInstrTypes = 10;
+
 bool IsCompute(InstrType t);
 bool IsCommStart(InstrType t);
 bool IsCommWait(InstrType t);
@@ -59,6 +64,9 @@ struct Instruction {
   // unfused.
   int32_t fusion_group = -1;
 
+  // Field-wise equality; the serde round-trip tests pin losslessness with it.
+  bool operator==(const Instruction&) const = default;
+
   std::string ToString() const;
 };
 
@@ -66,6 +74,8 @@ struct Instruction {
 struct DevicePlan {
   int32_t device = 0;
   std::vector<Instruction> instructions;
+
+  bool operator==(const DevicePlan&) const = default;
 };
 
 // A full iteration's plan for one pipeline (one data-parallel replica).
@@ -74,6 +84,7 @@ struct ExecutionPlan {
   int32_t num_microbatches = 0;
 
   int32_t num_devices() const { return static_cast<int32_t>(devices.size()); }
+  bool operator==(const ExecutionPlan&) const = default;
   std::string ToString() const;
 };
 

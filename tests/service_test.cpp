@@ -1,0 +1,735 @@
+// Tests for the plan-ahead service subsystem (src/service): the binary plan
+// serde (round-trip on every instruction kind), the serialized /
+// capacity-bounded instruction store (publish-before-fetch contract,
+// double-publish death, backpressure), the cross-iteration plan cache
+// (signatures, LRU, quantization, rebinding), and PlanAheadService — whose
+// plans must be bit-identical to inline serial planning at any lookahead,
+// cache on/off, serde on/off, and whose cache hits must skip partition and
+// schedule work entirely.
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/data/flan_generator.h"
+#include "src/data/minibatch_sampler.h"
+#include "src/runtime/instruction_store.h"
+#include "src/runtime/planner.h"
+#include "src/runtime/trainer.h"
+#include "src/service/plan_ahead_service.h"
+#include "src/service/plan_cache.h"
+#include "src/service/plan_serde.h"
+
+namespace dynapipe {
+namespace {
+
+// TSan intercepts the fork/re-exec machinery death tests rely on; the
+// sanitizer job covers the concurrency tests instead.
+#if defined(__SANITIZE_THREAD__)
+#define DYNAPIPE_DEATH_TESTS 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DYNAPIPE_DEATH_TESTS 0
+#else
+#define DYNAPIPE_DEATH_TESTS 1
+#endif
+#else
+#define DYNAPIPE_DEATH_TESTS 1
+#endif
+
+// ---------- plan serde ----------
+
+sim::ExecutionPlan SamplePlan() {
+  // Every instruction kind, every recompute mode, sentinel peers/fusion
+  // groups, and multi-byte varint values.
+  sim::ExecutionPlan plan;
+  plan.num_microbatches = 300;  // forces a 2-byte varint
+  const model::RecomputeMode modes[] = {model::RecomputeMode::kNone,
+                                        model::RecomputeMode::kSelective,
+                                        model::RecomputeMode::kFull};
+  for (int32_t d = 0; d < 3; ++d) {
+    sim::DevicePlan dev;
+    dev.device = d;
+    for (int32_t t = 0; t < sim::kNumInstrTypes; ++t) {
+      sim::Instruction instr;
+      instr.type = static_cast<sim::InstrType>(t);
+      instr.microbatch = 17 * t + d;
+      instr.peer = sim::IsCompute(instr.type) ? -1 : (d + 1) % 3;
+      instr.bytes = sim::IsCompute(instr.type) ? 0 : (int64_t{1} << 33) + t;
+      instr.shape = {8, 2048, t % 2 == 0 ? 0 : 512};
+      instr.recompute = modes[t % 3];
+      instr.fusion_group = t % 4 == 0 ? -1 : t;
+      dev.instructions.push_back(instr);
+    }
+    plan.devices.push_back(std::move(dev));
+  }
+  return plan;
+}
+
+TEST(PlanSerdeTest, VarintRoundTrip) {
+  for (const uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                           ~0ull, ~0ull >> 1}) {
+    std::string buf;
+    service::AppendVarint(v, &buf);
+    size_t pos = 0;
+    EXPECT_EQ(service::ParseVarint(buf, &pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+  for (const int64_t v : std::vector<int64_t>{0, -1, 1, -64, 64, INT64_MIN,
+                                              INT64_MAX}) {
+    std::string buf;
+    service::AppendZigzag(v, &buf);
+    size_t pos = 0;
+    EXPECT_EQ(service::ParseZigzag(buf, &pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+  // The -1 sentinels must stay single-byte.
+  std::string buf;
+  service::AppendZigzag(-1, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(PlanSerdeTest, RoundTripEveryInstructionKind) {
+  const sim::ExecutionPlan plan = SamplePlan();
+  const std::string bytes = service::EncodeExecutionPlan(plan);
+  EXPECT_GT(bytes.size(), 0u);
+  const sim::ExecutionPlan decoded = service::DecodeExecutionPlan(bytes);
+  EXPECT_EQ(decoded, plan);
+}
+
+TEST(PlanSerdeTest, RoundTripEmptyPlan) {
+  sim::ExecutionPlan plan;
+  plan.num_microbatches = 0;
+  const sim::ExecutionPlan decoded =
+      service::DecodeExecutionPlan(service::EncodeExecutionPlan(plan));
+  EXPECT_EQ(decoded, plan);
+}
+
+TEST(PlanSerdeTest, SingleInstructionHookRoundTrip) {
+  const sim::ExecutionPlan plan = SamplePlan();
+  for (const auto& dev : plan.devices) {
+    for (const auto& instr : dev.instructions) {
+      std::string buf;
+      service::AppendInstruction(instr, &buf);
+      size_t pos = 0;
+      EXPECT_EQ(service::ParseInstruction(buf, &pos), instr);
+      EXPECT_EQ(pos, buf.size());
+    }
+  }
+}
+
+#if DYNAPIPE_DEATH_TESTS
+TEST(PlanSerdeDeathTest, RejectsCorruptBuffers) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string bytes = service::EncodeExecutionPlan(SamplePlan());
+  EXPECT_DEATH(service::DecodeExecutionPlan(bytes.substr(0, bytes.size() - 1)),
+               "truncated");
+  EXPECT_DEATH(service::DecodeExecutionPlan("XXXX" + bytes.substr(4)),
+               "bad magic");
+  EXPECT_DEATH(service::DecodeExecutionPlan(bytes + std::string(1, '\0')),
+               "trailing");
+}
+#endif
+
+// ---------- instruction store ----------
+
+TEST(InstructionStoreTest, SerializedModeRoundTrips) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  const sim::ExecutionPlan plan = SamplePlan();
+  store.Push(3, 1, plan);
+  EXPECT_TRUE(store.Contains(3, 1));
+  EXPECT_GT(store.serialized_bytes_total(), 0);
+  const sim::ExecutionPlan fetched = store.Fetch(3, 1);
+  EXPECT_EQ(fetched, plan);
+  EXPECT_FALSE(store.Contains(3, 1));
+}
+
+#if DYNAPIPE_DEATH_TESTS
+TEST(InstructionStoreDeathTest, DoublePublishDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  runtime::InstructionStore store;
+  store.Push(0, 0, SamplePlan());
+  EXPECT_DEATH(store.Push(0, 0, SamplePlan()), "already published");
+}
+
+TEST(InstructionStoreDeathTest, FetchBeforePublishDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  runtime::InstructionStore store;
+  store.Push(1, 0, SamplePlan());
+  EXPECT_DEATH(store.Fetch(1, 1), "unpublished");
+}
+#endif
+
+TEST(InstructionStoreTest, CapacityBackpressuresPush) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/false, /*capacity=*/2});
+  store.Push(0, 0, {});
+  store.Push(1, 0, {});
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    store.Push(2, 0, {});
+    third_pushed.store(true);
+  });
+  // The third Push must block while two plans are resident.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(store.size(), 2u);
+  // A Fetch frees a slot and unblocks it.
+  store.Fetch(0, 0);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(2, 0));
+}
+
+TEST(InstructionStoreTest, ShutdownUnblocksBlockedPush) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/false, /*capacity=*/1});
+  store.Push(0, 0, {});
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    store.Push(1, 0, {});  // blocks at capacity, then dropped by Shutdown
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  store.Shutdown();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(store.Contains(1, 0));
+  // Plans published before shutdown stay fetchable.
+  EXPECT_TRUE(store.Contains(0, 0));
+}
+
+// ---------- plan cache ----------
+
+std::vector<data::Sample> MakeBatch(std::vector<std::pair<int32_t, int32_t>> lens,
+                                    uint64_t id_base) {
+  std::vector<data::Sample> out;
+  for (size_t i = 0; i < lens.size(); ++i) {
+    data::Sample s;
+    s.id = id_base + i;
+    s.input_len = lens[i].first;
+    s.target_len = lens[i].second;
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(PlanCacheTest, SignatureIgnoresSampleOrderAndIds) {
+  const auto a = MakeBatch({{100, 20}, {50, 10}, {100, 20}}, 0);
+  const auto b = MakeBatch({{50, 10}, {100, 20}, {100, 20}}, 1000);
+  const auto sig_a = service::PlanCache::Signature(a, false, 1, 42);
+  const auto sig_b = service::PlanCache::Signature(b, false, 1, 42);
+  EXPECT_EQ(sig_a, sig_b);
+  // Different lengths, config hash, fold, or quantization all split the key.
+  EXPECT_NE(sig_a, service::PlanCache::Signature(
+                       MakeBatch({{100, 20}, {50, 10}, {100, 21}}, 0), false, 1, 42));
+  EXPECT_NE(sig_a.hash, service::PlanCache::Signature(a, false, 1, 43).hash);
+  EXPECT_NE(sig_a.hash, service::PlanCache::Signature(a, true, 1, 42).hash);
+  EXPECT_NE(sig_a.hash, service::PlanCache::Signature(a, false, 16, 42).hash);
+}
+
+TEST(PlanCacheTest, FoldedSignatureMatchesDecoderOnlyCanonicalization) {
+  // For GPT, (90, 10) and (100, 0) are the same planned sample.
+  const auto a = MakeBatch({{90, 10}}, 0);
+  const auto b = MakeBatch({{100, 0}}, 50);
+  EXPECT_EQ(service::PlanCache::Signature(a, true, 1, 7),
+            service::PlanCache::Signature(b, true, 1, 7));
+  EXPECT_NE(service::PlanCache::Signature(a, false, 1, 7),
+            service::PlanCache::Signature(b, false, 1, 7));
+}
+
+TEST(PlanCacheTest, QuantizationCollapsesNearbyLengths) {
+  const auto a = MakeBatch({{97, 13}, {250, 60}}, 0);
+  const auto b = MakeBatch({{128, 16}, {230, 52}}, 10);  // same multiples of 32/64
+  EXPECT_EQ(service::PlanCache::Signature(a, false, 32, 1).key,
+            service::PlanCache::Signature(b, false, 32, 1).key);
+  EXPECT_EQ(service::PlanCache::Quantize(97, 32), 128);
+  EXPECT_EQ(service::PlanCache::Quantize(128, 32), 128);
+  EXPECT_EQ(service::PlanCache::Quantize(0, 32), 0);  // absent decoder side
+  EXPECT_EQ(service::PlanCache::Quantize(5, 1), 5);
+}
+
+runtime::IterationPlan TinyFeasiblePlan(const std::vector<data::Sample>& mb) {
+  // A structurally minimal feasible plan whose micro-batch holds `mb`.
+  runtime::IterationPlan plan;
+  plan.feasible = true;
+  runtime::ReplicaPlan replica;
+  replica.micro_batches.push_back(mb::MakeMicroBatch(mb));
+  plan.replicas.push_back(std::move(replica));
+  return plan;
+}
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  service::PlanCache cache(service::PlanCacheOptions{2});
+  const auto b0 = MakeBatch({{10, 0}}, 0);
+  const auto b1 = MakeBatch({{20, 0}}, 0);
+  const auto b2 = MakeBatch({{30, 0}}, 0);
+  const auto s0 = service::PlanCache::Signature(b0, true, 1, 1);
+  const auto s1 = service::PlanCache::Signature(b1, true, 1, 1);
+  const auto s2 = service::PlanCache::Signature(b2, true, 1, 1);
+  cache.Insert(s0, TinyFeasiblePlan(b0));
+  cache.Insert(s1, TinyFeasiblePlan(b1));
+  // Touch s0 so s1 is least recently used, then insert s2.
+  EXPECT_TRUE(cache.Lookup(s0, b0, true, 1).has_value());
+  cache.Insert(s2, TinyFeasiblePlan(b2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(s0, b0, true, 1).has_value());
+  EXPECT_TRUE(cache.Lookup(s2, b2, true, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(s1, b1, true, 1).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(PlanCacheTest, InfeasiblePlansAreNotCached) {
+  service::PlanCache cache;
+  const auto b = MakeBatch({{10, 0}}, 0);
+  const auto sig = service::PlanCache::Signature(b, true, 1, 1);
+  cache.Insert(sig, runtime::IterationPlan{});  // infeasible default
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(sig, b, true, 1).has_value());
+}
+
+TEST(PlanCacheTest, RebindSwapsSamplesByLength) {
+  const auto original = MakeBatch({{100, 0}, {100, 0}, {40, 0}}, 0);
+  const auto replay = MakeBatch({{40, 0}, {100, 0}, {100, 0}}, 500);
+  runtime::IterationPlan rebound = service::PlanCache::Rebind(
+      TinyFeasiblePlan(original), replay, true, 1);
+  int64_t seen = 0;
+  for (const auto& s : rebound.replicas[0].micro_batches[0].samples) {
+    EXPECT_GE(s.id, 500u);  // every slot now holds a replay sample
+    seen += s.total_tokens();
+  }
+  EXPECT_EQ(seen, 240);
+  EXPECT_EQ(rebound.replicas[0].micro_batches[0].shape,
+            (model::MicroBatchShape{3, 100, 0}));
+}
+
+// ---------- PlanAheadService ----------
+
+cost::ProfileOptions SmallProfile() {
+  cost::ProfileOptions opts;
+  opts.max_microbatch_size = 32;
+  opts.max_seq_len = 4096;
+  return opts;
+}
+
+runtime::PlannerOptions FastPlanner() {
+  runtime::PlannerOptions opts;
+  opts.max_tmax_candidates = 48;
+  opts.tmax_interval_ms = 0.5;
+  opts.max_microbatch_size = 32;
+  opts.reorder_clusters = 2;
+  opts.dynamic_recompute = false;
+  return opts;
+}
+
+struct EpochPlans {
+  std::vector<runtime::IterationPlan> plans;  // exec plans fetched back in
+  std::vector<bool> cache_hits;
+  std::vector<double> stalls_ms;
+  int64_t real_tokens = 0;
+  service::PlanAheadServiceStats stats;
+};
+
+class PlanAheadServiceTest : public ::testing::Test {
+ protected:
+  PlanAheadServiceTest()
+      : cm_(cost::PipelineCostModel::Profile(model::ModelConfig::Gpt3_35B(),
+                                             model::HardwareSpec{}, {1, 1, 4},
+                                             SmallProfile())) {}
+
+  static data::Dataset SmallDataset() {
+    data::FlanGeneratorOptions gen;
+    gen.num_samples = 300;
+    gen.length_cap = 1024;
+    return data::GenerateFlanLikeDataset(gen);
+  }
+
+  // Runs one 4-iteration epoch through the service and fetches every exec
+  // plan back out of the store.
+  EpochPlans Collect(service::PlanAheadOptions sopts,
+                     const data::Dataset& dataset) {
+    runtime::IterationPlanner planner(cm_, FastPlanner());
+    data::MiniBatchSamplerOptions so;
+    so.global_batch_tokens = 6144;
+    so.max_input_len = 1024;
+    so.seed = 7;
+    data::MiniBatchSampler sampler(dataset, so);
+    int32_t submitted = 0;
+    auto source = [&]() -> std::vector<data::Sample> {
+      if (submitted >= 4 || !sampler.HasNext()) {
+        return {};
+      }
+      ++submitted;
+      return sampler.Next();
+    };
+    sopts.fold_target_lengths = true;  // GPT
+    service::PlanAheadService svc(
+        [&](const std::vector<data::Sample>& mb) {
+          return planner.PlanIteration(mb);
+        },
+        source, sopts);
+    EpochPlans out;
+    int64_t expected_iteration = 0;
+    while (std::optional<service::ServicedPlan> sp = svc.NextPlan()) {
+      EXPECT_EQ(sp->iteration, expected_iteration++);
+      EXPECT_TRUE(sp->plan.feasible) << sp->plan.infeasible_reason;
+      for (size_t d = 0; d < sp->plan.replicas.size(); ++d) {
+        sp->plan.replicas[d].exec_plan =
+            svc.FetchExecPlan(sp->iteration, static_cast<int32_t>(d));
+        for (const auto& m : sp->plan.replicas[d].micro_batches) {
+          out.real_tokens += m.real_tokens();
+        }
+      }
+      out.cache_hits.push_back(sp->plan_cache_hit);
+      out.stalls_ms.push_back(sp->stall_ms);
+      out.plans.push_back(std::move(sp->plan));
+    }
+    out.stats = svc.stats();
+    return out;
+  }
+
+  static void ExpectPlansBitIdentical(const EpochPlans& a, const EpochPlans& b) {
+    ASSERT_EQ(a.plans.size(), b.plans.size());
+    EXPECT_EQ(a.real_tokens, b.real_tokens);
+    for (size_t i = 0; i < a.plans.size(); ++i) {
+      const auto& pa = a.plans[i];
+      const auto& pb = b.plans[i];
+      EXPECT_EQ(pa.recompute, pb.recompute);
+      EXPECT_EQ(pa.predicted_iteration_ms, pb.predicted_iteration_ms);
+      ASSERT_EQ(pa.replicas.size(), pb.replicas.size());
+      for (size_t d = 0; d < pa.replicas.size(); ++d) {
+        ASSERT_EQ(pa.replicas[d].micro_batches.size(),
+                  pb.replicas[d].micro_batches.size());
+        for (size_t k = 0; k < pa.replicas[d].micro_batches.size(); ++k) {
+          EXPECT_EQ(pa.replicas[d].micro_batches[k].samples.size(),
+                    pb.replicas[d].micro_batches[k].samples.size());
+          EXPECT_EQ(pa.replicas[d].micro_batches[k].shape,
+                    pb.replicas[d].micro_batches[k].shape);
+          EXPECT_EQ(pa.replicas[d].micro_batches[k].predicted_time_ms,
+                    pb.replicas[d].micro_batches[k].predicted_time_ms);
+        }
+        // The serialized instruction stream is shape-only, so it must be
+        // byte-for-byte identical across lookahead/cache/serde modes.
+        EXPECT_EQ(pa.replicas[d].exec_plan, pb.replicas[d].exec_plan);
+      }
+    }
+  }
+
+  cost::PipelineCostModel cm_;
+};
+
+TEST_F(PlanAheadServiceTest, AnyLookaheadCacheSerdeBitIdenticalToInline) {
+  const data::Dataset dataset = SmallDataset();
+  service::PlanAheadOptions inline_opts;  // lookahead 0, no cache, no serde
+  const EpochPlans base = Collect(inline_opts, dataset);
+  ASSERT_EQ(base.plans.size(), 4u);
+
+  ThreadPool pool(2);
+  for (const int32_t lookahead : {0, 2, 4}) {
+    for (const bool cache : {false, true}) {
+      for (const bool serde : {false, true}) {
+        if (lookahead == 0 && !cache && !serde) {
+          continue;  // that is `base`
+        }
+        service::PlanAheadOptions sopts;
+        sopts.lookahead = lookahead;
+        sopts.pool = lookahead > 0 ? &pool : nullptr;
+        if (cache) {
+          sopts.plan_cache = std::make_shared<service::PlanCache>();
+          sopts.config_hash = 99;
+        }
+        sopts.serialize_plans = serde;
+        sopts.store_capacity = serde ? 3 : 0;  // exercise the bound too
+        const EpochPlans got = Collect(sopts, dataset);
+        SCOPED_TRACE("lookahead=" + std::to_string(lookahead) +
+                     " cache=" + std::to_string(cache) +
+                     " serde=" + std::to_string(serde));
+        ExpectPlansBitIdentical(base, got);
+      }
+    }
+  }
+}
+
+TEST_F(PlanAheadServiceTest, CacheHitSkipsPartitionAndScheduleWork) {
+  // The same length multiset twice (fresh sample ids the second time): the
+  // second iteration must be served from the plan cache with zero planning
+  // phase work.
+  std::vector<std::vector<data::Sample>> batches = {
+      MakeBatch({{200, 0}, {200, 0}, {150, 0}, {90, 0}, {90, 0}, {64, 0}}, 0),
+      MakeBatch({{90, 0}, {200, 0}, {64, 0}, {150, 0}, {90, 0}, {200, 0}}, 100),
+  };
+  size_t next = 0;
+  auto source = [&]() -> std::vector<data::Sample> {
+    return next < batches.size() ? batches[next++] : std::vector<data::Sample>{};
+  };
+  runtime::IterationPlanner planner(cm_, FastPlanner());
+  service::PlanAheadOptions sopts;
+  sopts.plan_cache = std::make_shared<service::PlanCache>();
+  sopts.fold_target_lengths = true;
+  service::PlanAheadService svc(
+      [&](const std::vector<data::Sample>& mb) {
+        return planner.PlanIteration(mb);
+      },
+      source, sopts);
+
+  std::optional<service::ServicedPlan> first = svc.NextPlan();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->plan_cache_hit);
+  EXPECT_GT(first->plan.stats.partition_ms, 0.0);
+  const sim::ExecutionPlan exec0 = svc.FetchExecPlan(0, 0);
+
+  std::optional<service::ServicedPlan> second = svc.NextPlan();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->plan_cache_hit);
+  // The hit skipped partitioning and scheduling entirely.
+  EXPECT_EQ(second->plan.stats.partition_ms, 0.0);
+  EXPECT_EQ(second->plan.stats.schedule_ms, 0.0);
+  EXPECT_EQ(second->plan.stats.cost_cache_hits +
+                second->plan.stats.cost_cache_misses,
+            0);
+  EXPECT_EQ(second->plan.stats.recompute_modes_tried, 0);
+  // ...but produced the identical plan, rebound to the new samples.
+  EXPECT_EQ(second->plan.predicted_iteration_ms,
+            first->plan.predicted_iteration_ms);
+  EXPECT_EQ(svc.FetchExecPlan(1, 0), exec0);
+  int64_t tokens = 0;
+  for (const auto& m : second->plan.replicas[0].micro_batches) {
+    for (const auto& s : m.samples) {
+      EXPECT_GE(s.id, 100u);
+      tokens += s.total_tokens();
+    }
+  }
+  EXPECT_EQ(tokens, 794);
+
+  EXPECT_FALSE(svc.NextPlan().has_value());
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+  EXPECT_EQ(stats.plans_delivered, 2);
+}
+
+TEST_F(PlanAheadServiceTest, QuantizedPlanningHitsAcrossNearbyBatches) {
+  // Lengths differ between the two batches but round up to the same multiples
+  // of 64, so with quantization the second batch is a plan-cache hit and both
+  // plans use the rounded shapes.
+  std::vector<std::vector<data::Sample>> batches = {
+      MakeBatch({{190, 0}, {150, 0}, {60, 0}, {60, 0}}, 0),
+      MakeBatch({{180, 0}, {130, 0}, {64, 0}, {33, 0}}, 100),
+  };
+  size_t next = 0;
+  auto source = [&]() -> std::vector<data::Sample> {
+    return next < batches.size() ? batches[next++] : std::vector<data::Sample>{};
+  };
+  runtime::IterationPlanner planner(cm_, FastPlanner());
+  service::PlanAheadOptions sopts;
+  sopts.plan_cache = std::make_shared<service::PlanCache>();
+  sopts.fold_target_lengths = true;
+  sopts.quantization = 64;
+  service::PlanAheadService svc(
+      [&](const std::vector<data::Sample>& mb) {
+        return planner.PlanIteration(mb);
+      },
+      source, sopts);
+
+  std::optional<service::ServicedPlan> first = svc.NextPlan();
+  std::optional<service::ServicedPlan> second = svc.NextPlan();
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_FALSE(first->plan_cache_hit);
+  EXPECT_TRUE(second->plan_cache_hit);
+  int64_t tokens = 0;
+  for (const auto* sp : {&*first, &*second}) {
+    ASSERT_TRUE(sp->plan.feasible);
+    for (const auto& m : sp->plan.replicas[0].micro_batches) {
+      // Planned shapes are quantized; the samples inside are the raw ones.
+      EXPECT_EQ(m.shape.input_len % 64, 0);
+      for (const auto& s : m.samples) {
+        EXPECT_LE(s.input_len, m.shape.input_len);
+        tokens += s.total_tokens();
+      }
+    }
+  }
+  EXPECT_EQ(tokens, 460 + 407);
+  EXPECT_EQ(first->plan.predicted_iteration_ms,
+            second->plan.predicted_iteration_ms);
+}
+
+TEST_F(PlanAheadServiceTest, TeardownWithUnfetchedPlansDoesNotHang) {
+  // Consume one plan, never fetch its exec plans, and destroy the service
+  // with the store full, publishes deferred, and tasks still in flight:
+  // Shutdown must drain them all without delivering anything.
+  const data::Dataset dataset = SmallDataset();
+  runtime::IterationPlanner planner(cm_, FastPlanner());
+  data::MiniBatchSamplerOptions so;
+  so.global_batch_tokens = 4096;
+  so.max_input_len = 1024;
+  data::MiniBatchSampler sampler(dataset, so);
+  auto source = [&]() -> std::vector<data::Sample> {
+    return sampler.HasNext() ? sampler.Next() : std::vector<data::Sample>{};
+  };
+  ThreadPool pool(2);
+  service::PlanAheadOptions sopts;
+  sopts.lookahead = 3;
+  sopts.pool = &pool;
+  sopts.store_capacity = 1;
+  {
+    service::PlanAheadService svc(
+        [&](const std::vector<data::Sample>& mb) {
+          return planner.PlanIteration(mb);
+        },
+        source, sopts);
+    std::optional<service::ServicedPlan> sp = svc.NextPlan();
+    ASSERT_TRUE(sp.has_value());
+  }  // destructor: shutdown, drain in-flight tasks
+  SUCCEED();
+}
+
+TEST_F(PlanAheadServiceTest, PlanningExceptionSurfacesAsInfeasiblePlan) {
+  // A throwing planner must not wedge the pipeline (the slot would otherwise
+  // never be planned); it surfaces as an infeasible plan instead.
+  for (const int32_t lookahead : {0, 2}) {
+    ThreadPool pool(2);
+    size_t next = 0;
+    auto source = [&]() -> std::vector<data::Sample> {
+      return next++ == 0 ? MakeBatch({{64, 0}}, 0) : std::vector<data::Sample>{};
+    };
+    service::PlanAheadOptions sopts;
+    sopts.lookahead = lookahead;
+    sopts.pool = lookahead > 0 ? &pool : nullptr;
+    service::PlanAheadService svc(
+        [](const std::vector<data::Sample>&) -> runtime::IterationPlan {
+          throw std::runtime_error("cost model exploded");
+        },
+        source, sopts);
+    std::optional<service::ServicedPlan> sp = svc.NextPlan();
+    ASSERT_TRUE(sp.has_value());
+    EXPECT_FALSE(sp->plan.feasible);
+    EXPECT_NE(sp->plan.infeasible_reason.find("cost model exploded"),
+              std::string::npos);
+    EXPECT_FALSE(svc.NextPlan().has_value());
+  }
+}
+
+TEST_F(PlanAheadServiceTest, EmptySourceYieldsNoPlans) {
+  runtime::IterationPlanner planner(cm_, FastPlanner());
+  service::PlanAheadService svc(
+      [&](const std::vector<data::Sample>& mb) {
+        return planner.PlanIteration(mb);
+      },
+      []() { return std::vector<data::Sample>{}; }, {});
+  EXPECT_FALSE(svc.NextPlan().has_value());
+  EXPECT_FALSE(svc.NextPlan().has_value());  // idempotent after drain
+}
+
+// ---------- trainer integration ----------
+
+TEST(TrainerServiceTest, LookaheadCacheSerdeEpochIdenticalToInline) {
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  runtime::Trainer trainer(config, hw, {1, 1, 4}, SmallProfile());
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+
+  runtime::TrainerOptions inline_opts;
+  inline_opts.global_batch_tokens = 6144;
+  inline_opts.max_input_len = 1024;
+  inline_opts.max_iterations = 3;
+  const runtime::EpochResult base =
+      trainer.RunEpoch(dataset, FastPlanner(), inline_opts);
+  ASSERT_TRUE(base.feasible) << base.failure;
+
+  runtime::TrainerOptions piped = inline_opts;
+  piped.planning_threads = 2;
+  piped.plan_lookahead = 3;
+  piped.serialize_plans = true;
+  piped.instruction_store_capacity = 4;
+  const runtime::EpochResult got = trainer.RunEpoch(dataset, FastPlanner(), piped);
+  ASSERT_TRUE(got.feasible) << got.failure;
+  ASSERT_EQ(base.iterations, got.iterations);
+  EXPECT_EQ(base.real_tokens, got.real_tokens);
+  EXPECT_GT(got.serialized_plan_bytes, 0);
+  EXPECT_EQ(base.serialized_plan_bytes, 0);
+  for (size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base.records[i].predicted_ms, got.records[i].predicted_ms);
+    EXPECT_DOUBLE_EQ(base.records[i].measured_ms, got.records[i].measured_ms);
+    EXPECT_EQ(base.records[i].num_microbatches, got.records[i].num_microbatches);
+  }
+}
+
+TEST(TrainerServiceTest, ReplayedEpochHitsPlanCache) {
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  runtime::Trainer trainer(config, hw, {1, 1, 4}, SmallProfile());
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+
+  runtime::TrainerOptions opts;
+  opts.global_batch_tokens = 6144;
+  opts.max_input_len = 1024;
+  opts.max_iterations = 3;
+  opts.plan_cache = true;
+  const runtime::EpochResult first = trainer.RunEpoch(dataset, FastPlanner(), opts);
+  ASSERT_TRUE(first.feasible) << first.failure;
+  EXPECT_EQ(first.plan_cache_hits, 0);
+  EXPECT_EQ(first.plan_cache_misses, first.iterations);
+
+  // Same sampler seed -> the epoch replays the same mini-batches; every
+  // iteration must now come from the plan cache with identical results.
+  const runtime::EpochResult second = trainer.RunEpoch(dataset, FastPlanner(), opts);
+  ASSERT_TRUE(second.feasible) << second.failure;
+  EXPECT_EQ(second.plan_cache_hits, second.iterations);
+  EXPECT_EQ(second.plan_cache_misses, 0);
+  EXPECT_EQ(first.real_tokens, second.real_tokens);
+  ASSERT_EQ(first.records.size(), second.records.size());
+  for (size_t i = 0; i < first.records.size(); ++i) {
+    EXPECT_TRUE(second.records[i].plan_cache_hit);
+    EXPECT_EQ(second.records[i].partition_ms, 0.0);
+    EXPECT_EQ(second.records[i].schedule_ms, 0.0);
+    EXPECT_DOUBLE_EQ(first.records[i].predicted_ms, second.records[i].predicted_ms);
+    EXPECT_DOUBLE_EQ(first.records[i].measured_ms, second.records[i].measured_ms);
+  }
+  // Cached planning must be far cheaper than the planned epoch.
+  EXPECT_LT(second.planning_time_ms, first.planning_time_ms);
+}
+
+TEST(TrainerServiceTest, BaselineEpochStillRunsThroughService) {
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  runtime::Trainer trainer(config, hw, {1, 1, 4}, SmallProfile());
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 200;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  runtime::TrainerOptions opts;
+  opts.global_batch_tokens = 8192;
+  opts.max_input_len = 1024;
+  opts.max_iterations = 2;
+  opts.planning_threads = 2;  // plan-ahead applies to baselines too
+  opts.plan_cache = true;     // silently ignored: baseline plans cannot rebind
+  opts.serialize_plans = true;
+  runtime::BaselineOptions base;
+  base.batching = runtime::BaselineBatching::kPacking;
+  base.microbatch_size = 2;
+  const runtime::EpochResult res = trainer.RunEpochBaseline(dataset, base, opts);
+  ASSERT_TRUE(res.feasible) << res.failure;
+  EXPECT_GT(res.tokens_per_second(), 0.0);
+  EXPECT_GT(res.serialized_plan_bytes, 0);
+  EXPECT_EQ(res.plan_cache_hits + res.plan_cache_misses, 0);
+}
+
+}  // namespace
+}  // namespace dynapipe
