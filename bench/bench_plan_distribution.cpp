@@ -1,0 +1,144 @@
+// Plan distribution latency: per-plan publish/fetch cost by store backend.
+//
+// The plan-ahead pipeline hides planning latency, but the *distribution* hop
+// — publishing a serialized plan into the store and fetching it back on the
+// executor side — sits on the critical path of every iteration start. This
+// bench measures that hop per backend, same plan, same contract:
+//
+//   in-process         move the plan object (no encode)
+//   in-process serde   encode on Push, decode on Fetch (plan_serde)
+//   loopback wire      full frame protocol over in-memory streams
+//   unix socket wire   full frame protocol over AF_UNIX, one connection per
+//                      request (connect cost included — that is the wire
+//                      path's real per-request price)
+//
+// Reported numbers go into bench/README.md ("Plan distribution"); the wire
+// rows bound what a real multi-process deployment pays per plan, and the gap
+// between serde and wire rows is pure transport (frames + syscalls + threads).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cost/pipeline_cost_model.h"
+#include "src/data/minibatch_sampler.h"
+#include "src/runtime/instruction_store.h"
+#include "src/service/plan_serde.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
+
+namespace {
+
+using namespace dynapipe;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  const char* name;
+  double push_ms;
+  double fetch_ms;
+};
+
+Row Measure(const char* name, runtime::InstructionStoreInterface& store,
+            const sim::ExecutionPlan& plan, int rounds) {
+  // Warm-up round: first connect on a fresh socket path and first allocation
+  // are not steady state.
+  store.Push(-1, 0, plan);
+  store.Fetch(-1, 0);
+  double push_ms = 0.0;
+  double fetch_ms = 0.0;
+  for (int i = 0; i < rounds; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    store.Push(i, 0, plan);
+    push_ms += MsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    const sim::ExecutionPlan fetched = store.Fetch(i, 0);
+    fetch_ms += MsSince(t0);
+    if (fetched.num_microbatches != plan.num_microbatches) {
+      std::printf("!! %s corrupted a plan\n", name);
+    }
+  }
+  return {name, push_ms / rounds, fetch_ms / rounds};
+}
+
+}  // namespace
+
+int main() {
+  // One representative plan from the bench epoch (GPT-3.35B, 4 stages,
+  // 65k-token batch): a realistic instruction stream, not a toy.
+  const auto cost_model = cost::PipelineCostModel::Profile(
+      model::ModelConfig::Gpt3_35B(), model::HardwareSpec{}, {1, 1, 4},
+      bench::BenchProfile());
+  runtime::IterationPlanner planner(cost_model, bench::BenchPlanner());
+  const data::Dataset dataset = bench::BenchDataset();
+  data::MiniBatchSamplerOptions sopts;
+  sopts.global_batch_tokens = 65'536;
+  sopts.max_input_len = 2048;
+  data::MiniBatchSampler sampler(dataset, sopts);
+  runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
+  if (!plan.feasible) {
+    std::printf("planning failed: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  const sim::ExecutionPlan& exec = plan.replicas[0].exec_plan;
+  size_t instructions = 0;
+  for (const auto& dev : exec.devices) {
+    instructions += dev.instructions.size();
+  }
+  const std::string encoded = service::EncodeExecutionPlan(exec);
+  std::printf("plan: %d microbatches, %d devices, %zu instructions, "
+              "%zu encoded bytes\n\n",
+              exec.num_microbatches, exec.num_devices(), instructions,
+              encoded.size());
+
+  constexpr int kRounds = 300;
+  std::vector<Row> rows;
+  {
+    runtime::InstructionStore store;
+    rows.push_back(Measure("in-process", store, exec, kRounds));
+  }
+  {
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    rows.push_back(Measure("in-process serde", store, exec, kRounds));
+  }
+  {
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    transport::LoopbackTransport transport;
+    transport::InstructionStoreServer server(&transport, &store);
+    auto client = transport::RemoteInstructionStore::OverTransport(&transport);
+    rows.push_back(Measure("loopback wire", *client, exec, kRounds));
+    server.Stop();
+  }
+  {
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    transport::UnixSocketTransport transport(
+        "/tmp/dynapipe-bench-" + std::to_string(::getpid()) + ".sock");
+    transport::InstructionStoreServer server(&transport, &store);
+    auto client = transport::RemoteInstructionStore::OverTransport(&transport);
+    rows.push_back(Measure("unix socket wire", *client, exec, kRounds));
+    server.Stop();
+  }
+
+  std::printf("%-18s | %10s | %10s | %10s\n", "backend", "push ms", "fetch ms",
+              "round trip");
+  std::printf("-------------------+------------+------------+-----------\n");
+  for (const Row& row : rows) {
+    std::printf("%-18s | %10.4f | %10.4f | %10.4f\n", row.name, row.push_ms,
+                row.fetch_ms, row.push_ms + row.fetch_ms);
+  }
+  std::printf("\n(%d rounds per backend; wire rows include one connect per "
+              "request)\n",
+              kRounds);
+  return 0;
+}

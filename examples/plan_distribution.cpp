@@ -1,0 +1,206 @@
+// Two-process plan distribution: a planner process publishes an epoch of
+// execution plans through an InstructionStoreServer over a Unix domain
+// socket; a fork()ed executor process fetches them with
+// RemoteInstructionStore and decodes the instruction streams.
+//
+// This is the paper's §3 deployment shape for real: planning happens on the
+// dataloader side, executors live in other processes, and the only thing that
+// crosses the boundary is serialized plan bytes (plan_serde) — no shared
+// memory, no in-process pointers. The walk:
+//   1. plan a short epoch inline (planner process, before any threads exist),
+//   2. fork the executor, which waits for the publish signal,
+//   3. planner: serve the store on a socket, publish every (iteration,
+//      replica) plan, signal readiness,
+//   4. executor: fetch + decode each plan, verify it re-encodes to the exact
+//      published bytes, report per-fetch latency over the pipe.
+//
+// Build & run:  cmake -B build -S . && cmake --build build &&
+//               ./build/plan_distribution
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cost/pipeline_cost_model.h"
+#include "src/data/flan_generator.h"
+#include "src/data/minibatch_sampler.h"
+#include "src/runtime/instruction_store.h"
+#include "src/runtime/planner.h"
+#include "src/service/plan_serde.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
+
+namespace {
+
+bool WriteFull(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0 && errno != EINTR) return false;
+    if (w > 0) {
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+  }
+  return true;
+}
+
+bool ReadFull(int fd, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+struct FetchReport {
+  int64_t iteration;
+  int64_t bytes;
+  double fetch_ms;
+  int32_t devices;
+  int32_t instructions;
+  unsigned char byte_identical;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dynapipe;
+  const std::string socket_path =
+      "/tmp/dynapipe-example-" + std::to_string(::getpid()) + ".sock";
+
+  // --- 1. Plan a short epoch inline (no threads yet: fork below stays safe).
+  std::printf("[planner] profiling cost model and planning an epoch...\n");
+  cost::ProfileOptions profile;
+  profile.max_microbatch_size = 32;
+  profile.max_seq_len = 4096;
+  const auto cost_model = cost::PipelineCostModel::Profile(
+      model::ModelConfig::Gpt3_35B(), model::HardwareSpec{}, {1, 1, 4}, profile);
+  runtime::PlannerOptions popts;
+  popts.max_tmax_candidates = 48;
+  popts.tmax_interval_ms = 0.5;
+  popts.max_microbatch_size = 32;
+  runtime::IterationPlanner planner(cost_model, popts);
+
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 400;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  data::MiniBatchSamplerOptions sopts;
+  sopts.global_batch_tokens = 8192;
+  sopts.max_input_len = 1024;
+  data::MiniBatchSampler sampler(dataset, sopts);
+
+  constexpr int kIterations = 4;
+  std::vector<sim::ExecutionPlan> plans;
+  for (int i = 0; i < kIterations && sampler.HasNext(); ++i) {
+    runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
+    if (!plan.feasible) {
+      std::printf("planning failed: %s\n", plan.infeasible_reason.c_str());
+      return 1;
+    }
+    plans.push_back(std::move(plan.replicas[0].exec_plan));
+  }
+  std::printf("[planner] %zu iterations planned\n", plans.size());
+
+  int ready_pipe[2];
+  int report_pipe[2];
+  if (::pipe(ready_pipe) != 0 || ::pipe(report_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+
+  if (child == 0) {
+    // --- Executor process: fetch, decode, verify, report.
+    ::close(ready_pipe[1]);
+    ::close(report_pipe[0]);
+    char go;
+    if (!ReadFull(ready_pipe[0], &go, 1)) ::_exit(2);
+    auto store = transport::RemoteInstructionStore::OverUnixSocket(
+        socket_path, /*connect_timeout_ms=*/10'000);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::ExecutionPlan plan =
+          store->Fetch(static_cast<int64_t>(i), /*replica=*/0);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      // The child inherited the planner's pre-fork plans, so it can verify
+      // the wire delivered exactly what was published.
+      const std::string bytes = service::EncodeExecutionPlan(plan);
+      FetchReport report;
+      report.iteration = static_cast<int64_t>(i);
+      report.bytes = static_cast<int64_t>(bytes.size());
+      report.fetch_ms = ms;
+      report.devices = plan.num_devices();
+      report.instructions = 0;
+      for (const auto& dev : plan.devices) {
+        report.instructions += static_cast<int32_t>(dev.instructions.size());
+      }
+      report.byte_identical =
+          bytes == service::EncodeExecutionPlan(plans[i]) ? 1 : 0;
+      if (!WriteFull(report_pipe[1], &report, sizeof(report))) ::_exit(3);
+    }
+    ::_exit(0);
+  }
+
+  // --- Planner process: serve the store, publish, then wait for the report.
+  ::close(ready_pipe[0]);
+  ::close(report_pipe[1]);
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  transport::UnixSocketTransport transport(socket_path);
+  transport::InstructionStoreServer server(&transport, &store);
+  const auto publish_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    store.Push(static_cast<int64_t>(i), /*replica=*/0, plans[i]);
+  }
+  const double publish_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - publish_start)
+                                .count();
+  std::printf("[planner] published %zu plans (%.2f ms, %lld encoded bytes), "
+              "serving on %s\n",
+              plans.size(), publish_ms,
+              static_cast<long long>(store.serialized_bytes_total()),
+              socket_path.c_str());
+  WriteFull(ready_pipe[1], "g", 1);
+
+  std::printf("  iter | devices | instrs | bytes  | fetch ms | byte-identical\n");
+  bool all_identical = true;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    FetchReport report;
+    if (!ReadFull(report_pipe[0], &report, sizeof(report))) {
+      std::printf("[planner] executor died mid-epoch\n");
+      return 1;
+    }
+    all_identical = all_identical && report.byte_identical != 0;
+    std::printf("  %4lld | %7d | %6d | %6lld | %8.3f | %s\n",
+                static_cast<long long>(report.iteration), report.devices,
+                report.instructions, static_cast<long long>(report.bytes),
+                report.fetch_ms, report.byte_identical ? "yes" : "NO");
+  }
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  server.Stop();
+  const bool child_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::printf("[planner] executor exit %s; store drained to %zu entries; %s\n",
+              child_ok ? "clean" : "ABNORMAL", store.size(),
+              all_identical ? "every fetched plan was byte-identical"
+                            : "BYTE MISMATCH");
+  return child_ok && all_identical ? 0 : 1;
+}

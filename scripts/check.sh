@@ -10,5 +10,26 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" \
   -DDYNAPIPE_WERROR=ON
+
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# Every tests/*.cpp must be a registered ctest suite: a test file that exists
+# but never runs is worse than no test. (CMake globs tests/ today, but this
+# guards against explicit lists drifting and against stale configure caches.)
+# Runs after the build — pre-build `ctest -N` interleaves missing-executable
+# noise into the listing.
+registered="$(ctest --test-dir "$BUILD_DIR" -N | sed -n 's/^ *Test *#[0-9]*: //p')"
+missing=0
+for test_src in tests/*.cpp; do
+  name="$(basename "$test_src" .cpp)"
+  if ! grep -qx "$name" <<<"$registered"; then
+    echo "ERROR: $test_src is not registered with ctest (suite '$name' missing)" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "ERROR: unregistered test files — fix CMakeLists.txt or re-configure" >&2
+  exit 1
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -5,6 +5,38 @@
 
 namespace dynapipe::runtime {
 
+bool InstructionStore::Insert(int64_t iteration, int32_t replica, Entry entry,
+                              size_t encoded_bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return shutdown_ || options_.capacity == 0 ||
+           plans_.size() < options_.capacity;
+  });
+  if (shutdown_) {
+    return false;  // dropped; the consumer is gone
+  }
+  const auto key = std::make_pair(iteration, replica);
+  DYNAPIPE_CHECK_MSG(plans_.find(key) == plans_.end(),
+                     "plan already published for this iteration/replica");
+  serialized_bytes_total_ += static_cast<int64_t>(encoded_bytes);
+  plans_.emplace(key, std::move(entry));
+  return true;
+}
+
+InstructionStore::Entry InstructionStore::Remove(int64_t iteration,
+                                                 int32_t replica) {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(std::make_pair(iteration, replica));
+    DYNAPIPE_CHECK_MSG(it != plans_.end(), "fetching unpublished plan");
+    entry = std::move(it->second);
+    plans_.erase(it);
+  }
+  cv_.notify_all();
+  return entry;
+}
+
 void InstructionStore::Push(int64_t iteration, int32_t replica,
                             sim::ExecutionPlan plan) {
   // Serialize outside the lock: encoding is the expensive part and needs no
@@ -17,35 +49,30 @@ void InstructionStore::Push(int64_t iteration, int32_t replica,
   } else {
     entry.plan = std::move(plan);
   }
-
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return shutdown_ || options_.capacity == 0 ||
-           plans_.size() < options_.capacity;
-  });
-  if (shutdown_) {
-    return;  // dropped; the consumer is gone
-  }
-  const auto key = std::make_pair(iteration, replica);
-  DYNAPIPE_CHECK_MSG(plans_.find(key) == plans_.end(),
-                     "plan already published for this iteration/replica");
-  serialized_bytes_total_ += static_cast<int64_t>(encoded_bytes);
-  plans_.emplace(key, std::move(entry));
+  Insert(iteration, replica, std::move(entry), encoded_bytes);
 }
 
 sim::ExecutionPlan InstructionStore::Fetch(int64_t iteration, int32_t replica) {
-  Entry entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = plans_.find(std::make_pair(iteration, replica));
-    DYNAPIPE_CHECK_MSG(it != plans_.end(), "fetching unpublished plan");
-    entry = std::move(it->second);
-    plans_.erase(it);
-  }
-  cv_.notify_all();
+  Entry entry = Remove(iteration, replica);
   // Decode outside the lock, mirroring Push.
   return options_.serialized ? service::DecodeExecutionPlan(entry.bytes)
                              : std::move(entry.plan);
+}
+
+bool InstructionStore::PushBytes(int64_t iteration, int32_t replica,
+                                 std::string bytes) {
+  DYNAPIPE_CHECK_MSG(options_.serialized,
+                     "PushBytes needs a serialized-mode store");
+  Entry entry;
+  entry.bytes = std::move(bytes);
+  const size_t encoded_bytes = entry.bytes.size();
+  return Insert(iteration, replica, std::move(entry), encoded_bytes);
+}
+
+std::string InstructionStore::FetchBytes(int64_t iteration, int32_t replica) {
+  DYNAPIPE_CHECK_MSG(options_.serialized,
+                     "FetchBytes needs a serialized-mode store");
+  return std::move(Remove(iteration, replica).bytes);
 }
 
 bool InstructionStore::Contains(int64_t iteration, int32_t replica) const {

@@ -1,19 +1,23 @@
-// In-process stand-in for DynaPipe's distributed instruction store (§3).
+// Instruction store: the publish-before-fetch plan hand-off point.
 //
 // Planners push compiled execution plans keyed by (iteration, replica);
 // executors fetch them when the iteration starts. The paper uses Redis in host
 // memory holding *serialized* instruction streams so CPU-side planning of
-// future iterations overlaps GPU execution; this store keeps the same
-// publish-before-fetch contract (fetching a missing plan is a fatal error, as
-// is double-publishing) and adds the two properties the plan-ahead pipeline
-// needs:
-//   - serialized mode: plans are encoded to the compact plan_serde byte format
-//     on Push and decoded on Fetch, so the contract is exercised across a real
-//     encode/decode boundary instead of moving in-process objects around;
-//   - a capacity bound: Push blocks while `capacity` plans are resident, which
-//     backpressures planners that run ahead of the executors (the paper's
-//     bounded Redis working set).
-// Thread-safe; one producer pipeline and any number of fetching executors.
+// future iterations overlaps GPU execution (§3). InstructionStoreInterface is
+// that contract as an abstract API — fetching a missing plan is a fatal
+// error, as is double-publishing, and capacity backpressure surfaces as a
+// blocking Push — with two implementations today:
+//   - InstructionStore (below): the in-process store, optionally holding
+//     plans in the compact plan_serde byte format (serialized mode) and
+//     optionally capacity-bounded (Push blocks while `capacity` plans are
+//     resident, backpressuring planners that run ahead of the executors — the
+//     paper's bounded Redis working set);
+//   - transport::RemoteInstructionStore: a client that speaks the same API
+//     across a process boundary to an InstructionStoreServer wrapping the
+//     store above (src/transport/), which is how executor processes fetch
+//     plans for real.
+// Everything above the interface (PlanAheadService, Trainer) is agnostic to
+// which one it is talking to.
 #ifndef DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_
 #define DYNAPIPE_SRC_RUNTIME_INSTRUCTION_STORE_H_
 
@@ -28,6 +32,36 @@
 
 namespace dynapipe::runtime {
 
+// The store contract every backend implements. Thread-safe; one producer
+// pipeline and any number of fetching executors.
+class InstructionStoreInterface {
+ public:
+  virtual ~InstructionStoreInterface() = default;
+
+  // Publishes one replica's plan. Blocks while the store is at capacity;
+  // publishing a key twice aborts. After Shutdown, Push drops the plan and
+  // returns immediately (the pipeline is being torn down).
+  virtual void Push(int64_t iteration, int32_t replica,
+                    sim::ExecutionPlan plan) = 0;
+
+  // Fetch removes the plan (each plan is executed exactly once) and unblocks
+  // one waiting Push. Fetching an unpublished plan aborts.
+  virtual sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) = 0;
+
+  virtual bool Contains(int64_t iteration, int32_t replica) const = 0;
+  virtual size_t size() const = 0;
+
+  // Unblocks and disarms all current and future Push calls. For tearing down
+  // a plan-ahead pipeline whose consumer stopped fetching (e.g. the epoch
+  // failed mid-flight); fetch of already-published plans still works.
+  virtual void Shutdown() = 0;
+
+  // Cumulative encoded bytes pushed through this endpoint (0 when plans never
+  // cross an encode boundary) — the "wire" volume the paper's Redis store
+  // would carry.
+  virtual int64_t serialized_bytes_total() const = 0;
+};
+
 struct InstructionStoreOptions {
   // Encode plans on Push and decode on Fetch (service/plan_serde format).
   bool serialized = false;
@@ -36,39 +70,43 @@ struct InstructionStoreOptions {
   size_t capacity = 0;
 };
 
-class InstructionStore {
+// The in-process backend (and the storage a transport server fronts).
+class InstructionStore final : public InstructionStoreInterface {
  public:
   InstructionStore() = default;
   explicit InstructionStore(InstructionStoreOptions options)
       : options_(options) {}
 
-  // Publishes one replica's plan. Blocks while the store is at capacity;
-  // publishing a key twice aborts. After Shutdown, Push drops the plan and
-  // returns immediately (the pipeline is being torn down).
-  void Push(int64_t iteration, int32_t replica, sim::ExecutionPlan plan);
+  void Push(int64_t iteration, int32_t replica,
+            sim::ExecutionPlan plan) override;
+  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) override;
+  bool Contains(int64_t iteration, int32_t replica) const override;
+  size_t size() const override;
+  void Shutdown() override;
+  int64_t serialized_bytes_total() const override;
 
-  // Fetch removes the plan (each plan is executed exactly once) and unblocks
-  // one waiting Push. Fetching an unpublished plan aborts.
-  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica);
-
-  bool Contains(int64_t iteration, int32_t replica) const;
-  size_t size() const;
-
-  // Unblocks and disarms all current and future Push calls. For tearing down
-  // a plan-ahead pipeline whose consumer stopped fetching (e.g. the epoch
-  // failed mid-flight); fetch of already-published plans still works.
-  void Shutdown();
+  // Byte-level entry points for the transport server (serialized mode only):
+  // the wire already carries plan_serde bytes, so the server stores and
+  // returns them verbatim — no decode/encode cycle, and plans stay
+  // byte-identical end to end. Same contract as Push/Fetch: PushBytes blocks
+  // at capacity (returns false when Shutdown dropped the plan instead), and
+  // FetchBytes of an unpublished key aborts.
+  bool PushBytes(int64_t iteration, int32_t replica, std::string bytes);
+  std::string FetchBytes(int64_t iteration, int32_t replica);
 
   const InstructionStoreOptions& options() const { return options_; }
-  // Cumulative encoded bytes pushed in serialized mode (0 otherwise) — the
-  // "wire" volume the paper's Redis store would carry.
-  int64_t serialized_bytes_total() const;
 
  private:
   struct Entry {
     sim::ExecutionPlan plan;  // in-memory mode
     std::string bytes;        // serialized mode
   };
+
+  // Shared Push/PushBytes tail: waits for headroom, rejects double publish,
+  // inserts. Returns false when Shutdown dropped the entry.
+  bool Insert(int64_t iteration, int32_t replica, Entry entry,
+              size_t encoded_bytes);
+  Entry Remove(int64_t iteration, int32_t replica);
 
   InstructionStoreOptions options_;
   mutable std::mutex mu_;

@@ -5,12 +5,19 @@
 #include <optional>
 #include <string>
 
+#include <unistd.h>
+
+#include <atomic>
+
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
 #include "src/runtime/ground_truth.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/sim/cluster_sim.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
 
 namespace dynapipe::runtime {
 namespace {
@@ -72,6 +79,14 @@ uint64_t PlannerConfigHash(const model::ModelConfig& config,
   h = service::HashCombine(h, static_cast<uint64_t>(planner.max_tmax_candidates));
   h = service::HashCombine(h, static_cast<uint64_t>(planner.max_microbatch_size));
   return h;
+}
+
+// Unique per epoch so concurrent trainers (grid search) never collide on a
+// socket path.
+std::string DeriveSocketPath() {
+  static std::atomic<uint64_t> counter{0};
+  return "/tmp/dynapipe-store-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
 }
 
 }  // namespace
@@ -169,6 +184,25 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   sopts.fold_target_lengths = config_.arch == model::ModelArch::kGpt;
   sopts.serialize_plans = options.serialize_plans;
   sopts.store_capacity = options.instruction_store_capacity;
+  // Socket backend: host the server side of the wire (store + listener) and
+  // hand the service a remote client. Declared before `service` below so the
+  // server outlives it — the service's shutdown still round-trips through the
+  // socket. The publisher's deferral logic needs store_capacity to mirror the
+  // server store's bound, which it does by construction here.
+  std::optional<InstructionStore> server_store;
+  std::optional<transport::UnixSocketTransport> socket_transport;
+  std::optional<transport::InstructionStoreServer> store_server;
+  if (options.plan_store_backend ==
+      TrainerOptions::PlanStoreBackend::kUnixSocket) {
+    server_store.emplace(InstructionStoreOptions{
+        /*serialized=*/true, options.instruction_store_capacity});
+    socket_transport.emplace(options.plan_store_socket_path.empty()
+                                 ? DeriveSocketPath()
+                                 : options.plan_store_socket_path);
+    store_server.emplace(&*socket_transport, &*server_store);
+    sopts.store = transport::RemoteInstructionStore::OverUnixSocket(
+        socket_transport->path());
+  }
   if (allow_plan_cache && options.plan_cache) {
     if (plan_cache_ == nullptr) {
       plan_cache_ = std::make_shared<service::PlanCache>(

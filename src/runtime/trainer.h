@@ -72,6 +72,19 @@ struct TrainerOptions {
   // backpressure; 0 = unbounded, must be >= dp replicas otherwise).
   bool serialize_plans = false;
   size_t instruction_store_capacity = 0;
+  // Which instruction-store backend carries plans from the plan-ahead
+  // pipeline to the executors (src/transport/):
+  //   - kInProcess: the store lives in this process (serialize_plans decides
+  //     whether plans cross an encode/decode boundary);
+  //   - kUnixSocket: plans publish through a RemoteInstructionStore client to
+  //     an InstructionStoreServer over a Unix domain socket — the full
+  //     cross-process wire path (frames, plan_serde bytes, server-side
+  //     capacity backpressure), hosted in-process by the trainer so results
+  //     stay bit-identical while exercising the real transport.
+  enum class PlanStoreBackend { kInProcess, kUnixSocket };
+  PlanStoreBackend plan_store_backend = PlanStoreBackend::kInProcess;
+  // Socket path for kUnixSocket; empty derives a unique /tmp path per epoch.
+  std::string plan_store_socket_path;
 };
 
 struct IterationRecord {

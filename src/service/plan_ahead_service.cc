@@ -16,8 +16,11 @@ PlanAheadService::PlanAheadService(PlanFn plan_fn, MiniBatchSource source,
                                    PlanAheadOptions options)
     : plan_fn_(std::move(plan_fn)), source_(std::move(source)),
       options_(std::move(options)),
-      store_(runtime::InstructionStoreOptions{options_.serialize_plans,
-                                              options_.store_capacity}) {
+      store_(options_.store != nullptr
+                 ? options_.store
+                 : std::make_shared<runtime::InstructionStore>(
+                       runtime::InstructionStoreOptions{
+                           options_.serialize_plans, options_.store_capacity})) {
   DYNAPIPE_CHECK(plan_fn_ != nullptr);
   DYNAPIPE_CHECK(source_ != nullptr);
   DYNAPIPE_CHECK(options_.lookahead >= 0);
@@ -38,7 +41,7 @@ void PlanAheadService::Shutdown() {
   }
   cv_.notify_all();
   // Unblock anything stuck in a full store; its plans are dropped.
-  store_.Shutdown();
+  store_->Shutdown();
   std::unique_lock<std::mutex> lock(mu_);
   while (in_flight_ != 0) {
     if (options_.pool != nullptr) {
@@ -205,7 +208,7 @@ void PlanAheadService::PublishLocked(std::unique_lock<std::mutex>& lock) {
                        "instruction store capacity below one iteration's "
                        "replica count can never publish");
     if (options_.store_capacity != 0 &&
-        store_.size() + num_plans > options_.store_capacity) {
+        resident_plans_ + num_plans > options_.store_capacity) {
       return;  // deferred until the consumer fetches
     }
     publishing_ = true;
@@ -218,12 +221,13 @@ void PlanAheadService::PublishLocked(std::unique_lock<std::mutex>& lock) {
     const int64_t iteration = next_publish_;
     lock.unlock();
     for (size_t d = 0; d < exec_plans.size(); ++d) {
-      store_.Push(iteration, static_cast<int32_t>(d),
+      store_->Push(iteration, static_cast<int32_t>(d),
                   std::move(exec_plans[d]));
     }
     lock.lock();
     // The slot iterator stays valid: only the consumer erases slots, and it
     // waits for `published` below.
+    resident_plans_ += exec_plans.size();
     it->second.published = true;
     ++next_publish_;
     publishing_ = false;
@@ -300,9 +304,12 @@ std::optional<ServicedPlan> PlanAheadService::NextPlan() {
 
 sim::ExecutionPlan PlanAheadService::FetchExecPlan(int64_t iteration,
                                                    int32_t replica) {
-  sim::ExecutionPlan plan = store_.Fetch(iteration, replica);
+  sim::ExecutionPlan plan = store_->Fetch(iteration, replica);
   // The fetch may have freed the headroom a deferred publish is waiting for.
   std::unique_lock<std::mutex> lock(mu_);
+  if (resident_plans_ > 0) {
+    --resident_plans_;
+  }
   PublishLocked(lock);
   return plan;
 }
@@ -310,7 +317,7 @@ sim::ExecutionPlan PlanAheadService::FetchExecPlan(int64_t iteration,
 PlanAheadServiceStats PlanAheadService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanAheadServiceStats out = stats_;
-  out.published_bytes = store_.serialized_bytes_total();
+  out.published_bytes = store_->serialized_bytes_total();
   return out;
 }
 

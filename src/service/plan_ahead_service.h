@@ -72,6 +72,15 @@ struct PlanAheadOptions {
   // least the number of replicas of one iteration.
   bool serialize_plans = false;
   size_t store_capacity = 0;
+  // Store backend override. Null (default): the service owns an in-process
+  // InstructionStore built from the two knobs above. Non-null: plans publish
+  // to this store instead — e.g. a transport::RemoteInstructionStore fronting
+  // another process — and serialize_plans is ignored (a remote backend always
+  // serializes). store_capacity must still mirror the backend's actual
+  // capacity: the publisher uses it to defer (rather than block in) pushes
+  // that would exceed it, which is what keeps a consumer that help-drains
+  // planning tasks from wedging against its own unfetched plans.
+  std::shared_ptr<runtime::InstructionStoreInterface> store;
 };
 
 // One delivered iteration. The execution plans have already been published to
@@ -124,7 +133,7 @@ class PlanAheadService {
   // consumer aborts mid-epoch.
   void Shutdown();
 
-  const runtime::InstructionStore& store() const { return store_; }
+  const runtime::InstructionStoreInterface& store() const { return *store_; }
   PlanAheadServiceStats stats() const;
 
  private:
@@ -152,7 +161,9 @@ class PlanAheadService {
   PlanFn plan_fn_;
   MiniBatchSource source_;
   PlanAheadOptions options_;
-  runtime::InstructionStore store_;
+  // options_.store, or the service-owned in-process store. Everything below
+  // this line is backend-agnostic.
+  std::shared_ptr<runtime::InstructionStoreInterface> store_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -160,6 +171,11 @@ class PlanAheadService {
   int64_t next_submit_ = 0;
   int64_t next_publish_ = 0;
   int64_t next_deliver_ = 0;
+  // Plans resident in the store, tracked locally: the service is the store's
+  // only producer and FetchExecPlan its only consumer, so this mirrors
+  // store().size() without querying it — which for a remote backend would be
+  // a network round trip under mu_.
+  size_t resident_plans_ = 0;
   int32_t in_flight_ = 0;
   bool publishing_ = false;
   bool source_drained_ = false;

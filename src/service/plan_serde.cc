@@ -1,6 +1,7 @@
 #include "src/service/plan_serde.h"
 
 #include <cstring>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -15,16 +16,159 @@ int64_t Unzigzag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
-int32_t ParseInt32(std::string_view bytes, size_t* pos) {
-  const int64_t v = ParseZigzag(bytes, pos);
-  DYNAPIPE_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
-                     "plan serde: field out of int32 range");
-  return static_cast<int32_t>(v);
+// Non-fatal decode cursor. Every primitive returns false (and latches the
+// first error) on malformed input; callers check ok() once at the end — a
+// failed primitive leaves its output zeroed, so parsing past an error is
+// harmless and keeps the call sites linear.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return error_ == nullptr; }
+  const char* error() const { return error_ == nullptr ? "" : error_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  bool Byte(uint8_t* out) {
+    *out = 0;
+    if (pos_ >= bytes_.size()) {
+      return Fail("truncated buffer");
+    }
+    *out = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool Varint(uint64_t* out) {
+    *out = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= bytes_.size()) {
+        return Fail("truncated varint");
+      }
+      if (shift >= 64) {
+        return Fail("overlong varint");
+      }
+      const uint8_t b = static_cast<uint8_t>(bytes_[pos_++]);
+      *out |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        return true;
+      }
+      shift += 7;
+    }
+  }
+
+  bool Zigzag(int64_t* out) {
+    uint64_t raw = 0;
+    const bool ok = Varint(&raw);
+    *out = Unzigzag(raw);
+    return ok;
+  }
+
+  bool Int32(int32_t* out) {
+    *out = 0;
+    int64_t v = 0;
+    if (!Zigzag(&v)) {
+      return false;
+    }
+    if (v < INT32_MIN || v > INT32_MAX) {
+      return Fail("field out of int32 range");
+    }
+    *out = static_cast<int32_t>(v);
+    return true;
+  }
+
+  bool Fail(const char* what) {
+    if (error_ == nullptr) {
+      error_ = what;
+    }
+    return false;
+  }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  const char* error_ = nullptr;
+};
+
+bool DecodeInstruction(Decoder& dec, sim::Instruction* instr) {
+  uint8_t type = 0;
+  dec.Byte(&type);
+  if (dec.ok() && type >= sim::kNumInstrTypes) {
+    dec.Fail("unknown instruction type");
+  }
+  if (dec.ok()) {
+    instr->type = static_cast<sim::InstrType>(type);
+  }
+  dec.Int32(&instr->microbatch);
+  dec.Int32(&instr->peer);
+  dec.Zigzag(&instr->bytes);
+  dec.Int32(&instr->shape.num_samples);
+  dec.Int32(&instr->shape.input_len);
+  dec.Int32(&instr->shape.target_len);
+  uint8_t recompute = 0;
+  dec.Byte(&recompute);
+  if (dec.ok() &&
+      recompute > static_cast<uint8_t>(model::RecomputeMode::kFull)) {
+    dec.Fail("unknown recompute mode");
+  }
+  if (dec.ok()) {
+    instr->recompute = static_cast<model::RecomputeMode>(recompute);
+  }
+  dec.Int32(&instr->fusion_group);
+  return dec.ok();
 }
 
-uint8_t ParseByte(std::string_view bytes, size_t* pos) {
-  DYNAPIPE_CHECK_MSG(*pos < bytes.size(), "plan serde: truncated buffer");
-  return static_cast<uint8_t>(bytes[(*pos)++]);
+bool DecodePlan(Decoder& dec, sim::ExecutionPlan* plan) {
+  if (dec.remaining() < sizeof(kPlanSerdeMagic)) {
+    return dec.Fail("bad magic");
+  }
+  char magic[sizeof(kPlanSerdeMagic)];
+  for (char& c : magic) {
+    uint8_t b = 0;
+    dec.Byte(&b);
+    c = static_cast<char>(b);
+  }
+  if (std::memcmp(magic, kPlanSerdeMagic, sizeof(kPlanSerdeMagic)) != 0) {
+    return dec.Fail("bad magic");
+  }
+  uint8_t version = 0;
+  dec.Byte(&version);
+  if (dec.ok() && version != kPlanSerdeVersion) {
+    return dec.Fail("unsupported version");
+  }
+  dec.Int32(&plan->num_microbatches);
+  uint64_t num_devices = 0;
+  dec.Varint(&num_devices);
+  // A device count that cannot possibly fit in the remaining bytes means a
+  // corrupt length field; catch it before resize tries to allocate it.
+  if (dec.ok() && num_devices > dec.remaining()) {
+    return dec.Fail("implausible device count");
+  }
+  if (!dec.ok()) {
+    return false;
+  }
+  plan->devices.resize(num_devices);
+  for (auto& dev : plan->devices) {
+    dec.Int32(&dev.device);
+    uint64_t num_instr = 0;
+    dec.Varint(&num_instr);
+    if (dec.ok() && num_instr > dec.remaining()) {
+      return dec.Fail("implausible instruction count");
+    }
+    if (!dec.ok()) {
+      return false;
+    }
+    dev.instructions.resize(num_instr);
+    for (auto& instr : dev.instructions) {
+      if (!DecodeInstruction(dec, &instr)) {
+        return false;
+      }
+    }
+  }
+  if (dec.remaining() != 0) {
+    return dec.Fail("trailing bytes");
+  }
+  return dec.ok();
 }
 
 }  // namespace
@@ -39,19 +183,27 @@ void AppendVarint(uint64_t v, std::string* out) {
 
 void AppendZigzag(int64_t v, std::string* out) { AppendVarint(Zigzag(v), out); }
 
+bool TryParseVarint(std::string_view bytes, size_t* pos, uint64_t* out) {
+  Decoder dec(bytes.substr(*pos));
+  const bool ok = dec.Varint(out);
+  *pos += dec.pos();
+  return ok;
+}
+
+bool TryParseZigzag(std::string_view bytes, size_t* pos, int64_t* out) {
+  Decoder dec(bytes.substr(*pos));
+  const bool ok = dec.Zigzag(out);
+  *pos += dec.pos();
+  return ok;
+}
+
 uint64_t ParseVarint(std::string_view bytes, size_t* pos) {
+  Decoder dec(bytes.substr(*pos));
   uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    DYNAPIPE_CHECK_MSG(*pos < bytes.size(), "plan serde: truncated varint");
-    DYNAPIPE_CHECK_MSG(shift < 64, "plan serde: overlong varint");
-    const uint8_t b = static_cast<uint8_t>(bytes[(*pos)++]);
-    v |= static_cast<uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) {
-      return v;
-    }
-    shift += 7;
-  }
+  const bool ok = dec.Varint(&v);
+  *pos += dec.pos();
+  DYNAPIPE_CHECK_MSG(ok, std::string("plan serde: ") + dec.error());
+  return v;
 }
 
 int64_t ParseZigzag(std::string_view bytes, size_t* pos) {
@@ -71,22 +223,11 @@ void AppendInstruction(const sim::Instruction& instr, std::string* out) {
 }
 
 sim::Instruction ParseInstruction(std::string_view bytes, size_t* pos) {
+  Decoder dec(bytes.substr(*pos));
   sim::Instruction instr;
-  const uint8_t type = ParseByte(bytes, pos);
-  DYNAPIPE_CHECK_MSG(type < sim::kNumInstrTypes,
-                     "plan serde: unknown instruction type");
-  instr.type = static_cast<sim::InstrType>(type);
-  instr.microbatch = ParseInt32(bytes, pos);
-  instr.peer = ParseInt32(bytes, pos);
-  instr.bytes = ParseZigzag(bytes, pos);
-  instr.shape.num_samples = ParseInt32(bytes, pos);
-  instr.shape.input_len = ParseInt32(bytes, pos);
-  instr.shape.target_len = ParseInt32(bytes, pos);
-  const uint8_t recompute = ParseByte(bytes, pos);
-  DYNAPIPE_CHECK_MSG(recompute <= static_cast<uint8_t>(model::RecomputeMode::kFull),
-                     "plan serde: unknown recompute mode");
-  instr.recompute = static_cast<model::RecomputeMode>(recompute);
-  instr.fusion_group = ParseInt32(bytes, pos);
+  const bool ok = DecodeInstruction(dec, &instr);
+  *pos += dec.pos();
+  DYNAPIPE_CHECK_MSG(ok, std::string("plan serde: ") + dec.error());
   return instr;
 }
 
@@ -114,36 +255,24 @@ std::string EncodeExecutionPlan(const sim::ExecutionPlan& plan) {
   return out;
 }
 
-sim::ExecutionPlan DecodeExecutionPlan(std::string_view bytes) {
-  size_t pos = 0;
-  DYNAPIPE_CHECK_MSG(bytes.size() >= sizeof(kPlanSerdeMagic) + 1 &&
-                         std::memcmp(bytes.data(), kPlanSerdeMagic,
-                                     sizeof(kPlanSerdeMagic)) == 0,
-                     "plan serde: bad magic");
-  pos = sizeof(kPlanSerdeMagic);
-  const uint8_t version = ParseByte(bytes, &pos);
-  DYNAPIPE_CHECK_MSG(version == kPlanSerdeVersion,
-                     "plan serde: unsupported version");
+std::optional<sim::ExecutionPlan> TryDecodeExecutionPlan(std::string_view bytes,
+                                                         std::string* error) {
+  Decoder dec(bytes);
   sim::ExecutionPlan plan;
-  plan.num_microbatches = ParseInt32(bytes, &pos);
-  const uint64_t num_devices = ParseVarint(bytes, &pos);
-  // A device count that cannot possibly fit in the remaining bytes means a
-  // corrupt length field; catch it before resize tries to allocate it.
-  DYNAPIPE_CHECK_MSG(num_devices <= bytes.size() - pos,
-                     "plan serde: implausible device count");
-  plan.devices.resize(num_devices);
-  for (auto& dev : plan.devices) {
-    dev.device = ParseInt32(bytes, &pos);
-    const uint64_t num_instr = ParseVarint(bytes, &pos);
-    DYNAPIPE_CHECK_MSG(num_instr <= bytes.size() - pos,
-                       "plan serde: implausible instruction count");
-    dev.instructions.reserve(num_instr);
-    for (uint64_t i = 0; i < num_instr; ++i) {
-      dev.instructions.push_back(ParseInstruction(bytes, &pos));
+  if (!DecodePlan(dec, &plan)) {
+    if (error != nullptr) {
+      *error = dec.error();
     }
+    return std::nullopt;
   }
-  DYNAPIPE_CHECK_MSG(pos == bytes.size(), "plan serde: trailing bytes");
   return plan;
+}
+
+sim::ExecutionPlan DecodeExecutionPlan(std::string_view bytes) {
+  std::string error;
+  std::optional<sim::ExecutionPlan> plan = TryDecodeExecutionPlan(bytes, &error);
+  DYNAPIPE_CHECK_MSG(plan.has_value(), "plan serde: " + error);
+  return std::move(*plan);
 }
 
 }  // namespace dynapipe::service

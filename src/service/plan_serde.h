@@ -17,12 +17,16 @@
 //     zigzag(bytes), zigzag(num_samples), zigzag(input_len),
 //     zigzag(target_len), recompute byte, zigzag(fusion_group).
 // Decoding a malformed buffer (truncation, bad magic/version, out-of-range
-// enum, trailing bytes) is a fatal error: a corrupted plan must never reach an
-// executor.
+// enum, trailing bytes) must never produce a plan: DecodeExecutionPlan is
+// fatal — a corrupted plan must not reach an executor — while
+// TryDecodeExecutionPlan reports the malformation as a clean error so callers
+// that own the byte source (the cross-process transport, fuzzers) can reject
+// bad input without crashing the process that received it.
 #ifndef DYNAPIPE_SRC_SERVICE_PLAN_SERDE_H_
 #define DYNAPIPE_SRC_SERVICE_PLAN_SERDE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -41,6 +45,11 @@ void AppendZigzag(int64_t v, std::string* out);
 // truncated or overlong input.
 uint64_t ParseVarint(std::string_view bytes, size_t* pos);
 int64_t ParseZigzag(std::string_view bytes, size_t* pos);
+// Non-fatal variants: return false (leaving *out unspecified) instead of
+// aborting on truncated/overlong input. *pos still advances past whatever was
+// consumed. These are what the transport layer parses network input with.
+bool TryParseVarint(std::string_view bytes, size_t* pos, uint64_t* out);
+bool TryParseZigzag(std::string_view bytes, size_t* pos, int64_t* out);
 
 // One instruction, appended to / parsed from a byte buffer. These are the
 // per-instruction hooks the whole-plan codec is built from.
@@ -50,6 +59,12 @@ sim::Instruction ParseInstruction(std::string_view bytes, size_t* pos);
 // Whole-plan codec. Decode(Encode(p)) == p for every well-formed plan.
 std::string EncodeExecutionPlan(const sim::ExecutionPlan& plan);
 sim::ExecutionPlan DecodeExecutionPlan(std::string_view bytes);
+// Non-fatal decode: nullopt on any malformed input (truncation, bad
+// magic/version, out-of-range enum, implausible counts, trailing bytes), with
+// a description in *error when provided. DecodeExecutionPlan is this plus a
+// fatal check.
+std::optional<sim::ExecutionPlan> TryDecodeExecutionPlan(
+    std::string_view bytes, std::string* error = nullptr);
 
 }  // namespace dynapipe::service
 

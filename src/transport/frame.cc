@@ -1,0 +1,84 @@
+#include "src/transport/frame.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/service/plan_serde.h"
+
+namespace dynapipe::transport {
+
+bool WriteFrame(Stream& stream, const Frame& frame) {
+  // The reader enforces this bound, so catch the overflow where it is a bug
+  // (the sender) instead of desyncing the peer: a body over 2^32 would wrap
+  // the length prefix and turn the tail into garbage frames.
+  DYNAPIPE_CHECK_MSG(frame.payload.size() <= kMaxFrameBytes,
+                     "frame: payload exceeds kMaxFrameBytes");
+  std::string body;
+  body.reserve(16 + frame.payload.size());
+  body.push_back(static_cast<char>(frame.type));
+  service::AppendZigzag(frame.iteration, &body);
+  service::AppendZigzag(frame.replica, &body);
+  body.append(frame.payload);
+
+  char header[4];
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  header[0] = static_cast<char>(len & 0xff);
+  header[1] = static_cast<char>((len >> 8) & 0xff);
+  header[2] = static_cast<char>((len >> 16) & 0xff);
+  header[3] = static_cast<char>((len >> 24) & 0xff);
+  // One buffer, one write: the loopback transport wakes its reader per
+  // WriteAll, and socket writes stay a single syscall for small frames.
+  std::string wire;
+  wire.reserve(sizeof(header) + body.size());
+  wire.append(header, sizeof(header));
+  wire.append(body);
+  return stream.WriteAll(wire.data(), wire.size());
+}
+
+std::optional<Frame> ReadFrame(Stream& stream, std::string* error) {
+  const auto fail = [&](const char* what) -> std::optional<Frame> {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return std::nullopt;
+  };
+  if (error != nullptr) {
+    error->clear();
+  }
+
+  unsigned char header[4];
+  if (!stream.ReadAll(header, sizeof(header))) {
+    return std::nullopt;  // clean EOF (or peer loss) between frames
+  }
+  const uint64_t len = static_cast<uint64_t>(header[0]) |
+                       static_cast<uint64_t>(header[1]) << 8 |
+                       static_cast<uint64_t>(header[2]) << 16 |
+                       static_cast<uint64_t>(header[3]) << 24;
+  if (len == 0) {
+    return fail("frame: empty body");
+  }
+  if (len > kMaxFrameBytes) {
+    return fail("frame: implausible length");
+  }
+  std::string body(len, '\0');
+  if (!stream.ReadAll(body.data(), body.size())) {
+    return fail("frame: truncated body");
+  }
+
+  Frame frame;
+  size_t pos = 0;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(body[pos++]));
+  int64_t iteration = 0;
+  int64_t replica = 0;
+  if (!service::TryParseZigzag(body, &pos, &iteration) ||
+      !service::TryParseZigzag(body, &pos, &replica) ||
+      replica < INT32_MIN || replica > INT32_MAX) {
+    return fail("frame: malformed header fields");
+  }
+  frame.iteration = iteration;
+  frame.replica = static_cast<int32_t>(replica);
+  frame.payload = body.substr(pos);
+  return frame;
+}
+
+}  // namespace dynapipe::transport

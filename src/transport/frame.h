@@ -1,0 +1,65 @@
+// Length-prefixed frame protocol for the instruction-store wire.
+//
+// Every message is one frame:
+//
+//   u32 little-endian body length | body
+//   body = type byte, zigzag(iteration), zigzag(replica), payload...
+//
+// The payload is the rest of the body and is type-specific: plan_serde bytes
+// for kPush/kPlanBytes, one 0/1 byte for kBool, a varint for kCount, empty
+// otherwise. Integers reuse the plan_serde varint primitives so the whole
+// wire speaks one encoding. The protocol is strict request/response — a
+// client sends one request frame per connection and reads one response — so
+// the server replying to kPush only after the store accepted the plan is
+// exactly how capacity backpressure crosses the process boundary: the
+// client's Push blocks in ReadFrame until a Fetch frees a slot.
+//
+// ReadFrame never trusts the peer: a corrupt length (over kMaxFrameBytes),
+// truncated body, or unparsable header field is a clean nullopt, not a crash
+// in the receiving process.
+#ifndef DYNAPIPE_SRC_TRANSPORT_FRAME_H_
+#define DYNAPIPE_SRC_TRANSPORT_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/transport/transport.h"
+
+namespace dynapipe::transport {
+
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kPush = 1,      // payload = encoded plan; response kOk once stored/dropped
+  kFetch = 2,     // response kPlanBytes
+  kContains = 3,  // response kBool
+  kSize = 4,      // response kCount
+  kShutdown = 5,  // response kOk
+  // Responses (server -> client).
+  kOk = 64,
+  kPlanBytes = 65,
+  kBool = 66,
+  kCount = 67,
+};
+
+// Ceiling on one frame's body; anything larger is a corrupt length field.
+// Plans are a few KB — 1 GiB is beyond any real instruction stream.
+inline constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 30;
+
+struct Frame {
+  FrameType type = FrameType::kOk;
+  int64_t iteration = 0;
+  int32_t replica = 0;
+  std::string payload;
+};
+
+// Writes one frame; false when the peer is gone.
+bool WriteFrame(Stream& stream, const Frame& frame);
+
+// Reads one frame; nullopt on clean EOF, peer loss, or a malformed frame
+// (reason in *error when provided — empty for clean EOF before any byte).
+std::optional<Frame> ReadFrame(Stream& stream, std::string* error = nullptr);
+
+}  // namespace dynapipe::transport
+
+#endif  // DYNAPIPE_SRC_TRANSPORT_FRAME_H_

@@ -1,0 +1,114 @@
+#include "src/transport/remote_store.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/service/plan_serde.h"
+
+namespace dynapipe::transport {
+
+RemoteInstructionStore::RemoteInstructionStore(Connector connect)
+    : connect_(std::move(connect)) {
+  DYNAPIPE_CHECK(connect_ != nullptr);
+}
+
+std::shared_ptr<RemoteInstructionStore> RemoteInstructionStore::OverTransport(
+    Transport* transport) {
+  DYNAPIPE_CHECK(transport != nullptr);
+  return std::make_shared<RemoteInstructionStore>(
+      [transport] { return transport->Connect(); });
+}
+
+std::shared_ptr<RemoteInstructionStore> RemoteInstructionStore::OverUnixSocket(
+    std::string path, int connect_timeout_ms) {
+  return std::make_shared<RemoteInstructionStore>(
+      [path = std::move(path), connect_timeout_ms] {
+        return ConnectUnixSocket(path, connect_timeout_ms);
+      });
+}
+
+Frame RemoteInstructionStore::Call(const Frame& request,
+                                   FrameType expected_reply) const {
+  std::unique_ptr<Stream> conn = connect_();
+  DYNAPIPE_CHECK_MSG(conn != nullptr,
+                     "remote instruction store: connect failed");
+  DYNAPIPE_CHECK_MSG(WriteFrame(*conn, request),
+                     "remote instruction store: request write failed");
+  std::string error;
+  std::optional<Frame> reply = ReadFrame(*conn, &error);
+  DYNAPIPE_CHECK_MSG(reply.has_value(),
+                     "remote instruction store: no reply (" +
+                         (error.empty() ? std::string("connection closed")
+                                        : error) +
+                         ")");
+  DYNAPIPE_CHECK_MSG(reply->type == expected_reply,
+                     "remote instruction store: unexpected reply type");
+  return std::move(*reply);
+}
+
+void RemoteInstructionStore::Push(int64_t iteration, int32_t replica,
+                                  sim::ExecutionPlan plan) {
+  Frame request;
+  request.type = FrameType::kPush;
+  request.iteration = iteration;
+  request.replica = replica;
+  request.payload = service::EncodeExecutionPlan(plan);
+  serialized_bytes_total_.fetch_add(
+      static_cast<int64_t>(request.payload.size()), std::memory_order_relaxed);
+  // Blocks in Call until the server's store has headroom — the kOk *is* the
+  // capacity backpressure.
+  Call(request, FrameType::kOk);
+}
+
+sim::ExecutionPlan RemoteInstructionStore::Fetch(int64_t iteration,
+                                                 int32_t replica) {
+  Frame request;
+  request.type = FrameType::kFetch;
+  request.iteration = iteration;
+  request.replica = replica;
+  const Frame reply = Call(request, FrameType::kPlanBytes);
+  std::string error;
+  std::optional<sim::ExecutionPlan> plan =
+      service::TryDecodeExecutionPlan(reply.payload, &error);
+  DYNAPIPE_CHECK_MSG(plan.has_value(),
+                     "remote instruction store: fetched plan is corrupt (" +
+                         error + ")");
+  return std::move(*plan);
+}
+
+bool RemoteInstructionStore::Contains(int64_t iteration,
+                                      int32_t replica) const {
+  Frame request;
+  request.type = FrameType::kContains;
+  request.iteration = iteration;
+  request.replica = replica;
+  const Frame reply = Call(request, FrameType::kBool);
+  DYNAPIPE_CHECK_MSG(reply.payload.size() == 1,
+                     "remote instruction store: malformed kBool reply");
+  return reply.payload[0] != '\0';
+}
+
+size_t RemoteInstructionStore::size() const {
+  Frame request;
+  request.type = FrameType::kSize;
+  const Frame reply = Call(request, FrameType::kCount);
+  uint64_t count = 0;
+  size_t pos = 0;
+  DYNAPIPE_CHECK_MSG(
+      service::TryParseVarint(reply.payload, &pos, &count) &&
+          pos == reply.payload.size(),
+      "remote instruction store: malformed kCount reply");
+  return static_cast<size_t>(count);
+}
+
+void RemoteInstructionStore::Shutdown() {
+  Frame request;
+  request.type = FrameType::kShutdown;
+  Call(request, FrameType::kOk);
+}
+
+int64_t RemoteInstructionStore::serialized_bytes_total() const {
+  return serialized_bytes_total_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dynapipe::transport

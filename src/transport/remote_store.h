@@ -1,0 +1,71 @@
+// Client side of cross-process plan distribution.
+//
+// RemoteInstructionStore implements InstructionStoreInterface by speaking the
+// frame protocol to an InstructionStoreServer, so PlanAheadService (and
+// anything else written against the interface) works across a process
+// boundary without code changes. Semantics match the in-process store:
+//   - Push encodes the plan (plan_serde) and blocks until the server's kOk —
+//     which the server withholds while its store is at capacity, so the
+//     paper's bounded-working-set backpressure crosses the wire;
+//   - Fetch decodes the returned bytes with the non-fatal decoder and treats
+//     malformed payloads as a fatal transport error (a corrupted plan must
+//     never reach an executor);
+//   - publish-before-fetch violations abort on the server (same fatal
+//     contract, one process over).
+//
+// One connection per request: requests from different threads never share a
+// stream, so a Push parked in backpressure cannot wedge a concurrent Fetch —
+// the fetch that frees the slot always gets through.
+#ifndef DYNAPIPE_SRC_TRANSPORT_REMOTE_STORE_H_
+#define DYNAPIPE_SRC_TRANSPORT_REMOTE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/runtime/instruction_store.h"
+#include "src/transport/frame.h"
+#include "src/transport/transport.h"
+
+namespace dynapipe::transport {
+
+class RemoteInstructionStore final : public runtime::InstructionStoreInterface {
+ public:
+  // Opens a fresh connection per request. Must return a connected stream;
+  // returning null is a fatal error at the call site (the store is gone).
+  using Connector = std::function<std::unique_ptr<Stream>()>;
+
+  explicit RemoteInstructionStore(Connector connect);
+
+  // Endpoint conveniences. The transport overload serves in-process tests
+  // (loopback or a socket transport object); the path overload is what an
+  // executor process uses — it retries while the planner process is still
+  // binding the socket.
+  static std::shared_ptr<RemoteInstructionStore> OverTransport(
+      Transport* transport);
+  static std::shared_ptr<RemoteInstructionStore> OverUnixSocket(
+      std::string path, int connect_timeout_ms = 5000);
+
+  void Push(int64_t iteration, int32_t replica,
+            sim::ExecutionPlan plan) override;
+  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) override;
+  bool Contains(int64_t iteration, int32_t replica) const override;
+  size_t size() const override;
+  void Shutdown() override;
+  // Encoded bytes this client pushed (the wire volume it produced). Dropped
+  // pushes (server already shut down) are counted: the bytes crossed the wire.
+  int64_t serialized_bytes_total() const override;
+
+ private:
+  // One request/response exchange; fatal on connection or protocol failure.
+  Frame Call(const Frame& request, FrameType expected_reply) const;
+
+  Connector connect_;
+  std::atomic<int64_t> serialized_bytes_total_{0};
+};
+
+}  // namespace dynapipe::transport
+
+#endif  // DYNAPIPE_SRC_TRANSPORT_REMOTE_STORE_H_

@@ -1,0 +1,129 @@
+#include "src/transport/store_server.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/service/plan_serde.h"
+#include "src/transport/frame.h"
+
+namespace dynapipe::transport {
+
+InstructionStoreServer::InstructionStoreServer(Transport* transport,
+                                               runtime::InstructionStore* store)
+    : transport_(transport), store_(store) {
+  DYNAPIPE_CHECK(transport_ != nullptr);
+  DYNAPIPE_CHECK(store_ != nullptr);
+  DYNAPIPE_CHECK_MSG(store_->options().serialized,
+                     "the store behind a transport server must be serialized "
+                     "(the wire carries plan_serde bytes)");
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+InstructionStoreServer::~InstructionStoreServer() { Stop(); }
+
+void InstructionStoreServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  transport_->Close();
+  accept_thread_.join();
+  // Handlers parked in the store's capacity wait hold no way out except the
+  // store's own shutdown; at server teardown the pipeline is over, so
+  // dropping those plans is the correct outcome (same as the in-process
+  // store's teardown contract).
+  store_->Shutdown();
+  std::vector<std::unique_ptr<Handler>> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(handlers_);
+  }
+  for (const auto& handler : handlers) {
+    // A handler can also be parked reading from (or replying to) a client
+    // that connected and went silent; closing the stream unblocks it so the
+    // join below cannot hang teardown.
+    handler->conn->Close();
+    handler->thread.join();
+  }
+}
+
+void InstructionStoreServer::ReapFinishedLocked() {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();  // already exited; join is immediate
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InstructionStoreServer::AcceptLoop() {
+  while (std::unique_ptr<Stream> conn = transport_->Accept()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      break;  // raced with Stop; drop the connection
+    }
+    // The client opens one connection per request, so finished handlers
+    // accumulate at request rate; reap them here to keep the list bounded by
+    // concurrently-live connections.
+    ReapFinishedLocked();
+    auto handler = std::make_unique<Handler>();
+    handler->conn = std::move(conn);
+    Handler* h = handler.get();
+    handlers_.push_back(std::move(handler));
+    // `h` stays valid until joined: reaping joins only after `done`, and the
+    // swap in Stop() keeps the unique_ptrs alive through their joins.
+    h->thread = std::thread([this, h] {
+      HandleConnection(*h->conn);
+      h->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void InstructionStoreServer::HandleConnection(Stream& conn) {
+  std::optional<Frame> request = ReadFrame(conn);
+  if (!request.has_value()) {
+    return;  // malformed or torn connection: drop it, never crash the server
+  }
+  Frame reply;
+  reply.iteration = request->iteration;
+  reply.replica = request->replica;
+  switch (request->type) {
+    case FrameType::kPush:
+      // Blocks here while the store is at capacity — the delayed kOk is the
+      // client's backpressure.
+      store_->PushBytes(request->iteration, request->replica,
+                        std::move(request->payload));
+      reply.type = FrameType::kOk;
+      break;
+    case FrameType::kFetch:
+      reply.type = FrameType::kPlanBytes;
+      reply.payload = store_->FetchBytes(request->iteration, request->replica);
+      break;
+    case FrameType::kContains:
+      reply.type = FrameType::kBool;
+      reply.payload.push_back(
+          store_->Contains(request->iteration, request->replica) ? '\1' : '\0');
+      break;
+    case FrameType::kSize:
+      reply.type = FrameType::kCount;
+      service::AppendVarint(store_->size(), &reply.payload);
+      break;
+    case FrameType::kShutdown:
+      store_->Shutdown();
+      reply.type = FrameType::kOk;
+      break;
+    default:
+      return;  // unknown request type: drop the connection
+  }
+  // Count before replying: a client that has its reply must observe the
+  // request as served.
+  requests_served_.fetch_add(1);
+  WriteFrame(conn, reply);
+}
+
+}  // namespace dynapipe::transport

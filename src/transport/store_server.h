@@ -1,0 +1,82 @@
+// Server side of cross-process plan distribution.
+//
+// InstructionStoreServer exposes an in-process InstructionStore over a
+// Transport: the planner process owns the store and the server; executor
+// processes reach it through RemoteInstructionStore (remote_store.h). This is
+// the paper's Redis role (§3) — a host-memory store of serialized instruction
+// streams between the dataloader-side planners and the executors.
+//
+// Concurrency model: one connection per request (the client opens, sends one
+// frame, reads one reply). The accept loop hands each connection to its own
+// handler thread, so a kPush parked in the store's capacity wait blocks only
+// that handler — fetches on other connections keep draining the store and
+// eventually free it, which is how Push backpressure works end to end without
+// the server ever stalling its accept loop.
+//
+// Plan bytes pass through verbatim (InstructionStore::PushBytes/FetchBytes):
+// the server never decodes a plan, so what the executor fetches is
+// byte-identical to what the planner published.
+#ifndef DYNAPIPE_SRC_TRANSPORT_STORE_SERVER_H_
+#define DYNAPIPE_SRC_TRANSPORT_STORE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/instruction_store.h"
+#include "src/transport/transport.h"
+
+namespace dynapipe::transport {
+
+class InstructionStoreServer {
+ public:
+  // Starts serving immediately. `store` must be in serialized mode (the wire
+  // carries plan_serde bytes). Neither pointer is owned; both must outlive
+  // the server.
+  InstructionStoreServer(Transport* transport, runtime::InstructionStore* store);
+  ~InstructionStoreServer();
+
+  InstructionStoreServer(const InstructionStoreServer&) = delete;
+  InstructionStoreServer& operator=(const InstructionStoreServer&) = delete;
+
+  // Stops accepting, shuts the store down (unblocking handlers parked in a
+  // capacity wait), closes live connections (unblocking handlers parked on a
+  // silent client), and joins every handler thread. Idempotent; the
+  // destructor calls it.
+  void Stop();
+
+  // Requests answered so far (malformed ones excluded).
+  int64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  // One live connection: the stream (so Stop can close it out from under a
+  // blocked read/write) and the thread serving it.
+  struct Handler {
+    std::shared_ptr<Stream> conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Stream& conn);
+  // Joins and erases handlers whose request completed, so the handler list
+  // stays bounded by live connections rather than growing one entry per
+  // request served. Caller holds mu_.
+  void ReapFinishedLocked();
+
+  Transport* transport_;
+  runtime::InstructionStore* store_;
+  std::atomic<int64_t> requests_served_{0};
+
+  std::mutex mu_;
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<Handler>> handlers_;  // guarded by mu_
+  std::thread accept_thread_;
+};
+
+}  // namespace dynapipe::transport
+
+#endif  // DYNAPIPE_SRC_TRANSPORT_STORE_SERVER_H_

@@ -6,8 +6,11 @@
 // plans must be bit-identical to inline serial planning at any lookahead,
 // cache on/off, serde on/off, and whose cache hits must skip partition and
 // schedule work entirely.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -23,6 +26,9 @@
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/plan_serde.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
 
 namespace dynapipe {
 namespace {
@@ -461,6 +467,68 @@ TEST_F(PlanAheadServiceTest, AnyLookaheadCacheSerdeBitIdenticalToInline) {
   }
 }
 
+// The server half of a wire-backed store: storage, transport, server, and the
+// remote client the service publishes through. Declaration order is teardown
+// order in reverse — the client-holding service must die before the server.
+struct WireBackend {
+  WireBackend(std::unique_ptr<transport::Transport> t, size_t capacity)
+      : store(runtime::InstructionStoreOptions{/*serialized=*/true, capacity}),
+        transport(std::move(t)), server(transport.get(), &store),
+        client(transport::RemoteInstructionStore::OverTransport(transport.get())) {}
+
+  runtime::InstructionStore store;
+  std::unique_ptr<transport::Transport> transport;
+  transport::InstructionStoreServer server;
+  std::shared_ptr<transport::RemoteInstructionStore> client;
+};
+
+TEST_F(PlanAheadServiceTest, TransportBackendsBitIdenticalToInline) {
+  // The transport axis of the bit-identity matrix: publishing through a
+  // remote store over the loopback or Unix-socket wire (frames + plan_serde
+  // bytes + server-side capacity) must deliver exactly the plans the
+  // in-process inline path does, at any lookahead, cache on or off.
+  const data::Dataset dataset = SmallDataset();
+  const EpochPlans base = Collect({}, dataset);
+  ASSERT_EQ(base.plans.size(), 4u);
+
+  ThreadPool pool(2);
+  int socket_id = 0;
+  for (const bool socket : {false, true}) {
+    for (const int32_t lookahead : {0, 2}) {
+      for (const bool cache : {false, true}) {
+        std::unique_ptr<transport::Transport> t;
+        if (socket) {
+          t = std::make_unique<transport::UnixSocketTransport>(
+              "/tmp/dynapipe-svc-" + std::to_string(::getpid()) + "-" +
+              std::to_string(socket_id++) + ".sock");
+        } else {
+          t = std::make_unique<transport::LoopbackTransport>();
+        }
+        WireBackend backend(std::move(t), /*capacity=*/3);
+        service::PlanAheadOptions sopts;
+        sopts.lookahead = lookahead;
+        sopts.pool = lookahead > 0 ? &pool : nullptr;
+        if (cache) {
+          sopts.plan_cache = std::make_shared<service::PlanCache>();
+          sopts.config_hash = 99;
+        }
+        sopts.store = backend.client;
+        sopts.store_capacity = 3;  // mirrors the server store's bound
+        const EpochPlans got = Collect(sopts, dataset);
+        SCOPED_TRACE(std::string(socket ? "socket" : "loopback") +
+                     " lookahead=" + std::to_string(lookahead) +
+                     " cache=" + std::to_string(cache));
+        ExpectPlansBitIdentical(base, got);
+        // The wire volume is real and matches what the server still holds
+        // accounted (every plan crossed encode/decode twice).
+        EXPECT_GT(got.stats.published_bytes, 0);
+        EXPECT_EQ(got.stats.published_bytes,
+                  backend.store.serialized_bytes_total());
+      }
+    }
+  }
+}
+
 TEST_F(PlanAheadServiceTest, CacheHitSkipsPartitionAndScheduleWork) {
   // The same length multiset twice (fresh sample ids the second time): the
   // second iteration must be served from the plan cache with zero planning
@@ -704,6 +772,66 @@ TEST(TrainerServiceTest, ReplayedEpochHitsPlanCache) {
   }
   // Cached planning must be far cheaper than the planned epoch.
   EXPECT_LT(second.planning_time_ms, first.planning_time_ms);
+}
+
+TEST(TrainerServiceTest, SocketBackendEpochIdenticalAndReplayHitsPlanCache) {
+  // TrainerOptions::plan_store_backend == kUnixSocket routes every plan
+  // through the real wire (remote client -> frames -> server store) and must
+  // change nothing about the results: the epoch is bit-identical to the
+  // in-process backend, and a replayed epoch still hits the plan cache on
+  // every iteration — cached plans republish over the socket like any other.
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+
+  runtime::TrainerOptions opts;
+  opts.global_batch_tokens = 6144;
+  opts.max_input_len = 1024;
+  opts.max_iterations = 3;
+  opts.plan_cache = true;
+
+  runtime::Trainer inproc_trainer(config, hw, {1, 1, 4}, SmallProfile());
+  const runtime::EpochResult base =
+      inproc_trainer.RunEpoch(dataset, FastPlanner(), opts);
+  ASSERT_TRUE(base.feasible) << base.failure;
+
+  runtime::TrainerOptions sock = opts;
+  sock.plan_store_backend =
+      runtime::TrainerOptions::PlanStoreBackend::kUnixSocket;
+  sock.planning_threads = 2;
+  sock.plan_lookahead = 3;
+  sock.instruction_store_capacity = 4;
+  runtime::Trainer socket_trainer(config, hw, {1, 1, 4}, SmallProfile());
+  const runtime::EpochResult first =
+      socket_trainer.RunEpoch(dataset, FastPlanner(), sock);
+  ASSERT_TRUE(first.feasible) << first.failure;
+  ASSERT_EQ(first.iterations, base.iterations);
+  EXPECT_EQ(first.real_tokens, base.real_tokens);
+  EXPECT_GT(first.serialized_plan_bytes, 0);
+  EXPECT_EQ(first.plan_cache_misses, first.iterations);
+  for (size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base.records[i].predicted_ms, first.records[i].predicted_ms);
+    EXPECT_DOUBLE_EQ(base.records[i].measured_ms, first.records[i].measured_ms);
+    EXPECT_EQ(base.records[i].num_microbatches, first.records[i].num_microbatches);
+  }
+
+  // Same sampler seed -> the epoch replays; every iteration must come from
+  // the plan cache and still round-trip the socket bit-identically.
+  const runtime::EpochResult second =
+      socket_trainer.RunEpoch(dataset, FastPlanner(), sock);
+  ASSERT_TRUE(second.feasible) << second.failure;
+  EXPECT_EQ(second.plan_cache_hits, second.iterations);
+  EXPECT_EQ(second.plan_cache_misses, 0);
+  EXPECT_GT(second.serialized_plan_bytes, 0);
+  ASSERT_EQ(second.records.size(), first.records.size());
+  for (size_t i = 0; i < first.records.size(); ++i) {
+    EXPECT_TRUE(second.records[i].plan_cache_hit);
+    EXPECT_DOUBLE_EQ(first.records[i].predicted_ms, second.records[i].predicted_ms);
+    EXPECT_DOUBLE_EQ(first.records[i].measured_ms, second.records[i].measured_ms);
+  }
 }
 
 TEST(TrainerServiceTest, BaselineEpochStillRunsThroughService) {

@@ -1,0 +1,241 @@
+// Backend-conformance suite for the InstructionStoreInterface contract.
+//
+// Every store backend — in-process plain, in-process serialized, and the
+// remote client over the loopback and Unix-socket transports — must honor the
+// same publish-before-fetch contract: push/fetch round-trips plans losslessly
+// under independent keys, double-publish and fetch-before-publish abort,
+// capacity backpressures Push (blocking until a Fetch frees a slot), and
+// Shutdown unblocks blocked pushers and drops their plans. The suite is
+// value-parameterized over backend factories, so any future backend (shared
+// memory, a real Redis client) inherits the whole contract by adding one
+// factory line.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "src/runtime/instruction_store.h"
+#include "src/sim/instruction.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
+
+namespace dynapipe {
+namespace {
+
+// TSan intercepts the fork/re-exec machinery death tests rely on; the
+// sanitizer job covers the concurrency tests instead.
+#if defined(__SANITIZE_THREAD__)
+#define DYNAPIPE_DEATH_TESTS 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DYNAPIPE_DEATH_TESTS 0
+#else
+#define DYNAPIPE_DEATH_TESTS 1
+#endif
+#else
+#define DYNAPIPE_DEATH_TESTS 1
+#endif
+
+sim::ExecutionPlan MarkerPlan(int32_t marker) {
+  sim::ExecutionPlan plan;
+  plan.num_microbatches = marker;
+  sim::DevicePlan dev;
+  dev.device = 0;
+  sim::Instruction instr;
+  instr.type = sim::InstrType::kForwardPass;
+  instr.microbatch = marker;
+  instr.shape = {marker, 128, 0};
+  dev.instructions.push_back(instr);
+  plan.devices.push_back(std::move(dev));
+  return plan;
+}
+
+// A live backend: whatever machinery the store needs (server, transport)
+// plus the interface handle the tests drive.
+struct Backend {
+  virtual ~Backend() = default;
+  virtual runtime::InstructionStoreInterface& store() = 0;
+};
+
+struct InProcessBackend : Backend {
+  explicit InProcessBackend(bool serialized, size_t capacity)
+      : store_(runtime::InstructionStoreOptions{serialized, capacity}) {}
+  runtime::InstructionStoreInterface& store() override { return store_; }
+  runtime::InstructionStore store_;
+};
+
+// Remote client + in-process server over a transport. Member order is the
+// teardown order in reverse: client dies first, then the server (which joins
+// its handlers), then the transport, then the storage.
+template <typename TransportT>
+struct RemoteBackend : Backend {
+  template <typename... TransportArgs>
+  explicit RemoteBackend(size_t capacity, TransportArgs&&... args)
+      : store_(runtime::InstructionStoreOptions{/*serialized=*/true, capacity}),
+        transport_(std::forward<TransportArgs>(args)...),
+        server_(&transport_, &store_),
+        client_(transport::RemoteInstructionStore::OverTransport(&transport_)) {}
+  runtime::InstructionStoreInterface& store() override { return *client_; }
+
+  runtime::InstructionStore store_;
+  TransportT transport_;
+  transport::InstructionStoreServer server_;
+  std::shared_ptr<transport::RemoteInstructionStore> client_;
+};
+
+std::string UniqueSocketPath() {
+  static std::atomic<uint64_t> counter{0};
+  return "/tmp/dynapipe-conf-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+struct BackendParam {
+  const char* name;
+  std::function<std::unique_ptr<Backend>(size_t capacity)> make;
+};
+
+const BackendParam kBackends[] = {
+    {"InProcessPlain",
+     [](size_t cap) { return std::make_unique<InProcessBackend>(false, cap); }},
+    {"InProcessSerialized",
+     [](size_t cap) { return std::make_unique<InProcessBackend>(true, cap); }},
+    {"Loopback",
+     [](size_t cap) {
+       return std::make_unique<RemoteBackend<transport::LoopbackTransport>>(cap);
+     }},
+    {"UnixSocket",
+     [](size_t cap) {
+       return std::make_unique<RemoteBackend<transport::UnixSocketTransport>>(
+           cap, UniqueSocketPath());
+     }},
+};
+
+class StoreConformanceTest : public ::testing::TestWithParam<BackendParam> {};
+
+TEST_P(StoreConformanceTest, PushFetchRoundTripsLosslessly) {
+  auto backend = GetParam().make(0);
+  runtime::InstructionStoreInterface& store = backend->store();
+  const sim::ExecutionPlan plan = MarkerPlan(7);
+  store.Push(3, 1, plan);
+  EXPECT_TRUE(store.Contains(3, 1));
+  EXPECT_FALSE(store.Contains(3, 0));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Fetch(3, 1), plan);
+  EXPECT_FALSE(store.Contains(3, 1));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_P(StoreConformanceTest, KeysAreIndependent) {
+  auto backend = GetParam().make(0);
+  runtime::InstructionStoreInterface& store = backend->store();
+  store.Push(0, 0, MarkerPlan(1));
+  store.Push(0, 1, MarkerPlan(2));
+  store.Push(1, 0, MarkerPlan(3));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.Fetch(0, 1), MarkerPlan(2));
+  EXPECT_EQ(store.Fetch(1, 0), MarkerPlan(3));
+  EXPECT_EQ(store.Fetch(0, 0), MarkerPlan(1));
+}
+
+TEST_P(StoreConformanceTest, CapacityBackpressuresPush) {
+  auto backend = GetParam().make(2);
+  runtime::InstructionStoreInterface& store = backend->store();
+  store.Push(0, 0, MarkerPlan(0));
+  store.Push(1, 0, MarkerPlan(1));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    store.Push(2, 0, MarkerPlan(2));
+    third_pushed.store(true);
+  });
+  // The third Push must block while two plans are resident.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(store.size(), 2u);
+  // A Fetch frees a slot and unblocks it.
+  EXPECT_EQ(store.Fetch(0, 0), MarkerPlan(0));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(2, 0));
+}
+
+TEST_P(StoreConformanceTest, ShutdownUnblocksBlockedPushAndDropsItsPlan) {
+  auto backend = GetParam().make(1);
+  runtime::InstructionStoreInterface& store = backend->store();
+  store.Push(0, 0, MarkerPlan(0));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    store.Push(1, 0, MarkerPlan(1));  // blocks at capacity, dropped by Shutdown
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  store.Shutdown();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(store.Contains(1, 0));
+  // Plans published before shutdown stay fetchable.
+  EXPECT_TRUE(store.Contains(0, 0));
+  EXPECT_EQ(store.Fetch(0, 0), MarkerPlan(0));
+}
+
+TEST_P(StoreConformanceTest, PushAfterShutdownIsDroppedImmediately) {
+  auto backend = GetParam().make(1);
+  runtime::InstructionStoreInterface& store = backend->store();
+  store.Shutdown();
+  store.Push(0, 0, MarkerPlan(0));  // returns immediately, plan dropped
+  EXPECT_FALSE(store.Contains(0, 0));
+  EXPECT_EQ(store.size(), 0u);
+  store.Shutdown();  // idempotent
+}
+
+std::string BackendName(const ::testing::TestParamInfo<BackendParam>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StoreConformanceTest,
+                         ::testing::ValuesIn(kBackends), BackendName);
+
+#if DYNAPIPE_DEATH_TESTS
+class StoreConformanceDeathTest : public ::testing::TestWithParam<BackendParam> {
+};
+
+TEST_P(StoreConformanceDeathTest, DoublePublishDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // For remote backends the abort fires on the server side of the boundary —
+  // inside this (forked) process for the in-process servers the tests host.
+  EXPECT_DEATH(
+      {
+        auto backend = GetParam().make(0);
+        backend->store().Push(0, 0, MarkerPlan(0));
+        backend->store().Push(0, 0, MarkerPlan(0));
+      },
+      "already published");
+}
+
+TEST_P(StoreConformanceDeathTest, FetchBeforePublishDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto backend = GetParam().make(0);
+        backend->store().Push(1, 0, MarkerPlan(0));
+        backend->store().Fetch(1, 1);
+      },
+      "unpublished");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StoreConformanceDeathTest,
+                         ::testing::ValuesIn(kBackends), BackendName);
+#endif
+
+}  // namespace
+}  // namespace dynapipe

@@ -1,0 +1,381 @@
+// Tests for the cross-process plan distribution wire (src/transport): the
+// length-prefixed frame protocol (round-trip, malformed-input rejection), the
+// loopback and Unix-socket byte streams, the store server / remote client
+// pair, and — the point of the subsystem — a fork()ed two-process run where a
+// planner process publishes an epoch of plans over a Unix domain socket and
+// an executor process fetches byte-identical copies of what the in-process
+// store would have delivered.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cost/pipeline_cost_model.h"
+#include "src/data/flan_generator.h"
+#include "src/data/minibatch_sampler.h"
+#include "src/runtime/instruction_store.h"
+#include "src/runtime/planner.h"
+#include "src/service/plan_serde.h"
+#include "src/transport/frame.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
+
+namespace dynapipe {
+namespace {
+
+std::string UniqueSocketPath(const char* tag) {
+  static std::atomic<uint64_t> counter{0};
+  return std::string("/tmp/dynapipe-tt-") + tag + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// ---------- frame protocol ----------
+
+TEST(FrameTest, RoundTripOverLoopback) {
+  transport::LoopbackTransport lo;
+  std::unique_ptr<transport::Stream> client = lo.Connect();
+  std::unique_ptr<transport::Stream> server = lo.Accept();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  transport::Frame out;
+  out.type = transport::FrameType::kPush;
+  out.iteration = -3;  // zigzag keeps negatives 1 byte
+  out.replica = 1 << 20;
+  out.payload = std::string("\x00\x80\xff binary ok", 13);
+  ASSERT_TRUE(WriteFrame(*client, out));
+
+  std::string error;
+  std::optional<transport::Frame> in = ReadFrame(*server, &error);
+  ASSERT_TRUE(in.has_value()) << error;
+  EXPECT_EQ(in->type, out.type);
+  EXPECT_EQ(in->iteration, out.iteration);
+  EXPECT_EQ(in->replica, out.replica);
+  EXPECT_EQ(in->payload, out.payload);
+
+  // And the reply direction.
+  transport::Frame reply;
+  reply.type = transport::FrameType::kOk;
+  ASSERT_TRUE(WriteFrame(*server, reply));
+  std::optional<transport::Frame> got = ReadFrame(*client, &error);
+  ASSERT_TRUE(got.has_value()) << error;
+  EXPECT_EQ(got->type, transport::FrameType::kOk);
+}
+
+TEST(FrameTest, RejectsImplausibleLengthAndTruncatedBody) {
+  {
+    transport::LoopbackTransport lo;
+    auto client = lo.Connect();
+    auto server = lo.Accept();
+    // Length field far over kMaxFrameBytes.
+    const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_TRUE(client->WriteAll(huge, sizeof(huge)));
+    std::string error;
+    EXPECT_FALSE(ReadFrame(*server, &error).has_value());
+    EXPECT_EQ(error, "frame: implausible length");
+  }
+  {
+    transport::LoopbackTransport lo;
+    auto client = lo.Connect();
+    auto server = lo.Accept();
+    // Claims 10 body bytes, delivers 3, then closes.
+    const unsigned char header[4] = {10, 0, 0, 0};
+    ASSERT_TRUE(client->WriteAll(header, sizeof(header)));
+    ASSERT_TRUE(client->WriteAll("abc", 3));
+    client->Close();
+    std::string error;
+    EXPECT_FALSE(ReadFrame(*server, &error).has_value());
+    EXPECT_EQ(error, "frame: truncated body");
+  }
+  {
+    transport::LoopbackTransport lo;
+    auto client = lo.Connect();
+    auto server = lo.Accept();
+    const unsigned char header[4] = {0, 0, 0, 0};  // empty body
+    ASSERT_TRUE(client->WriteAll(header, sizeof(header)));
+    std::string error;
+    EXPECT_FALSE(ReadFrame(*server, &error).has_value());
+    EXPECT_EQ(error, "frame: empty body");
+  }
+  {
+    transport::LoopbackTransport lo;
+    auto client = lo.Connect();
+    auto server = lo.Accept();
+    client->Close();  // clean EOF before any byte
+    std::string error = "sentinel";
+    EXPECT_FALSE(ReadFrame(*server, &error).has_value());
+    EXPECT_TRUE(error.empty());
+  }
+}
+
+// ---------- streams ----------
+
+TEST(LoopbackTransportTest, CloseUnblocksAcceptAndReaders) {
+  transport::LoopbackTransport lo;
+  std::thread acceptor([&] { EXPECT_EQ(lo.Accept(), nullptr); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  lo.Close();
+  acceptor.join();
+  EXPECT_EQ(lo.Connect(), nullptr);  // closed transport refuses connections
+
+  // A reader parked on an open stream unblocks when the peer closes.
+  transport::LoopbackTransport lo2;
+  auto client = lo2.Connect();
+  auto server = lo2.Accept();
+  std::thread reader([&] {
+    char byte;
+    EXPECT_FALSE(server->ReadAll(&byte, 1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  client->Close();
+  reader.join();
+}
+
+TEST(UnixSocketTransportTest, ConnectAcceptEcho) {
+  transport::UnixSocketTransport transport(UniqueSocketPath("echo"));
+  std::thread server([&] {
+    std::unique_ptr<transport::Stream> conn = transport.Accept();
+    ASSERT_NE(conn, nullptr);
+    char buf[5];
+    ASSERT_TRUE(conn->ReadAll(buf, sizeof(buf)));
+    ASSERT_TRUE(conn->WriteAll(buf, sizeof(buf)));
+  });
+  std::unique_ptr<transport::Stream> client = transport.Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->WriteAll("hello", 5));
+  char echo[5];
+  ASSERT_TRUE(client->ReadAll(echo, sizeof(echo)));
+  EXPECT_EQ(std::string(echo, 5), "hello");
+  server.join();
+  transport.Close();
+}
+
+TEST(UnixSocketTransportTest, ConnectToAbsentServerTimesOut) {
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(transport::ConnectUnixSocket("/tmp/dynapipe-absent.sock",
+                                         /*timeout_ms=*/60),
+            nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+// ---------- remote store over both transports ----------
+
+sim::ExecutionPlan MarkerPlan(int32_t marker) {
+  sim::ExecutionPlan plan;
+  plan.num_microbatches = marker;
+  sim::DevicePlan dev;
+  sim::Instruction instr;
+  instr.microbatch = marker;
+  instr.shape = {marker, 256, 64};
+  dev.instructions.push_back(instr);
+  plan.devices.push_back(std::move(dev));
+  return plan;
+}
+
+template <typename MakeTransport>
+void RemoteStoreRoundTrip(MakeTransport make_transport) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  auto transport = make_transport();
+  transport::InstructionStoreServer server(transport.get(), &store);
+  auto client = transport::RemoteInstructionStore::OverTransport(transport.get());
+
+  const sim::ExecutionPlan p0 = MarkerPlan(1);
+  const sim::ExecutionPlan p1 = MarkerPlan(2);
+  client->Push(0, 0, p0);
+  client->Push(0, 1, p1);
+  EXPECT_EQ(client->size(), 2u);
+  EXPECT_TRUE(client->Contains(0, 0));
+  EXPECT_FALSE(client->Contains(1, 0));
+  // The client's wire volume matches the server store's resident bytes: the
+  // server never re-encodes what the client sent.
+  EXPECT_EQ(client->serialized_bytes_total(), store.serialized_bytes_total());
+  EXPECT_GT(client->serialized_bytes_total(), 0);
+  EXPECT_EQ(client->Fetch(0, 1), p1);
+  EXPECT_EQ(client->Fetch(0, 0), p0);
+  EXPECT_EQ(client->size(), 0u);
+  EXPECT_GE(server.requests_served(), 8);
+  server.Stop();
+}
+
+TEST(RemoteStoreTest, RoundTripOverLoopback) {
+  RemoteStoreRoundTrip(
+      [] { return std::make_unique<transport::LoopbackTransport>(); });
+}
+
+TEST(RemoteStoreTest, RoundTripOverUnixSocket) {
+  RemoteStoreRoundTrip([] {
+    return std::make_unique<transport::UnixSocketTransport>(
+        UniqueSocketPath("rt"));
+  });
+}
+
+// ---------- the two-process epoch (acceptance criterion) ----------
+
+bool WriteFull(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w <= 0) {
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool ReadFull(int fd, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    if (r <= 0) {
+      return false;
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+// The planner process plans a short epoch and publishes every plan to its
+// store, served over a Unix domain socket; a fork()ed executor process
+// fetches each plan with RemoteInstructionStore, decodes it, and streams the
+// re-encoded bytes back over a pipe. Those bytes must equal — byte for byte —
+// what the in-process serialized store holds for the same epoch.
+TEST(TwoProcessPlanDistributionTest, SocketFetchesAreByteIdenticalToInProcess) {
+  // Plan the epoch first, inline and threadless: the planner work happens
+  // before fork(), so the child never inherits locks or threads.
+  cost::ProfileOptions profile;
+  profile.max_microbatch_size = 32;
+  profile.max_seq_len = 4096;
+  const auto cm = cost::PipelineCostModel::Profile(
+      model::ModelConfig::Gpt3_35B(), model::HardwareSpec{}, {1, 1, 4}, profile);
+  runtime::PlannerOptions popts;
+  popts.max_tmax_candidates = 48;
+  popts.tmax_interval_ms = 0.5;
+  popts.max_microbatch_size = 32;
+  popts.reorder_clusters = 2;
+  popts.dynamic_recompute = false;
+  runtime::IterationPlanner planner(cm, popts);
+
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  data::MiniBatchSamplerOptions so;
+  so.global_batch_tokens = 6144;
+  so.max_input_len = 1024;
+  so.seed = 7;
+  data::MiniBatchSampler sampler(dataset, so);
+
+  constexpr int kIterations = 3;
+  std::vector<sim::ExecutionPlan> exec_plans;
+  for (int i = 0; i < kIterations && sampler.HasNext(); ++i) {
+    runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
+    ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+    ASSERT_EQ(plan.replicas.size(), 1u);
+    exec_plans.push_back(std::move(plan.replicas[0].exec_plan));
+  }
+  ASSERT_EQ(exec_plans.size(), static_cast<size_t>(kIterations));
+
+  // What the in-process serialized store delivers for this epoch — the
+  // reference the socket path must match byte for byte.
+  std::vector<std::string> expected_bytes;
+  {
+    runtime::InstructionStore inproc(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    for (int i = 0; i < kIterations; ++i) {
+      inproc.Push(i, 0, exec_plans[i]);
+    }
+    for (int i = 0; i < kIterations; ++i) {
+      expected_bytes.push_back(inproc.FetchBytes(i, 0));
+    }
+  }
+
+  const std::string socket_path = UniqueSocketPath("fork");
+  int ready_pipe[2];
+  int result_pipe[2];
+  ASSERT_EQ(::pipe(ready_pipe), 0);
+  ASSERT_EQ(::pipe(result_pipe), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Executor process. No gtest machinery here: any failure is a nonzero
+    // exit the parent turns into a test failure.
+    ::close(ready_pipe[1]);
+    ::close(result_pipe[0]);
+    char go;
+    if (!ReadFull(ready_pipe[0], &go, 1)) {
+      ::_exit(2);  // planner died before publishing
+    }
+    auto remote = transport::RemoteInstructionStore::OverUnixSocket(
+        socket_path, /*connect_timeout_ms=*/10'000);
+    for (int i = 0; i < kIterations; ++i) {
+      const sim::ExecutionPlan plan = remote->Fetch(i, 0);
+      // Re-encode the decoded plan: the bytes prove the fetch decoded into
+      // exactly the published instruction stream.
+      const std::string bytes = service::EncodeExecutionPlan(plan);
+      const uint32_t len = static_cast<uint32_t>(bytes.size());
+      if (!WriteFull(result_pipe[1], &len, sizeof(len)) ||
+          !WriteFull(result_pipe[1], bytes.data(), bytes.size())) {
+        ::_exit(3);
+      }
+    }
+    ::_exit(0);
+  }
+
+  // Planner process: serve the store over the socket and publish the epoch.
+  ::close(ready_pipe[0]);
+  ::close(result_pipe[1]);
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  transport::UnixSocketTransport transport(socket_path);
+  transport::InstructionStoreServer server(&transport, &store);
+  for (int i = 0; i < kIterations; ++i) {
+    store.Push(i, 0, exec_plans[i]);
+  }
+  // Publish-before-fetch: only now may the executor start fetching.
+  ASSERT_TRUE(WriteFull(ready_pipe[1], "g", 1));
+
+  for (int i = 0; i < kIterations; ++i) {
+    uint32_t len = 0;
+    ASSERT_TRUE(ReadFull(result_pipe[0], &len, sizeof(len))) << "iteration " << i;
+    std::string bytes(len, '\0');
+    ASSERT_TRUE(ReadFull(result_pipe[0], bytes.data(), bytes.size()));
+    EXPECT_EQ(bytes, expected_bytes[i]) << "iteration " << i;
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "executor process exited with status " << status;
+  EXPECT_EQ(store.size(), 0u);  // the executor drained the epoch
+  ::close(ready_pipe[1]);
+  ::close(result_pipe[0]);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dynapipe
