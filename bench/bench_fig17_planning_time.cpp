@@ -193,6 +193,78 @@ void RunPlanAhead(model::ModelArch arch, int32_t pool_threads, int64_t batch) {
               table.ToString().c_str());
 }
 
+// Plan-cache quantization trade-off (ROADMAP PR 2): rounding sequence
+// lengths up to a multiple q before keying *and* planning trades padding for
+// cache hits. T5 is the interesting arch — its two-dimensional
+// (input, target) shape space rarely repeats exactly, so the exact cache
+// (q=1) starves on anything but a literal replay. Each row runs three
+// epochs: epoch 1 warms the cache (seed A), "replay" re-runs seed A (exact-
+// match territory — 100% at any q), and "x-shuf" runs a *different* shuffle
+// (seed B) — the regime the knob exists for, where only quantized signatures
+// can collapse nearly-identical batches onto a cached plan. Padding and
+// throughput columns come from the cross-shuffle epoch: what the rounding
+// costs in padded tokens and what that nets out to end to end.
+void RunQuantization(model::ModelArch arch, int32_t pool_threads,
+                     int64_t batch) {
+  const model::ModelConfig config = model::ModelConfig::ForCluster(arch, 4);
+  const model::HardwareSpec hw;
+  const model::ParallelConfig parallel =
+      arch == model::ModelArch::kGpt ? model::ParallelConfig{1, 1, 4}
+                                     : model::ParallelConfig{1, 2, 2};
+  const data::Dataset dataset = bench::BenchDataset(16'000);
+
+  ThreadPool pool(pool_threads);
+  runtime::PlannerOptions planner = bench::BenchPlanner();
+  planner.cost_cache = true;
+  planner.pool = &pool;
+
+  TextTable table({"quantization", "replay plan$ hit%", "x-shuf plan$ hit%",
+                   "padding eff%", "tokens/s", "stall_ms(mean)"});
+  for (const int32_t q : {1, 16, 32, 64}) {
+    // Fresh trainer per row: the plan cache lives on the trainer and its
+    // signatures embed q, so rows must not share state.
+    runtime::Trainer trainer(config, hw, parallel, bench::BenchProfile());
+    runtime::TrainerOptions topts;
+    topts.global_batch_tokens = batch;
+    topts.max_input_len = 2048;
+    topts.max_iterations = kMeasuredIters;
+    topts.plan_lookahead = 2;
+    topts.plan_cache = true;
+    topts.plan_cache_quantization = q;
+    topts.serialize_plans = true;
+    const runtime::EpochResult warm = trainer.RunEpoch(dataset, planner, topts);
+    const runtime::EpochResult replay =
+        trainer.RunEpoch(dataset, planner, topts);
+    runtime::TrainerOptions shuffled = topts;
+    shuffled.sampler_seed = topts.sampler_seed + 1;
+    const runtime::EpochResult xshuf =
+        trainer.RunEpoch(dataset, planner, shuffled);
+    if (!warm.feasible || !replay.feasible || !xshuf.feasible) {
+      table.AddRow({std::to_string(q), "OOM", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto hit_rate = [](const runtime::EpochResult& r) {
+      const int64_t lookups = r.plan_cache_hits + r.plan_cache_misses;
+      return lookups == 0 ? 0.0
+                          : 100.0 * static_cast<double>(r.plan_cache_hits) /
+                                static_cast<double>(lookups);
+    };
+    RunningStats stall;
+    for (const auto& rec : xshuf.records) {
+      stall.Add(rec.plan_stall_ms);
+    }
+    table.AddRow({std::to_string(q), TextTable::Fmt(hit_rate(replay), 1),
+                  TextTable::Fmt(hit_rate(xshuf), 1),
+                  TextTable::Fmt(100.0 * xshuf.padding.overall_efficiency(), 1),
+                  TextTable::Fmt(xshuf.tokens_per_second(), 0),
+                  TextTable::Fmt(stall.mean(), 2)});
+  }
+  std::printf("-- %s plan-cache quantization (batch=%lld tokens, pool=%d; "
+              "replay = same shuffle, x-shuf = fresh shuffle) --\n%s\n",
+              config.name.c_str(), static_cast<long long>(batch), pool_threads,
+              table.ToString().c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -202,6 +274,7 @@ int main() {
   RunModel(model::ModelArch::kT5, kPoolThreads);
   RunPlanAhead(model::ModelArch::kGpt, kPoolThreads, 65'536);
   RunPlanAhead(model::ModelArch::kT5, kPoolThreads, 65'536);
+  RunQuantization(model::ModelArch::kT5, kPoolThreads, 65'536);
   std::printf("paper reference: planning time grows with global batch size; "
               "plan/iteration ratio stays small enough to overlap with training "
               "(peaks at 12.9x single-thread in the paper) (Fig. 17). Here the "
@@ -210,6 +283,8 @@ int main() {
               "plan-ahead tables report the *stall* executors see through the "
               "PlanAheadService: lookahead >= 2 overlaps planning with "
               "execution (needs spare cores), and a replayed epoch's plan-cache "
-              "hits drive stall to ~0 on any machine.\n");
+              "hits drive stall to ~0 on any machine. The quantization table "
+              "trades padding for fresh-epoch hit rate on T5's diverse shape "
+              "space (bench/README.md \"Quantization trade-off\").\n");
   return 0;
 }

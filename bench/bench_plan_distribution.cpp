@@ -11,13 +11,32 @@
 //   unix socket wire   full frame protocol over AF_UNIX, one connection per
 //                      request (connect cost included — that is the wire
 //                      path's real per-request price)
+//   unix socket mux    same AF_UNIX server through ONE persistent
+//                      multiplexed connection (request-id frames, deferred
+//                      kPush replies) — no connect per request
+//   shm store          shared-memory segment: encode-into-arena on Push,
+//                      zero-copy view + decode-in-place on Fetch
+//   shm view           same segment, but the fetch column is the raw
+//                      distribution hop alone: acquire the zero-copy view
+//                      and release it, no decode (decode-in-place costs the
+//                      same everywhere and can happen lazily on the executor)
+//
+// Each row also counts heap allocations per Push/Fetch (global operator new
+// interposition): the steady-state publish path is designed to allocate
+// nothing (per-thread encode scratch, frame reuse), and the shm rows prove
+// it.
 //
 // Reported numbers go into bench/README.md ("Plan distribution"); the wire
 // rows bound what a real multi-process deployment pays per plan, and the gap
-// between serde and wire rows is pure transport (frames + syscalls + threads).
+// between serde and wire rows is pure transport (frames + syscalls +
+// threads). Pass an integer argv[1] to override the round count (CI smoke
+// runs use a handful of rounds).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <unistd.h>
 #include <vector>
@@ -27,9 +46,27 @@
 #include "src/data/minibatch_sampler.h"
 #include "src/runtime/instruction_store.h"
 #include "src/service/plan_serde.h"
+#include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
+
+// ---- allocation counting (whole binary) ----
+namespace {
+std::atomic<int64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -43,35 +80,84 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 
 struct Row {
   const char* name;
-  double push_ms;
-  double fetch_ms;
+  double push_ms = 0.0;
+  double fetch_ms = 0.0;
+  double push_allocs = 0.0;
+  double fetch_allocs = 0.0;
 };
 
 Row Measure(const char* name, runtime::InstructionStoreInterface& store,
             const sim::ExecutionPlan& plan, int rounds) {
-  // Warm-up round: first connect on a fresh socket path and first allocation
-  // are not steady state.
+  // Warm-up round: first connect on a fresh socket path, first allocation,
+  // and thread-local scratch growth are not steady state.
   store.Push(-1, 0, plan);
   store.Fetch(-1, 0);
-  double push_ms = 0.0;
-  double fetch_ms = 0.0;
+  Row row;
+  row.name = name;
+  int64_t push_allocs = 0;
+  int64_t fetch_allocs = 0;
   for (int i = 0; i < rounds; ++i) {
+    int64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
     auto t0 = std::chrono::steady_clock::now();
     store.Push(i, 0, plan);
-    push_ms += MsSince(t0);
+    row.push_ms += MsSince(t0);
+    const int64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+    push_allocs += allocs1 - allocs0;
     t0 = std::chrono::steady_clock::now();
     const sim::ExecutionPlan fetched = store.Fetch(i, 0);
-    fetch_ms += MsSince(t0);
+    row.fetch_ms += MsSince(t0);
+    fetch_allocs += g_allocs.load(std::memory_order_relaxed) - allocs1;
     if (fetched.num_microbatches != plan.num_microbatches) {
       std::printf("!! %s corrupted a plan\n", name);
     }
   }
-  return {name, push_ms / rounds, fetch_ms / rounds};
+  row.push_ms /= rounds;
+  row.fetch_ms /= rounds;
+  row.push_allocs = static_cast<double>(push_allocs) / rounds;
+  row.fetch_allocs = static_cast<double>(fetch_allocs) / rounds;
+  return row;
+}
+
+// The shm distribution hop alone: push into the arena, acquire the zero-copy
+// view, release — no decode. This is the number to compare against the wire
+// rows' transport cost: it is what a same-host executor pays to *obtain* a
+// published plan's bytes.
+Row MeasureShmView(transport::ShmInstructionStore& store,
+                   const sim::ExecutionPlan& plan, int rounds) {
+  store.Push(-1, 0, plan);
+  { const auto warm = store.AcquireView(-1, 0); (void)warm; }
+  Row row;
+  row.name = "shm view (no decode)";
+  int64_t push_allocs = 0;
+  int64_t fetch_allocs = 0;
+  for (int i = 0; i < rounds; ++i) {
+    int64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
+    store.Push(i, 0, plan);
+    row.push_ms += MsSince(t0);
+    const int64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+    push_allocs += allocs1 - allocs0;
+    t0 = std::chrono::steady_clock::now();
+    {
+      const auto view = store.AcquireView(i, 0);
+      if (view.bytes().size() < 5) {
+        std::printf("!! shm view too small\n");
+      }
+    }
+    row.fetch_ms += MsSince(t0);
+    fetch_allocs += g_allocs.load(std::memory_order_relaxed) - allocs1;
+  }
+  row.push_ms /= rounds;
+  row.fetch_ms /= rounds;
+  row.push_allocs = static_cast<double>(push_allocs) / rounds;
+  row.fetch_allocs = static_cast<double>(fetch_allocs) / rounds;
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::max(1, std::atoi(argv[1])) : 300;
   // One representative plan from the bench epoch (GPT-3.35B, 4 stages,
   // 65k-token batch): a realistic instruction stream, not a toy.
   const auto cost_model = cost::PipelineCostModel::Profile(
@@ -99,16 +185,15 @@ int main() {
               exec.num_microbatches, exec.num_devices(), instructions,
               encoded.size());
 
-  constexpr int kRounds = 300;
   std::vector<Row> rows;
   {
     runtime::InstructionStore store;
-    rows.push_back(Measure("in-process", store, exec, kRounds));
+    rows.push_back(Measure("in-process", store, exec, rounds));
   }
   {
     runtime::InstructionStore store(
         runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
-    rows.push_back(Measure("in-process serde", store, exec, kRounds));
+    rows.push_back(Measure("in-process serde", store, exec, rounds));
   }
   {
     runtime::InstructionStore store(
@@ -116,7 +201,7 @@ int main() {
     transport::LoopbackTransport transport;
     transport::InstructionStoreServer server(&transport, &store);
     auto client = transport::RemoteInstructionStore::OverTransport(&transport);
-    rows.push_back(Measure("loopback wire", *client, exec, kRounds));
+    rows.push_back(Measure("loopback wire", *client, exec, rounds));
     server.Stop();
   }
   {
@@ -126,19 +211,47 @@ int main() {
         "/tmp/dynapipe-bench-" + std::to_string(::getpid()) + ".sock");
     transport::InstructionStoreServer server(&transport, &store);
     auto client = transport::RemoteInstructionStore::OverTransport(&transport);
-    rows.push_back(Measure("unix socket wire", *client, exec, kRounds));
+    rows.push_back(Measure("unix socket wire", *client, exec, rounds));
     server.Stop();
   }
-
-  std::printf("%-18s | %10s | %10s | %10s\n", "backend", "push ms", "fetch ms",
-              "round trip");
-  std::printf("-------------------+------------+------------+-----------\n");
-  for (const Row& row : rows) {
-    std::printf("%-18s | %10.4f | %10.4f | %10.4f\n", row.name, row.push_ms,
-                row.fetch_ms, row.push_ms + row.fetch_ms);
+  {
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    transport::UnixSocketTransport transport(
+        "/tmp/dynapipe-bench-mux-" + std::to_string(::getpid()) + ".sock");
+    transport::InstructionStoreServer server(&transport, &store);
+    {
+      auto client = transport::MuxInstructionStore::OverTransport(&transport);
+      rows.push_back(Measure("unix socket mux", *client, exec, rounds));
+    }
+    server.Stop();
   }
-  std::printf("\n(%d rounds per backend; wire rows include one connect per "
-              "request)\n",
-              kRounds);
+  {
+    auto store = transport::ShmInstructionStore::Create(
+        "/dynapipe-bench-" + std::to_string(::getpid()),
+        transport::ShmStoreOptions{});
+    rows.push_back(Measure("shm store", *store, exec, rounds));
+  }
+  {
+    auto store = transport::ShmInstructionStore::Create(
+        "/dynapipe-bench-view-" + std::to_string(::getpid()),
+        transport::ShmStoreOptions{});
+    rows.push_back(MeasureShmView(*store, exec, rounds));
+  }
+
+  std::printf("%-20s | %9s | %9s | %10s | %11s | %12s\n", "backend", "push ms",
+              "fetch ms", "round trip", "push allocs", "fetch allocs");
+  std::printf("---------------------+-----------+-----------+------------+"
+              "-------------+-------------\n");
+  for (const Row& row : rows) {
+    std::printf("%-20s | %9.4f | %9.4f | %10.4f | %11.1f | %12.1f\n", row.name,
+                row.push_ms, row.fetch_ms, row.push_ms + row.fetch_ms,
+                row.push_allocs, row.fetch_allocs);
+  }
+  std::printf(
+      "\n(%d rounds per backend; socket wire includes one connect per "
+      "request, mux reuses one connection, shm rows never touch a wire; "
+      "alloc columns are heap allocations per operation in this process)\n",
+      rounds);
   return 0;
 }

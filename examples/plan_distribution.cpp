@@ -1,16 +1,22 @@
 // Two-process plan distribution: a planner process publishes an epoch of
-// execution plans through an InstructionStoreServer over a Unix domain
-// socket; a fork()ed executor process fetches them with
-// RemoteInstructionStore and decodes the instruction streams.
+// execution plans; a fork()ed executor process fetches and decodes the
+// instruction streams — twice, over the two distribution paths:
+//
+//   1. the wire: InstructionStoreServer over a Unix domain socket, fetched
+//      with RemoteInstructionStore (serialized plan bytes cross the socket);
+//   2. shared memory: the planner creates a named ShmInstructionStore
+//      segment, the executor *attaches by name* (shm_open + mmap) and pulls
+//      zero-copy views of the very bytes the planner wrote — no wire, no
+//      copy, decode-in-place.
 //
 // This is the paper's §3 deployment shape for real: planning happens on the
-// dataloader side, executors live in other processes, and the only thing that
-// crosses the boundary is serialized plan bytes (plan_serde) — no shared
-// memory, no in-process pointers. The walk:
+// dataloader side, executors live in other processes, and the only thing
+// that crosses the boundary is serialized plan bytes (plan_serde) — either
+// framed over a socket or mapped from the segment. The walk:
 //   1. plan a short epoch inline (planner process, before any threads exist),
 //   2. fork the executor, which waits for the publish signal,
-//   3. planner: serve the store on a socket, publish every (iteration,
-//      replica) plan, signal readiness,
+//   3. planner: serve the store (socket phase) / create the segment (shm
+//      phase), publish every (iteration, replica) plan, signal readiness,
 //   4. executor: fetch + decode each plan, verify it re-encodes to the exact
 //      published bytes, report per-fetch latency over the pipe.
 //
@@ -21,6 +27,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +40,7 @@
 #include "src/runtime/planner.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
 
@@ -69,6 +79,101 @@ struct FetchReport {
   int32_t instructions;
   unsigned char byte_identical;
 };
+
+// One two-process phase: fork an executor that fetches every plan through
+// `fetch` (run in the child) while the planner publishes through `publish`
+// (run in the parent) and tallies the reports. Returns true when the
+// executor exited cleanly and every fetch was byte-identical.
+bool RunPhase(const char* label, const std::vector<dynapipe::sim::ExecutionPlan>& plans,
+              const std::function<dynapipe::sim::ExecutionPlan(int64_t)>& fetch,
+              const std::function<void()>& publish,
+              const std::function<void()>& planner_cleanup) {
+  using namespace dynapipe;
+  int ready_pipe[2];
+  int report_pipe[2];
+  if (::pipe(ready_pipe) != 0 || ::pipe(report_pipe) != 0) {
+    std::perror("pipe");
+    return false;
+  }
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("fork");
+    return false;
+  }
+
+  if (child == 0) {
+    // --- Executor process: fetch, decode, verify, report.
+    ::close(ready_pipe[1]);
+    ::close(report_pipe[0]);
+    char go;
+    if (!ReadFull(ready_pipe[0], &go, 1)) ::_exit(2);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::ExecutionPlan plan = fetch(static_cast<int64_t>(i));
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      // The child inherited the planner's pre-fork plans, so it can verify
+      // the distribution path delivered exactly what was published.
+      const std::string bytes = service::EncodeExecutionPlan(plan);
+      FetchReport report;
+      report.iteration = static_cast<int64_t>(i);
+      report.bytes = static_cast<int64_t>(bytes.size());
+      report.fetch_ms = ms;
+      report.devices = plan.num_devices();
+      report.instructions = 0;
+      for (const auto& dev : plan.devices) {
+        report.instructions += static_cast<int32_t>(dev.instructions.size());
+      }
+      report.byte_identical =
+          bytes == service::EncodeExecutionPlan(plans[i]) ? 1 : 0;
+      if (!WriteFull(report_pipe[1], &report, sizeof(report))) ::_exit(3);
+    }
+    ::_exit(0);
+  }
+
+  // --- Planner process: publish, signal, tally the reports.
+  ::close(ready_pipe[0]);
+  ::close(report_pipe[1]);
+  const auto publish_start = std::chrono::steady_clock::now();
+  publish();
+  const double publish_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - publish_start)
+                                .count();
+  std::printf("[planner] %s: published %zu plans in %.2f ms\n", label,
+              plans.size(), publish_ms);
+  WriteFull(ready_pipe[1], "g", 1);
+
+  std::printf("  iter | devices | instrs | bytes  | fetch ms | byte-identical\n");
+  bool all_identical = true;
+  bool executor_alive = true;
+  for (size_t i = 0; i < plans.size() && executor_alive; ++i) {
+    FetchReport report;
+    if (!ReadFull(report_pipe[0], &report, sizeof(report))) {
+      // Still reap the child and run cleanup below: a later phase must not
+      // inherit this one's server threads (or a zombie) through its fork.
+      std::printf("[planner] executor died mid-epoch\n");
+      executor_alive = false;
+      break;
+    }
+    all_identical = all_identical && report.byte_identical != 0;
+    std::printf("  %4lld | %7d | %6d | %6lld | %8.3f | %s\n",
+                static_cast<long long>(report.iteration), report.devices,
+                report.instructions, static_cast<long long>(report.bytes),
+                report.fetch_ms, report.byte_identical ? "yes" : "NO");
+  }
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  planner_cleanup();
+  ::close(ready_pipe[1]);
+  ::close(report_pipe[0]);
+  const bool child_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::printf("[planner] %s: executor exit %s; %s\n\n", label,
+              child_ok ? "clean" : "ABNORMAL",
+              all_identical ? "every fetched plan was byte-identical"
+                            : "BYTE MISMATCH");
+  return executor_alive && child_ok && all_identical;
+}
 
 }  // namespace
 
@@ -111,96 +216,71 @@ int main() {
   }
   std::printf("[planner] %zu iterations planned\n", plans.size());
 
-  int ready_pipe[2];
-  int report_pipe[2];
-  if (::pipe(ready_pipe) != 0 || ::pipe(report_pipe) != 0) {
-    std::perror("pipe");
-    return 1;
-  }
+  // --- Phase 1: the socket wire. The server comes up in the parent *after*
+  // the fork (the child inherits no threads); the executor's connect retries
+  // until it is listening.
+  std::optional<runtime::InstructionStore> store;
+  std::optional<transport::UnixSocketTransport> transport_ep;
+  std::optional<transport::InstructionStoreServer> server;
+  const bool socket_ok = RunPhase(
+      "unix socket", plans,
+      /*fetch=*/
+      [&socket_path,
+       client = std::shared_ptr<transport::RemoteInstructionStore>()](
+          int64_t iteration) mutable {
+        if (client == nullptr) {
+          client = transport::RemoteInstructionStore::OverUnixSocket(
+              socket_path, /*connect_timeout_ms=*/10'000);
+        }
+        return client->Fetch(iteration, /*replica=*/0);
+      },
+      /*publish=*/
+      [&] {
+        store.emplace(runtime::InstructionStoreOptions{/*serialized=*/true,
+                                                       /*capacity=*/0});
+        transport_ep.emplace(socket_path);
+        server.emplace(&*transport_ep, &*store);
+        for (size_t i = 0; i < plans.size(); ++i) {
+          store->Push(static_cast<int64_t>(i), /*replica=*/0, plans[i]);
+        }
+        std::printf("[planner] serving %lld encoded bytes on %s\n",
+                    static_cast<long long>(store->serialized_bytes_total()),
+                    socket_path.c_str());
+      },
+      /*planner_cleanup=*/[&] { server->Stop(); });
 
-  const pid_t child = ::fork();
-  if (child < 0) {
-    std::perror("fork");
-    return 1;
-  }
+  // --- Phase 2: shared memory. No server, no wire: the planner creates a
+  // named segment, the executor attaches by that name and decodes zero-copy
+  // views in place. (The socket server's threads were joined in Stop(), so
+  // the fork inside RunPhase is again single-threaded.)
+  const std::string shm_name =
+      "/dynapipe-example-" + std::to_string(::getpid());
+  std::shared_ptr<transport::ShmInstructionStore> shm;
+  const bool shm_ok = RunPhase(
+      "shared memory", plans,
+      /*fetch=*/
+      [&shm_name, attached = std::shared_ptr<transport::ShmInstructionStore>()](
+          int64_t iteration) mutable {
+        if (attached == nullptr) {
+          attached = transport::ShmInstructionStore::Attach(
+              shm_name, /*timeout_ms=*/10'000);
+        }
+        return attached->Fetch(iteration, /*replica=*/0);
+      },
+      /*publish=*/
+      [&] {
+        shm = transport::ShmInstructionStore::Create(
+            shm_name, transport::ShmStoreOptions{});
+        for (size_t i = 0; i < plans.size(); ++i) {
+          shm->Push(static_cast<int64_t>(i), /*replica=*/0, plans[i]);
+        }
+        std::printf("[planner] %lld encoded bytes mapped at %s\n",
+                    static_cast<long long>(shm->serialized_bytes_total()),
+                    shm_name.c_str());
+      },
+      /*planner_cleanup=*/[&] { shm.reset(); });
 
-  if (child == 0) {
-    // --- Executor process: fetch, decode, verify, report.
-    ::close(ready_pipe[1]);
-    ::close(report_pipe[0]);
-    char go;
-    if (!ReadFull(ready_pipe[0], &go, 1)) ::_exit(2);
-    auto store = transport::RemoteInstructionStore::OverUnixSocket(
-        socket_path, /*connect_timeout_ms=*/10'000);
-    for (size_t i = 0; i < plans.size(); ++i) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const sim::ExecutionPlan plan =
-          store->Fetch(static_cast<int64_t>(i), /*replica=*/0);
-      const double ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - t0)
-              .count();
-      // The child inherited the planner's pre-fork plans, so it can verify
-      // the wire delivered exactly what was published.
-      const std::string bytes = service::EncodeExecutionPlan(plan);
-      FetchReport report;
-      report.iteration = static_cast<int64_t>(i);
-      report.bytes = static_cast<int64_t>(bytes.size());
-      report.fetch_ms = ms;
-      report.devices = plan.num_devices();
-      report.instructions = 0;
-      for (const auto& dev : plan.devices) {
-        report.instructions += static_cast<int32_t>(dev.instructions.size());
-      }
-      report.byte_identical =
-          bytes == service::EncodeExecutionPlan(plans[i]) ? 1 : 0;
-      if (!WriteFull(report_pipe[1], &report, sizeof(report))) ::_exit(3);
-    }
-    ::_exit(0);
-  }
-
-  // --- Planner process: serve the store, publish, then wait for the report.
-  ::close(ready_pipe[0]);
-  ::close(report_pipe[1]);
-  runtime::InstructionStore store(
-      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
-  transport::UnixSocketTransport transport(socket_path);
-  transport::InstructionStoreServer server(&transport, &store);
-  const auto publish_start = std::chrono::steady_clock::now();
-  for (size_t i = 0; i < plans.size(); ++i) {
-    store.Push(static_cast<int64_t>(i), /*replica=*/0, plans[i]);
-  }
-  const double publish_ms = std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - publish_start)
-                                .count();
-  std::printf("[planner] published %zu plans (%.2f ms, %lld encoded bytes), "
-              "serving on %s\n",
-              plans.size(), publish_ms,
-              static_cast<long long>(store.serialized_bytes_total()),
-              socket_path.c_str());
-  WriteFull(ready_pipe[1], "g", 1);
-
-  std::printf("  iter | devices | instrs | bytes  | fetch ms | byte-identical\n");
-  bool all_identical = true;
-  for (size_t i = 0; i < plans.size(); ++i) {
-    FetchReport report;
-    if (!ReadFull(report_pipe[0], &report, sizeof(report))) {
-      std::printf("[planner] executor died mid-epoch\n");
-      return 1;
-    }
-    all_identical = all_identical && report.byte_identical != 0;
-    std::printf("  %4lld | %7d | %6d | %6lld | %8.3f | %s\n",
-                static_cast<long long>(report.iteration), report.devices,
-                report.instructions, static_cast<long long>(report.bytes),
-                report.fetch_ms, report.byte_identical ? "yes" : "NO");
-  }
-  int status = 0;
-  ::waitpid(child, &status, 0);
-  server.Stop();
-  const bool child_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-  std::printf("[planner] executor exit %s; store drained to %zu entries; %s\n",
-              child_ok ? "clean" : "ABNORMAL", store.size(),
-              all_identical ? "every fetched plan was byte-identical"
-                            : "BYTE MISMATCH");
-  return child_ok && all_identical ? 0 : 1;
+  std::printf("[planner] socket phase %s, shm phase %s\n",
+              socket_ok ? "ok" : "FAILED", shm_ok ? "ok" : "FAILED");
+  return socket_ok && shm_ok ? 0 : 1;
 }

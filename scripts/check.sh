@@ -33,3 +33,9 @@ if [ "$missing" -ne 0 ]; then
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Smoke the plan-distribution bench end to end (3 rounds): it drives every
+# store backend — in-process, serde, loopback/socket wire, mux, shm — through
+# real pushes and fetches, so a backend that builds but cannot move a plan
+# fails CI here rather than in a user's hands.
+"$BUILD_DIR"/bench_plan_distribution 3

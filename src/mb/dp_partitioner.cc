@@ -199,25 +199,16 @@ PartitionResult DpPartitioner::Partition(
   };
   std::vector<CandidateOutcome> outcomes(candidates.size());
 
-  // cuts[i * |candidates| + c]: windows from start i usable under candidate c
-  // (times <= candidate + eps). Candidates and per-start times are both sorted,
-  // so one merge-walk per start computes every cutoff — the per-candidate DPs
-  // then run branch-free, with no searching inside the hot loop.
-  const size_t num_cand = candidates.size();
-  std::vector<uint32_t> cuts(n * num_cand);
-  for (size_t i = 0; i < n; ++i) {
-    const std::vector<double>& times = win_times[i];
-    size_t cut = 0;
-    uint32_t* row = cuts.data() + i * num_cand;
-    for (size_t c = 0; c < num_cand; ++c) {
-      const double tmax = candidates[c] + 1e-12;
-      while (cut < times.size() && times[cut] <= tmax) {
-        ++cut;
-      }
-      row[c] = static_cast<uint32_t>(cut);
-    }
-  }
-
+  // Each start's usable-window cutoff under a candidate (times <= candidate +
+  // eps) is derived *inside* the per-candidate lambda: per-start times are
+  // sorted (monotone in w), so one binary search per (start, candidate) — an
+  // O(n log W) sliver next to the O(n*W) DP — replaces what used to be a
+  // serial O(n x candidates) merge-walk plus a 4B/cell cutoff table ahead of
+  // the fan-out. That walk was the sweep's Amdahl limit at 16k-sample
+  // batches; now the only serial work between the precompute and the merge is
+  // candidate selection. upper_bound on a sorted array returns exactly the
+  // merge-walk's count, so plans are bit-identical (pinned by
+  // tests/planning_parallel_test.cpp).
   ParallelFor(options_.pool, candidates.size(), [&](size_t c_idx) {
     const double tmax = candidates[c_idx] + 1e-12;
     // Forward DP, start-major: windows starting at i extend f[i] to f[i+w].
@@ -243,10 +234,12 @@ PartitionResult DpPartitioner::Partition(
         break;
       }
       const double fi = f[i];
-      const size_t cut = cuts[i * num_cand + c_idx];
+      const std::vector<double>& times = win_times[i];
+      const size_t cut = static_cast<size_t>(
+          std::upper_bound(times.begin(), times.end(), tmax) - times.begin());
       // restrict lets the compiler vectorize the min: f's tail and this start's
       // time array never alias.
-      const double* __restrict tp = win_times[i].data();
+      const double* __restrict tp = times.data();
       double* __restrict fk = f.data() + i + 1;
       for (size_t w = 0; w < cut; ++w) {
         fk[w] = std::min(fk[w], fi + tp[w]);

@@ -44,7 +44,7 @@ void InstructionStore::Push(int64_t iteration, int32_t replica,
   Entry entry;
   size_t encoded_bytes = 0;
   if (options_.serialized) {
-    entry.bytes = service::EncodeExecutionPlan(plan);
+    service::EncodeExecutionPlanInto(plan, &entry.bytes);
     encoded_bytes = entry.bytes.size();
   } else {
     entry.plan = std::move(plan);

@@ -15,7 +15,9 @@
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/sim/cluster_sim.h"
+#include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
 
@@ -82,11 +84,20 @@ uint64_t PlannerConfigHash(const model::ModelConfig& config,
 }
 
 // Unique per epoch so concurrent trainers (grid search) never collide on a
-// socket path.
-std::string DeriveSocketPath() {
+// socket path or shm segment name.
+uint64_t NextStoreId() {
   static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1);
+}
+
+std::string DeriveSocketPath() {
   return "/tmp/dynapipe-store-" + std::to_string(::getpid()) + "-" +
-         std::to_string(counter.fetch_add(1)) + ".sock";
+         std::to_string(NextStoreId()) + ".sock";
+}
+
+std::string DeriveShmName() {
+  return "/dynapipe-store-" + std::to_string(::getpid()) + "-" +
+         std::to_string(NextStoreId());
 }
 
 }  // namespace
@@ -184,24 +195,43 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   sopts.fold_target_lengths = config_.arch == model::ModelArch::kGpt;
   sopts.serialize_plans = options.serialize_plans;
   sopts.store_capacity = options.instruction_store_capacity;
-  // Socket backend: host the server side of the wire (store + listener) and
-  // hand the service a remote client. Declared before `service` below so the
-  // server outlives it — the service's shutdown still round-trips through the
-  // socket. The publisher's deferral logic needs store_capacity to mirror the
-  // server store's bound, which it does by construction here.
+  // Socket backends: host the server side of the wire (store + listener) and
+  // hand the service a remote client — one-shot connections (kUnixSocket) or
+  // one persistent multiplexed connection (kUnixSocketMux). Declared before
+  // `service` below so the server outlives it — the service's shutdown still
+  // round-trips through the socket. The publisher's deferral logic needs
+  // store_capacity to mirror the server store's bound, which it does by
+  // construction here. The shared-memory backend needs no server at all: the
+  // segment is the store, and an executor process could attach to it by name.
   std::optional<InstructionStore> server_store;
   std::optional<transport::UnixSocketTransport> socket_transport;
   std::optional<transport::InstructionStoreServer> store_server;
   if (options.plan_store_backend ==
-      TrainerOptions::PlanStoreBackend::kUnixSocket) {
+          TrainerOptions::PlanStoreBackend::kUnixSocket ||
+      options.plan_store_backend ==
+          TrainerOptions::PlanStoreBackend::kUnixSocketMux) {
     server_store.emplace(InstructionStoreOptions{
         /*serialized=*/true, options.instruction_store_capacity});
     socket_transport.emplace(options.plan_store_socket_path.empty()
                                  ? DeriveSocketPath()
                                  : options.plan_store_socket_path);
     store_server.emplace(&*socket_transport, &*server_store);
-    sopts.store = transport::RemoteInstructionStore::OverUnixSocket(
-        socket_transport->path());
+    if (options.plan_store_backend ==
+        TrainerOptions::PlanStoreBackend::kUnixSocket) {
+      sopts.store = transport::RemoteInstructionStore::OverUnixSocket(
+          socket_transport->path());
+    } else {
+      sopts.store = transport::MuxInstructionStore::OverUnixSocket(
+          socket_transport->path());
+    }
+  } else if (options.plan_store_backend ==
+             TrainerOptions::PlanStoreBackend::kSharedMemory) {
+    transport::ShmStoreOptions shm_opts;
+    shm_opts.capacity = options.instruction_store_capacity;
+    sopts.store = transport::ShmInstructionStore::Create(
+        options.plan_store_shm_name.empty() ? DeriveShmName()
+                                            : options.plan_store_shm_name,
+        shm_opts);
   }
   if (allow_plan_cache && options.plan_cache) {
     if (plan_cache_ == nullptr) {

@@ -107,6 +107,20 @@ runtime::IterationPlan PlanCache::Rebind(
   }
   DYNAPIPE_CHECK_MSG(bound == minibatch.size(),
                      "plan cache rebind: sample count mismatch");
+  // Recompute padding against the rebound samples: with quantization > 1 the
+  // cached plan's stats were computed from rounded-up lengths as if they were
+  // real, overstating efficiency. Real tokens are the new samples', padded
+  // tokens the (still canonical) executed shapes'. At quantization == 1 the
+  // rebound lengths equal the cached ones, so this is the identity and plans
+  // stay bit-identical.
+  plan.padding = mb::PaddingStats{};
+  for (const auto& replica : plan.replicas) {
+    const mb::PaddingStats stats = mb::ComputePaddingStats(replica.micro_batches);
+    plan.padding.real_input_tokens += stats.real_input_tokens;
+    plan.padding.padded_input_tokens += stats.padded_input_tokens;
+    plan.padding.real_target_tokens += stats.real_target_tokens;
+    plan.padding.padded_target_tokens += stats.padded_target_tokens;
+  }
   return plan;
 }
 

@@ -233,26 +233,32 @@ sim::Instruction ParseInstruction(std::string_view bytes, size_t* pos) {
 
 std::string EncodeExecutionPlan(const sim::ExecutionPlan& plan) {
   std::string out;
+  EncodeExecutionPlanInto(plan, &out);
+  return out;
+}
+
+void EncodeExecutionPlanInto(const sim::ExecutionPlan& plan, std::string* out) {
+  out->clear();
   // Typical plans are a few hundred instructions at ~6 bytes each; one
-  // reservation avoids regrowth in the common case.
+  // reservation avoids regrowth in the common case (and is a no-op for a
+  // reused scratch buffer that already grew to plan size).
   size_t instructions = 0;
   for (const auto& dev : plan.devices) {
     instructions += dev.instructions.size();
   }
-  out.reserve(sizeof(kPlanSerdeMagic) + 16 + 8 * plan.devices.size() +
-              12 * instructions);
-  out.append(kPlanSerdeMagic, sizeof(kPlanSerdeMagic));
-  out.push_back(static_cast<char>(kPlanSerdeVersion));
-  AppendZigzag(plan.num_microbatches, &out);
-  AppendVarint(plan.devices.size(), &out);
+  out->reserve(sizeof(kPlanSerdeMagic) + 16 + 8 * plan.devices.size() +
+               12 * instructions);
+  out->append(kPlanSerdeMagic, sizeof(kPlanSerdeMagic));
+  out->push_back(static_cast<char>(kPlanSerdeVersion));
+  AppendZigzag(plan.num_microbatches, out);
+  AppendVarint(plan.devices.size(), out);
   for (const auto& dev : plan.devices) {
-    AppendZigzag(dev.device, &out);
-    AppendVarint(dev.instructions.size(), &out);
+    AppendZigzag(dev.device, out);
+    AppendVarint(dev.instructions.size(), out);
     for (const auto& instr : dev.instructions) {
-      AppendInstruction(instr, &out);
+      AppendInstruction(instr, out);
     }
   }
-  return out;
 }
 
 std::optional<sim::ExecutionPlan> TryDecodeExecutionPlan(std::string_view bytes,

@@ -8,30 +8,33 @@
 namespace dynapipe::transport {
 
 bool WriteFrame(Stream& stream, const Frame& frame) {
+  std::string wire;
+  return WriteFrame(stream, frame, &wire);
+}
+
+bool WriteFrame(Stream& stream, const Frame& frame, std::string* scratch) {
   // The reader enforces this bound, so catch the overflow where it is a bug
   // (the sender) instead of desyncing the peer: a body over 2^32 would wrap
   // the length prefix and turn the tail into garbage frames.
   DYNAPIPE_CHECK_MSG(frame.payload.size() <= kMaxFrameBytes,
                      "frame: payload exceeds kMaxFrameBytes");
-  std::string body;
-  body.reserve(16 + frame.payload.size());
-  body.push_back(static_cast<char>(frame.type));
-  service::AppendZigzag(frame.iteration, &body);
-  service::AppendZigzag(frame.replica, &body);
-  body.append(frame.payload);
-
-  char header[4];
-  const uint32_t len = static_cast<uint32_t>(body.size());
-  header[0] = static_cast<char>(len & 0xff);
-  header[1] = static_cast<char>((len >> 8) & 0xff);
-  header[2] = static_cast<char>((len >> 16) & 0xff);
-  header[3] = static_cast<char>((len >> 24) & 0xff);
   // One buffer, one write: the loopback transport wakes its reader per
-  // WriteAll, and socket writes stay a single syscall for small frames.
-  std::string wire;
-  wire.reserve(sizeof(header) + body.size());
-  wire.append(header, sizeof(header));
-  wire.append(body);
+  // WriteAll, and socket writes stay a single syscall for small frames. The
+  // length prefix is patched in after the body is assembled so the whole
+  // frame builds in `scratch` with no second buffer.
+  std::string& wire = *scratch;
+  wire.clear();
+  wire.append(4, '\0');  // length prefix placeholder
+  wire.push_back(static_cast<char>(frame.type));
+  service::AppendVarint(frame.request_id, &wire);
+  service::AppendZigzag(frame.iteration, &wire);
+  service::AppendZigzag(frame.replica, &wire);
+  wire.append(frame.payload);
+  const uint32_t len = static_cast<uint32_t>(wire.size() - 4);
+  wire[0] = static_cast<char>(len & 0xff);
+  wire[1] = static_cast<char>((len >> 8) & 0xff);
+  wire[2] = static_cast<char>((len >> 16) & 0xff);
+  wire[3] = static_cast<char>((len >> 24) & 0xff);
   return stream.WriteAll(wire.data(), wire.size());
 }
 
@@ -68,13 +71,16 @@ std::optional<Frame> ReadFrame(Stream& stream, std::string* error) {
   Frame frame;
   size_t pos = 0;
   frame.type = static_cast<FrameType>(static_cast<uint8_t>(body[pos++]));
+  uint64_t request_id = 0;
   int64_t iteration = 0;
   int64_t replica = 0;
-  if (!service::TryParseZigzag(body, &pos, &iteration) ||
+  if (!service::TryParseVarint(body, &pos, &request_id) ||
+      !service::TryParseZigzag(body, &pos, &iteration) ||
       !service::TryParseZigzag(body, &pos, &replica) ||
       replica < INT32_MIN || replica > INT32_MAX) {
     return fail("frame: malformed header fields");
   }
+  frame.request_id = request_id;
   frame.iteration = iteration;
   frame.replica = static_cast<int32_t>(replica);
   frame.payload = body.substr(pos);

@@ -3,16 +3,24 @@
 // Every message is one frame:
 //
 //   u32 little-endian body length | body
-//   body = type byte, zigzag(iteration), zigzag(replica), payload...
+//   body = type byte, varint(request_id), zigzag(iteration),
+//          zigzag(replica), payload...
 //
 // The payload is the rest of the body and is type-specific: plan_serde bytes
 // for kPush/kPlanBytes, one 0/1 byte for kBool, a varint for kCount, empty
 // otherwise. Integers reuse the plan_serde varint primitives so the whole
-// wire speaks one encoding. The protocol is strict request/response — a
-// client sends one request frame per connection and reads one response — so
-// the server replying to kPush only after the store accepted the plan is
-// exactly how capacity backpressure crosses the process boundary: the
-// client's Push blocks in ReadFrame until a Fetch frees a slot.
+// wire speaks one encoding.
+//
+// request_id correlates replies with requests on a multiplexed connection
+// (mux.h): the client tags every request with a fresh id and the server
+// echoes it on the reply, so many requests can be in flight on one long-lived
+// stream and the demux loop matches each reply to its waiter. The
+// one-connection-per-request path sends id 0 (one varint byte) and ignores it
+// on replies — on a strict request/response stream there is nothing to
+// correlate. Either way, the server replying to kPush only after the store
+// accepted the plan is exactly how capacity backpressure crosses the process
+// boundary: the client's Push blocks waiting for that kOk until a Fetch frees
+// a slot.
 //
 // ReadFrame never trusts the peer: a corrupt length (over kMaxFrameBytes),
 // truncated body, or unparsable header field is a clean nullopt, not a crash
@@ -48,13 +56,21 @@ inline constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 30;
 
 struct Frame {
   FrameType type = FrameType::kOk;
+  // Reply-correlation id on multiplexed connections; 0 on the
+  // one-connection-per-request path.
+  uint64_t request_id = 0;
   int64_t iteration = 0;
   int32_t replica = 0;
   std::string payload;
 };
 
-// Writes one frame; false when the peer is gone.
+// Writes one frame; false when the peer is gone. The overload taking
+// `scratch` assembles the wire bytes in the caller's buffer instead of a
+// fresh allocation — steady-state publishers (remote store, mux client) reuse
+// one buffer per thread so pushing a plan does no per-plan heap allocation
+// once the buffer has grown to plan size.
 bool WriteFrame(Stream& stream, const Frame& frame);
+bool WriteFrame(Stream& stream, const Frame& frame, std::string* scratch);
 
 // Reads one frame; nullopt on clean EOF, peer loss, or a malformed frame
 // (reason in *error when provided — empty for clean EOF before any byte).

@@ -1,0 +1,189 @@
+#include "src/transport/mux.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/service/plan_serde.h"
+
+namespace dynapipe::transport {
+
+MuxInstructionStore::MuxInstructionStore(std::unique_ptr<Stream> stream)
+    : stream_(std::move(stream)) {
+  DYNAPIPE_CHECK_MSG(stream_ != nullptr,
+                     "mux instruction store: connect failed");
+  demux_thread_ = std::thread([this] { DemuxLoop(); });
+}
+
+MuxInstructionStore::~MuxInstructionStore() {
+  stream_->Close();  // demux loop's ReadFrame returns, loop exits
+  demux_thread_.join();
+}
+
+std::shared_ptr<MuxInstructionStore> MuxInstructionStore::OverTransport(
+    Transport* transport) {
+  DYNAPIPE_CHECK(transport != nullptr);
+  return std::make_shared<MuxInstructionStore>(transport->Connect());
+}
+
+std::shared_ptr<MuxInstructionStore> MuxInstructionStore::OverUnixSocket(
+    std::string path, int connect_timeout_ms) {
+  return std::make_shared<MuxInstructionStore>(
+      ConnectUnixSocket(path, connect_timeout_ms));
+}
+
+void MuxInstructionStore::DemuxLoop() {
+  std::string error;
+  for (;;) {
+    std::optional<Frame> reply = ReadFrame(*stream_, &error);
+    if (!reply.has_value()) {
+      break;  // closed, torn, or malformed: the connection is over
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waiters_.find(reply->request_id);
+    if (it == waiters_.end()) {
+      // A reply nobody asked for is a protocol violation; treat it like a
+      // malformed frame and drop the connection rather than guess.
+      error = "mux: reply for unknown request id";
+      break;
+    }
+    it->second->reply = std::move(*reply);
+    waiters_.erase(it);
+    cv_.notify_all();
+  }
+  // Connection over (clean teardown or error): fail every outstanding waiter
+  // so no caller hangs on a reply that will never come.
+  stream_->Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  connection_failed_ = true;
+  connection_error_ = error.empty() ? "connection closed" : error;
+  for (auto& [id, waiter] : waiters_) {
+    waiter->failed = true;
+  }
+  waiters_.clear();
+  cv_.notify_all();
+}
+
+Frame MuxInstructionStore::Call(Frame& request,
+                                FrameType expected_reply) const {
+  request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  Waiter waiter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DYNAPIPE_CHECK_MSG(!connection_failed_,
+                       "mux instruction store: connection lost (" +
+                           connection_error_ + ")");
+    waiters_.emplace(request.request_id, &waiter);
+  }
+  bool write_ok;
+  {
+    // Per-thread scratch: steady-state requests assemble their wire bytes
+    // with no per-call allocation.
+    thread_local std::string wire;
+    std::lock_guard<std::mutex> lock(write_mu_);
+    write_ok = WriteFrame(*stream_, request, &wire);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!write_ok) {
+    // The demux loop will notice the dead stream and fail the waiter; don't
+    // wait for it — deregister ourselves if it has not already.
+    waiters_.erase(request.request_id);
+    DYNAPIPE_CHECK_MSG(false, "mux instruction store: request write failed");
+  }
+  cv_.wait(lock, [&] { return waiter.reply.has_value() || waiter.failed; });
+  DYNAPIPE_CHECK_MSG(waiter.reply.has_value(),
+                     "mux instruction store: no reply (" + connection_error_ +
+                         ")");
+  DYNAPIPE_CHECK_MSG(waiter.reply->type == expected_reply,
+                     "mux instruction store: unexpected reply type");
+  return std::move(*waiter.reply);
+}
+
+void MuxInstructionStore::Push(int64_t iteration, int32_t replica,
+                               sim::ExecutionPlan plan) {
+  // The frame persists per thread so its payload buffer (the encode scratch)
+  // keeps its capacity across pushes: steady-state publishing allocates
+  // nothing once the buffer has grown to plan size.
+  thread_local Frame request;
+  request.type = FrameType::kPush;
+  request.iteration = iteration;
+  request.replica = replica;
+  service::EncodeExecutionPlanInto(plan, &request.payload);
+  serialized_bytes_total_.fetch_add(
+      static_cast<int64_t>(request.payload.size()), std::memory_order_relaxed);
+  // Take a push credit: bounds the kPush replies the server may be holding
+  // back for us. Returned when our kOk lands (or the connection dies — the
+  // credits die with it).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock,
+             [&] { return push_credits_ > 0 || connection_failed_; });
+    DYNAPIPE_CHECK_MSG(!connection_failed_,
+                       "mux instruction store: connection lost (" +
+                           connection_error_ + ")");
+    --push_credits_;
+  }
+  // Blocks until the server's deferred kOk — the capacity backpressure.
+  Call(request, FrameType::kOk);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++push_credits_;
+    cv_.notify_all();
+  }
+}
+
+sim::ExecutionPlan MuxInstructionStore::Fetch(int64_t iteration,
+                                              int32_t replica) {
+  Frame request;
+  request.type = FrameType::kFetch;
+  request.iteration = iteration;
+  request.replica = replica;
+  const Frame reply = Call(request, FrameType::kPlanBytes);
+  std::string error;
+  std::optional<sim::ExecutionPlan> plan =
+      service::TryDecodeExecutionPlan(reply.payload, &error);
+  DYNAPIPE_CHECK_MSG(plan.has_value(),
+                     "mux instruction store: fetched plan is corrupt (" +
+                         error + ")");
+  return std::move(*plan);
+}
+
+bool MuxInstructionStore::Contains(int64_t iteration, int32_t replica) const {
+  Frame request;
+  request.type = FrameType::kContains;
+  request.iteration = iteration;
+  request.replica = replica;
+  const Frame reply = Call(request, FrameType::kBool);
+  DYNAPIPE_CHECK_MSG(reply.payload.size() == 1,
+                     "mux instruction store: malformed kBool reply");
+  return reply.payload[0] != '\0';
+}
+
+size_t MuxInstructionStore::size() const {
+  Frame request;
+  request.type = FrameType::kSize;
+  const Frame reply = Call(request, FrameType::kCount);
+  uint64_t count = 0;
+  size_t pos = 0;
+  DYNAPIPE_CHECK_MSG(
+      service::TryParseVarint(reply.payload, &pos, &count) &&
+          pos == reply.payload.size(),
+      "mux instruction store: malformed kCount reply");
+  return static_cast<size_t>(count);
+}
+
+void MuxInstructionStore::Shutdown() {
+  Frame request;
+  request.type = FrameType::kShutdown;
+  Call(request, FrameType::kOk);
+}
+
+int64_t MuxInstructionStore::serialized_bytes_total() const {
+  return serialized_bytes_total_.load(std::memory_order_relaxed);
+}
+
+bool MuxInstructionStore::connection_ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !connection_failed_;
+}
+
+}  // namespace dynapipe::transport

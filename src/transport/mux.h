@@ -1,0 +1,114 @@
+// Persistent multiplexed connection to an InstructionStoreServer.
+//
+// The one-connection-per-request client (remote_store.h) pays a connect() /
+// accept() round trip and a server-side thread spawn for every operation —
+// fine for a handful of plans, dominant once plans ship every few
+// milliseconds (grid search at scale). MuxInstructionStore keeps ONE
+// long-lived stream per executor and multiplexes every request over it:
+//
+//   - each request carries a fresh request_id (frame.h); a writer mutex
+//     serializes frame writes, so requests from any number of threads
+//     interleave safely on the single stream;
+//   - a dedicated demux thread owns the read side: it matches each reply's
+//     request_id to the waiter that sent the request and wakes exactly that
+//     caller, so replies may arrive in any order — which they do, because
+//     the server defers kPush replies;
+//   - blocking-Push semantics survive multiplexing through credits: the
+//     server withholds a kPush's kOk while its store is at capacity
+//     (store_server.h runs pushes on a per-connection worker so the deferral
+//     never stalls the stream), and the client bounds concurrently deferred
+//     pushes to kMuxPushCredits — a Push first takes a credit (blocking when
+//     none is left) and returns it when its kOk lands. Fetches and the other
+//     request types never need a credit, so the fetch that frees a capacity
+//     slot always gets through even while every push credit is parked.
+//
+// A torn or malformed reply stream is a connection error, not a crash: the
+// demux loop closes the stream, fails every outstanding waiter, and marks
+// the client dead (connection_ok()); subsequent calls are fatal at the call
+// site, same as the one-shot client's contract.
+#ifndef DYNAPIPE_SRC_TRANSPORT_MUX_H_
+#define DYNAPIPE_SRC_TRANSPORT_MUX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/runtime/instruction_store.h"
+#include "src/transport/frame.h"
+#include "src/transport/transport.h"
+
+namespace dynapipe::transport {
+
+// Maximum kPush replies the server may be holding back per connection. A
+// protocol constant both sides agree on: the client never exceeds it, and the
+// server drops a connection that does (a misbehaving peer, not backpressure).
+inline constexpr int kMuxPushCredits = 16;
+
+class MuxInstructionStore final : public runtime::InstructionStoreInterface {
+ public:
+  // Takes ownership of a connected stream and starts the demux thread.
+  explicit MuxInstructionStore(std::unique_ptr<Stream> stream);
+  ~MuxInstructionStore() override;
+
+  MuxInstructionStore(const MuxInstructionStore&) = delete;
+  MuxInstructionStore& operator=(const MuxInstructionStore&) = delete;
+
+  // Endpoint conveniences, mirroring RemoteInstructionStore's. Both open the
+  // one persistent connection eagerly; the socket overload retries while the
+  // server process is still binding.
+  static std::shared_ptr<MuxInstructionStore> OverTransport(
+      Transport* transport);
+  static std::shared_ptr<MuxInstructionStore> OverUnixSocket(
+      std::string path, int connect_timeout_ms = 5000);
+
+  void Push(int64_t iteration, int32_t replica,
+            sim::ExecutionPlan plan) override;
+  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) override;
+  bool Contains(int64_t iteration, int32_t replica) const override;
+  size_t size() const override;
+  void Shutdown() override;
+  // Encoded bytes this client pushed (the wire volume it produced).
+  int64_t serialized_bytes_total() const override;
+
+  // False once the stream died or the server sent an unparsable/unmatched
+  // reply (the demux loop has exited and failed all waiters).
+  bool connection_ok() const;
+
+ private:
+  struct Waiter {
+    std::optional<Frame> reply;
+    bool failed = false;
+  };
+
+  // One multiplexed exchange: stamps a fresh request_id onto `request`,
+  // registers a waiter, writes the frame, blocks until the demux loop
+  // delivers the reply. Fatal on connection failure or an unexpected reply
+  // type.
+  Frame Call(Frame& request, FrameType expected_reply) const;
+  void DemuxLoop();
+
+  std::unique_ptr<Stream> stream_;
+  // Serializes frame writes onto the single stream (any caller thread plus
+  // none from the demux side — replies only flow inward).
+  mutable std::mutex write_mu_;
+
+  mutable std::mutex mu_;  // waiters, credits, failure state
+  mutable std::condition_variable cv_;
+  mutable std::map<uint64_t, Waiter*> waiters_;
+  mutable int push_credits_ = kMuxPushCredits;
+  bool connection_failed_ = false;
+  std::string connection_error_;
+
+  mutable std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<int64_t> serialized_bytes_total_{0};
+  std::thread demux_thread_;
+};
+
+}  // namespace dynapipe::transport
+
+#endif  // DYNAPIPE_SRC_TRANSPORT_MUX_H_

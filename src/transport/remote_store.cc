@@ -32,7 +32,10 @@ Frame RemoteInstructionStore::Call(const Frame& request,
   std::unique_ptr<Stream> conn = connect_();
   DYNAPIPE_CHECK_MSG(conn != nullptr,
                      "remote instruction store: connect failed");
-  DYNAPIPE_CHECK_MSG(WriteFrame(*conn, request),
+  // Per-thread wire scratch: assembling the frame reuses one buffer, so a
+  // steady-state publisher's request path does no per-plan heap allocation.
+  thread_local std::string wire;
+  DYNAPIPE_CHECK_MSG(WriteFrame(*conn, request, &wire),
                      "remote instruction store: request write failed");
   std::string error;
   std::optional<Frame> reply = ReadFrame(*conn, &error);
@@ -48,11 +51,14 @@ Frame RemoteInstructionStore::Call(const Frame& request,
 
 void RemoteInstructionStore::Push(int64_t iteration, int32_t replica,
                                   sim::ExecutionPlan plan) {
-  Frame request;
+  // The frame persists per thread so its payload buffer (the encode scratch)
+  // keeps its capacity across pushes: steady-state publishing allocates
+  // nothing once the buffer has grown to plan size.
+  thread_local Frame request;
   request.type = FrameType::kPush;
   request.iteration = iteration;
   request.replica = replica;
-  request.payload = service::EncodeExecutionPlan(plan);
+  service::EncodeExecutionPlanInto(plan, &request.payload);
   serialized_bytes_total_.fetch_add(
       static_cast<int64_t>(request.payload.size()), std::memory_order_relaxed);
   // Blocks in Call until the server's store has headroom — the kOk *is* the

@@ -1,0 +1,493 @@
+#include "src/transport/shm_store.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/service/plan_serde.h"
+
+namespace dynapipe::transport {
+namespace internal {
+
+inline constexpr char kShmMagic[8] = {'D', 'P', 'S', 'H', 'M', 'S', 'T', '1'};
+inline constexpr uint32_t kShmVersion = 1;
+
+// Slot lifecycle, stored in ShmSlot::state.
+enum SlotState : uint32_t {
+  kEmpty = 0,
+  kReserved = 1,   // a publisher owns the arena range; key is claimed
+  kPublished = 2,  // bytes immutable and fetchable
+  kConsumed = 3,   // fetched; recycled at the next arena rewind
+};
+
+// One index entry. The seqlock (odd = mutating) lets lock-free readers
+// (Contains) snapshot the key fields without the cross-process mutex; all
+// mutation happens under the header mutex, so writers never contend on seq.
+struct ShmSlot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint32_t> state{kEmpty};
+  std::atomic<int32_t> replica{0};
+  std::atomic<int64_t> iteration{0};
+  std::atomic<uint64_t> offset{0};  // payload offset from segment base
+  std::atomic<uint64_t> length{0};
+};
+static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                  std::atomic<int64_t>::is_always_lock_free,
+              "shm slots need address-free lock-free atomics");
+
+struct alignas(64) ShmHeader {
+  char magic[8];
+  uint32_t version = 0;
+  // Creator flips this last (release): attachers spin on it (acquire) so they
+  // never touch a half-initialized mutex.
+  std::atomic<uint32_t> ready{0};
+  uint64_t total_bytes = 0;
+  uint32_t num_slots = 0;
+  uint64_t arena_offset = 0;  // from segment base
+  uint64_t arena_bytes = 0;
+  uint64_t capacity = 0;
+
+  // Cross-process lock: guards every field below and carries Push
+  // backpressure + Shutdown broadcast (the paper-side equivalent of the
+  // in-process store's condvar, living inside the segment).
+  pthread_mutex_t mu;
+  pthread_cond_t cv;
+
+  // All guarded by mu.
+  uint64_t slots_used = 0;   // slots allocated since the last rewind
+  uint64_t arena_used = 0;   // arena bytes appended since the last rewind
+  uint64_t resident = 0;     // published, unfetched (== size())
+  uint64_t occupied = 0;     // reserved + resident (capacity gating)
+  uint64_t active_readers = 0;  // fetched views not yet released
+  uint32_t shutdown = 0;
+  int64_t serialized_bytes_total = 0;
+  int64_t rewinds = 0;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::ShmHeader;
+using internal::ShmSlot;
+
+size_t SlotsOffset() {
+  return (sizeof(ShmHeader) + 63) & ~size_t{63};
+}
+
+size_t ArenaOffset(size_t num_slots) {
+  return (SlotsOffset() + num_slots * sizeof(ShmSlot) + 63) & ~size_t{63};
+}
+
+// Seqlock write section around `mutate`. Callers hold the header mutex, so
+// there is exactly one writer; the fences pair with SeqlockSnapshot below.
+template <typename Fn>
+void SeqlockWrite(ShmSlot& slot, Fn&& mutate) {
+  // acq_rel: the acquire half keeps the field stores inside the odd window
+  // (they cannot hoist above the increment), the release half publishes the
+  // odd value itself.
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  mutate();
+  slot.seq.fetch_add(1, std::memory_order_release);
+}
+
+struct SlotSnapshot {
+  uint32_t state;
+  int64_t iteration;
+  int32_t replica;
+  uint64_t offset;
+  uint64_t length;
+};
+
+// Lock-free consistent read of one slot; retries while a writer is inside.
+SlotSnapshot SeqlockSnapshot(const ShmSlot& slot) {
+  for (;;) {
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 & 1) {
+      continue;  // writer inside; the critical section is a few stores
+    }
+    SlotSnapshot snap;
+    snap.state = slot.state.load(std::memory_order_relaxed);
+    snap.iteration = slot.iteration.load(std::memory_order_relaxed);
+    snap.replica = slot.replica.load(std::memory_order_relaxed);
+    snap.offset = slot.offset.load(std::memory_order_relaxed);
+    snap.length = slot.length.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) == s1) {
+      return snap;
+    }
+  }
+}
+
+class MutexLock {
+ public:
+  explicit MutexLock(pthread_mutex_t* mu) : mu_(mu) {
+    const int rc = pthread_mutex_lock(mu_);
+    if (rc == EOWNERDEAD) {
+      // The mutex is ROBUST: a peer process died (crash, SIGKILL, a fatal
+      // contract abort) while holding it. The guarded state is counters and
+      // slot flips, each updated atomically under the lock, so it is
+      // consistent enough to carry on — mark the mutex usable again instead
+      // of wedging every surviving process forever.
+      DYNAPIPE_CHECK(pthread_mutex_consistent(mu_) == 0);
+      return;
+    }
+    DYNAPIPE_CHECK(rc == 0);
+  }
+  ~MutexLock() { pthread_mutex_unlock(mu_); }
+  MutexLock(const MutexLock&) = delete;
+
+ private:
+  pthread_mutex_t* mu_;
+};
+
+}  // namespace
+
+ShmInstructionStore::ShmInstructionStore(std::string name, void* base,
+                                         size_t total_bytes, bool owner)
+    : name_(std::move(name)), base_(base), total_bytes_(total_bytes),
+      owner_(owner) {}
+
+ShmInstructionStore::~ShmInstructionStore() {
+  if (base_ != nullptr) {
+    ::munmap(base_, total_bytes_);
+  }
+  if (owner_) {
+    ::shm_unlink(name_.c_str());
+  }
+}
+
+ShmHeader& ShmInstructionStore::header() const {
+  return *static_cast<ShmHeader*>(base_);
+}
+
+ShmSlot* ShmInstructionStore::slots() const {
+  return reinterpret_cast<ShmSlot*>(static_cast<char*>(base_) + SlotsOffset());
+}
+
+char* ShmInstructionStore::arena() const {
+  return static_cast<char*>(base_) + header().arena_offset;
+}
+
+std::shared_ptr<ShmInstructionStore> ShmInstructionStore::Create(
+    std::string name, ShmStoreOptions options) {
+  DYNAPIPE_CHECK(options.num_slots >= 1);
+  DYNAPIPE_CHECK(options.arena_bytes >= 4096);
+  const size_t total = ArenaOffset(options.num_slots) + options.arena_bytes;
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // A stale segment from a crashed owner (the destructor never ran, so it
+    // never shm_unlinked) — same self-healing the socket transport applies
+    // to stale socket files: remove it and claim the name. Two *live* owners
+    // racing on one name is a caller bug either way; derived names are
+    // unique per epoch.
+    ::shm_unlink(name.c_str());
+    fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  DYNAPIPE_CHECK_MSG(fd >= 0, "shm_open(" + name +
+                                  ") failed: " + std::strerror(errno));
+  DYNAPIPE_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(total)) == 0,
+                     "ftruncate(" + name + ") failed");
+  void* base =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  DYNAPIPE_CHECK_MSG(base != MAP_FAILED, "mmap(" + name + ") failed");
+
+  auto* hdr = new (base) ShmHeader();
+  std::memcpy(hdr->magic, internal::kShmMagic, sizeof(hdr->magic));
+  hdr->version = internal::kShmVersion;
+  hdr->total_bytes = total;
+  hdr->num_slots = static_cast<uint32_t>(options.num_slots);
+  hdr->arena_offset = ArenaOffset(options.num_slots);
+  hdr->arena_bytes = options.arena_bytes;
+  hdr->capacity = options.capacity;
+
+  pthread_mutexattr_t mattr;
+  pthread_mutexattr_init(&mattr);
+  pthread_mutexattr_setpshared(&mattr, PTHREAD_PROCESS_SHARED);
+  // ROBUST: a process dying inside a critical section (crash, SIGKILL, a
+  // fatal contract abort like fetch-before-publish) hands the next locker
+  // EOWNERDEAD instead of deadlocking every surviving process.
+  pthread_mutexattr_setrobust(&mattr, PTHREAD_MUTEX_ROBUST);
+  DYNAPIPE_CHECK(pthread_mutex_init(&hdr->mu, &mattr) == 0);
+  pthread_mutexattr_destroy(&mattr);
+  pthread_condattr_t cattr;
+  pthread_condattr_init(&cattr);
+  pthread_condattr_setpshared(&cattr, PTHREAD_PROCESS_SHARED);
+  DYNAPIPE_CHECK(pthread_cond_init(&hdr->cv, &cattr) == 0);
+  pthread_condattr_destroy(&cattr);
+
+  ShmSlot* slot_array = reinterpret_cast<ShmSlot*>(
+      static_cast<char*>(base) + SlotsOffset());
+  for (size_t i = 0; i < options.num_slots; ++i) {
+    new (&slot_array[i]) ShmSlot();
+  }
+  hdr->ready.store(1, std::memory_order_release);
+  return std::shared_ptr<ShmInstructionStore>(
+      new ShmInstructionStore(std::move(name), base, total, /*owner=*/true));
+}
+
+std::shared_ptr<ShmInstructionStore> ShmInstructionStore::Attach(
+    std::string name, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int fd = -1;
+  for (;;) {
+    fd = ::shm_open(name.c_str(), O_RDWR, 0);
+    if (fd >= 0) {
+      struct stat st {};
+      // The creator sizes the segment with ftruncate before initializing the
+      // header; a zero-size segment means we raced shm_open itself.
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        break;
+      }
+      ::close(fd);
+      fd = -1;
+    }
+    DYNAPIPE_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                       "shm store: segment " + name + " never appeared");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  struct stat st {};
+  DYNAPIPE_CHECK(::fstat(fd, &st) == 0);
+  const size_t total = static_cast<size_t>(st.st_size);
+  void* base =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  DYNAPIPE_CHECK_MSG(base != MAP_FAILED, "mmap(" + name + ") failed");
+  auto* hdr = static_cast<ShmHeader*>(base);
+  while (hdr->ready.load(std::memory_order_acquire) == 0) {
+    DYNAPIPE_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                       "shm store: segment " + name + " never became ready");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  DYNAPIPE_CHECK_MSG(
+      std::memcmp(hdr->magic, internal::kShmMagic, sizeof(hdr->magic)) == 0 &&
+          hdr->version == internal::kShmVersion,
+      "shm store: segment " + name + " has incompatible magic/version");
+  DYNAPIPE_CHECK_MSG(hdr->total_bytes == total,
+                     "shm store: segment " + name + " size mismatch");
+  return std::shared_ptr<ShmInstructionStore>(
+      new ShmInstructionStore(std::move(name), base, total, /*owner=*/false));
+}
+
+ptrdiff_t ShmInstructionStore::ReserveLocked(int64_t iteration, int32_t replica,
+                                             size_t bytes,
+                                             uint64_t* offset_out) {
+  ShmHeader& hdr = header();
+  DYNAPIPE_CHECK_MSG(bytes <= hdr.arena_bytes,
+                     "shm store: plan larger than the whole arena");
+  for (;;) {
+    if (hdr.shutdown != 0) {
+      return -1;
+    }
+    // Double publish aborts, capacity notwithstanding: scan claimed keys.
+    ShmSlot* slot_array = slots();
+    for (uint64_t i = 0; i < hdr.slots_used; ++i) {
+      const uint32_t state = slot_array[i].state.load(std::memory_order_relaxed);
+      if ((state == internal::kReserved || state == internal::kPublished) &&
+          slot_array[i].iteration.load(std::memory_order_relaxed) == iteration &&
+          slot_array[i].replica.load(std::memory_order_relaxed) == replica) {
+        DYNAPIPE_CHECK_MSG(false,
+                           "plan already published for this iteration/replica");
+      }
+    }
+    // Arena high-water mark: when the append offset (or the slot table) would
+    // overflow and every plan has been fetched and released, reclaim the
+    // whole arena at once — plans are immutable, so reclamation is all-or-
+    // nothing rather than per-entry.
+    if ((hdr.slots_used >= hdr.num_slots ||
+         hdr.arena_used + bytes > hdr.arena_bytes) &&
+        hdr.occupied == 0 && hdr.active_readers == 0) {
+      for (uint64_t i = 0; i < hdr.slots_used; ++i) {
+        SeqlockWrite(slot_array[i], [&] {
+          slot_array[i].state.store(internal::kEmpty,
+                                    std::memory_order_relaxed);
+        });
+      }
+      hdr.slots_used = 0;
+      hdr.arena_used = 0;
+      ++hdr.rewinds;
+    }
+    const bool capacity_ok = hdr.capacity == 0 || hdr.occupied < hdr.capacity;
+    const bool slot_ok = hdr.slots_used < hdr.num_slots;
+    const bool arena_ok = hdr.arena_used + bytes <= hdr.arena_bytes;
+    if (capacity_ok && slot_ok && arena_ok) {
+      break;
+    }
+    const int rc = pthread_cond_wait(&hdr.cv, &hdr.mu);
+    if (rc == EOWNERDEAD) {
+      // A peer died holding the robust mutex while we were parked; the wait
+      // re-acquired it with the dead owner's state. Same recovery as
+      // MutexLock: mark it consistent and re-evaluate.
+      DYNAPIPE_CHECK(pthread_mutex_consistent(&hdr.mu) == 0);
+    } else {
+      DYNAPIPE_CHECK(rc == 0);
+    }
+  }
+  const ptrdiff_t slot_i = static_cast<ptrdiff_t>(hdr.slots_used++);
+  const uint64_t offset = hdr.arena_offset + hdr.arena_used;
+  hdr.arena_used += bytes;
+  ++hdr.occupied;
+  ShmSlot& slot = slots()[slot_i];
+  SeqlockWrite(slot, [&] {
+    slot.state.store(internal::kReserved, std::memory_order_relaxed);
+    slot.iteration.store(iteration, std::memory_order_relaxed);
+    slot.replica.store(replica, std::memory_order_relaxed);
+    slot.offset.store(offset, std::memory_order_relaxed);
+    slot.length.store(bytes, std::memory_order_relaxed);
+  });
+  *offset_out = offset;
+  return slot_i;
+}
+
+bool ShmInstructionStore::PushBytes(int64_t iteration, int32_t replica,
+                                    std::string_view bytes) {
+  ShmHeader& hdr = header();
+  ptrdiff_t slot_i = -1;
+  uint64_t offset = 0;
+  {
+    MutexLock lock(&hdr.mu);
+    slot_i = ReserveLocked(iteration, replica, bytes.size(), &offset);
+  }
+  if (slot_i < 0) {
+    return false;  // shutdown dropped the plan
+  }
+  // Write the payload outside the lock: the reserved range is exclusively
+  // ours, and no reader can see the slot until the publish flip below. This
+  // is the single copy of the whole path — encode scratch to mapping.
+  std::memcpy(static_cast<char*>(base_) + offset, bytes.data(), bytes.size());
+  {
+    MutexLock lock(&hdr.mu);
+    ShmSlot& slot = slots()[slot_i];
+    SeqlockWrite(slot, [&] {
+      slot.state.store(internal::kPublished, std::memory_order_relaxed);
+    });
+    ++hdr.resident;
+    hdr.serialized_bytes_total += static_cast<int64_t>(bytes.size());
+    pthread_cond_broadcast(&hdr.cv);
+  }
+  return true;
+}
+
+void ShmInstructionStore::Push(int64_t iteration, int32_t replica,
+                               sim::ExecutionPlan plan) {
+  // Per-thread scratch: steady-state publishing allocates nothing once the
+  // buffer has grown to plan size.
+  thread_local std::string scratch;
+  service::EncodeExecutionPlanInto(plan, &scratch);
+  PushBytes(iteration, replica, scratch);
+}
+
+ShmInstructionStore::PlanView ShmInstructionStore::AcquireView(
+    int64_t iteration, int32_t replica) {
+  ShmHeader& hdr = header();
+  MutexLock lock(&hdr.mu);
+  ShmSlot* slot_array = slots();
+  for (uint64_t i = 0; i < hdr.slots_used; ++i) {
+    ShmSlot& slot = slot_array[i];
+    if (slot.state.load(std::memory_order_relaxed) == internal::kPublished &&
+        slot.iteration.load(std::memory_order_relaxed) == iteration &&
+        slot.replica.load(std::memory_order_relaxed) == replica) {
+      SeqlockWrite(slot, [&] {
+        slot.state.store(internal::kConsumed, std::memory_order_relaxed);
+      });
+      --hdr.resident;
+      --hdr.occupied;
+      ++hdr.active_readers;  // pins the arena until ReleaseView
+      pthread_cond_broadcast(&hdr.cv);  // unblock a capacity-parked Push
+      return PlanView(
+          this,
+          std::string_view(
+              static_cast<const char*>(base_) +
+                  slot.offset.load(std::memory_order_relaxed),
+              slot.length.load(std::memory_order_relaxed)));
+    }
+  }
+  DYNAPIPE_CHECK_MSG(false, "fetching unpublished plan");
+}
+
+void ShmInstructionStore::ReleaseView() {
+  ShmHeader& hdr = header();
+  MutexLock lock(&hdr.mu);
+  DYNAPIPE_CHECK(hdr.active_readers > 0);
+  if (--hdr.active_readers == 0) {
+    pthread_cond_broadcast(&hdr.cv);  // a rewind may be waiting on us
+  }
+}
+
+ShmInstructionStore::PlanView::PlanView(PlanView&& other) noexcept
+    : store_(other.store_), bytes_(other.bytes_) {
+  other.store_ = nullptr;
+}
+
+ShmInstructionStore::PlanView::~PlanView() {
+  if (store_ != nullptr) {
+    store_->ReleaseView();
+  }
+}
+
+sim::ExecutionPlan ShmInstructionStore::Fetch(int64_t iteration,
+                                              int32_t replica) {
+  const PlanView view = AcquireView(iteration, replica);
+  // Decode in place: the string_view aliases the mapping, so the executor
+  // side of the hop does no copy at all.
+  std::string error;
+  std::optional<sim::ExecutionPlan> plan =
+      service::TryDecodeExecutionPlan(view.bytes(), &error);
+  DYNAPIPE_CHECK_MSG(plan.has_value(),
+                     "shm store: fetched plan is corrupt (" + error + ")");
+  return std::move(*plan);
+}
+
+bool ShmInstructionStore::Contains(int64_t iteration, int32_t replica) const {
+  // Lock-free: seqlock snapshots instead of the cross-process mutex, so a
+  // polling executor never contends with a publisher mid-push.
+  const ShmHeader& hdr = header();
+  const ShmSlot* slot_array = slots();
+  for (uint32_t i = 0; i < hdr.num_slots; ++i) {
+    const SlotSnapshot snap = SeqlockSnapshot(slot_array[i]);
+    if (snap.state == internal::kPublished && snap.iteration == iteration &&
+        snap.replica == replica) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ShmInstructionStore::size() const {
+  ShmHeader& hdr = header();
+  MutexLock lock(&hdr.mu);
+  return static_cast<size_t>(hdr.resident);
+}
+
+void ShmInstructionStore::Shutdown() {
+  ShmHeader& hdr = header();
+  MutexLock lock(&hdr.mu);
+  hdr.shutdown = 1;
+  pthread_cond_broadcast(&hdr.cv);
+}
+
+int64_t ShmInstructionStore::serialized_bytes_total() const {
+  ShmHeader& hdr = header();
+  MutexLock lock(&hdr.mu);
+  return hdr.serialized_bytes_total;
+}
+
+int64_t ShmInstructionStore::arena_rewinds() const {
+  ShmHeader& hdr = header();
+  MutexLock lock(&hdr.mu);
+  return hdr.rewinds;
+}
+
+}  // namespace dynapipe::transport

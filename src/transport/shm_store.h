@@ -1,0 +1,150 @@
+// Shared-memory instruction store: zero-copy same-host plan distribution.
+//
+// The socket path (remote_store.h) pays an encode, two copies, and a wire
+// round trip per hop. Plans are immutable once published, so same-host
+// executors can instead map the store's memory directly: a POSIX shared
+// memory segment (shm_open + mmap) holding an append-only arena of serialized
+// plans plus a fixed-slot index keyed by (iteration, replica). The publisher
+// encodes each plan straight into the arena (one write, no intermediate
+// copy beyond its reusable scratch buffer) and flips the slot's seqlock to
+// publish; executors in any process attach by name and fetch a zero-copy view
+// of the bytes — a std::string_view into the mapping — which Fetch decodes in
+// place with TryDecodeExecutionPlan. Nothing crosses a wire and nothing is
+// copied on the fetch side.
+//
+// Layout (one segment):
+//
+//   ShmHeader | ShmSlot[num_slots] | arena bytes...
+//
+// Concurrency model, chosen to be TSan-clean and cross-process correct:
+//   - A PTHREAD_PROCESS_SHARED mutex + condvar in the header guard all index
+//     mutation and carry the blocking-Push backpressure (the in-segment
+//     equivalent of the in-process store's cv_ wait) and Shutdown broadcast.
+//   - Each slot carries a seqlock (atomic sequence counter: odd = mutating,
+//     even = stable) over relaxed-atomic key fields, so read-only lookups
+//     (Contains) never take the cross-process lock: readers snapshot the slot
+//     between two equal even sequence reads and retry otherwise.
+//   - Plan bytes are written to the arena before the slot is published under
+//     the mutex and are immutable until the arena rewinds, so fetchers that
+//     found the slot under the mutex read the payload with no further
+//     synchronization. Rewinds (below) wait for active readers to drain.
+//
+// Capacity and the arena high-water mark: Push blocks while `capacity` plans
+// are resident (the InstructionStoreInterface contract) and also while the
+// arena or slot table is exhausted. Because the arena is append-only, space
+// is reclaimed wholesale: when every published plan has been fetched and no
+// fetcher still holds a view, the write offset rewinds to zero and all slots
+// recycle. A capacity-bounded store therefore needs only
+// O(capacity * max_plan_bytes) of arena for an arbitrarily long epoch: the
+// blocked publisher wakes as soon as the executors drain the store.
+#ifndef DYNAPIPE_SRC_TRANSPORT_SHM_STORE_H_
+#define DYNAPIPE_SRC_TRANSPORT_SHM_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/runtime/instruction_store.h"
+
+namespace dynapipe::transport {
+
+namespace internal {
+struct ShmHeader;
+struct ShmSlot;
+}  // namespace internal
+
+struct ShmStoreOptions {
+  // Maximum resident (published, unfetched) plans; Push blocks until a Fetch
+  // frees a slot. 0 means bounded only by the segment itself.
+  size_t capacity = 0;
+  // Index slots. Bounds the plans resident at once plus the consumed entries
+  // awaiting the next arena rewind.
+  size_t num_slots = 512;
+  // Arena bytes for serialized plans. Plans are ~10 KB, so the default holds
+  // thousands between rewinds.
+  size_t arena_bytes = size_t{32} << 20;
+};
+
+class ShmInstructionStore final : public runtime::InstructionStoreInterface {
+ public:
+  // Creates (shm_open O_CREAT|O_EXCL) and initializes a fresh segment. The
+  // creating process owns the name: the destructor shm_unlinks it. `name`
+  // must be a valid shm name ("/dynapipe-...").
+  static std::shared_ptr<ShmInstructionStore> Create(std::string name,
+                                                     ShmStoreOptions options);
+  // Attaches to a segment another process created, retrying while the
+  // creator is still setting it up (the executor usually races the planner's
+  // startup). Aborts on timeout or an incompatible segment.
+  static std::shared_ptr<ShmInstructionStore> Attach(std::string name,
+                                                     int timeout_ms = 5000);
+  ~ShmInstructionStore() override;
+
+  ShmInstructionStore(const ShmInstructionStore&) = delete;
+  ShmInstructionStore& operator=(const ShmInstructionStore&) = delete;
+
+  // InstructionStoreInterface. Push encodes into a per-thread scratch buffer
+  // and appends to the arena; Fetch decodes in place from the mapping.
+  void Push(int64_t iteration, int32_t replica,
+            sim::ExecutionPlan plan) override;
+  sim::ExecutionPlan Fetch(int64_t iteration, int32_t replica) override;
+  bool Contains(int64_t iteration, int32_t replica) const override;
+  size_t size() const override;
+  void Shutdown() override;
+  int64_t serialized_bytes_total() const override;
+
+  // Zero-copy fetch: consumes the plan and returns a view of its serialized
+  // bytes inside the mapping — no copy, no decode. The view pins the arena
+  // (rewinds wait for it), so it stays valid until released; Release promptly
+  // after decoding. Fetch() is AcquireView + decode-in-place + ReleaseView.
+  // Fetching an unpublished key aborts, like every backend.
+  class PlanView {
+   public:
+    PlanView(PlanView&& other) noexcept;
+    PlanView& operator=(PlanView&&) = delete;
+    ~PlanView();  // releases
+
+    std::string_view bytes() const { return bytes_; }
+
+   private:
+    friend class ShmInstructionStore;
+    PlanView(ShmInstructionStore* store, std::string_view bytes)
+        : store_(store), bytes_(bytes) {}
+    ShmInstructionStore* store_;
+    std::string_view bytes_;
+  };
+  PlanView AcquireView(int64_t iteration, int32_t replica);
+
+  // Raw-bytes publish, mirroring InstructionStore::PushBytes: appends the
+  // already-encoded plan verbatim (false when Shutdown dropped it).
+  bool PushBytes(int64_t iteration, int32_t replica, std::string_view bytes);
+
+  const std::string& name() const { return name_; }
+  // Arena rewinds so far — how often the store drained and reclaimed the
+  // whole arena (bench/diagnostic).
+  int64_t arena_rewinds() const;
+
+ private:
+  ShmInstructionStore(std::string name, void* base, size_t total_bytes,
+                      bool owner);
+
+  internal::ShmHeader& header() const;
+  internal::ShmSlot* slots() const;
+  char* arena() const;
+  // Blocks until the plan fits (capacity, slots, arena — rewinding when
+  // drained) or shutdown; returns the reserved slot index or -1 if shutdown
+  // dropped the plan. Aborts on double publish.
+  ptrdiff_t ReserveLocked(int64_t iteration, int32_t replica, size_t bytes,
+                          uint64_t* offset_out);
+  void ReleaseView();
+
+  std::string name_;
+  void* base_ = nullptr;
+  size_t total_bytes_ = 0;
+  bool owner_ = false;
+};
+
+}  // namespace dynapipe::transport
+
+#endif  // DYNAPIPE_SRC_TRANSPORT_SHM_STORE_H_

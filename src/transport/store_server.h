@@ -2,20 +2,29 @@
 //
 // InstructionStoreServer exposes an in-process InstructionStore over a
 // Transport: the planner process owns the store and the server; executor
-// processes reach it through RemoteInstructionStore (remote_store.h). This is
-// the paper's Redis role (§3) — a host-memory store of serialized instruction
-// streams between the dataloader-side planners and the executors.
+// processes reach it through RemoteInstructionStore (one connection per
+// request) or MuxInstructionStore (one persistent multiplexed connection).
+// This is the paper's Redis role (§3) — a host-memory store of serialized
+// instruction streams between the dataloader-side planners and the executors.
 //
-// Concurrency model: one connection per request (the client opens, sends one
-// frame, reads one reply). The accept loop hands each connection to its own
-// handler thread, so a kPush parked in the store's capacity wait blocks only
-// that handler — fetches on other connections keep draining the store and
-// eventually free it, which is how Push backpressure works end to end without
-// the server ever stalling its accept loop.
+// Concurrency model: the accept loop hands each connection to its own demux
+// thread, which serves request frames in a loop until the peer closes (a
+// one-shot client closes after its single exchange, a mux client keeps the
+// stream for its lifetime). Non-blocking requests (fetch/contains/size/
+// shutdown) are answered inline; kPush is handed to the connection's push
+// worker thread, which may park in the store's capacity wait — the kOk reply
+// is *deferred* until the store accepted the plan, which is how blocking-Push
+// backpressure crosses the process boundary without ever stalling the demux
+// loop: fetches on the same (or any other) connection keep draining the
+// store and eventually free the parked push. Deferred pushes per connection
+// are bounded by kMuxPushCredits (mux.h); a peer that exceeds it is
+// misbehaving and gets dropped.
 //
 // Plan bytes pass through verbatim (InstructionStore::PushBytes/FetchBytes):
 // the server never decodes a plan, so what the executor fetches is
-// byte-identical to what the planner published.
+// byte-identical to what the planner published. Malformed frames (corrupt
+// length, truncated body, unparsable header) drop the connection cleanly —
+// the server never crashes or hangs on hostile bytes.
 #ifndef DYNAPIPE_SRC_TRANSPORT_STORE_SERVER_H_
 #define DYNAPIPE_SRC_TRANSPORT_STORE_SERVER_H_
 
@@ -42,9 +51,9 @@ class InstructionStoreServer {
   InstructionStoreServer(const InstructionStoreServer&) = delete;
   InstructionStoreServer& operator=(const InstructionStoreServer&) = delete;
 
-  // Stops accepting, shuts the store down (unblocking handlers parked in a
-  // capacity wait), closes live connections (unblocking handlers parked on a
-  // silent client), and joins every handler thread. Idempotent; the
+  // Stops accepting, shuts the store down (unblocking push workers parked in
+  // a capacity wait), closes live connections (unblocking demux loops parked
+  // on a silent client), and joins every handler thread. Idempotent; the
   // destructor calls it.
   void Stop();
 
@@ -53,7 +62,8 @@ class InstructionStoreServer {
 
  private:
   // One live connection: the stream (so Stop can close it out from under a
-  // blocked read/write) and the thread serving it.
+  // blocked read/write) and the demux thread serving it (which owns the
+  // connection's push worker).
   struct Handler {
     std::shared_ptr<Stream> conn;
     std::thread thread;
@@ -62,9 +72,8 @@ class InstructionStoreServer {
 
   void AcceptLoop();
   void HandleConnection(Stream& conn);
-  // Joins and erases handlers whose request completed, so the handler list
-  // stays bounded by live connections rather than growing one entry per
-  // request served. Caller holds mu_.
+  // Joins and erases handlers whose connection completed, so the handler
+  // list stays bounded by live connections. Caller holds mu_.
   void ReapFinishedLocked();
 
   Transport* transport_;

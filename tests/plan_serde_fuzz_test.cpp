@@ -1,6 +1,7 @@
-// Property/fuzz tests for the binary plan serde (src/service/plan_serde).
+// Property/fuzz tests for the binary plan serde (src/service/plan_serde) and
+// the frame layer above it (src/transport/frame).
 //
-// The codec now feeds a cross-process wire (src/transport), so it must hold
+// The codec feeds a cross-process wire (src/transport), so it must hold
 // two properties against arbitrary input, not just the handwritten samples:
 //   - lossless round-trip: Decode(Encode(p)) == p and re-encoding is
 //     byte-identical, over randomized plans covering every instruction kind,
@@ -8,17 +9,31 @@
 //   - malformation safety: truncated or bit-flipped buffers never crash the
 //     decoder — TryDecodeExecutionPlan reports a clean error instead (the
 //     hardening the transport's receiving side depends on).
+// The frame-layer tests push the same hostility one level up: truncated,
+// oversized, and bit-flipped frame headers and bodies against a live
+// InstructionStoreServer (and against a mux client's demux loop) must yield
+// a clean connection drop — never a crash, never a hang, and never a wedged
+// server.
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/runtime/instruction_store.h"
 #include "src/service/plan_serde.h"
 #include "src/sim/instruction.h"
+#include "src/transport/frame.h"
+#include "src/transport/mux.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
 
 namespace dynapipe {
 namespace {
@@ -157,6 +172,156 @@ TEST(PlanSerdeFuzzTest, CorruptMagicAndVersionAlwaysRejected) {
       EXPECT_FALSE(service::TryDecodeExecutionPlan(corrupt, &error).has_value());
       EXPECT_TRUE(error == "bad magic" || error == "unsupported version")
           << "byte " << byte_i << " bit " << bit << ": " << error;
+    }
+  }
+}
+
+// ---------- frame layer ----------
+
+// Assembles the wire bytes of one well-formed kContains frame, exactly as
+// WriteFrame lays them out. kContains is the fuzz base because every
+// corruption of its non-type bytes is non-lethal by design: garbage keys are
+// a legitimate "false" answer, while e.g. a corrupted kFetch key would trip
+// the store's *intentional* fetch-before-publish abort.
+std::string RawContainsFrame(uint64_t request_id, int64_t iteration,
+                             int32_t replica) {
+  std::string body;
+  body.push_back(static_cast<char>(transport::FrameType::kContains));
+  service::AppendVarint(request_id, &body);
+  service::AppendZigzag(iteration, &body);
+  service::AppendZigzag(replica, &body);
+  std::string wire;
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  wire.append(body);
+  return wire;
+}
+
+// One hostile connection: write `bytes`, optionally close, and drain
+// whatever the server sends until it drops us. The server must survive — the
+// caller verifies with a valid exchange afterwards.
+void SendHostileBytes(transport::Transport& transport, const std::string& bytes,
+                      bool close_after) {
+  std::unique_ptr<transport::Stream> conn = transport.Connect();
+  ASSERT_NE(conn, nullptr);
+  conn->WriteAll(bytes.data(), bytes.size());
+  if (close_after) {
+    conn->Close();
+  }
+  // Read until the server closes the connection (a reply to a parseable
+  // prefix may arrive first). Bounded by the stream closing, not a timer:
+  // a hang here IS the failure.
+  char sink[256];
+  while (conn->ReadAll(sink, 1)) {
+    (void)sink;
+  }
+}
+
+TEST(FrameLayerFuzzTest, MalformedFramesDropConnectionNeverCrashServer) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  transport::LoopbackTransport transport;
+  transport::InstructionStoreServer server(&transport, &store);
+
+  const auto expect_server_alive = [&] {
+    auto client = transport::RemoteInstructionStore::OverTransport(&transport);
+    EXPECT_FALSE(client->Contains(1, 1));
+    EXPECT_EQ(client->size(), 0u);
+  };
+
+  // Oversized length field (over kMaxFrameBytes).
+  SendHostileBytes(transport, std::string("\xff\xff\xff\xff", 4), false);
+  expect_server_alive();
+  // Truncated header: close mid-length-prefix.
+  SendHostileBytes(transport, std::string("\x08\x00", 2), true);
+  expect_server_alive();
+  // Truncated body: length promises more than arrives.
+  SendHostileBytes(transport, std::string("\x20\x00\x00\x00", 4) + "abc", true);
+  expect_server_alive();
+  // Empty body.
+  SendHostileBytes(transport, std::string(4, '\0'), false);
+  expect_server_alive();
+  // Unknown frame type.
+  SendHostileBytes(transport, std::string("\x01\x00\x00\x00\x2a", 5), false);
+  expect_server_alive();
+
+  // Randomized garbage and bit-flipped valid frames.
+  Rng rng(0xFADEDull);
+  for (int case_i = 0; case_i < 60; ++case_i) {
+    std::string wire;
+    if (case_i % 2 == 0) {
+      // Pure garbage of random length.
+      const size_t len = 1 + rng.NextBelow(64);
+      for (size_t b = 0; b < len; ++b) {
+        wire.push_back(static_cast<char>(rng.NextBelow(256)));
+      }
+    } else {
+      // A valid kContains frame with one flipped bit anywhere past the type
+      // byte (length prefix included): corrupt lengths, request ids, and
+      // keys must all be survivable. The type byte is excluded — morphing
+      // kContains into kFetch of an unpublished key would trip the store's
+      // intentional fatal contract, which is not a parse hazard.
+      wire = RawContainsFrame(rng.NextU64() >> 32,
+                              static_cast<int64_t>(rng.NextBelow(1000)),
+                              static_cast<int32_t>(rng.NextBelow(8)));
+      size_t byte_i = rng.NextBelow(wire.size() - 1);
+      if (byte_i >= 4) {
+        ++byte_i;  // skip the type byte at offset 4
+      }
+      wire[byte_i] = static_cast<char>(static_cast<uint8_t>(wire[byte_i]) ^
+                                       (uint8_t{1} << rng.NextBelow(8)));
+    }
+    SendHostileBytes(transport, wire, true);
+  }
+  expect_server_alive();
+  server.Stop();
+}
+
+TEST(FrameLayerFuzzTest, MalformedRepliesFailMuxDemuxLoopCleanly) {
+  // The demux loop is the mux client's receiving side; hostile reply bytes
+  // must end in a clean connection error (connection_ok() false, demux
+  // thread exited, destructor joins) — never a crash or a hang.
+  Rng rng(0xD00Full);
+  for (int case_i = 0; case_i < 40; ++case_i) {
+    transport::LoopbackTransport transport;
+    auto client = transport::MuxInstructionStore::OverTransport(&transport);
+    std::unique_ptr<transport::Stream> fake_server = transport.Accept();
+    ASSERT_NE(fake_server, nullptr);
+
+    std::string wire;
+    switch (case_i % 4) {
+      case 0:  // oversized length
+        wire = std::string("\xff\xff\xff\xff", 4);
+        break;
+      case 1:  // truncated body
+        wire = std::string("\x20\x00\x00\x00", 4) + "xy";
+        break;
+      case 2: {  // reply to a request nobody sent
+        transport::Frame frame;
+        frame.type = transport::FrameType::kOk;
+        frame.request_id = 7777;
+        WriteFrame(*fake_server, frame);
+        break;
+      }
+      default: {  // random garbage
+        const size_t len = 1 + rng.NextBelow(48);
+        for (size_t b = 0; b < len; ++b) {
+          wire.push_back(static_cast<char>(rng.NextBelow(256)));
+        }
+        break;
+      }
+    }
+    if (!wire.empty()) {
+      fake_server->WriteAll(wire.data(), wire.size());
+    }
+    fake_server->Close();
+    // The demux loop notices and marks the connection dead; no call is
+    // outstanding, so nothing crashes and nothing waits forever.
+    while (client->connection_ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
 }

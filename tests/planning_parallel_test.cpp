@@ -226,6 +226,43 @@ TEST(DpPartitionerParallelTest, PoolOutputBitIdenticalToSerial) {
   }
 }
 
+TEST(DpPartitionerParallelTest, InLambdaCutoffsStillFindBruteForceOptimum) {
+  // The t_max cutoff per (start, candidate) is now derived inside the
+  // parallel candidate lambda (binary search on the sorted window times)
+  // instead of a serial pre-walked table. upper_bound returns exactly the
+  // count the old merge-walk produced, so the DP must still land on the
+  // brute-force-optimal objective — serial and pooled alike.
+  for (const uint64_t seed : {3u, 19u, 42u}) {
+    const auto ordered = RandomOrderedSamples(12, seed);
+    SyntheticCost cost;
+    mb::DpPartitionerOptions opts;
+    opts.num_stages = 3;
+    opts.num_replicas = 1;
+    opts.activation_limit_mb = 60.0;
+    opts.max_microbatch_size = 6;
+    opts.tmax_interval_ms = 0.001;  // fine quantization: near-exact candidates
+    opts.max_tmax_candidates = 256;
+    const mb::PartitionResult brute =
+        mb::BruteForcePartition(cost, opts, ordered);
+    ASSERT_TRUE(brute.feasible);
+
+    mb::DpPartitioner serial(cost, opts);
+    const mb::PartitionResult dp = serial.Partition(ordered);
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_NEAR(dp.objective_ms, brute.objective_ms, 1e-2) << "seed " << seed;
+
+    ThreadPool pool(4);
+    mb::DpPartitionerOptions popts = opts;
+    popts.pool = &pool;
+    mb::DpPartitioner parallel(cost, popts);
+    const mb::PartitionResult pooled = parallel.Partition(ordered);
+    ASSERT_TRUE(pooled.feasible);
+    // Pooled is bit-identical to serial, not merely near the optimum.
+    EXPECT_EQ(pooled.objective_ms, dp.objective_ms) << "seed " << seed;
+    EXPECT_EQ(pooled.max_time_ms, dp.max_time_ms) << "seed " << seed;
+  }
+}
+
 TEST(DpPartitionerParallelTest, SubsampledCandidatesKeepExtremesFeasible) {
   // With the candidate cap at its minimum the subsample must still include the
   // largest quantized window time, without which no candidate is feasible.

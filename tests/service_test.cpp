@@ -26,7 +26,9 @@
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/plan_serde.h"
+#include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
 
@@ -484,27 +486,68 @@ struct WireBackend {
 
 TEST_F(PlanAheadServiceTest, TransportBackendsBitIdenticalToInline) {
   // The transport axis of the bit-identity matrix: publishing through a
-  // remote store over the loopback or Unix-socket wire (frames + plan_serde
-  // bytes + server-side capacity) must deliver exactly the plans the
-  // in-process inline path does, at any lookahead, cache on or off.
+  // remote store over the loopback or Unix-socket wire (one-shot or
+  // multiplexed connections) or through the shared-memory segment must
+  // deliver exactly the plans the in-process inline path does, at any
+  // lookahead, cache on or off.
   const data::Dataset dataset = SmallDataset();
   const EpochPlans base = Collect({}, dataset);
   ASSERT_EQ(base.plans.size(), 4u);
 
   ThreadPool pool(2);
-  int socket_id = 0;
-  for (const bool socket : {false, true}) {
+  int backend_id = 0;
+  enum class Kind { kLoopback, kSocket, kSocketMux, kShm };
+  for (const Kind kind :
+       {Kind::kLoopback, Kind::kSocket, Kind::kSocketMux, Kind::kShm}) {
     for (const int32_t lookahead : {0, 2}) {
       for (const bool cache : {false, true}) {
-        std::unique_ptr<transport::Transport> t;
-        if (socket) {
-          t = std::make_unique<transport::UnixSocketTransport>(
-              "/tmp/dynapipe-svc-" + std::to_string(::getpid()) + "-" +
-              std::to_string(socket_id++) + ".sock");
-        } else {
-          t = std::make_unique<transport::LoopbackTransport>();
+        const std::string id = std::to_string(::getpid()) + "-" +
+                               std::to_string(backend_id++);
+        // The server half (when the backend has one) plus the client the
+        // service publishes through, and how to read the server-side byte
+        // counter the client volume must match.
+        std::unique_ptr<WireBackend> wire;
+        std::shared_ptr<runtime::InstructionStoreInterface> client;
+        std::function<int64_t()> server_bytes;
+        switch (kind) {
+          case Kind::kLoopback:
+          case Kind::kSocket: {
+            std::unique_ptr<transport::Transport> t;
+            if (kind == Kind::kSocket) {
+              t = std::make_unique<transport::UnixSocketTransport>(
+                  "/tmp/dynapipe-svc-" + id + ".sock");
+            } else {
+              t = std::make_unique<transport::LoopbackTransport>();
+            }
+            wire = std::make_unique<WireBackend>(std::move(t), /*capacity=*/3);
+            client = wire->client;
+            server_bytes = [&w = wire->store] {
+              return w.serialized_bytes_total();
+            };
+            break;
+          }
+          case Kind::kSocketMux: {
+            wire = std::make_unique<WireBackend>(
+                std::make_unique<transport::UnixSocketTransport>(
+                    "/tmp/dynapipe-svc-" + id + ".sock"),
+                /*capacity=*/3);
+            client = transport::MuxInstructionStore::OverTransport(
+                wire->transport.get());
+            server_bytes = [&w = wire->store] {
+              return w.serialized_bytes_total();
+            };
+            break;
+          }
+          case Kind::kShm: {
+            auto shm = transport::ShmInstructionStore::Create(
+                "/dynapipe-svc-" + id,
+                transport::ShmStoreOptions{/*capacity=*/3, /*num_slots=*/64,
+                                           /*arena_bytes=*/size_t{1} << 20});
+            client = shm;
+            server_bytes = [shm] { return shm->serialized_bytes_total(); };
+            break;
+          }
         }
-        WireBackend backend(std::move(t), /*capacity=*/3);
         service::PlanAheadOptions sopts;
         sopts.lookahead = lookahead;
         sopts.pool = lookahead > 0 ? &pool : nullptr;
@@ -512,18 +555,18 @@ TEST_F(PlanAheadServiceTest, TransportBackendsBitIdenticalToInline) {
           sopts.plan_cache = std::make_shared<service::PlanCache>();
           sopts.config_hash = 99;
         }
-        sopts.store = backend.client;
-        sopts.store_capacity = 3;  // mirrors the server store's bound
+        sopts.store = client;
+        sopts.store_capacity = 3;  // mirrors the backend store's bound
         const EpochPlans got = Collect(sopts, dataset);
-        SCOPED_TRACE(std::string(socket ? "socket" : "loopback") +
+        SCOPED_TRACE("backend=" + std::to_string(static_cast<int>(kind)) +
                      " lookahead=" + std::to_string(lookahead) +
                      " cache=" + std::to_string(cache));
         ExpectPlansBitIdentical(base, got);
-        // The wire volume is real and matches what the server still holds
-        // accounted (every plan crossed encode/decode twice).
+        // The wire volume is real and matches what the backend store holds
+        // accounted (every plan crossed an encode boundary).
         EXPECT_GT(got.stats.published_bytes, 0);
-        EXPECT_EQ(got.stats.published_bytes,
-                  backend.store.serialized_bytes_total());
+        EXPECT_EQ(got.stats.published_bytes, server_bytes());
+        client.reset();  // mux client must close before the server tears down
       }
     }
   }
@@ -774,12 +817,14 @@ TEST(TrainerServiceTest, ReplayedEpochHitsPlanCache) {
   EXPECT_LT(second.planning_time_ms, first.planning_time_ms);
 }
 
-TEST(TrainerServiceTest, SocketBackendEpochIdenticalAndReplayHitsPlanCache) {
-  // TrainerOptions::plan_store_backend == kUnixSocket routes every plan
-  // through the real wire (remote client -> frames -> server store) and must
-  // change nothing about the results: the epoch is bit-identical to the
-  // in-process backend, and a replayed epoch still hits the plan cache on
-  // every iteration — cached plans republish over the socket like any other.
+TEST(TrainerServiceTest, WireBackendsEpochIdenticalAndReplayHitsPlanCache) {
+  // Every non-in-process TrainerOptions::plan_store_backend — the one-shot
+  // socket client, the multiplexed persistent connection, and the
+  // shared-memory segment — routes every plan through its real distribution
+  // path and must change nothing about the results: the epoch is
+  // bit-identical to the in-process backend, and a replayed epoch still hits
+  // the plan cache on every iteration — cached plans republish through the
+  // backend like any other.
   const auto config = model::ModelConfig::Gpt3_35B();
   const model::HardwareSpec hw;
   data::FlanGeneratorOptions gen;
@@ -798,39 +843,49 @@ TEST(TrainerServiceTest, SocketBackendEpochIdenticalAndReplayHitsPlanCache) {
       inproc_trainer.RunEpoch(dataset, FastPlanner(), opts);
   ASSERT_TRUE(base.feasible) << base.failure;
 
-  runtime::TrainerOptions sock = opts;
-  sock.plan_store_backend =
-      runtime::TrainerOptions::PlanStoreBackend::kUnixSocket;
-  sock.planning_threads = 2;
-  sock.plan_lookahead = 3;
-  sock.instruction_store_capacity = 4;
-  runtime::Trainer socket_trainer(config, hw, {1, 1, 4}, SmallProfile());
-  const runtime::EpochResult first =
-      socket_trainer.RunEpoch(dataset, FastPlanner(), sock);
-  ASSERT_TRUE(first.feasible) << first.failure;
-  ASSERT_EQ(first.iterations, base.iterations);
-  EXPECT_EQ(first.real_tokens, base.real_tokens);
-  EXPECT_GT(first.serialized_plan_bytes, 0);
-  EXPECT_EQ(first.plan_cache_misses, first.iterations);
-  for (size_t i = 0; i < base.records.size(); ++i) {
-    EXPECT_DOUBLE_EQ(base.records[i].predicted_ms, first.records[i].predicted_ms);
-    EXPECT_DOUBLE_EQ(base.records[i].measured_ms, first.records[i].measured_ms);
-    EXPECT_EQ(base.records[i].num_microbatches, first.records[i].num_microbatches);
-  }
+  for (const auto backend :
+       {runtime::TrainerOptions::PlanStoreBackend::kUnixSocket,
+        runtime::TrainerOptions::PlanStoreBackend::kUnixSocketMux,
+        runtime::TrainerOptions::PlanStoreBackend::kSharedMemory}) {
+    SCOPED_TRACE("backend=" + std::to_string(static_cast<int>(backend)));
+    runtime::TrainerOptions wire = opts;
+    wire.plan_store_backend = backend;
+    wire.planning_threads = 2;
+    wire.plan_lookahead = 3;
+    wire.instruction_store_capacity = 4;
+    runtime::Trainer wire_trainer(config, hw, {1, 1, 4}, SmallProfile());
+    const runtime::EpochResult first =
+        wire_trainer.RunEpoch(dataset, FastPlanner(), wire);
+    ASSERT_TRUE(first.feasible) << first.failure;
+    ASSERT_EQ(first.iterations, base.iterations);
+    EXPECT_EQ(first.real_tokens, base.real_tokens);
+    EXPECT_GT(first.serialized_plan_bytes, 0);
+    EXPECT_EQ(first.plan_cache_misses, first.iterations);
+    for (size_t i = 0; i < base.records.size(); ++i) {
+      EXPECT_DOUBLE_EQ(base.records[i].predicted_ms,
+                       first.records[i].predicted_ms);
+      EXPECT_DOUBLE_EQ(base.records[i].measured_ms,
+                       first.records[i].measured_ms);
+      EXPECT_EQ(base.records[i].num_microbatches,
+                first.records[i].num_microbatches);
+    }
 
-  // Same sampler seed -> the epoch replays; every iteration must come from
-  // the plan cache and still round-trip the socket bit-identically.
-  const runtime::EpochResult second =
-      socket_trainer.RunEpoch(dataset, FastPlanner(), sock);
-  ASSERT_TRUE(second.feasible) << second.failure;
-  EXPECT_EQ(second.plan_cache_hits, second.iterations);
-  EXPECT_EQ(second.plan_cache_misses, 0);
-  EXPECT_GT(second.serialized_plan_bytes, 0);
-  ASSERT_EQ(second.records.size(), first.records.size());
-  for (size_t i = 0; i < first.records.size(); ++i) {
-    EXPECT_TRUE(second.records[i].plan_cache_hit);
-    EXPECT_DOUBLE_EQ(first.records[i].predicted_ms, second.records[i].predicted_ms);
-    EXPECT_DOUBLE_EQ(first.records[i].measured_ms, second.records[i].measured_ms);
+    // Same sampler seed -> the epoch replays; every iteration must come from
+    // the plan cache and still round-trip the backend bit-identically.
+    const runtime::EpochResult second =
+        wire_trainer.RunEpoch(dataset, FastPlanner(), wire);
+    ASSERT_TRUE(second.feasible) << second.failure;
+    EXPECT_EQ(second.plan_cache_hits, second.iterations);
+    EXPECT_EQ(second.plan_cache_misses, 0);
+    EXPECT_GT(second.serialized_plan_bytes, 0);
+    ASSERT_EQ(second.records.size(), first.records.size());
+    for (size_t i = 0; i < first.records.size(); ++i) {
+      EXPECT_TRUE(second.records[i].plan_cache_hit);
+      EXPECT_DOUBLE_EQ(first.records[i].predicted_ms,
+                       second.records[i].predicted_ms);
+      EXPECT_DOUBLE_EQ(first.records[i].measured_ms,
+                       second.records[i].measured_ms);
+    }
   }
 }
 

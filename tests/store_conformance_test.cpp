@@ -1,14 +1,14 @@
 // Backend-conformance suite for the InstructionStoreInterface contract.
 //
-// Every store backend — in-process plain, in-process serialized, and the
-// remote client over the loopback and Unix-socket transports — must honor the
+// Every store backend — in-process plain, in-process serialized, the remote
+// client over the loopback and Unix-socket transports, the multiplexed
+// persistent-connection client, and the shared-memory store — must honor the
 // same publish-before-fetch contract: push/fetch round-trips plans losslessly
 // under independent keys, double-publish and fetch-before-publish abort,
 // capacity backpressures Push (blocking until a Fetch frees a slot), and
 // Shutdown unblocks blocked pushers and drops their plans. The suite is
-// value-parameterized over backend factories, so any future backend (shared
-// memory, a real Redis client) inherits the whole contract by adding one
-// factory line.
+// value-parameterized over backend factories, so any future backend (a real
+// Redis client) inherits the whole contract by adding one factory line.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -16,15 +16,20 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include "src/runtime/instruction_store.h"
 #include "src/sim/instruction.h"
+#include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
 
@@ -92,11 +97,64 @@ struct RemoteBackend : Backend {
   std::shared_ptr<transport::RemoteInstructionStore> client_;
 };
 
+// Same server, but reached through one persistent multiplexed connection
+// (request-id-tagged frames, credit-based deferred kPush replies) instead of
+// a connection per request.
+template <typename TransportT>
+struct MuxBackend : Backend {
+  template <typename... TransportArgs>
+  explicit MuxBackend(size_t capacity, TransportArgs&&... args)
+      : store_(runtime::InstructionStoreOptions{/*serialized=*/true, capacity}),
+        transport_(std::forward<TransportArgs>(args)...),
+        server_(&transport_, &store_),
+        client_(transport::MuxInstructionStore::OverTransport(&transport_)) {}
+  runtime::InstructionStoreInterface& store() override { return *client_; }
+
+  runtime::InstructionStore store_;
+  TransportT transport_;
+  transport::InstructionStoreServer server_;
+  std::shared_ptr<transport::MuxInstructionStore> client_;
+};
+
+// The shared-memory segment: the store object is the backend — no server,
+// no wire; an executor process could attach to the same name.
+struct ShmBackend : Backend {
+  explicit ShmBackend(size_t capacity, std::string name)
+      : store_(transport::ShmInstructionStore::Create(
+            std::move(name), transport::ShmStoreOptions{capacity, 64,
+                                                        size_t{1} << 20})) {}
+  runtime::InstructionStoreInterface& store() override { return *store_; }
+  std::shared_ptr<transport::ShmInstructionStore> store_;
+};
+
 std::string UniqueSocketPath() {
   static std::atomic<uint64_t> counter{0};
   return "/tmp/dynapipe-conf-" + std::to_string(::getpid()) + "-" +
          std::to_string(counter.fetch_add(1)) + ".sock";
 }
+
+std::string UniqueShmName() {
+  static std::atomic<uint64_t> counter{0};
+  return "/dynapipe-conf-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+// The shm death tests abort a forked child mid-test, so its segment's owner
+// destructor (which shm_unlinks) never runs and the segment leaks in
+// /dev/shm. Sweep this suite's prefix at startup — names embed the pid, so
+// anything matching is a stale leftover from a previous run, never a live
+// segment of this one.
+const bool g_stale_shm_swept = [] {
+  if (DIR* dir = ::opendir("/dev/shm")) {
+    while (const dirent* entry = ::readdir(dir)) {
+      if (std::string_view(entry->d_name).substr(0, 14) == "dynapipe-conf-") {
+        ::shm_unlink((std::string("/") + entry->d_name).c_str());
+      }
+    }
+    ::closedir(dir);
+  }
+  return true;
+}();
 
 struct BackendParam {
   const char* name;
@@ -116,6 +174,15 @@ const BackendParam kBackends[] = {
      [](size_t cap) {
        return std::make_unique<RemoteBackend<transport::UnixSocketTransport>>(
            cap, UniqueSocketPath());
+     }},
+    {"UnixSocketMux",
+     [](size_t cap) {
+       return std::make_unique<MuxBackend<transport::UnixSocketTransport>>(
+           cap, UniqueSocketPath());
+     }},
+    {"SharedMemory",
+     [](size_t cap) {
+       return std::make_unique<ShmBackend>(cap, UniqueShmName());
      }},
 };
 

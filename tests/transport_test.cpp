@@ -28,7 +28,9 @@
 #include "src/runtime/planner.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/frame.h"
+#include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
 
@@ -374,6 +376,151 @@ TEST(TwoProcessPlanDistributionTest, SocketFetchesAreByteIdenticalToInProcess) {
   EXPECT_EQ(store.size(), 0u);  // the executor drained the epoch
   ::close(ready_pipe[1]);
   ::close(result_pipe[0]);
+  server.Stop();
+}
+
+// Same two-process shape over the shared-memory store: the planner process
+// creates the segment and publishes an epoch; a fork()ed executor process
+// attaches by name and pulls each plan's *raw bytes* through the zero-copy
+// view — no wire, no copy on the fetch side — which must equal, byte for
+// byte, what the in-process serialized store holds for the same epoch.
+TEST(TwoProcessShmPlanDistributionTest, AttachedFetchesAreByteIdentical) {
+  const auto plan_epoch = [] {
+    cost::ProfileOptions profile;
+    profile.max_microbatch_size = 32;
+    profile.max_seq_len = 4096;
+    const auto cm = cost::PipelineCostModel::Profile(
+        model::ModelConfig::Gpt3_35B(), model::HardwareSpec{}, {1, 1, 4},
+        profile);
+    runtime::PlannerOptions popts;
+    popts.max_tmax_candidates = 48;
+    popts.tmax_interval_ms = 0.5;
+    popts.max_microbatch_size = 32;
+    popts.reorder_clusters = 2;
+    popts.dynamic_recompute = false;
+    runtime::IterationPlanner planner(cm, popts);
+    data::FlanGeneratorOptions gen;
+    gen.num_samples = 300;
+    gen.length_cap = 1024;
+    const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+    data::MiniBatchSamplerOptions so;
+    so.global_batch_tokens = 6144;
+    so.max_input_len = 1024;
+    so.seed = 7;
+    data::MiniBatchSampler sampler(dataset, so);
+    std::vector<sim::ExecutionPlan> plans;
+    for (int i = 0; i < 3 && sampler.HasNext(); ++i) {
+      runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
+      EXPECT_TRUE(plan.feasible) << plan.infeasible_reason;
+      plans.push_back(std::move(plan.replicas[0].exec_plan));
+    }
+    return plans;
+  };
+  // Plan before fork(): the planner work is threadless here, so the child
+  // inherits no locks.
+  const std::vector<sim::ExecutionPlan> exec_plans = plan_epoch();
+  ASSERT_EQ(exec_plans.size(), 3u);
+
+  std::vector<std::string> expected_bytes;
+  for (const auto& plan : exec_plans) {
+    expected_bytes.push_back(service::EncodeExecutionPlan(plan));
+  }
+
+  const std::string shm_name =
+      "/dynapipe-tt-fork-" + std::to_string(::getpid());
+  int ready_pipe[2];
+  int result_pipe[2];
+  ASSERT_EQ(::pipe(ready_pipe), 0);
+  ASSERT_EQ(::pipe(result_pipe), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Executor process: attach by name, acquire zero-copy views, stream the
+    // raw mapped bytes back. Nonzero exits become parent-side failures.
+    ::close(ready_pipe[1]);
+    ::close(result_pipe[0]);
+    char go;
+    if (!ReadFull(ready_pipe[0], &go, 1)) {
+      ::_exit(2);
+    }
+    auto store = transport::ShmInstructionStore::Attach(
+        shm_name, /*timeout_ms=*/10'000);
+    for (size_t i = 0; i < exec_plans.size(); ++i) {
+      const auto view = store->AcquireView(static_cast<int64_t>(i), 0);
+      const uint32_t len = static_cast<uint32_t>(view.bytes().size());
+      if (!WriteFull(result_pipe[1], &len, sizeof(len)) ||
+          !WriteFull(result_pipe[1], view.bytes().data(),
+                     view.bytes().size())) {
+        ::_exit(3);
+      }
+    }
+    ::_exit(0);
+  }
+
+  // Planner process: create the segment, publish, signal.
+  ::close(ready_pipe[0]);
+  ::close(result_pipe[1]);
+  auto store = transport::ShmInstructionStore::Create(
+      shm_name, transport::ShmStoreOptions{});
+  for (size_t i = 0; i < exec_plans.size(); ++i) {
+    store->Push(static_cast<int64_t>(i), 0, exec_plans[i]);
+  }
+  EXPECT_EQ(store->serialized_bytes_total(),
+            static_cast<int64_t>(expected_bytes[0].size() +
+                                 expected_bytes[1].size() +
+                                 expected_bytes[2].size()));
+  ASSERT_TRUE(WriteFull(ready_pipe[1], "g", 1));
+
+  for (size_t i = 0; i < exec_plans.size(); ++i) {
+    uint32_t len = 0;
+    ASSERT_TRUE(ReadFull(result_pipe[0], &len, sizeof(len))) << "iteration " << i;
+    std::string bytes(len, '\0');
+    ASSERT_TRUE(ReadFull(result_pipe[0], bytes.data(), bytes.size()));
+    EXPECT_EQ(bytes, expected_bytes[i]) << "iteration " << i;
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "executor process exited with status " << status;
+  EXPECT_EQ(store->size(), 0u);  // the executor drained the epoch
+  ::close(ready_pipe[1]);
+  ::close(result_pipe[0]);
+}
+
+// The mux client against the store server: many threads sharing ONE stream,
+// pushes parked in deferred-kOk backpressure while fetches on the same
+// stream free them — the scenario the demux loop and credit protocol exist
+// for.
+TEST(MuxStoreTest, ConcurrentPushersAndFetchersShareOneStream) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/2});
+  transport::LoopbackTransport transport;
+  transport::InstructionStoreServer server(&transport, &store);
+  {
+    auto client = transport::MuxInstructionStore::OverTransport(&transport);
+
+    constexpr int kPlans = 24;
+    std::thread producer([&] {
+      for (int i = 0; i < kPlans; ++i) {
+        client->Push(i, 0, MarkerPlan(i));  // parks whenever 2 are resident
+      }
+    });
+    for (int i = 0; i < kPlans; ++i) {
+      // Publish-before-fetch: poll Contains (multiplexed over the same
+      // stream the parked Push is waiting on) until the plan lands.
+      while (!client->Contains(i, 0)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      EXPECT_EQ(client->Fetch(i, 0), MarkerPlan(i));
+    }
+    producer.join();
+    EXPECT_EQ(client->size(), 0u);
+    EXPECT_TRUE(client->connection_ok());
+    // Every exchange multiplexed over the single persistent connection.
+    EXPECT_GE(server.requests_served(), 2 * kPlans + 1);
+  }
   server.Stop();
 }
 
