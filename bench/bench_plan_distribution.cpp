@@ -45,6 +45,7 @@
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/minibatch_sampler.h"
 #include "src/runtime/instruction_store.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
@@ -154,6 +155,34 @@ Row MeasureShmView(transport::ShmInstructionStore& store,
   return row;
 }
 
+// Heartbeat overhead: what an executor pays per iteration to report
+// completion back to the trainer (bench/README.md "Executor deployment").
+// Only the wire backends have the channel; the row measures the full
+// request/reply exchange landing in a real HeartbeatMonitor.
+struct HeartbeatRow {
+  const char* name;
+  double heartbeat_ms = 0.0;
+  double heartbeat_allocs = 0.0;
+};
+
+HeartbeatRow MeasureHeartbeat(const char* name,
+                              runtime::InstructionStoreInterface& store,
+                              int rounds) {
+  store.Heartbeat(0, -1, 1.0);  // warm-up: first connect, scratch growth
+  HeartbeatRow row;
+  row.name = name;
+  int64_t allocs = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    const int64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    store.Heartbeat(/*replica=*/0, /*iteration=*/i, /*wall_ms=*/12.5);
+    allocs += g_allocs.load(std::memory_order_relaxed) - allocs0;
+  }
+  row.heartbeat_ms = MsSince(t0) / rounds;
+  row.heartbeat_allocs = static_cast<double>(allocs) / rounds;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,5 +282,45 @@ int main(int argc, char** argv) {
       "request, mux reuses one connection, shm rows never touch a wire; "
       "alloc columns are heap allocations per operation in this process)\n",
       rounds);
+
+  // Heartbeat overhead per iteration (wire backends only — shm has no
+  // channel; the conformance suite pins that as a clean capability flag).
+  std::vector<HeartbeatRow> hb_rows;
+  {
+    service::HeartbeatMonitor monitor;
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    store.set_heartbeat_sink(&monitor);
+    transport::UnixSocketTransport transport(
+        "/tmp/dynapipe-bench-hb-" + std::to_string(::getpid()) + ".sock");
+    transport::InstructionStoreServer server(&transport, &store);
+    auto client = transport::RemoteInstructionStore::OverTransport(&transport);
+    hb_rows.push_back(MeasureHeartbeat("unix socket wire", *client, rounds));
+    server.Stop();
+  }
+  {
+    service::HeartbeatMonitor monitor;
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    store.set_heartbeat_sink(&monitor);
+    transport::UnixSocketTransport transport(
+        "/tmp/dynapipe-bench-hbmux-" + std::to_string(::getpid()) + ".sock");
+    transport::InstructionStoreServer server(&transport, &store);
+    {
+      auto client = transport::MuxInstructionStore::OverTransport(&transport);
+      hb_rows.push_back(MeasureHeartbeat("unix socket mux", *client, rounds));
+    }
+    server.Stop();
+  }
+  std::printf("\n%-20s | %12s | %16s\n", "heartbeat backend", "heartbeat ms",
+              "heartbeat allocs");
+  std::printf("---------------------+--------------+-----------------\n");
+  for (const HeartbeatRow& row : hb_rows) {
+    std::printf("%-20s | %12.4f | %16.1f\n", row.name, row.heartbeat_ms,
+                row.heartbeat_allocs);
+  }
+  std::printf(
+      "(one completion report per iteration, round-tripped into a live "
+      "HeartbeatMonitor)\n");
   return 0;
 }

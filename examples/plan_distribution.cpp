@@ -7,7 +7,12 @@
 //   2. shared memory: the planner creates a named ShmInstructionStore
 //      segment, the executor *attaches by name* (shm_open + mmap) and pulls
 //      zero-copy views of the very bytes the planner wrote — no wire, no
-//      copy, decode-in-place.
+//      copy, decode-in-place;
+//   3. the executor daemon: three fork()ed executor::RunExecutor processes
+//      (the code behind tools/dynapipe_executor) attach over the socket, run
+//      the plans on their own ClusterSims, and heartbeat completion back —
+//      one replica deliberately slowed so the planner-side HeartbeatMonitor
+//      flags it as a straggler.
 //
 // This is the paper's §3 deployment shape for real: planning happens on the
 // dataloader side, executors live in other processes, and the only thing
@@ -36,8 +41,10 @@
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/flan_generator.h"
 #include "src/data/minibatch_sampler.h"
+#include "src/executor/executor.h"
 #include "src/runtime/instruction_store.h"
 #include "src/runtime/planner.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/remote_store.h"
 #include "src/transport/shm_store.h"
@@ -280,7 +287,76 @@ int main() {
       },
       /*planner_cleanup=*/[&] { shm.reset(); });
 
-  std::printf("[planner] socket phase %s, shm phase %s\n",
-              socket_ok ? "ok" : "FAILED", shm_ok ? "ok" : "FAILED");
-  return socket_ok && shm_ok ? 0 : 1;
+  // --- Phase 3: the executor daemon. Three executor processes (the library
+  // behind tools/dynapipe_executor) attach over a fresh socket, execute every
+  // plan on their own ClusterSims, and heartbeat completion; replica 2 is
+  // slowed 150 ms/iteration and must come back flagged as the straggler.
+  constexpr int kReplicas = 3;
+  constexpr int kSlowReplica = 2;
+  constexpr double kSlowMs = 150.0;
+  const std::string daemon_socket =
+      "/tmp/dynapipe-example-exec-" + std::to_string(::getpid()) + ".sock";
+  std::vector<pid_t> executors;
+  for (int32_t replica = 0; replica < kReplicas; ++replica) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      executor::ExecutorOptions opts;
+      opts.attach = daemon_socket;
+      opts.replica = replica;
+      opts.iterations = static_cast<int64_t>(plans.size());
+      opts.slow_ms = replica == kSlowReplica ? kSlowMs : 0.0;
+      ::_exit(executor::RunExecutor(opts).ok ? 0 : 2);
+    }
+    executors.push_back(pid);
+  }
+
+  service::HeartbeatMonitor monitor(service::HeartbeatMonitorOptions{
+      /*straggler_multiple=*/2.0, /*min_straggler_gap_ms=*/25.0});
+  runtime::InstructionStore daemon_store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  daemon_store.set_heartbeat_sink(&monitor);
+  transport::UnixSocketTransport daemon_transport(daemon_socket);
+  transport::InstructionStoreServer daemon_server(&daemon_transport,
+                                                  &daemon_store);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (int32_t replica = 0; replica < kReplicas; ++replica) {
+      daemon_store.Push(static_cast<int64_t>(i), replica, plans[i]);
+    }
+  }
+  std::printf("[planner] executor daemons: %d replicas attached to %s, "
+              "replica %d slowed %.0f ms/iter\n",
+              kReplicas, daemon_socket.c_str(), kSlowReplica, kSlowMs);
+
+  bool daemons_ok = true;
+  for (const pid_t pid : executors) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    daemons_ok =
+        daemons_ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+  std::printf("  iter | replicas | median ms | max ms | straggler\n");
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const service::IterationHeartbeatStats stats =
+        monitor.ForIteration(static_cast<int64_t>(i));
+    daemons_ok = daemons_ok && stats.replicas_reported == kReplicas &&
+                 stats.stragglers == std::vector<int32_t>{kSlowReplica};
+    std::printf("  %4zu | %8d | %9.2f | %6.2f | %s\n", i,
+                stats.replicas_reported, stats.median_wall_ms,
+                stats.max_wall_ms,
+                stats.stragglers == std::vector<int32_t>{kSlowReplica}
+                    ? "replica 2 (expected)"
+                    : "WRONG ATTRIBUTION");
+  }
+  daemon_server.Stop();
+  std::printf("[planner] executor phase %s\n\n",
+              daemons_ok ? "ok" : "FAILED");
+
+  std::printf("[planner] socket phase %s, shm phase %s, executor phase %s\n",
+              socket_ok ? "ok" : "FAILED", shm_ok ? "ok" : "FAILED",
+              daemons_ok ? "ok" : "FAILED");
+  return socket_ok && shm_ok && daemons_ok ? 0 : 1;
 }

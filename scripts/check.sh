@@ -39,3 +39,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # real pushes and fetches, so a backend that builds but cannot move a plan
 # fails CI here rather than in a user's hands.
 "$BUILD_DIR"/bench_plan_distribution 3
+
+# Smoke the standalone executor daemon against both attachment families:
+# each --demo plans a tiny epoch, forks three real executor processes (one
+# deliberately slowed), and exits nonzero on any byte mismatch, undrained
+# plan, or — on the wire — missed straggler attribution / heartbeat count.
+"$BUILD_DIR"/dynapipe_executor --demo socket
+"$BUILD_DIR"/dynapipe_executor --demo shm

@@ -1,0 +1,321 @@
+#include "src/executor/executor.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "src/runtime/instruction_store.h"
+#include "src/service/plan_serde.h"
+#include "src/transport/frame.h"
+#include "src/transport/mux.h"
+#include "src/transport/remote_store.h"
+#include "src/transport/shm_store.h"
+#include "src/transport/transport.h"
+
+namespace dynapipe::executor {
+namespace {
+
+// Deterministic synthetic hardware for the standalone simulator: durations
+// derived only from what the plan itself carries (shapes and transfer
+// sizes), so any well-formed plan executes without profiles or model
+// configs. Magnitudes are loosely GPU-shaped (sub-ms kernels, GB/s-scale
+// transfers); straggler detection compares wall clock across replicas, not
+// these simulated durations.
+class SyntheticGroundTruth final : public sim::GroundTruth {
+ public:
+  double ComputeMs(int32_t device, const sim::Instruction& instr) override {
+    (void)device;
+    const double tokens =
+        static_cast<double>(instr.shape.num_samples) *
+        static_cast<double>(instr.shape.input_len + instr.shape.target_len);
+    const double forward = 0.02 + tokens * 2e-6;
+    return instr.type == sim::InstrType::kBackwardPass ? 2.0 * forward
+                                                       : forward;
+  }
+  double ActivationMb(int32_t device, const sim::Instruction& instr) override {
+    (void)device;
+    const double tokens =
+        static_cast<double>(instr.shape.num_samples) *
+        static_cast<double>(instr.shape.input_len + instr.shape.target_len);
+    return tokens * 1e-3;
+  }
+  double TransferMs(int32_t src, int32_t dst, int64_t bytes) override {
+    (void)src;
+    (void)dst;
+    return 0.005 + static_cast<double>(bytes) / (100.0 * 1024.0 * 1024.0);
+  }
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Waits for the endpoint to exist so the store clients' fatal
+// connect/attach contracts never fire on a merely slow trainer: a missing
+// endpoint after the timeout is a clean error report, not an abort.
+bool WaitForSocket(const std::string& path, int timeout_ms) {
+  std::unique_ptr<transport::Stream> probe =
+      transport::ConnectUnixSocket(path, timeout_ms);
+  if (probe == nullptr) {
+    return false;
+  }
+  probe->Close();
+  return true;
+}
+
+bool WaitForShmSegment(const std::string& name, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
+    if (fd >= 0) {
+      ::close(fd);
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// Non-fatal publish-poll probe for the socket endpoints, speaking the frame
+// protocol directly over its own throwaway connection: the store clients'
+// Contains treats a dead publisher as a fatal contract violation (correct
+// for a mid-epoch fetch, wrong for a daemon waiting on the *next* plan), so
+// the poll loop uses this instead. nullopt = the publisher is gone — an
+// open-ended run reads that as end-of-epoch. A single failure is NOT gone:
+// one connect can bounce off a momentarily full listen backlog (EAGAIN
+// under many polling executors) or a teardown race, so the verdict takes
+// three consecutive failures over ~60 ms.
+std::optional<bool> ProbeContainsOverSocket(const std::string& path,
+                                            int64_t iteration,
+                                            int32_t replica) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    std::unique_ptr<transport::Stream> conn =
+        transport::ConnectUnixSocket(path, /*timeout_ms=*/10);
+    if (conn == nullptr) {
+      continue;
+    }
+    transport::Frame request;
+    request.type = transport::FrameType::kContains;
+    request.iteration = iteration;
+    request.replica = replica;
+    if (!WriteFrame(*conn, request)) {
+      continue;
+    }
+    std::optional<transport::Frame> reply = ReadFrame(*conn);
+    if (!reply.has_value() || reply->type != transport::FrameType::kBool ||
+        reply->payload.size() != 1) {
+      continue;
+    }
+    return reply->payload[0] != '\0';
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+AttachEndpoint DetectEndpoint(const std::string& attach) {
+  // A POSIX shm name is "/name" — exactly one slash, leading. Socket paths
+  // are real filesystem paths ("/tmp/....sock") with interior slashes.
+  if (!attach.empty() && attach[0] == '/' &&
+      attach.find('/', 1) == std::string::npos) {
+    return AttachEndpoint::kSharedMemory;
+  }
+  return AttachEndpoint::kUnixSocket;
+}
+
+const char* EndpointName(AttachEndpoint endpoint) {
+  switch (endpoint) {
+    case AttachEndpoint::kAuto: return "auto";
+    case AttachEndpoint::kUnixSocket: return "unix-socket";
+    case AttachEndpoint::kUnixSocketMux: return "unix-socket-mux";
+    case AttachEndpoint::kSharedMemory: return "shared-memory";
+  }
+  return "?";
+}
+
+ExecutorReport RunExecutor(const ExecutorOptions& options) {
+  ExecutorReport report;
+  const auto fail = [&report](std::string error) {
+    report.ok = false;
+    report.error = std::move(error);
+    return report;
+  };
+  if (options.attach.empty()) {
+    return fail("no --attach endpoint given");
+  }
+
+  AttachEndpoint endpoint = options.endpoint;
+  if (endpoint == AttachEndpoint::kAuto) {
+    endpoint = DetectEndpoint(options.attach);
+  }
+
+  std::shared_ptr<runtime::InstructionStoreInterface> store;
+  std::shared_ptr<transport::MuxInstructionStore> mux_client;
+  switch (endpoint) {
+    case AttachEndpoint::kUnixSocket:
+      if (!WaitForSocket(options.attach, options.attach_timeout_ms)) {
+        return fail("no server listening on socket " + options.attach);
+      }
+      store = transport::RemoteInstructionStore::OverUnixSocket(
+          options.attach, options.attach_timeout_ms);
+      break;
+    case AttachEndpoint::kUnixSocketMux: {
+      std::unique_ptr<transport::Stream> stream =
+          transport::ConnectUnixSocket(options.attach,
+                                       options.attach_timeout_ms);
+      if (stream == nullptr) {
+        return fail("no server listening on socket " + options.attach);
+      }
+      mux_client = std::make_shared<transport::MuxInstructionStore>(
+          std::move(stream));
+      store = mux_client;
+      break;
+    }
+    case AttachEndpoint::kSharedMemory:
+      if (!WaitForShmSegment(options.attach, options.attach_timeout_ms)) {
+        return fail("shm segment " + options.attach + " never appeared");
+      }
+      store = transport::ShmInstructionStore::Attach(options.attach,
+                                                     options.attach_timeout_ms);
+      break;
+    case AttachEndpoint::kAuto:
+      return fail("unreachable endpoint kind");
+  }
+  report.heartbeat_supported = store->supports_heartbeat();
+
+  // One publish-poll probe. Distinguishes "not published yet" (false) from
+  // "the publisher is gone" (nullopt) — the store clients' own Contains
+  // treats a dead peer as a fatal contract violation, which is right for a
+  // mid-epoch exchange but wrong for a daemon waiting on the next plan.
+  const auto probe = [&](int64_t iteration) -> std::optional<bool> {
+    switch (endpoint) {
+      case AttachEndpoint::kUnixSocket:
+        return ProbeContainsOverSocket(options.attach, iteration,
+                                       options.replica);
+      case AttachEndpoint::kUnixSocketMux:
+        // Poll over a throwaway one-shot connection, NOT the mux stream: a
+        // Contains multiplexed onto the persistent stream would race server
+        // teardown into the mux client's fatal no-reply contract. The
+        // connection_ok early-out just skips the probe's retry dance once
+        // the demux loop has already seen the stream die.
+        if (!mux_client->connection_ok()) {
+          return std::nullopt;
+        }
+        return ProbeContainsOverSocket(options.attach, iteration,
+                                       options.replica);
+      default:
+        // Shm: the mapping stays valid in this process even after the owner
+        // unlinks the name, so the segment cannot "go away" mid-run.
+        return store->Contains(iteration, options.replica);
+    }
+  };
+
+  SyntheticGroundTruth ground_truth;
+  for (int64_t iteration = options.start_iteration;
+       options.iterations < 0 ||
+       iteration < options.start_iteration + options.iterations;
+       ++iteration) {
+    // Publish-before-fetch: poll until the publisher's push lands. Fetching
+    // early would trip the store's intentional fatal contract. Backoff is
+    // exponential up to a small cap: over the one-shot socket every probe is
+    // a fresh connection plus a server handler thread, so an executor parked
+    // behind a slow planner must not hammer the publisher at poll_interval.
+    const auto poll_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.idle_timeout_ms);
+    bool available = false;
+    bool publisher_gone = false;
+    // Floor at 1 ms: a zero/negative interval would double to zero forever
+    // and the "must not hammer" comment above would be a lie.
+    int backoff_ms = std::max(1, options.poll_interval_ms);
+    for (;;) {
+      const std::optional<bool> published = probe(iteration);
+      if (!published.has_value()) {
+        publisher_gone = true;
+        break;
+      }
+      if (*published) {
+        available = true;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= poll_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2,
+                            std::max(std::max(1, options.poll_interval_ms),
+                                     64));
+    }
+    if (!available) {
+      if (options.iterations < 0) {
+        break;  // open-ended run: drained or the publisher shut down
+      }
+      return fail("iteration " + std::to_string(iteration) + " replica " +
+                  std::to_string(options.replica) +
+                  (publisher_gone ? ": publisher went away"
+                                  : " never published"));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::ExecutionPlan plan =
+        store->Fetch(iteration, options.replica);
+    const double fetch_ms = MsSince(t0);
+
+    sim::ClusterSim cluster(plan.num_devices(), &ground_truth);
+    const sim::SimResult result = cluster.Run(plan);
+    if (result.deadlocked || result.oom) {
+      return fail("iteration " + std::to_string(iteration) + " " +
+                  result.diagnostic);
+    }
+    if (options.slow_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options.slow_ms));
+    }
+    const double exec_wall_ms = MsSince(t0);
+
+    if (options.heartbeat && report.heartbeat_supported) {
+      const auto hb0 = std::chrono::steady_clock::now();
+      if (store->Heartbeat(options.replica, iteration, exec_wall_ms)) {
+        ++report.heartbeats_sent;
+      }
+      report.heartbeat_ms_total += MsSince(hb0);
+    }
+
+    ++report.iterations_run;
+    for (const auto& device : plan.devices) {
+      report.instructions_executed +=
+          static_cast<int64_t>(device.instructions.size());
+    }
+    report.fetch_ms_total += fetch_ms;
+    report.exec_wall_ms_total += exec_wall_ms;
+    if (options.observer) {
+      IterationOutcome outcome;
+      outcome.iteration = iteration;
+      outcome.plan = &plan;
+      outcome.sim = &result;
+      outcome.fetch_ms = fetch_ms;
+      outcome.exec_wall_ms = exec_wall_ms;
+      options.observer(outcome);
+    }
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace dynapipe::executor

@@ -98,4 +98,30 @@ int64_t InstructionStore::serialized_bytes_total() const {
   return serialized_bytes_total_;
 }
 
+void InstructionStore::set_heartbeat_sink(HeartbeatSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  heartbeat_sink_ = sink;
+}
+
+bool InstructionStore::supports_heartbeat() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heartbeat_sink_ != nullptr;
+}
+
+bool InstructionStore::Heartbeat(int32_t replica, int64_t iteration,
+                                 double wall_ms) {
+  HeartbeatSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = heartbeat_sink_;
+  }
+  // Deliver outside mu_: the sink takes its own lock, and a sink that calls
+  // back into the store must not self-deadlock.
+  if (sink == nullptr) {
+    return false;
+  }
+  sink->OnHeartbeat(replica, iteration, wall_ms);
+  return true;
+}
+
 }  // namespace dynapipe::runtime

@@ -32,6 +32,20 @@
 
 namespace dynapipe::runtime {
 
+// Receives executor liveness reports on the planner side. The transport
+// server and the in-process store forward heartbeats here; the concrete sink
+// is service::HeartbeatMonitor (straggler detection), kept abstract at this
+// layer so runtime does not depend on service. Implementations must be
+// thread-safe: heartbeats arrive from any number of connection handlers.
+class HeartbeatSink {
+ public:
+  virtual ~HeartbeatSink() = default;
+  // One executor finished `iteration` on `replica` in `wall_ms` of wall-clock
+  // time (measured from plan availability to completion).
+  virtual void OnHeartbeat(int32_t replica, int64_t iteration,
+                          double wall_ms) = 0;
+};
+
 // The store contract every backend implements. Thread-safe; one producer
 // pipeline and any number of fetching executors.
 class InstructionStoreInterface {
@@ -60,6 +74,22 @@ class InstructionStoreInterface {
   // cross an encode boundary) — the "wire" volume the paper's Redis store
   // would carry.
   virtual int64_t serialized_bytes_total() const = 0;
+
+  // --- Executor liveness (optional capability) ---
+  // Whether this backend has a channel carrying iteration-completion
+  // heartbeats back toward the planner. Wire backends do (a kHeartbeat
+  // frame); the shared-memory segment does not (there is no server behind
+  // it). Callers must treat "no" as a capability, never an error.
+  virtual bool supports_heartbeat() const { return false; }
+  // Reports that this executor finished `iteration` on `replica` in `wall_ms`
+  // of wall clock. Returns false — a clean no-op, not a crash — when the
+  // backend has no heartbeat channel (supports_heartbeat() is false).
+  virtual bool Heartbeat(int32_t replica, int64_t iteration, double wall_ms) {
+    (void)replica;
+    (void)iteration;
+    (void)wall_ms;
+    return false;
+  }
 };
 
 struct InstructionStoreOptions {
@@ -94,6 +124,14 @@ class InstructionStore final : public InstructionStoreInterface {
   bool PushBytes(int64_t iteration, int32_t replica, std::string bytes);
   std::string FetchBytes(int64_t iteration, int32_t replica);
 
+  // Attaching a sink turns the heartbeat capability on: Heartbeat forwards to
+  // it and returns true. Not owned; must strictly outlive the store —
+  // delivery happens outside the store's lock, so swapping the sink out (or
+  // to nullptr) cannot be used to quiesce in-flight Heartbeat calls.
+  void set_heartbeat_sink(HeartbeatSink* sink);
+  bool supports_heartbeat() const override;
+  bool Heartbeat(int32_t replica, int64_t iteration, double wall_ms) override;
+
   const InstructionStoreOptions& options() const { return options_; }
 
  private:
@@ -111,6 +149,7 @@ class InstructionStore final : public InstructionStoreInterface {
   InstructionStoreOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  HeartbeatSink* heartbeat_sink_ = nullptr;  // guarded by mu_
   bool shutdown_ = false;
   int64_t serialized_bytes_total_ = 0;
   std::map<std::pair<int64_t, int32_t>, Entry> plans_;

@@ -12,6 +12,7 @@
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
 #include "src/runtime/ground_truth.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/sim/cluster_sim.h"
@@ -176,6 +177,14 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   sim_opts.static_memory_mb = ground_truth.StaticMemoryMb();
   sim_opts.memory_limit_mb = hw_.usable_memory_mb();
 
+  // Replica completion tracking: the trainer reports each in-process
+  // replica's simulated makespan, and — on the socket backends — attached
+  // executor processes heartbeat their wall clock through the store server
+  // into the same monitor. Declared before the server below so heartbeats
+  // arriving during teardown still have a live sink.
+  service::HeartbeatMonitor heartbeat_monitor(service::HeartbeatMonitorOptions{
+      options.straggler_multiple, options.straggler_min_gap_ms});
+
   // Everything between the sampler and the executors is the plan-ahead
   // service's pipeline: lookahead planning on the shared pool, the
   // cross-iteration plan cache, and (serialized) publication into the
@@ -215,6 +224,9 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     socket_transport.emplace(options.plan_store_socket_path.empty()
                                  ? DeriveSocketPath()
                                  : options.plan_store_socket_path);
+    // kHeartbeat frames from any attached reporter route through the server
+    // store's sink into the same monitor the in-process replicas feed.
+    server_store->set_heartbeat_sink(&heartbeat_monitor);
     store_server.emplace(&*socket_transport, &*server_store);
     if (options.plan_store_backend ==
         TrainerOptions::PlanStoreBackend::kUnixSocket) {
@@ -322,9 +334,21 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
       for (const auto& dev : res.devices) {
         record.measured_peak_mb = std::max(record.measured_peak_mb, dev.peak_memory_mb);
       }
+      // In-process replicas complete "now" in wall clock; their simulated
+      // makespan is the completion time straggler detection should compare.
+      heartbeat_monitor.OnHeartbeat(static_cast<int32_t>(d), iteration,
+                                    res.makespan_ms);
     }
     measured += cost_model_.DpGradSyncMs();
     record.measured_ms = measured;
+    const service::IterationHeartbeatStats hb_stats =
+        heartbeat_monitor.ForIteration(iteration);
+    record.heartbeat_replicas = hb_stats.replicas_reported;
+    record.replica_median_ms = hb_stats.median_wall_ms;
+    record.replica_max_ms = hb_stats.max_wall_ms;
+    record.straggler_replicas = hb_stats.stragglers;
+    result.straggler_flags +=
+        static_cast<int64_t>(record.straggler_replicas.size());
 
     for (const auto& replica : plan.replicas) {
       for (const auto& m : replica.micro_batches) {

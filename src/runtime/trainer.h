@@ -103,6 +103,22 @@ struct TrainerOptions {
   // Segment name for kSharedMemory ("/dynapipe-..."); empty derives a unique
   // name per epoch.
   std::string plan_store_shm_name;
+  // --- Straggler detection (service/heartbeat_monitor.h) ---
+  // Replica completion times feed a HeartbeatMonitor: the trainer reports
+  // its in-process replicas' simulated makespans, and on the socket
+  // backends the server also routes kHeartbeat frames from any attached
+  // reporter into the same monitor (heartbeats are non-destructive, unlike
+  // fetch — a plan is consumed exactly once, and this trainer consumes its
+  // own plans, so standalone dynapipe_executor processes run against a
+  // dedicated publisher as in examples/plan_distribution, not against a
+  // live trainer's store). A replica is flagged on iteration i when its
+  // completion exceeds
+  //   straggler_multiple * median + straggler_min_gap_ms;
+  // per-iteration stats land in IterationRecord. The relative criterion
+  // needs >= 3 replicas to be meaningful (with two, nothing can exceed
+  // twice the pair's mean).
+  double straggler_multiple = 2.0;
+  double straggler_min_gap_ms = 0.0;
 };
 
 struct IterationRecord {
@@ -125,6 +141,14 @@ struct IterationRecord {
   // look-ahead pipeline failed to hide; the paper's Fig. 17 overlap target).
   bool plan_cache_hit = false;
   double plan_stall_ms = 0.0;
+  // Straggler stats from the HeartbeatMonitor: completion times of every
+  // replica that reported this iteration (in-process replicas report their
+  // simulated makespan; attached executor processes heartbeat wall clock),
+  // and the replicas flagged over straggler_multiple x the median.
+  int32_t heartbeat_replicas = 0;
+  double replica_median_ms = 0.0;
+  double replica_max_ms = 0.0;
+  std::vector<int32_t> straggler_replicas;
 };
 
 struct EpochResult {
@@ -150,6 +174,9 @@ struct EpochResult {
   std::vector<IterationRecord> records;
   int64_t deadlocks = 0;
   int64_t ooms = 0;
+  // Total straggler flags raised across the epoch (per-iteration detail in
+  // records[*].straggler_replicas).
+  int64_t straggler_flags = 0;
 
   double tokens_per_second() const {
     return train_time_ms <= 0.0 ? 0.0 : static_cast<double>(real_tokens) /

@@ -1,0 +1,89 @@
+#include "src/service/heartbeat_monitor.h"
+
+#include <algorithm>
+
+namespace dynapipe::service {
+
+HeartbeatMonitor::HeartbeatMonitor(HeartbeatMonitorOptions options)
+    : options_(options) {}
+
+void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
+                                   double wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_heartbeats_;
+  auto [it, inserted] = last_iteration_.emplace(replica, iteration);
+  if (!inserted) {
+    it->second = std::max(it->second, iteration);
+  }
+  completions_[iteration][replica] = wall_ms;
+}
+
+IterationHeartbeatStats HeartbeatMonitor::ForIteration(
+    int64_t iteration) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ForIterationLocked(iteration);
+}
+
+IterationHeartbeatStats HeartbeatMonitor::ForIterationLocked(
+    int64_t iteration) const {
+  IterationHeartbeatStats stats;
+  stats.iteration = iteration;
+  const auto it = completions_.find(iteration);
+  if (it == completions_.end() || it->second.empty()) {
+    return stats;
+  }
+  const std::map<int32_t, double>& by_replica = it->second;
+  stats.replicas_reported = static_cast<int32_t>(by_replica.size());
+  std::vector<double> walls;
+  walls.reserve(by_replica.size());
+  for (const auto& [replica, wall_ms] : by_replica) {
+    walls.push_back(wall_ms);
+    stats.max_wall_ms = std::max(stats.max_wall_ms, wall_ms);
+  }
+  // Median by the usual even/odd convention; nth_element twice stays O(n).
+  const size_t mid = walls.size() / 2;
+  std::nth_element(walls.begin(), walls.begin() + mid, walls.end());
+  stats.median_wall_ms = walls[mid];
+  if (walls.size() % 2 == 0) {
+    std::nth_element(walls.begin(), walls.begin() + (mid - 1),
+                     walls.begin() + mid);
+    stats.median_wall_ms = (stats.median_wall_ms + walls[mid - 1]) / 2.0;
+  }
+  const double threshold =
+      options_.straggler_multiple * stats.median_wall_ms +
+      options_.min_straggler_gap_ms;
+  for (const auto& [replica, wall_ms] : by_replica) {
+    if (wall_ms > threshold) {
+      stats.stragglers.push_back(replica);  // map order = ascending replica
+    }
+  }
+  return stats;
+}
+
+int64_t HeartbeatMonitor::LastIteration(int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = last_iteration_.find(replica);
+  return it == last_iteration_.end() ? -1 : it->second;
+}
+
+std::vector<int32_t> HeartbeatMonitor::LaggingReplicas(int64_t max_lag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t frontier = -1;
+  for (const auto& [replica, iteration] : last_iteration_) {
+    frontier = std::max(frontier, iteration);
+  }
+  std::vector<int32_t> lagging;
+  for (const auto& [replica, iteration] : last_iteration_) {
+    if (frontier - iteration > max_lag) {
+      lagging.push_back(replica);
+    }
+  }
+  return lagging;
+}
+
+int64_t HeartbeatMonitor::total_heartbeats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_heartbeats_;
+}
+
+}  // namespace dynapipe::service

@@ -1,0 +1,98 @@
+// Heartbeat monitor: per-replica liveness tracking and straggler detection.
+//
+// Executor processes report iteration completion back to the trainer — a
+// kHeartbeat frame over the wire backends, or a direct OnHeartbeat call for
+// replicas the trainer executes itself. The monitor keeps two views of that
+// stream:
+//   - per-replica progress: the last iteration each replica completed (a
+//     replica whose frontier stops advancing is dead or wedged);
+//   - per-iteration completion times: every replica's wall-ms for iteration
+//     i, from which it derives the iteration's median and flags *stragglers*
+//     — replicas whose completion exceeds straggler_multiple x the median
+//     (plus an absolute slack so microsecond-scale jitter on fast iterations
+//     never flags).
+// This mirrors how elastic-training systems consume centrally produced
+// schedules while reporting liveness: the planner does not block on
+// heartbeats, it observes them and surfaces lag (IterationRecord's straggler
+// fields) so a deployment can rebalance or evict.
+//
+// Thread-safe: heartbeats arrive concurrently from server connection
+// handlers and from the trainer's own execution loop.
+#ifndef DYNAPIPE_SRC_SERVICE_HEARTBEAT_MONITOR_H_
+#define DYNAPIPE_SRC_SERVICE_HEARTBEAT_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/instruction_store.h"
+
+namespace dynapipe::service {
+
+struct HeartbeatMonitorOptions {
+  // A replica straggles on iteration i when
+  //   wall_ms > straggler_multiple * median(wall_ms of all replicas on i)
+  //             + min_straggler_gap_ms.
+  // The multiple is the paper-style relative criterion; the absolute gap
+  // keeps sub-millisecond iterations (simulated runs, empty plans) from
+  // flagging on scheduler noise.
+  double straggler_multiple = 2.0;
+  double min_straggler_gap_ms = 0.0;
+};
+
+// One iteration's completion picture so far.
+struct IterationHeartbeatStats {
+  int64_t iteration = 0;
+  int32_t replicas_reported = 0;
+  double median_wall_ms = 0.0;
+  double max_wall_ms = 0.0;
+  // Replicas over the straggler threshold, ascending. Meaningful once at
+  // least two replicas reported (a lone replica defines the median).
+  std::vector<int32_t> stragglers;
+};
+
+class HeartbeatMonitor final : public runtime::HeartbeatSink {
+ public:
+  explicit HeartbeatMonitor(HeartbeatMonitorOptions options = {});
+
+  // runtime::HeartbeatSink: one replica finished one iteration. A duplicate
+  // (replica, iteration) report overwrites — a reconnecting executor may
+  // legitimately resend its last heartbeat.
+  void OnHeartbeat(int32_t replica, int64_t iteration,
+                   double wall_ms) override;
+
+  // Snapshot of iteration `iteration` (zeros when nothing reported yet).
+  IterationHeartbeatStats ForIteration(int64_t iteration) const;
+
+  // Last iteration `replica` completed; -1 before its first heartbeat. The
+  // per-replica progress frontier.
+  int64_t LastIteration(int32_t replica) const;
+
+  // Replicas whose progress frontier lags the most advanced replica by more
+  // than `max_lag` iterations — the liveness (as opposed to latency) view of
+  // straggling: a replica that stopped heartbeating entirely shows up here
+  // even though it contributes no wall-ms samples to lag behind on.
+  std::vector<int32_t> LaggingReplicas(int64_t max_lag) const;
+
+  int64_t total_heartbeats() const;
+  const HeartbeatMonitorOptions& options() const { return options_; }
+
+ private:
+  IterationHeartbeatStats ForIterationLocked(int64_t iteration) const;
+
+  HeartbeatMonitorOptions options_;
+  mutable std::mutex mu_;
+  int64_t total_heartbeats_ = 0;
+  std::map<int32_t, int64_t> last_iteration_;  // replica -> frontier
+  // iteration -> (replica -> wall_ms). Iterations are short-lived keys; the
+  // trainer consumes stats per iteration, but nothing is evicted — an epoch
+  // is thousands of iterations of a few replicas each, far below memory
+  // relevance.
+  std::map<int64_t, std::map<int32_t, double>> completions_;
+};
+
+}  // namespace dynapipe::service
+
+#endif  // DYNAPIPE_SRC_SERVICE_HEARTBEAT_MONITOR_H_

@@ -87,4 +87,29 @@ std::optional<Frame> ReadFrame(Stream& stream, std::string* error) {
   return frame;
 }
 
+void AppendHeartbeatPayload(double wall_ms, std::string* out) {
+  const double us = wall_ms * 1000.0;
+  // Clamp the whole cast domain: negatives and NaN encode 0, anything at or
+  // above 2^64 µs encodes UINT64_MAX — static_cast of an out-of-range double
+  // is undefined behavior, and a broken timing source (inf, NaN) must yield
+  // a garbage-but-well-formed frame, never UB in the sender.
+  uint64_t v = 0;
+  if (us >= 18446744073709549568.0) {  // largest double below 2^64
+    v = UINT64_MAX;
+  } else if (us > 0.0) {
+    v = static_cast<uint64_t>(us);
+  }
+  service::AppendVarint(v, out);
+}
+
+bool TryParseHeartbeatPayload(std::string_view payload, double* wall_ms) {
+  size_t pos = 0;
+  uint64_t us = 0;
+  if (!service::TryParseVarint(payload, &pos, &us) || pos != payload.size()) {
+    return false;
+  }
+  *wall_ms = static_cast<double>(us) / 1000.0;
+  return true;
+}
+
 }  // namespace dynapipe::transport

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/transport/transport.h"
 
@@ -38,11 +39,15 @@ namespace dynapipe::transport {
 
 enum class FrameType : uint8_t {
   // Requests (client -> server).
-  kPush = 1,      // payload = encoded plan; response kOk once stored/dropped
-  kFetch = 2,     // response kPlanBytes
-  kContains = 3,  // response kBool
-  kSize = 4,      // response kCount
-  kShutdown = 5,  // response kOk
+  kPush = 1,       // payload = encoded plan; response kOk once stored/dropped
+  kFetch = 2,      // response kPlanBytes
+  kContains = 3,   // response kBool
+  kSize = 4,       // response kCount
+  kShutdown = 5,   // response kOk
+  kHeartbeat = 6,  // executor liveness: iteration/replica in the header,
+                   // payload = varint(wall-clock microseconds the iteration
+                   // took); response kOk (the reply keeps the protocol
+                   // strictly request/response on every transport)
   // Responses (server -> client).
   kOk = 64,
   kPlanBytes = 65,
@@ -75,6 +80,16 @@ bool WriteFrame(Stream& stream, const Frame& frame, std::string* scratch);
 // Reads one frame; nullopt on clean EOF, peer loss, or a malformed frame
 // (reason in *error when provided — empty for clean EOF before any byte).
 std::optional<Frame> ReadFrame(Stream& stream, std::string* error = nullptr);
+
+// kHeartbeat payload codec. Wall time travels as a varint of whole
+// microseconds (negatives and NaN clamp to 0, values at or over 2^64 µs to
+// UINT64_MAX; sub-microsecond precision is noise next to scheduler jitter),
+// so the frame stays a couple of bytes for millisecond-scale iterations and
+// reuses the wire's one integer encoding.
+void AppendHeartbeatPayload(double wall_ms, std::string* out);
+// False on a truncated/overlong varint or trailing bytes — the caller treats
+// that like any malformed frame (drop the connection, never crash).
+bool TryParseHeartbeatPayload(std::string_view payload, double* wall_ms);
 
 }  // namespace dynapipe::transport
 

@@ -39,16 +39,18 @@ void MuxInstructionStore::DemuxLoop() {
       break;  // closed, torn, or malformed: the connection is over
     }
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = waiters_.find(reply->request_id);
-    if (it == waiters_.end()) {
+    Waiter* waiter =
+        slots_[reply->request_id % static_cast<uint64_t>(kMuxWaiterSlots)];
+    if (waiter == nullptr || waiter->request_id != reply->request_id) {
       // A reply nobody asked for is a protocol violation; treat it like a
       // malformed frame and drop the connection rather than guess.
       error = "mux: reply for unknown request id";
       break;
     }
-    it->second->reply = std::move(*reply);
-    waiters_.erase(it);
-    cv_.notify_all();
+    slots_[reply->request_id % static_cast<uint64_t>(kMuxWaiterSlots)] =
+        nullptr;
+    waiter->reply = std::move(*reply);
+    cv_.notify_all();  // wakes the waiter and anyone parked on a full slab
   }
   // Connection over (clean teardown or error): fail every outstanding waiter
   // so no caller hangs on a reply that will never come.
@@ -56,23 +58,50 @@ void MuxInstructionStore::DemuxLoop() {
   std::lock_guard<std::mutex> lock(mu_);
   connection_failed_ = true;
   connection_error_ = error.empty() ? "connection closed" : error;
-  for (auto& [id, waiter] : waiters_) {
-    waiter->failed = true;
+  for (Waiter*& waiter : slots_) {
+    if (waiter != nullptr) {
+      waiter->failed = true;
+      waiter = nullptr;
+    }
   }
-  waiters_.clear();
   cv_.notify_all();
 }
 
 Frame MuxInstructionStore::Call(Frame& request,
                                 FrameType expected_reply) const {
-  request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   Waiter waiter;
+  int slot = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    DYNAPIPE_CHECK_MSG(!connection_failed_,
-                       "mux instruction store: connection lost (" +
-                           connection_error_ + ")");
-    waiters_.emplace(request.request_id, &waiter);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      DYNAPIPE_CHECK_MSG(!connection_failed_,
+                         "mux instruction store: connection lost (" +
+                             connection_error_ + ")");
+      // Claim a free slot, scanning from where the last claim left off. A
+      // full slab means kMuxWaiterSlots requests are genuinely in flight;
+      // wait for one to complete (pushes can hold at most kMuxPushCredits
+      // slots, everything else is answered inline, so slots churn).
+      for (int probe = 0; probe < kMuxWaiterSlots; ++probe) {
+        const int candidate = (slot_scan_hint_ + probe) % kMuxWaiterSlots;
+        if (slots_[candidate] == nullptr) {
+          slot = candidate;
+          break;
+        }
+      }
+      if (slot >= 0) {
+        break;
+      }
+      cv_.wait(lock);
+    }
+    slot_scan_hint_ = (slot + 1) % kMuxWaiterSlots;
+    // Mint the slot's next id: congruent to the slot index mod the slab size,
+    // strictly increasing per slot, and never 0 (the one-shot path's id), so
+    // no two in-flight requests ever share a slot.
+    request.request_id =
+        static_cast<uint64_t>(slot) +
+        static_cast<uint64_t>(kMuxWaiterSlots) * (++slot_generation_[slot]);
+    waiter.request_id = request.request_id;
+    slots_[slot] = &waiter;
   }
   bool write_ok;
   {
@@ -86,7 +115,10 @@ Frame MuxInstructionStore::Call(Frame& request,
   if (!write_ok) {
     // The demux loop will notice the dead stream and fail the waiter; don't
     // wait for it — deregister ourselves if it has not already.
-    waiters_.erase(request.request_id);
+    if (slots_[slot] == &waiter) {
+      slots_[slot] = nullptr;
+      cv_.notify_all();
+    }
     DYNAPIPE_CHECK_MSG(false, "mux instruction store: request write failed");
   }
   cv_.wait(lock, [&] { return waiter.reply.has_value() || waiter.failed; });
@@ -175,6 +207,18 @@ void MuxInstructionStore::Shutdown() {
   Frame request;
   request.type = FrameType::kShutdown;
   Call(request, FrameType::kOk);
+}
+
+bool MuxInstructionStore::Heartbeat(int32_t replica, int64_t iteration,
+                                    double wall_ms) {
+  thread_local Frame request;
+  request.type = FrameType::kHeartbeat;
+  request.iteration = iteration;
+  request.replica = replica;
+  request.payload.clear();
+  AppendHeartbeatPayload(wall_ms, &request.payload);
+  Call(request, FrameType::kOk);
+  return true;
 }
 
 int64_t MuxInstructionStore::serialized_bytes_total() const {

@@ -29,10 +29,10 @@
 #ifndef DYNAPIPE_SRC_TRANSPORT_MUX_H_
 #define DYNAPIPE_SRC_TRANSPORT_MUX_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,6 +48,13 @@ namespace dynapipe::transport {
 // protocol constant both sides agree on: the client never exceeds it, and the
 // server drops a connection that does (a misbehaving peer, not backpressure).
 inline constexpr int kMuxPushCredits = 16;
+
+// Size of the client's fixed waiter slab — the bound on requests in flight on
+// one mux connection. Twice the push credits so that even with every credit
+// parked in deferred-kPush backpressure, a full complement of non-push
+// requests (fetches, contains polls) still finds a free slot: the fetch that
+// frees a capacity slot can never be locked out by the pushes waiting on it.
+inline constexpr int kMuxWaiterSlots = 2 * kMuxPushCredits;
 
 class MuxInstructionStore final : public runtime::InstructionStoreInterface {
  public:
@@ -74,6 +81,10 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
   void Shutdown() override;
   // Encoded bytes this client pushed (the wire volume it produced).
   int64_t serialized_bytes_total() const override;
+  // The wire carries heartbeats (kHeartbeat frame), multiplexed like any
+  // other request.
+  bool supports_heartbeat() const override { return true; }
+  bool Heartbeat(int32_t replica, int64_t iteration, double wall_ms) override;
 
   // False once the stream died or the server sent an unparsable/unmatched
   // reply (the demux loop has exited and failed all waiters).
@@ -81,14 +92,25 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
 
  private:
   struct Waiter {
+    uint64_t request_id = 0;
     std::optional<Frame> reply;
     bool failed = false;
   };
 
-  // One multiplexed exchange: stamps a fresh request_id onto `request`,
-  // registers a waiter, writes the frame, blocks until the demux loop
+  // One multiplexed exchange: claims a waiter slot (stamping the slot-derived
+  // request_id onto `request`), writes the frame, blocks until the demux loop
   // delivers the reply. Fatal on connection failure or an unexpected reply
   // type.
+  //
+  // The waiter table is a fixed slab instead of a per-request map: slot
+  // `request_id % kMuxWaiterSlots` points at the caller's stack Waiter, and
+  // request ids are minted per slot (id = slot + kMuxWaiterSlots * generation)
+  // so two requests in flight can never collide on a slot — the demux lookup
+  // is one index plus an id compare, and the steady-state request path does
+  // no heap allocation (no map node; the wire bytes reuse per-thread
+  // scratch). When all slots are busy the caller waits for one to free:
+  // pushes are bounded below the slab size by their credits, and every other
+  // request type is answered inline by the server, so slots always churn.
   Frame Call(Frame& request, FrameType expected_reply) const;
   void DemuxLoop();
 
@@ -97,14 +119,17 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
   // none from the demux side — replies only flow inward).
   mutable std::mutex write_mu_;
 
-  mutable std::mutex mu_;  // waiters, credits, failure state
+  mutable std::mutex mu_;  // waiter slab, credits, failure state
   mutable std::condition_variable cv_;
-  mutable std::map<uint64_t, Waiter*> waiters_;
+  // Fixed waiter slab: slots_[i] is the live waiter whose request_id % slots
+  // == i, null when free. slot_generation_ mints non-colliding ids.
+  mutable std::array<Waiter*, kMuxWaiterSlots> slots_{};
+  mutable std::array<uint64_t, kMuxWaiterSlots> slot_generation_{};
+  mutable int slot_scan_hint_ = 0;
   mutable int push_credits_ = kMuxPushCredits;
   bool connection_failed_ = false;
   std::string connection_error_;
 
-  mutable std::atomic<uint64_t> next_request_id_{1};
   std::atomic<int64_t> serialized_bytes_total_{0};
   std::thread demux_thread_;
 };

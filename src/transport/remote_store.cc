@@ -113,6 +113,20 @@ void RemoteInstructionStore::Shutdown() {
   Call(request, FrameType::kOk);
 }
 
+bool RemoteInstructionStore::Heartbeat(int32_t replica, int64_t iteration,
+                                       double wall_ms) {
+  // The frame persists per thread so its payload scratch is reused: a
+  // steady-state heartbeat (one per iteration) allocates nothing.
+  thread_local Frame request;
+  request.type = FrameType::kHeartbeat;
+  request.iteration = iteration;
+  request.replica = replica;
+  request.payload.clear();
+  AppendHeartbeatPayload(wall_ms, &request.payload);
+  Call(request, FrameType::kOk);
+  return true;
+}
+
 int64_t RemoteInstructionStore::serialized_bytes_total() const {
   return serialized_bytes_total_.load(std::memory_order_relaxed);
 }

@@ -57,6 +57,10 @@ class RemoteInstructionStore final : public runtime::InstructionStoreInterface {
   // Encoded bytes this client pushed (the wire volume it produced). Dropped
   // pushes (server already shut down) are counted: the bytes crossed the wire.
   int64_t serialized_bytes_total() const override;
+  // The wire carries heartbeats (kHeartbeat frame): iteration completion
+  // reports reach the server's HeartbeatSink for straggler detection.
+  bool supports_heartbeat() const override { return true; }
+  bool Heartbeat(int32_t replica, int64_t iteration, double wall_ms) override;
 
  private:
   // One request/response exchange; fatal on connection or protocol failure.

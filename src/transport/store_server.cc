@@ -212,6 +212,20 @@ void InstructionStoreServer::HandleConnection(Stream& conn) {
         store_->Shutdown();
         reply.type = FrameType::kOk;
         break;
+      case FrameType::kHeartbeat: {
+        double wall_ms = 0.0;
+        if (!TryParseHeartbeatPayload(request->payload, &wall_ms)) {
+          // Malformed payload is a protocol violation like any unparsable
+          // frame: drop the connection, never feed garbage to the monitor.
+          finish();
+          return;
+        }
+        // One delivery path: the store's heartbeat capability. False (no
+        // sink attached) means acknowledged-and-discarded.
+        store_->Heartbeat(request->replica, request->iteration, wall_ms);
+        reply.type = FrameType::kOk;
+        break;
+      }
       default:
         // Unknown request type: drop the connection.
         finish();

@@ -43,8 +43,12 @@ namespace dynapipe::transport {
 class InstructionStoreServer {
  public:
   // Starts serving immediately. `store` must be in serialized mode (the wire
-  // carries plan_serde bytes). Neither pointer is owned; both must outlive
-  // the server.
+  // carries plan_serde bytes). Executor kHeartbeat reports route through the
+  // store's heartbeat capability (InstructionStore::set_heartbeat_sink —
+  // typically a service::HeartbeatMonitor); a store without a sink
+  // acknowledges and discards them, so the wire clients' capability answer
+  // stays unconditional. Neither pointer is owned; both must outlive the
+  // server.
   InstructionStoreServer(Transport* transport, runtime::InstructionStore* store);
   ~InstructionStoreServer();
 

@@ -27,6 +27,7 @@
 
 #include "src/common/rng.h"
 #include "src/runtime/instruction_store.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
 #include "src/sim/instruction.h"
 #include "src/transport/frame.h"
@@ -324,6 +325,124 @@ TEST(FrameLayerFuzzTest, MalformedRepliesFailMuxDemuxLoopCleanly) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
+}
+
+// ---------- heartbeat framing ----------
+
+// Assembles the wire bytes of one well-formed kHeartbeat frame, exactly as
+// WriteFrame lays them out (length prefix, type, varint request_id, zigzag
+// iteration/replica, varint wall-microseconds payload).
+std::string RawHeartbeatFrame(uint64_t request_id, int64_t iteration,
+                              int32_t replica, double wall_ms) {
+  std::string body;
+  body.push_back(static_cast<char>(transport::FrameType::kHeartbeat));
+  service::AppendVarint(request_id, &body);
+  service::AppendZigzag(iteration, &body);
+  service::AppendZigzag(replica, &body);
+  transport::AppendHeartbeatPayload(wall_ms, &body);
+  std::string wire;
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  wire.append(body);
+  return wire;
+}
+
+TEST(HeartbeatFramingTest, PayloadCodecRoundTripsAtMicrosecondGranularity) {
+  // The payload is a varint of whole microseconds: values on the grid
+  // round-trip exactly, off-grid values floor to it, negatives clamp to 0.
+  for (const double wall_ms : {0.0, 0.001, 3.25, 250.0, 86'400'000.0}) {
+    std::string payload;
+    transport::AppendHeartbeatPayload(wall_ms, &payload);
+    double decoded = -1.0;
+    ASSERT_TRUE(transport::TryParseHeartbeatPayload(payload, &decoded));
+    EXPECT_DOUBLE_EQ(decoded, wall_ms);
+  }
+  std::string payload;
+  transport::AppendHeartbeatPayload(-5.0, &payload);
+  double decoded = -1.0;
+  ASSERT_TRUE(transport::TryParseHeartbeatPayload(payload, &decoded));
+  EXPECT_EQ(decoded, 0.0);
+  // Truncations of a multi-byte payload fail cleanly, as do trailing bytes.
+  payload.clear();
+  transport::AppendHeartbeatPayload(1e9, &payload);
+  ASSERT_GT(payload.size(), 1u);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(transport::TryParseHeartbeatPayload(
+        std::string_view(payload).substr(0, len), &decoded));
+  }
+  EXPECT_FALSE(transport::TryParseHeartbeatPayload(payload + "x", &decoded));
+}
+
+TEST(HeartbeatFramingTest, FrameRoundTripsOverLoopback) {
+  transport::LoopbackTransport lo;
+  auto client = lo.Connect();
+  auto server = lo.Accept();
+  transport::Frame out;
+  out.type = transport::FrameType::kHeartbeat;
+  out.request_id = 42;
+  out.iteration = 17;
+  out.replica = 3;
+  transport::AppendHeartbeatPayload(123.456, &out.payload);
+  ASSERT_TRUE(WriteFrame(*client, out));
+  std::string error;
+  std::optional<transport::Frame> in = ReadFrame(*server, &error);
+  ASSERT_TRUE(in.has_value()) << error;
+  EXPECT_EQ(in->type, transport::FrameType::kHeartbeat);
+  EXPECT_EQ(in->request_id, 42u);
+  EXPECT_EQ(in->iteration, 17);
+  EXPECT_EQ(in->replica, 3);
+  double wall_ms = 0.0;
+  ASSERT_TRUE(transport::TryParseHeartbeatPayload(in->payload, &wall_ms));
+  EXPECT_DOUBLE_EQ(wall_ms, 123.456);
+}
+
+// Hostile heartbeat bytes against a live server with a real monitor sink:
+// every strict prefix (a truncated frame) and every single-bit flip outside
+// the type byte must end in either a recorded-or-dropped heartbeat or a
+// clean connection drop — never a crash, never a wedged server, and never
+// garbage parsed past a malformed payload.
+TEST(HeartbeatFramingTest, TruncationsAndBitFlipsNeverCrashServerOrMonitor) {
+  service::HeartbeatMonitor monitor;
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.set_heartbeat_sink(&monitor);
+  transport::LoopbackTransport transport;
+  transport::InstructionStoreServer server(&transport, &store);
+
+  const std::string wire = RawHeartbeatFrame(/*request_id=*/9,
+                                             /*iteration=*/12, /*replica=*/1,
+                                             /*wall_ms=*/987.654);
+  // Every strict prefix.
+  for (size_t len = 1; len < wire.size(); ++len) {
+    SendHostileBytes(transport, wire.substr(0, len), true);
+  }
+  // Every single-bit flip, skipping the type byte at offset 4 (morphing
+  // kHeartbeat into kFetch of an unpublished key would trip the store's
+  // intentional fatal contract, which is not a parse hazard).
+  for (size_t byte_i = 0; byte_i < wire.size(); ++byte_i) {
+    if (byte_i == 4) {
+      continue;
+    }
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = wire;
+      corrupt[byte_i] = static_cast<char>(static_cast<uint8_t>(corrupt[byte_i]) ^
+                                          (uint8_t{1} << bit));
+      SendHostileBytes(transport, corrupt, true);
+    }
+  }
+
+  // The server survived all of it: a valid heartbeat still lands.
+  auto client = transport::RemoteInstructionStore::OverTransport(&transport);
+  EXPECT_TRUE(client->Heartbeat(/*replica=*/5, /*iteration=*/33,
+                                /*wall_ms=*/7.5));
+  EXPECT_EQ(monitor.LastIteration(5), 33);
+  const service::IterationHeartbeatStats stats = monitor.ForIteration(33);
+  EXPECT_EQ(stats.replicas_reported, 1);
+  EXPECT_DOUBLE_EQ(stats.max_wall_ms, 7.5);
+  server.Stop();
 }
 
 TEST(PlanSerdeFuzzTest, TryParsePrimitivesRejectTruncationWithoutAborting) {

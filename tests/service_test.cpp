@@ -23,6 +23,7 @@
 #include "src/runtime/instruction_store.h"
 #include "src/runtime/planner.h"
 #include "src/runtime/trainer.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/plan_serde.h"
@@ -912,6 +913,82 @@ TEST(TrainerServiceTest, BaselineEpochStillRunsThroughService) {
   EXPECT_GT(res.tokens_per_second(), 0.0);
   EXPECT_GT(res.serialized_plan_bytes, 0);
   EXPECT_EQ(res.plan_cache_hits + res.plan_cache_misses, 0);
+}
+
+// ---------- heartbeat monitor ----------
+
+TEST(HeartbeatMonitorTest, MedianThresholdFlagsOnlyTheStraggler) {
+  service::HeartbeatMonitor monitor(service::HeartbeatMonitorOptions{
+      /*straggler_multiple=*/2.0, /*min_straggler_gap_ms=*/1.0});
+  // Iteration 0: replicas at 10/11/12 ms — jitter, nobody straggles.
+  monitor.OnHeartbeat(0, 0, 10.0);
+  monitor.OnHeartbeat(1, 0, 11.0);
+  monitor.OnHeartbeat(2, 0, 12.0);
+  service::IterationHeartbeatStats stats = monitor.ForIteration(0);
+  EXPECT_EQ(stats.replicas_reported, 3);
+  EXPECT_DOUBLE_EQ(stats.median_wall_ms, 11.0);
+  EXPECT_DOUBLE_EQ(stats.max_wall_ms, 12.0);
+  EXPECT_TRUE(stats.stragglers.empty());
+  // Iteration 1: replica 1 takes 4x the others' time — flagged, alone.
+  monitor.OnHeartbeat(0, 1, 10.0);
+  monitor.OnHeartbeat(1, 1, 40.0);
+  monitor.OnHeartbeat(2, 1, 9.0);
+  stats = monitor.ForIteration(1);
+  EXPECT_EQ(stats.stragglers, std::vector<int32_t>{1});
+  EXPECT_DOUBLE_EQ(stats.median_wall_ms, 10.0);
+  // With only two replicas the relative criterion cannot fire (nothing
+  // exceeds twice the pair's mean): by design, not an accident.
+  monitor.OnHeartbeat(0, 2, 1.0);
+  monitor.OnHeartbeat(1, 2, 100.0);
+  EXPECT_TRUE(monitor.ForIteration(2).stragglers.empty());
+  // Unreported iterations answer with zeros, not a crash.
+  EXPECT_EQ(monitor.ForIteration(99).replicas_reported, 0);
+}
+
+TEST(HeartbeatMonitorTest, ProgressFrontiersAndLaggingReplicas) {
+  service::HeartbeatMonitor monitor;
+  EXPECT_EQ(monitor.LastIteration(0), -1);  // nothing heard yet
+  monitor.OnHeartbeat(0, 0, 1.0);
+  monitor.OnHeartbeat(1, 0, 1.0);
+  monitor.OnHeartbeat(0, 1, 1.0);
+  monitor.OnHeartbeat(0, 2, 1.0);
+  EXPECT_EQ(monitor.LastIteration(0), 2);
+  EXPECT_EQ(monitor.LastIteration(1), 0);
+  // Replica 1 is 2 iterations behind the frontier: lagging under max_lag 1,
+  // within tolerance under max_lag 2.
+  EXPECT_EQ(monitor.LaggingReplicas(1), std::vector<int32_t>{1});
+  EXPECT_TRUE(monitor.LaggingReplicas(2).empty());
+  // A late heartbeat for an old iteration never regresses the frontier.
+  monitor.OnHeartbeat(0, 0, 2.0);
+  EXPECT_EQ(monitor.LastIteration(0), 2);
+  EXPECT_EQ(monitor.total_heartbeats(), 5);
+}
+
+TEST(TrainerServiceTest, IterationRecordsCarryReplicaCompletionStats) {
+  // dp = 2: two in-process replicas report their simulated makespans, so
+  // every record carries the completion stats surface (median == one of the
+  // two, straggler list empty — the two-replica criterion cannot fire).
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  runtime::Trainer trainer(config, hw, {2, 1, 2}, SmallProfile());
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  runtime::TrainerOptions opts;
+  opts.global_batch_tokens = 6144;
+  opts.max_input_len = 1024;
+  opts.max_iterations = 2;
+  const runtime::EpochResult res = trainer.RunEpoch(dataset, FastPlanner(), opts);
+  ASSERT_TRUE(res.feasible) << res.failure;
+  EXPECT_EQ(res.straggler_flags, 0);
+  for (const runtime::IterationRecord& record : res.records) {
+    EXPECT_EQ(record.heartbeat_replicas, 2);
+    EXPECT_GT(record.replica_median_ms, 0.0);
+    EXPECT_GE(record.replica_max_ms, record.replica_median_ms);
+    EXPECT_LE(record.replica_max_ms, record.measured_ms);
+    EXPECT_TRUE(record.straggler_replicas.empty());
+  }
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include <unistd.h>
 
 #include "src/runtime/instruction_store.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/sim/instruction.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
@@ -65,16 +66,28 @@ sim::ExecutionPlan MarkerPlan(int32_t marker) {
 }
 
 // A live backend: whatever machinery the store needs (server, transport)
-// plus the interface handle the tests drive.
+// plus the interface handle the tests drive. Backends with a heartbeat
+// channel route it into a HeartbeatMonitor and expose it so the capability
+// test can verify delivery; the rest return null (shm has no channel — the
+// capability-flag case).
 struct Backend {
   virtual ~Backend() = default;
   virtual runtime::InstructionStoreInterface& store() = 0;
+  virtual const service::HeartbeatMonitor* heartbeats() const {
+    return nullptr;
+  }
 };
 
 struct InProcessBackend : Backend {
   explicit InProcessBackend(bool serialized, size_t capacity)
-      : store_(runtime::InstructionStoreOptions{serialized, capacity}) {}
+      : store_(runtime::InstructionStoreOptions{serialized, capacity}) {
+    store_.set_heartbeat_sink(&monitor_);
+  }
   runtime::InstructionStoreInterface& store() override { return store_; }
+  const service::HeartbeatMonitor* heartbeats() const override {
+    return &monitor_;
+  }
+  service::HeartbeatMonitor monitor_;  // before store_: outlives the sink user
   runtime::InstructionStore store_;
 };
 
@@ -88,9 +101,15 @@ struct RemoteBackend : Backend {
       : store_(runtime::InstructionStoreOptions{/*serialized=*/true, capacity}),
         transport_(std::forward<TransportArgs>(args)...),
         server_(&transport_, &store_),
-        client_(transport::RemoteInstructionStore::OverTransport(&transport_)) {}
+        client_(transport::RemoteInstructionStore::OverTransport(&transport_)) {
+    store_.set_heartbeat_sink(&monitor_);
+  }
   runtime::InstructionStoreInterface& store() override { return *client_; }
+  const service::HeartbeatMonitor* heartbeats() const override {
+    return &monitor_;
+  }
 
+  service::HeartbeatMonitor monitor_;
   runtime::InstructionStore store_;
   TransportT transport_;
   transport::InstructionStoreServer server_;
@@ -107,9 +126,15 @@ struct MuxBackend : Backend {
       : store_(runtime::InstructionStoreOptions{/*serialized=*/true, capacity}),
         transport_(std::forward<TransportArgs>(args)...),
         server_(&transport_, &store_),
-        client_(transport::MuxInstructionStore::OverTransport(&transport_)) {}
+        client_(transport::MuxInstructionStore::OverTransport(&transport_)) {
+    store_.set_heartbeat_sink(&monitor_);
+  }
   runtime::InstructionStoreInterface& store() override { return *client_; }
+  const service::HeartbeatMonitor* heartbeats() const override {
+    return &monitor_;
+  }
 
+  service::HeartbeatMonitor monitor_;
   runtime::InstructionStore store_;
   TransportT transport_;
   transport::InstructionStoreServer server_;
@@ -253,6 +278,33 @@ TEST_P(StoreConformanceTest, ShutdownUnblocksBlockedPushAndDropsItsPlan) {
   // Plans published before shutdown stay fetchable.
   EXPECT_TRUE(store.Contains(0, 0));
   EXPECT_EQ(store.Fetch(0, 0), MarkerPlan(0));
+}
+
+// Heartbeats are a *capability*, not part of the core contract: backends
+// with a channel back to the planner (the wire clients, a sink-equipped
+// in-process store) deliver the report and return true; backends without one
+// (the shared-memory segment — nothing serves it) return false cleanly.
+// Either way, calling Heartbeat on any backend must never crash, and the
+// answer must agree with supports_heartbeat().
+TEST_P(StoreConformanceTest, HeartbeatIsACapabilityNotACrash) {
+  auto backend = GetParam().make(0);
+  runtime::InstructionStoreInterface& store = backend->store();
+  const bool supported = store.supports_heartbeat();
+  EXPECT_EQ(store.Heartbeat(/*replica=*/1, /*iteration=*/7, /*wall_ms=*/3.25),
+            supported);
+  EXPECT_EQ(store.supports_heartbeat(), supported);  // stable answer
+  if (supported) {
+    ASSERT_NE(backend->heartbeats(), nullptr);
+    EXPECT_EQ(backend->heartbeats()->total_heartbeats(), 1);
+    EXPECT_EQ(backend->heartbeats()->LastIteration(1), 7);
+    const service::IterationHeartbeatStats stats =
+        backend->heartbeats()->ForIteration(7);
+    EXPECT_EQ(stats.replicas_reported, 1);
+    EXPECT_DOUBLE_EQ(stats.max_wall_ms, 3.25);
+  } else {
+    // No channel: the report is dropped, not recorded and not fatal.
+    EXPECT_EQ(backend->heartbeats(), nullptr);
+  }
 }
 
 TEST_P(StoreConformanceTest, PushAfterShutdownIsDroppedImmediately) {

@@ -24,8 +24,10 @@
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/flan_generator.h"
 #include "src/data/minibatch_sampler.h"
+#include "src/executor/executor.h"
 #include "src/runtime/instruction_store.h"
 #include "src/runtime/planner.h"
+#include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/frame.h"
 #include "src/transport/mux.h"
@@ -487,6 +489,184 @@ TEST(TwoProcessShmPlanDistributionTest, AttachedFetchesAreByteIdentical) {
   EXPECT_EQ(store->size(), 0u);  // the executor drained the epoch
   ::close(ready_pipe[1]);
   ::close(result_pipe[0]);
+}
+
+// ---------- the executor daemon (acceptance criterion) ----------
+
+// Three fork()ed executor processes — src/executor/RunExecutor, the library
+// behind tools/dynapipe_executor — attach to the trainer-side store server,
+// fetch their replica's plans, execute them on their own ClusterSims, and
+// heartbeat completion back over the transport. Replica 2 is deliberately
+// slowed; the trainer's HeartbeatMonitor must attribute the straggle to it
+// (and only it) on every iteration, and every plan each executor fetched
+// must re-encode to exactly the bytes the trainer published. Replica 1
+// attaches through the multiplexed client so heartbeats from both wire
+// client types are exercised.
+TEST(ExecutorDaemonTest, ForkedExecutorsHeartbeatAndStragglerIsAttributed) {
+  // Plan the epoch inline and threadless so the forks below inherit nothing.
+  cost::ProfileOptions profile;
+  profile.max_microbatch_size = 32;
+  profile.max_seq_len = 4096;
+  const auto cm = cost::PipelineCostModel::Profile(
+      model::ModelConfig::Gpt3_35B(), model::HardwareSpec{}, {1, 1, 4}, profile);
+  runtime::PlannerOptions popts;
+  popts.max_tmax_candidates = 48;
+  popts.tmax_interval_ms = 0.5;
+  popts.max_microbatch_size = 32;
+  popts.reorder_clusters = 2;
+  popts.dynamic_recompute = false;
+  runtime::IterationPlanner planner(cm, popts);
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  data::MiniBatchSamplerOptions so;
+  so.global_batch_tokens = 6144;
+  so.max_input_len = 1024;
+  so.seed = 7;
+  data::MiniBatchSampler sampler(dataset, so);
+
+  constexpr int kIterations = 3;
+  constexpr int32_t kReplicas = 3;
+  constexpr int32_t kSlowReplica = 2;
+  constexpr double kSlowMs = 250.0;
+  std::vector<sim::ExecutionPlan> exec_plans;
+  std::vector<std::string> expected_bytes;
+  for (int i = 0; i < kIterations && sampler.HasNext(); ++i) {
+    runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
+    ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+    exec_plans.push_back(std::move(plan.replicas[0].exec_plan));
+    expected_bytes.push_back(service::EncodeExecutionPlan(exec_plans.back()));
+  }
+  ASSERT_EQ(exec_plans.size(), static_cast<size_t>(kIterations));
+
+  const std::string socket_path = UniqueSocketPath("daemon");
+  std::vector<pid_t> children;
+  for (int32_t replica = 0; replica < kReplicas; ++replica) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Executor process: the real daemon flow. RunExecutor retries the
+      // connect while the parent is still binding the socket, so no ready
+      // signal is needed. Exit codes become parent-side failures.
+      executor::ExecutorOptions opts;
+      opts.attach = socket_path;
+      opts.endpoint = replica == 1 ? executor::AttachEndpoint::kUnixSocketMux
+                                   : executor::AttachEndpoint::kUnixSocket;
+      opts.replica = replica;
+      opts.iterations = kIterations;
+      opts.slow_ms = replica == kSlowReplica ? kSlowMs : 0.0;
+      bool bytes_ok = true;
+      opts.observer = [&](const executor::IterationOutcome& outcome) {
+        bytes_ok = bytes_ok &&
+                   service::EncodeExecutionPlan(*outcome.plan) ==
+                       expected_bytes[static_cast<size_t>(outcome.iteration)];
+      };
+      const executor::ExecutorReport report = executor::RunExecutor(opts);
+      if (!report.ok) ::_exit(2);
+      if (!bytes_ok) ::_exit(3);
+      if (!report.heartbeat_supported ||
+          report.heartbeats_sent != kIterations) {
+        ::_exit(4);
+      }
+      ::_exit(0);
+    }
+    children.push_back(child);
+  }
+
+  // Trainer process: serve the store with a heartbeat monitor and publish
+  // every replica's plans.
+  // Margins sized for TSan (5-20x slowdown inflates fast replicas'
+  // walls but not the sleep): a false flag needs a fast replica over
+  // 2*median + 50 ms, a miss needs the fast median over ~200 ms.
+  service::HeartbeatMonitor monitor(service::HeartbeatMonitorOptions{
+      /*straggler_multiple=*/2.0, /*min_straggler_gap_ms=*/50.0});
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.set_heartbeat_sink(&monitor);
+  transport::UnixSocketTransport transport(socket_path);
+  transport::InstructionStoreServer server(&transport, &store);
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t replica = 0; replica < kReplicas; ++replica) {
+      store.Push(i, replica, exec_plans[static_cast<size_t>(i)]);
+    }
+  }
+
+  for (const pid_t child : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "executor exited with status " << status;
+  }
+  EXPECT_EQ(store.size(), 0u);  // every plan fetched exactly once
+
+  // Straggler attribution: every iteration saw all replicas, and the slowed
+  // one — only the slowed one — is over 2x median + 50 ms.
+  EXPECT_EQ(monitor.total_heartbeats(), kIterations * kReplicas);
+  for (int i = 0; i < kIterations; ++i) {
+    const service::IterationHeartbeatStats stats = monitor.ForIteration(i);
+    EXPECT_EQ(stats.replicas_reported, kReplicas) << "iteration " << i;
+    EXPECT_EQ(stats.stragglers, std::vector<int32_t>{kSlowReplica})
+        << "iteration " << i;
+    EXPECT_GE(stats.max_wall_ms, kSlowMs) << "iteration " << i;
+  }
+  // Progress frontiers: every replica finished the epoch, nobody lags.
+  for (int32_t replica = 0; replica < kReplicas; ++replica) {
+    EXPECT_EQ(monitor.LastIteration(replica), kIterations - 1);
+  }
+  EXPECT_TRUE(monitor.LaggingReplicas(0).empty());
+  server.Stop();
+}
+
+// The daemon shape: an open-ended executor (iterations < 0) drains plans as
+// they appear and exits *cleanly* — ok report, no abort — when the
+// publisher tears its server down, because the publish poll probes the
+// socket non-fatally over throwaway connections instead of going through a
+// store client's fatal Contains. Both wire attachments are covered: the mux
+// endpoint polls the same way precisely so server teardown cannot race a
+// Contains on its persistent stream into the fatal no-reply contract.
+TEST(ExecutorDaemonTest, OpenEndedRunExitsCleanlyWhenPublisherShutsDown) {
+  for (const auto endpoint : {executor::AttachEndpoint::kUnixSocket,
+                              executor::AttachEndpoint::kUnixSocketMux}) {
+    SCOPED_TRACE(executor::EndpointName(endpoint));
+    const std::string socket_path = UniqueSocketPath("drain");
+    service::HeartbeatMonitor monitor;
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    auto transport =
+        std::make_unique<transport::UnixSocketTransport>(socket_path);
+    store.set_heartbeat_sink(&monitor);
+    auto server = std::make_unique<transport::InstructionStoreServer>(
+        transport.get(), &store);
+    store.Push(0, 0, MarkerPlan(1));
+    store.Push(1, 0, MarkerPlan(2));
+
+    executor::ExecutorReport report;
+    std::thread daemon([&] {
+      executor::ExecutorOptions opts;
+      opts.attach = socket_path;
+      opts.endpoint = endpoint;
+      opts.replica = 0;
+      opts.iterations = -1;           // open-ended: run until the epoch ends
+      opts.idle_timeout_ms = 30'000;  // exit must come from teardown
+      report = executor::RunExecutor(opts);
+    });
+    // Both published plans executed and heartbeat; the daemon is now parked
+    // polling for iteration 2.
+    while (monitor.total_heartbeats() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Publisher teardown: destroying the transport closes the listener and
+    // unlinks the path, so the daemon's probes read "publisher gone".
+    server->Stop();
+    server.reset();
+    transport.reset();
+    daemon.join();
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.iterations_run, 2);
+    EXPECT_EQ(report.heartbeats_sent, 2);
+    EXPECT_EQ(store.size(), 0u);
+  }
 }
 
 // The mux client against the store server: many threads sharing ONE stream,

@@ -1,0 +1,395 @@
+// dynapipe_executor: standalone executor daemon.
+//
+// Attaches to a plan publisher's instruction store — by Unix-socket path
+// (one-shot or multiplexed connection) or POSIX shm segment name — fetches
+// the execution plans published for its replica, runs each on its own
+// ClusterSim, and heartbeats iteration completion back over the transport so
+// the publisher's HeartbeatMonitor can flag stragglers. This is the paper's
+// §3 deployment shape as an actual separate binary: the only thing that
+// crosses the process boundary is serialized plan bytes one way and
+// heartbeat frames the other. (Fetch consumes — each plan executes exactly
+// once — so the publisher side of a multi-process run does not execute
+// in-process; a live Trainer epoch consumes its own plans.)
+//
+//   dynapipe_executor --attach /tmp/trainer.sock --replica 0
+//   dynapipe_executor --attach /tmp/trainer.sock --mux --replica 1 --iterations 50
+//   dynapipe_executor --attach /dynapipe-store-1234-0 --replica 0   (shm)
+//
+// Open-ended runs (no --iterations) drain plans as they appear and exit
+// cleanly once none arrives for --idle-timeout-ms.
+//
+// --demo <socket|mux|shm> is a self-contained two-process smoke (used by
+// scripts/check.sh): the parent plans a tiny epoch and publishes it through
+// the chosen backend while fork()ed children run the exact --attach path
+// above — one deliberately slowed — and the parent verifies byte-identical
+// delivery, full drain, and (on the wire backends) straggler attribution.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/cost/pipeline_cost_model.h"
+#include "src/data/flan_generator.h"
+#include "src/data/minibatch_sampler.h"
+#include "src/executor/executor.h"
+#include "src/runtime/instruction_store.h"
+#include "src/runtime/planner.h"
+#include "src/service/heartbeat_monitor.h"
+#include "src/service/plan_serde.h"
+#include "src/transport/shm_store.h"
+#include "src/transport/store_server.h"
+#include "src/transport/transport.h"
+
+namespace {
+
+using namespace dynapipe;
+
+// Strict numeric flag parsing: garbage must be a usage error, not a silent
+// zero — `--replica x` quietly fetching replica 0's plans (fetch consumes!)
+// would sabotage another executor.
+int64_t ParseIntFlag(const char* flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0') {
+    std::fprintf(stderr, "%s wants an integer, got '%s'\n", flag, value);
+    std::exit(1);
+  }
+  return parsed;
+}
+
+double ParseDoubleFlag(const char* flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (errno != 0 || end == value || *end != '\0') {
+    std::fprintf(stderr, "%s wants a number, got '%s'\n", flag, value);
+    std::exit(1);
+  }
+  return parsed;
+}
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s --attach <socket-path|shm-name> [options]\n"
+      "       %s --demo <socket|mux|shm>\n"
+      "\n"
+      "  --attach <addr>       socket path (contains an interior '/') or shm\n"
+      "                        segment name ('/name'); autodetected, see --endpoint\n"
+      "  --endpoint <kind>     auto|socket|mux|shm (default auto)\n"
+      "  --mux                 shorthand for --endpoint mux\n"
+      "  --replica <n>         replica whose plans to fetch (default 0)\n"
+      "  --start-iteration <n> first iteration to fetch (default 0)\n"
+      "  --iterations <n>      iterations to run; omit to drain until idle\n"
+      "  --slow-ms <ms>        artificial per-iteration delay (straggler demo)\n"
+      "  --no-heartbeat        do not report completions back to the trainer\n"
+      "  --poll-ms <ms>        publish-poll interval (default 1)\n"
+      "  --idle-timeout-ms <ms> exit/open-ended or fail/counted after this\n"
+      "                        long with no new plan (default 10000)\n"
+      "  --attach-timeout-ms <ms> connect/attach retry budget (default 10000)\n",
+      argv0, argv0);
+}
+
+int RunAttachMode(const executor::ExecutorOptions& options) {
+  executor::ExecutorOptions opts = options;
+  opts.observer = [](const executor::IterationOutcome& o) {
+    std::printf("[executor] iter %lld: %d devices, %d microbatches, "
+                "fetch %.3f ms, makespan %.2f ms (sim), wall %.2f ms\n",
+                static_cast<long long>(o.iteration), o.plan->num_devices(),
+                o.plan->num_microbatches, o.fetch_ms, o.sim->makespan_ms,
+                o.exec_wall_ms);
+  };
+  const executor::ExecutorReport report = executor::RunExecutor(opts);
+  if (!report.ok) {
+    std::fprintf(stderr, "dynapipe_executor: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "[executor] done: %lld iterations, %lld instructions, "
+      "%lld heartbeats%s (fetch %.2f ms, heartbeat %.2f ms total)\n",
+      static_cast<long long>(report.iterations_run),
+      static_cast<long long>(report.instructions_executed),
+      static_cast<long long>(report.heartbeats_sent),
+      report.heartbeat_supported ? "" : " (backend has no heartbeat channel)",
+      report.fetch_ms_total, report.heartbeat_ms_total);
+  return 0;
+}
+
+// ---- --demo: self-contained two-process smoke ----
+
+constexpr int kDemoIterations = 3;
+constexpr int kDemoReplicas = 3;
+constexpr int kDemoSlowReplica = kDemoReplicas - 1;
+// Wide margins so the CI gate never flakes on a loaded runner: flagging
+// needs wall > 2*median + 25 ms, so a fast replica would have to stall
+// ~30 ms+ to false-flag, and the slow one would be missed only if the
+// fast median exceeded ~125 ms.
+constexpr double kDemoSlowMs = 150.0;
+
+std::vector<sim::ExecutionPlan> PlanDemoEpoch() {
+  cost::ProfileOptions profile;
+  profile.max_microbatch_size = 16;
+  profile.max_seq_len = 2048;
+  const auto cost_model = cost::PipelineCostModel::Profile(
+      model::ModelConfig::Gpt3_35B(), model::HardwareSpec{}, {1, 1, 4},
+      profile);
+  runtime::PlannerOptions popts;
+  popts.max_tmax_candidates = 16;
+  popts.tmax_interval_ms = 0.5;
+  popts.max_microbatch_size = 16;
+  popts.dynamic_recompute = false;
+  runtime::IterationPlanner planner(cost_model, popts);
+
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 200;
+  gen.length_cap = 512;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  data::MiniBatchSamplerOptions sopts;
+  sopts.global_batch_tokens = 4096;
+  sopts.max_input_len = 512;
+  data::MiniBatchSampler sampler(dataset, sopts);
+
+  std::vector<sim::ExecutionPlan> plans;
+  for (int i = 0; i < kDemoIterations && sampler.HasNext(); ++i) {
+    runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
+    if (!plan.feasible) {
+      std::fprintf(stderr, "demo planning failed: %s\n",
+                   plan.infeasible_reason.c_str());
+      std::exit(1);
+    }
+    plans.push_back(std::move(plan.replicas[0].exec_plan));
+  }
+  if (plans.size() != kDemoIterations) {
+    std::fprintf(stderr, "demo: dataset too small\n");
+    std::exit(1);
+  }
+  return plans;
+}
+
+// The forked child's whole life: run the real --attach path against the
+// parent, verifying each fetched plan re-encodes to the bytes the parent
+// published (inherited across the fork). Exit code is the verdict.
+[[noreturn]] void RunDemoChild(const std::string& attach,
+                               executor::AttachEndpoint endpoint,
+                               int32_t replica,
+                               const std::vector<std::string>& expected) {
+  executor::ExecutorOptions opts;
+  opts.attach = attach;
+  opts.endpoint = endpoint;
+  opts.replica = replica;
+  opts.iterations = kDemoIterations;
+  opts.slow_ms = replica == kDemoSlowReplica ? kDemoSlowMs : 0.0;
+  bool bytes_ok = true;
+  opts.observer = [&](const executor::IterationOutcome& o) {
+    bytes_ok = bytes_ok &&
+               service::EncodeExecutionPlan(*o.plan) ==
+                   expected[static_cast<size_t>(o.iteration)];
+  };
+  const executor::ExecutorReport report = executor::RunExecutor(opts);
+  if (!report.ok) {
+    std::fprintf(stderr, "[executor %d] %s\n", replica, report.error.c_str());
+    ::_exit(2);
+  }
+  if (!bytes_ok) {
+    std::fprintf(stderr, "[executor %d] fetched plan bytes differ\n", replica);
+    ::_exit(3);
+  }
+  ::_exit(0);
+}
+
+int RunDemo(const std::string& kind) {
+  executor::AttachEndpoint endpoint;
+  if (kind == "socket") {
+    endpoint = executor::AttachEndpoint::kUnixSocket;
+  } else if (kind == "mux") {
+    endpoint = executor::AttachEndpoint::kUnixSocketMux;
+  } else if (kind == "shm") {
+    endpoint = executor::AttachEndpoint::kSharedMemory;
+  } else {
+    std::fprintf(stderr, "--demo wants socket|mux|shm, got '%s'\n",
+                 kind.c_str());
+    return 1;
+  }
+  const bool over_wire = endpoint != executor::AttachEndpoint::kSharedMemory;
+  const std::string attach =
+      over_wire
+          ? "/tmp/dynapipe-exec-demo-" + std::to_string(::getpid()) + ".sock"
+          : "/dynapipe-exec-demo-" + std::to_string(::getpid());
+
+  std::printf("[demo] planning %d iterations...\n", kDemoIterations);
+  const std::vector<sim::ExecutionPlan> plans = PlanDemoEpoch();
+  std::vector<std::string> expected;
+  for (const auto& plan : plans) {
+    expected.push_back(service::EncodeExecutionPlan(plan));
+  }
+
+  // Fork the executors before any server thread exists; they poll/retry
+  // while the parent brings the backend up.
+  std::vector<pid_t> children;
+  for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      RunDemoChild(attach, endpoint, replica, expected);
+    }
+    children.push_back(pid);
+  }
+
+  // Trainer side: bring the store up, publish, watch heartbeats.
+  service::HeartbeatMonitor monitor(
+      service::HeartbeatMonitorOptions{/*straggler_multiple=*/2.0,
+                                       /*min_straggler_gap_ms=*/25.0});
+  std::optional<runtime::InstructionStore> store;
+  std::optional<transport::UnixSocketTransport> transport_ep;
+  std::optional<transport::InstructionStoreServer> server;
+  std::shared_ptr<transport::ShmInstructionStore> shm;
+  runtime::InstructionStoreInterface* publish_to = nullptr;
+  if (over_wire) {
+    store.emplace(runtime::InstructionStoreOptions{/*serialized=*/true,
+                                                   /*capacity=*/0});
+    store->set_heartbeat_sink(&monitor);
+    transport_ep.emplace(attach);
+    server.emplace(&*transport_ep, &*store);
+    publish_to = &*store;
+  } else {
+    shm = transport::ShmInstructionStore::Create(attach,
+                                                 transport::ShmStoreOptions{});
+    publish_to = shm.get();
+  }
+  for (int i = 0; i < kDemoIterations; ++i) {
+    for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+      publish_to->Push(i, replica, plans[static_cast<size_t>(i)]);
+    }
+  }
+  std::printf("[demo] published %dx%d plans on %s (%s), replica %d slowed "
+              "%.0f ms/iter\n",
+              kDemoIterations, kDemoReplicas, attach.c_str(),
+              executor::EndpointName(endpoint), kDemoSlowReplica, kDemoSlowMs);
+
+  bool ok = true;
+  for (const pid_t child : children) {
+    int status = 0;
+    if (::waitpid(child, &status, 0) != child || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "[demo] executor pid %d exited abnormally (%d)\n",
+                   static_cast<int>(child), status);
+      ok = false;
+    }
+  }
+  if (publish_to->size() != 0) {
+    std::fprintf(stderr, "[demo] %zu plans left undrained\n",
+                 publish_to->size());
+    ok = false;
+  }
+
+  if (over_wire) {
+    std::printf("  iter | replicas | median ms | max ms | stragglers\n");
+    for (int i = 0; i < kDemoIterations; ++i) {
+      const service::IterationHeartbeatStats stats = monitor.ForIteration(i);
+      std::string stragglers;
+      for (const int32_t replica : stats.stragglers) {
+        if (!stragglers.empty()) {
+          stragglers += ",";
+        }
+        stragglers += std::to_string(replica);
+      }
+      std::printf("  %4d | %8d | %9.2f | %6.2f | %s\n", i,
+                  stats.replicas_reported, stats.median_wall_ms,
+                  stats.max_wall_ms,
+                  stragglers.empty() ? "-" : stragglers.c_str());
+      ok = ok && stats.replicas_reported == kDemoReplicas;
+      ok = ok && stats.stragglers == std::vector<int32_t>{kDemoSlowReplica};
+    }
+    ok = ok && monitor.total_heartbeats() == kDemoIterations * kDemoReplicas;
+    if (server.has_value()) {
+      server->Stop();
+    }
+  } else {
+    std::printf("[demo] shm backend has no heartbeat channel "
+                "(capability flag) — liveness smoke only\n");
+  }
+  std::printf("[demo] %s\n", ok ? "ok: byte-identical plans, full drain, "
+                                  "straggler attributed"
+                                : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  executor::ExecutorOptions options;
+  std::string demo;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--attach") {
+      options.attach = next();
+    } else if (arg == "--endpoint") {
+      const std::string kind = next();
+      if (kind == "auto") {
+        options.endpoint = executor::AttachEndpoint::kAuto;
+      } else if (kind == "socket") {
+        options.endpoint = executor::AttachEndpoint::kUnixSocket;
+      } else if (kind == "mux") {
+        options.endpoint = executor::AttachEndpoint::kUnixSocketMux;
+      } else if (kind == "shm") {
+        options.endpoint = executor::AttachEndpoint::kSharedMemory;
+      } else {
+        std::fprintf(stderr, "unknown endpoint '%s'\n", kind.c_str());
+        return 1;
+      }
+    } else if (arg == "--mux") {
+      options.endpoint = executor::AttachEndpoint::kUnixSocketMux;
+    } else if (arg == "--replica") {
+      options.replica = static_cast<int32_t>(ParseIntFlag("--replica", next()));
+    } else if (arg == "--start-iteration") {
+      options.start_iteration = ParseIntFlag("--start-iteration", next());
+    } else if (arg == "--iterations") {
+      options.iterations = ParseIntFlag("--iterations", next());
+    } else if (arg == "--slow-ms") {
+      options.slow_ms = ParseDoubleFlag("--slow-ms", next());
+    } else if (arg == "--no-heartbeat") {
+      options.heartbeat = false;
+    } else if (arg == "--poll-ms") {
+      options.poll_interval_ms =
+          static_cast<int>(ParseIntFlag("--poll-ms", next()));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms =
+          static_cast<int>(ParseIntFlag("--idle-timeout-ms", next()));
+    } else if (arg == "--attach-timeout-ms") {
+      options.attach_timeout_ms =
+          static_cast<int>(ParseIntFlag("--attach-timeout-ms", next()));
+    } else if (arg == "--demo") {
+      demo = next();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 1;
+    }
+  }
+  if (!demo.empty()) {
+    return RunDemo(demo);
+  }
+  if (options.attach.empty()) {
+    PrintUsage(argv[0]);
+    return 1;
+  }
+  return RunAttachMode(options);
+}
