@@ -46,3 +46,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # plan, or — on the wire — missed straggler attribution / heartbeat count.
 "$BUILD_DIR"/dynapipe_executor --demo socket
 "$BUILD_DIR"/dynapipe_executor --demo shm
+
+# Smoke the failure control loop end to end: --fault arms a one-shot fault in
+# one forked executor, and the demo exits nonzero unless the death is
+# declared, the victim's backlog is re-published, and survivors drain every
+# plan byte-identically. crash = SIGKILL mid-epoch (connection-drop path);
+# stall = wedged past the heartbeat deadline (liveness-deadline + eviction
+# fencing path, over the mux transport).
+"$BUILD_DIR"/dynapipe_executor --demo socket --fault crash@1
+"$BUILD_DIR"/dynapipe_executor --demo mux --fault stall:1200@1

@@ -1,0 +1,169 @@
+#include "src/common/fault_injection.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace dynapipe::common {
+namespace {
+
+// Default site per kind: where the canonical control-loop scenario wants the
+// fault. Overridable with the spec's `#site` suffix.
+const char* DefaultSite(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "executor.heartbeat";
+    case FaultKind::kStall: return "executor.iteration";
+    case FaultKind::kDropConnection:
+    case FaultKind::kCorruptFrame: return "transport.write";
+    case FaultKind::kNone: break;
+  }
+  return "";
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultSpec(const std::string& text, FaultSpec* spec,
+                    std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "fault spec '" + text + "': " + what;
+    }
+    return false;
+  };
+  const size_t at_pos = text.find('@');
+  if (at_pos == std::string::npos) {
+    return fail("missing '@index'");
+  }
+  std::string head = text.substr(0, at_pos);  // kind[:param]
+  std::string tail = text.substr(at_pos + 1);  // index[#site]
+
+  FaultSpec parsed;
+  const size_t colon = head.find(':');
+  const std::string kind_name = head.substr(0, colon);
+  if (kind_name == "crash") {
+    parsed.kind = FaultKind::kCrash;
+  } else if (kind_name == "stall") {
+    parsed.kind = FaultKind::kStall;
+  } else if (kind_name == "drop") {
+    parsed.kind = FaultKind::kDropConnection;
+  } else if (kind_name == "corrupt") {
+    parsed.kind = FaultKind::kCorruptFrame;
+  } else {
+    return fail("unknown kind '" + kind_name +
+                "' (crash|stall|drop|corrupt)");
+  }
+  if (colon != std::string::npos) {
+    if (parsed.kind != FaultKind::kStall) {
+      return fail("only stall takes a ':ms' parameter");
+    }
+    int64_t ms = 0;
+    if (!ParseInt64(head.substr(colon + 1), &ms) || ms < 0) {
+      return fail("bad stall milliseconds");
+    }
+    parsed.stall_ms = static_cast<double>(ms);
+  } else if (parsed.kind == FaultKind::kStall) {
+    return fail("stall needs ':ms' (e.g. stall:250@1)");
+  }
+
+  const size_t hash = tail.find('#');
+  parsed.site = hash == std::string::npos ? DefaultSite(parsed.kind)
+                                          : tail.substr(hash + 1);
+  if (parsed.site.empty()) {
+    return fail("empty site");
+  }
+  if (!ParseInt64(tail.substr(0, hash), &parsed.at) || parsed.at < 0) {
+    return fail("bad index");
+  }
+  *spec = parsed;
+  return true;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const FaultSpec& spec) {
+  DYNAPIPE_CHECK_MSG(spec.kind != FaultKind::kNone,
+                     "arming a kNone fault spec");
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  visits_ = 0;
+  fired_ = false;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  spec_ = FaultSpec{};
+  visits_ = 0;
+  fired_ = false;
+}
+
+bool FaultInjector::ArmFromEnv() {
+  const char* value = std::getenv("DYNAPIPE_FAULT");
+  if (value == nullptr || value[0] == '\0') {
+    return false;
+  }
+  FaultSpec spec;
+  std::string error;
+  DYNAPIPE_CHECK_MSG(ParseFaultSpec(value, &spec, &error), error);
+  Arm(spec);
+  return true;
+}
+
+FaultKind FaultInjector::HitSlow(const char* site, int64_t index,
+                                 bool counted) {
+  FaultKind action = FaultKind::kNone;
+  double stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed) || fired_ ||
+        spec_.site != site) {
+      return FaultKind::kNone;
+    }
+    const int64_t progress = counted ? visits_++ : index;
+    if (progress != spec_.at) {
+      return FaultKind::kNone;
+    }
+    fired_ = true;  // one-shot: recovery (reconnect, resume) runs clean
+    action = spec_.kind;
+    stall_ms = spec_.stall_ms;
+  }
+  switch (action) {
+    case FaultKind::kCrash:
+      // SIGKILL, not abort(): no unwinding, no atexit, no flushed buffers —
+      // the same footprint as an OOM-killed or preempted executor.
+      ::kill(::getpid(), SIGKILL);
+      return FaultKind::kNone;  // unreachable
+    case FaultKind::kStall:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(stall_ms));
+      return FaultKind::kNone;
+    default:
+      return action;  // caller applies drop/corrupt
+  }
+}
+
+}  // namespace dynapipe::common

@@ -7,11 +7,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <random>
 #include <thread>
 #include <utility>
 
+#include "src/common/fault_injection.h"
 #include "src/runtime/instruction_store.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/frame.h"
@@ -22,6 +25,12 @@
 
 namespace dynapipe::executor {
 namespace {
+
+// How long a liveness announcement (kAttach) may wait for its reply. Bounded
+// because the one window where a server accepts but never serves is its own
+// teardown — an unbounded wait there turns publisher shutdown into an
+// executor hang.
+constexpr int kAttachReplyTimeoutMs = 1000;
 
 // Deterministic synthetic hardware for the standalone simulator: durations
 // derived only from what the plan itself carries (shapes and transfer
@@ -60,6 +69,37 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Capped, jittered exponential backoff. The jitter (uniform in
+// [0.5, 1.5) x current) decorrelates a fleet of executors that all lost the
+// same server at the same moment — without it every retry storm arrives in
+// lockstep. Seeded per instance from pid + clock; reproducibility of the
+// *sleep pattern* is irrelevant, only boundedness is.
+class Backoff {
+ public:
+  Backoff(int initial_ms, int cap_ms)
+      : initial_(std::max(1, initial_ms)),
+        cap_(std::max(initial_, cap_ms)),
+        current_(initial_),
+        rng_(static_cast<uint32_t>(::getpid()) * 2654435761u ^
+             static_cast<uint32_t>(std::chrono::steady_clock::now()
+                                       .time_since_epoch()
+                                       .count())) {}
+
+  void Sleep() {
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        static_cast<double>(current_) * jitter(rng_)));
+    current_ = std::min(current_ * 2, cap_);
+  }
+  void Reset() { current_ = initial_; }
+
+ private:
+  int initial_;
+  int cap_;
+  int current_;
+  std::minstd_rand rng_;
+};
+
 // Waits for the endpoint to exist so the store clients' fatal
 // connect/attach contracts never fire on a merely slow trainer: a missing
 // endpoint after the timeout is a clean error report, not an abort.
@@ -89,24 +129,28 @@ bool WaitForShmSegment(const std::string& name, int timeout_ms) {
   }
 }
 
-// Non-fatal publish-poll probe for the socket endpoints, speaking the frame
-// protocol directly over its own throwaway connection: the store clients'
-// Contains treats a dead publisher as a fatal contract violation (correct
-// for a mid-epoch fetch, wrong for a daemon waiting on the *next* plan), so
-// the poll loop uses this instead. nullopt = the publisher is gone — an
-// open-ended run reads that as end-of-epoch. A single failure is NOT gone:
-// one connect can bounce off a momentarily full listen backlog (EAGAIN
-// under many polling executors) or a teardown race, so the verdict takes
-// three consecutive failures over ~60 ms.
+// Non-fatal publish-poll probe for the one-shot socket endpoint, speaking
+// the frame protocol directly over its own throwaway connection: the store
+// client's Contains treats a dead publisher as a fatal contract violation
+// (correct for a mid-epoch fetch, wrong for a daemon waiting on the *next*
+// plan), so the poll loop uses this instead. nullopt = the publisher is
+// gone — an open-ended run reads that as end-of-epoch. A single failure is
+// NOT gone: one connect can bounce off a momentarily full listen backlog
+// (EAGAIN under many polling executors) or a teardown race, so the verdict
+// takes `attempts` consecutive failures with jittered backoff between. The
+// per-connect timeout derives from attach_timeout_ms at the caller.
 std::optional<bool> ProbeContainsOverSocket(const std::string& path,
                                             int64_t iteration,
-                                            int32_t replica) {
-  for (int attempt = 0; attempt < 3; ++attempt) {
+                                            int32_t replica,
+                                            int connect_timeout_ms,
+                                            int attempts, int backoff_ms) {
+  Backoff backoff(backoff_ms, /*cap_ms=*/500);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      backoff.Sleep();
     }
     std::unique_ptr<transport::Stream> conn =
-        transport::ConnectUnixSocket(path, /*timeout_ms=*/10);
+        transport::ConnectUnixSocket(path, connect_timeout_ms);
     if (conn == nullptr) {
       continue;
     }
@@ -125,6 +169,16 @@ std::optional<bool> ProbeContainsOverSocket(const std::string& path,
     return reply->payload[0] != '\0';
   }
   return std::nullopt;
+}
+
+// One strict request/response exchange on a dedicated stream (the one-shot
+// endpoint's persistent liveness connection). nullopt on any failure.
+std::optional<transport::Frame> ExchangeOnStream(transport::Stream& stream,
+                                                 const transport::Frame& req) {
+  if (!WriteFrame(stream, req)) {
+    return std::nullopt;
+  }
+  return ReadFrame(stream);
 }
 
 }  // namespace
@@ -165,16 +219,52 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
     endpoint = DetectEndpoint(options.attach);
   }
 
+  // Every mid-run connect (poll probes, one-shot requests, reconnects)
+  // derives its patience from the attach budget: 1% of it with a 10 ms
+  // floor, so one knob scales the executor's whole tolerance for a slow
+  // publisher.
+  const int connect_timeout_ms = std::max(10, options.attach_timeout_ms / 100);
+  const int reconnect_attempts = std::max(1, options.reconnect_attempts);
+
   std::shared_ptr<runtime::InstructionStoreInterface> store;
   std::shared_ptr<transport::MuxInstructionStore> mux_client;
+  std::shared_ptr<transport::RemoteInstructionStore> remote_client;
+  std::unique_ptr<transport::Stream> liveness;  // one-shot endpoint only
+  // Sticky once the server answers kEvicted anywhere: this replica was
+  // declared dead and its plans re-published — the only correct move is to
+  // stop, and for an open-ended run that is a *clean* stop.
+  bool evicted = false;
+
   switch (endpoint) {
-    case AttachEndpoint::kUnixSocket:
+    case AttachEndpoint::kUnixSocket: {
       if (!WaitForSocket(options.attach, options.attach_timeout_ms)) {
         return fail("no server listening on socket " + options.attach);
       }
-      store = transport::RemoteInstructionStore::OverUnixSocket(
-          options.attach, options.attach_timeout_ms);
+      remote_client = transport::RemoteInstructionStore::OverUnixSocket(
+          options.attach, connect_timeout_ms);
+      store = remote_client;
+      if (options.announce_liveness) {
+        // A dedicated idle connection announcing this replica: its only job
+        // is to die with the process, turning a SIGKILL into an immediate
+        // unclean-disconnect event on the server instead of a heartbeat
+        // deadline later. Failure to establish it degrades (no
+        // announcement), never aborts.
+        liveness = transport::ConnectUnixSocket(options.attach,
+                                                options.attach_timeout_ms);
+        if (liveness != nullptr) {
+          transport::Frame attach_req;
+          attach_req.type = transport::FrameType::kAttach;
+          attach_req.replica = options.replica;
+          std::optional<transport::Frame> reply =
+              ExchangeOnStream(*liveness, attach_req);
+          if (reply.has_value() &&
+              reply->type == transport::FrameType::kEvicted) {
+            evicted = true;
+          }
+        }
+      }
       break;
+    }
     case AttachEndpoint::kUnixSocketMux: {
       std::unique_ptr<transport::Stream> stream =
           transport::ConnectUnixSocket(options.attach,
@@ -185,6 +275,14 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       mux_client = std::make_shared<transport::MuxInstructionStore>(
           std::move(stream));
       store = mux_client;
+      if (options.announce_liveness) {
+        bool attach_evicted = false;
+        if (!mux_client->Attach(options.replica, &attach_evicted,
+                                kAttachReplyTimeoutMs)) {
+          return fail("liveness attach on " + options.attach + " failed");
+        }
+        evicted = attach_evicted;
+      }
       break;
     }
     case AttachEndpoint::kSharedMemory:
@@ -199,53 +297,221 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
   }
   report.heartbeat_supported = store->supports_heartbeat();
 
-  // One publish-poll probe. Distinguishes "not published yet" (false) from
-  // "the publisher is gone" (nullopt) — the store clients' own Contains
-  // treats a dead peer as a fatal contract violation, which is right for a
-  // mid-epoch exchange but wrong for a daemon waiting on the next plan.
-  const auto probe = [&](int64_t iteration) -> std::optional<bool> {
-    switch (endpoint) {
-      case AttachEndpoint::kUnixSocket:
-        return ProbeContainsOverSocket(options.attach, iteration,
-                                       options.replica);
-      case AttachEndpoint::kUnixSocketMux:
-        // Poll over a throwaway one-shot connection, NOT the mux stream: a
-        // Contains multiplexed onto the persistent stream would race server
-        // teardown into the mux client's fatal no-reply contract. The
-        // connection_ok early-out just skips the probe's retry dance once
-        // the demux loop has already seen the stream die.
-        if (!mux_client->connection_ok()) {
-          return std::nullopt;
+  // Mid-run mux reconnect: bounded attempts with capped, jittered backoff.
+  // True restores a working (re-attached) client; false means the publisher
+  // is gone or this replica was evicted (check `evicted`).
+  const auto reconnect_mux = [&]() -> bool {
+    Backoff backoff(options.reconnect_backoff_ms, /*cap_ms=*/500);
+    for (int attempt = 0; attempt < reconnect_attempts; ++attempt) {
+      if (attempt > 0) {
+        backoff.Sleep();
+      }
+      std::unique_ptr<transport::Stream> stream =
+          transport::ConnectUnixSocket(options.attach, connect_timeout_ms);
+      if (stream == nullptr) {
+        continue;
+      }
+      auto fresh = std::make_shared<transport::MuxInstructionStore>(
+          std::move(stream));
+      if (options.announce_liveness) {
+        bool attach_evicted = false;
+        // Bounded: the reconnect window overlaps server teardown, where a
+        // connection is accepted by the OS but never served.
+        if (!fresh->Attach(options.replica, &attach_evicted,
+                           kAttachReplyTimeoutMs)) {
+          continue;
         }
-        return ProbeContainsOverSocket(options.attach, iteration,
-                                       options.replica);
-      default:
-        // Shm: the mapping stays valid in this process even after the owner
-        // unlinks the name, so the segment cannot "go away" mid-run.
-        return store->Contains(iteration, options.replica);
+        if (attach_evicted) {
+          evicted = true;
+          return false;
+        }
+      }
+      mux_client = fresh;
+      store = fresh;
+      ++report.reconnects;
+      return true;
     }
+    return false;
   };
+
+  // --- Per-endpoint operations the main loop drives ---
+  // probe: nullopt = publisher gone (or evicted — check the flag).
+  std::function<std::optional<bool>(int64_t)> probe;
+  // fetch: nullopt with *gone=false means the key vanished (kMissing —
+  // recovery reclaimed it); the caller re-polls rather than aborting.
+  std::function<std::optional<sim::ExecutionPlan>(int64_t, bool*)> fetch;
+  // send_heartbeat: false = could not deliver (publisher gone).
+  std::function<bool(int64_t, double)> send_heartbeat;
+  std::function<void()> goodbye;
+
+  switch (endpoint) {
+    case AttachEndpoint::kUnixSocket: {
+      probe = [&](int64_t iteration) {
+        return ProbeContainsOverSocket(options.attach, iteration,
+                                       options.replica, connect_timeout_ms,
+                                       std::max(3, reconnect_attempts),
+                                       /*backoff_ms=*/20);
+      };
+      fetch = [&](int64_t iteration,
+                  bool* gone) -> std::optional<sim::ExecutionPlan> {
+        *gone = false;
+        Backoff backoff(options.reconnect_backoff_ms, /*cap_ms=*/500);
+        for (int attempt = 0; attempt < reconnect_attempts; ++attempt) {
+          if (attempt > 0) {
+            backoff.Sleep();
+          }
+          bool lost = false;
+          std::optional<sim::ExecutionPlan> plan =
+              remote_client->TryFetch(iteration, options.replica, &lost);
+          if (plan.has_value()) {
+            if (attempt > 0) {
+              ++report.reconnects;
+            }
+            return plan;
+          }
+          if (!lost) {
+            return std::nullopt;  // kMissing: reclaimed, not a wire problem
+          }
+        }
+        *gone = true;
+        return std::nullopt;
+      };
+      send_heartbeat = [&](int64_t iteration, double wall_ms) {
+        Backoff backoff(options.reconnect_backoff_ms, /*cap_ms=*/500);
+        for (int attempt = 0; attempt < reconnect_attempts; ++attempt) {
+          if (attempt > 0) {
+            backoff.Sleep();
+          }
+          bool hb_evicted = false;
+          if (remote_client->TryHeartbeat(options.replica, iteration, wall_ms,
+                                          &hb_evicted)) {
+            if (attempt > 0) {
+              ++report.reconnects;
+            }
+            if (hb_evicted) {
+              evicted = true;
+            }
+            return true;
+          }
+        }
+        return false;
+      };
+      goodbye = [&] {
+        if (liveness != nullptr && !evicted) {
+          transport::Frame detach_req;
+          detach_req.type = transport::FrameType::kDetach;
+          detach_req.replica = options.replica;
+          ExchangeOnStream(*liveness, detach_req);  // best effort
+        }
+        if (liveness != nullptr) {
+          liveness->Close();
+        }
+      };
+      break;
+    }
+    case AttachEndpoint::kUnixSocketMux: {
+      // The satellite fix this PR ships: polls ride the persistent mux
+      // stream (TryContains) instead of opening a throwaway probe
+      // connection per poll. The reply timeout doubles as the wedged-server
+      // detector; a lost stream goes through the bounded reconnect.
+      probe = [&](int64_t iteration) -> std::optional<bool> {
+        for (;;) {
+          bool present = false;
+          if (mux_client->TryContains(iteration, options.replica, &present,
+                                      /*timeout_ms=*/options.idle_timeout_ms)) {
+            return present;
+          }
+          if (!reconnect_mux()) {
+            return std::nullopt;
+          }
+        }
+      };
+      fetch = [&](int64_t iteration,
+                  bool* gone) -> std::optional<sim::ExecutionPlan> {
+        *gone = false;
+        for (;;) {
+          bool lost = false;
+          std::optional<sim::ExecutionPlan> plan =
+              mux_client->TryFetch(iteration, options.replica, &lost);
+          if (plan.has_value()) {
+            return plan;
+          }
+          if (!lost) {
+            return std::nullopt;  // kMissing: reclaimed, not a wire problem
+          }
+          if (!reconnect_mux()) {
+            *gone = true;
+            return std::nullopt;
+          }
+        }
+      };
+      send_heartbeat = [&](int64_t iteration, double wall_ms) {
+        for (;;) {
+          bool hb_evicted = false;
+          if (mux_client->TryHeartbeat(options.replica, iteration, wall_ms,
+                                       &hb_evicted)) {
+            if (hb_evicted) {
+              evicted = true;
+            }
+            return true;
+          }
+          if (!reconnect_mux()) {
+            return false;
+          }
+        }
+      };
+      goodbye = [&] {
+        if (options.announce_liveness && !evicted &&
+            mux_client->connection_ok()) {
+          mux_client->Detach(options.replica);  // best effort
+        }
+      };
+      break;
+    }
+    default: {
+      // Shm: the mapping stays valid in this process even after the owner
+      // unlinks the name, so the segment cannot "go away" mid-run; and
+      // there is no server, hence no liveness channel to announce on.
+      probe = [&](int64_t iteration) -> std::optional<bool> {
+        return store->Contains(iteration, options.replica);
+      };
+      fetch = [&](int64_t iteration,
+                  bool* gone) -> std::optional<sim::ExecutionPlan> {
+        *gone = false;
+        return store->Fetch(iteration, options.replica);
+      };
+      send_heartbeat = [&](int64_t iteration, double wall_ms) {
+        return store->Heartbeat(options.replica, iteration, wall_ms);
+      };
+      goodbye = [] {};
+      break;
+    }
+  }
 
   SyntheticGroundTruth ground_truth;
   for (int64_t iteration = options.start_iteration;
-       options.iterations < 0 ||
-       iteration < options.start_iteration + options.iterations;
+       !evicted && (options.iterations < 0 ||
+                    iteration < options.start_iteration + options.iterations);
        ++iteration) {
     // Publish-before-fetch: poll until the publisher's push lands. Fetching
-    // early would trip the store's intentional fatal contract. Backoff is
-    // exponential up to a small cap: over the one-shot socket every probe is
-    // a fresh connection plus a server handler thread, so an executor parked
-    // behind a slow planner must not hammer the publisher at poll_interval.
+    // early would trip the store's intentional fatal contract (one-shot
+    // path) or burn kMissing round trips (liveness-aware paths). Backoff is
+    // exponential with a cap and jitter: over the one-shot socket every
+    // probe is a fresh connection plus a server handler thread, so an
+    // executor parked behind a slow planner must not hammer the publisher —
+    // and a fleet of them must not do so in phase.
     const auto poll_deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(options.idle_timeout_ms);
+    Backoff poll_backoff(std::max(1, options.poll_interval_ms),
+                         std::max(64, options.poll_interval_ms));
     bool available = false;
     bool publisher_gone = false;
-    // Floor at 1 ms: a zero/negative interval would double to zero forever
-    // and the "must not hammer" comment above would be a lie.
-    int backoff_ms = std::max(1, options.poll_interval_ms);
     for (;;) {
       const std::optional<bool> published = probe(iteration);
+      if (evicted) {
+        break;
+      }
       if (!published.has_value()) {
         publisher_gone = true;
         break;
@@ -257,10 +523,10 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       if (std::chrono::steady_clock::now() >= poll_deadline) {
         break;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2,
-                            std::max(std::max(1, options.poll_interval_ms),
-                                     64));
+      poll_backoff.Sleep();
+    }
+    if (evicted) {
+      break;
     }
     if (!available) {
       if (options.iterations < 0) {
@@ -273,8 +539,26 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const sim::ExecutionPlan plan =
-        store->Fetch(iteration, options.replica);
+    bool gone = false;
+    std::optional<sim::ExecutionPlan> plan_opt = fetch(iteration, &gone);
+    if (!plan_opt.has_value()) {
+      if (evicted) {
+        break;
+      }
+      if (gone) {
+        if (options.iterations < 0) {
+          break;
+        }
+        return fail("iteration " + std::to_string(iteration) +
+                    ": publisher went away mid-fetch");
+      }
+      // The key was published a moment ago and is gone now: recovery
+      // reclaimed it (we are probably being declared dead). Re-poll the
+      // same iteration; the idle timeout or an eviction notice resolves it.
+      --iteration;
+      continue;
+    }
+    const sim::ExecutionPlan plan = std::move(*plan_opt);
     const double fetch_ms = MsSince(t0);
 
     sim::ClusterSim cluster(plan.num_devices(), &ground_truth);
@@ -287,11 +571,18 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           options.slow_ms));
     }
+    // Stall site: a wedged executor sleeps *inside* the iteration, past the
+    // publisher's liveness deadline, then wakes into the eviction fence.
+    common::FaultPoint("executor.iteration", iteration);
     const double exec_wall_ms = MsSince(t0);
 
     if (options.heartbeat && report.heartbeat_supported) {
+      // Crash site: SIGKILL after executing but before reporting — the
+      // worst-timed death, leaving the publisher to infer it from the
+      // dropped connection or the missed deadline.
+      common::FaultPoint("executor.heartbeat", iteration);
       const auto hb0 = std::chrono::steady_clock::now();
-      if (store->Heartbeat(options.replica, iteration, exec_wall_ms)) {
+      if (send_heartbeat(iteration, exec_wall_ms)) {
         ++report.heartbeats_sent;
       }
       report.heartbeat_ms_total += MsSince(hb0);
@@ -312,6 +603,14 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       outcome.fetch_ms = fetch_ms;
       outcome.exec_wall_ms = exec_wall_ms;
       options.observer(outcome);
+    }
+  }
+  goodbye();
+  if (evicted) {
+    report.evicted = true;
+    if (options.iterations >= 0) {
+      return fail("replica " + std::to_string(options.replica) +
+                  " evicted: declared dead and its plans re-published");
     }
   }
   report.ok = true;

@@ -72,9 +72,10 @@ struct ExecutorOptions {
   bool heartbeat = true;
   // Publish-before-fetch is the store contract, so the executor polls for
   // its plan rather than risking the fatal fetch-before-publish abort. This
-  // is the initial poll interval; waits back off exponentially to a small
-  // cap (the one-shot socket pays a connection + a server thread per probe,
-  // so a daemon parked behind a slow planner must not hammer the publisher).
+  // is the initial poll interval; waits back off exponentially to a capped,
+  // jittered sleep (the one-shot socket pays a connection + a server thread
+  // per probe, so a daemon parked behind a slow planner must not hammer the
+  // publisher — and a fleet of daemons must not hammer it in lockstep).
   // The poll probe is non-fatal: a vanished publisher reads as end-of-epoch
   // (open-ended runs) or an error report (counted runs), never an abort.
   int poll_interval_ms = 1;
@@ -83,7 +84,21 @@ struct ExecutorOptions {
   // running open-ended).
   int idle_timeout_ms = 10'000;
   // Connect/attach retry budget while the trainer process is still starting.
+  // The poll probes' per-connect timeout derives from this (1% with a 10 ms
+  // floor), so one knob scales the whole attach/poll patience.
   int attach_timeout_ms = 10'000;
+  // Announce this replica's presence with kAttach/kDetach on the wire
+  // endpoints, so the publisher's liveness machinery can tell a vanished
+  // executor (unclean connection drop -> kDead) from a finished one (clean
+  // detach). On by default; no-op for the shm endpoint (no server).
+  bool announce_liveness = true;
+  // Transport errors mid-run (a dropped mux stream, a failed one-shot
+  // exchange) are retried with capped, jittered exponential backoff for this
+  // many attempts before the publisher is declared gone. This is what makes
+  // an injected connection drop or frame corruption a hiccup instead of an
+  // end-of-epoch.
+  int reconnect_attempts = 3;
+  int reconnect_backoff_ms = 10;  // initial; doubles, capped at 500 ms
   // Per-iteration hook (nullable). The plan/sim pointers are valid only for
   // the duration of the call.
   std::function<void(const IterationOutcome&)> observer;
@@ -93,9 +108,16 @@ struct ExecutorReport {
   bool ok = false;
   std::string error;  // set when !ok
   bool heartbeat_supported = false;
+  // The server declared this replica dead and refused further service
+  // (kEvicted): its plans were re-published to survivors while it was
+  // stalled or disconnected, so it stopped instead of double-running them.
+  // An open-ended run treats eviction as a clean (ok) exit.
+  bool evicted = false;
   int64_t iterations_run = 0;
   int64_t instructions_executed = 0;
   int64_t heartbeats_sent = 0;
+  // Successful reconnects after a mid-run transport error.
+  int64_t reconnects = 0;
   double fetch_ms_total = 0.0;
   double exec_wall_ms_total = 0.0;
   double heartbeat_ms_total = 0.0;

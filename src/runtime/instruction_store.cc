@@ -75,6 +75,76 @@ std::string InstructionStore::FetchBytes(int64_t iteration, int32_t replica) {
   return std::move(Remove(iteration, replica).bytes);
 }
 
+std::optional<std::string> InstructionStore::TryFetchBytes(int64_t iteration,
+                                                           int32_t replica) {
+  DYNAPIPE_CHECK_MSG(options_.serialized,
+                     "TryFetchBytes needs a serialized-mode store");
+  std::optional<std::string> bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(std::make_pair(iteration, replica));
+    if (it == plans_.end()) {
+      return std::nullopt;
+    }
+    bytes = std::move(it->second.bytes);
+    plans_.erase(it);
+  }
+  cv_.notify_all();
+  return bytes;
+}
+
+std::vector<int64_t> InstructionStore::PendingIterations(
+    int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> iterations;
+  for (const auto& [key, entry] : plans_) {
+    if (key.second == replica) {
+      iterations.push_back(key.first);  // map order = ascending iteration
+    }
+  }
+  return iterations;
+}
+
+bool InstructionStore::Repost(int64_t src_iteration, int32_t src_replica,
+                              int64_t dst_iteration, int32_t dst_replica) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto src = plans_.find(std::make_pair(src_iteration, src_replica));
+    if (src == plans_.end()) {
+      return false;  // fetched out from under us — the race is benign
+    }
+    const auto dst_key = std::make_pair(dst_iteration, dst_replica);
+    if (plans_.find(dst_key) != plans_.end()) {
+      return false;  // destination taken (double recovery); leave both alone
+    }
+    plans_.emplace(dst_key, std::move(src->second));
+    plans_.erase(src);
+    // Residency count is unchanged, but a poller parked on the destination
+    // key may be waiting in a Contains/fetch loop — nothing here to wake;
+    // executors poll, they do not block on the store cv.
+  }
+  return true;
+}
+
+size_t InstructionStore::DropReplica(int32_t replica) {
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = plans_.begin(); it != plans_.end();) {
+      if (it->first.second == replica) {
+        it = plans_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    cv_.notify_all();  // freed capacity slots
+  }
+  return dropped;
+}
+
 bool InstructionStore::Contains(int64_t iteration, int32_t replica) const {
   std::lock_guard<std::mutex> lock(mu_);
   return plans_.find(std::make_pair(iteration, replica)) != plans_.end();
@@ -122,6 +192,37 @@ bool InstructionStore::Heartbeat(int32_t replica, int64_t iteration,
   }
   sink->OnHeartbeat(replica, iteration, wall_ms);
   return true;
+}
+
+void InstructionStore::NotifyReplicaAttached(int32_t replica) {
+  HeartbeatSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = heartbeat_sink_;
+  }
+  if (sink != nullptr) {
+    sink->OnReplicaAttached(replica);  // outside mu_, like OnHeartbeat
+  }
+}
+
+void InstructionStore::NotifyReplicaDisconnected(int32_t replica, bool clean) {
+  HeartbeatSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = heartbeat_sink_;
+  }
+  if (sink != nullptr) {
+    sink->OnReplicaDisconnected(replica, clean);
+  }
+}
+
+bool InstructionStore::ReplicaConsideredDead(int32_t replica) const {
+  HeartbeatSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = heartbeat_sink_;
+  }
+  return sink != nullptr && sink->IsReplicaDead(replica);
 }
 
 }  // namespace dynapipe::runtime

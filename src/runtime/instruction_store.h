@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/sim/instruction.h"
 
@@ -44,6 +46,26 @@ class HeartbeatSink {
   // time (measured from plan availability to completion).
   virtual void OnHeartbeat(int32_t replica, int64_t iteration,
                           double wall_ms) = 0;
+
+  // --- Liveness lifecycle (optional; defaults are no-ops so lag-only sinks
+  // keep working). The transport server calls these from its connection
+  // handlers: an executor announces itself with a kAttach frame, leaves
+  // cleanly with kDetach, and a connection that ends while replicas are
+  // still attached is an *unclean* disconnect — the SIGKILLed/vanished
+  // executor case the liveness machinery exists for.
+  virtual void OnReplicaAttached(int32_t replica) { (void)replica; }
+  virtual void OnReplicaDisconnected(int32_t replica, bool clean) {
+    (void)replica;
+    (void)clean;
+  }
+  // True once the sink has declared `replica` dead (sticky). The server uses
+  // this to fence zombies: heartbeats and attaches from a dead replica get a
+  // kEvicted reply instead of an ack, so a stalled-then-woken executor
+  // learns its plans were re-published and exits instead of double-running.
+  virtual bool IsReplicaDead(int32_t replica) const {
+    (void)replica;
+    return false;
+  }
 };
 
 // The store contract every backend implements. Thread-safe; one producer
@@ -123,6 +145,32 @@ class InstructionStore final : public InstructionStoreInterface {
   // FetchBytes of an unpublished key aborts.
   bool PushBytes(int64_t iteration, int32_t replica, std::string bytes);
   std::string FetchBytes(int64_t iteration, int32_t replica);
+  // Like FetchBytes, but a missing key is nullopt instead of an abort. The
+  // transport server fetches through this: after recovery reposted a dead
+  // replica's plans, a zombie executor's fetch of the moved key must become
+  // a kMissing reply on *its* connection, never a crash in the publisher.
+  std::optional<std::string> TryFetchBytes(int64_t iteration, int32_t replica);
+
+  // --- Recovery surface (planner side) ---
+  // Iterations currently published for `replica`, ascending — the dead
+  // replica's unfetched backlog that recovery must move.
+  std::vector<int64_t> PendingIterations(int32_t replica) const;
+  // Moves one resident plan to a new key, verbatim (plans are byte-stable,
+  // so re-publishing to a survivor is a key move, not a re-encode). False —
+  // not fatal — when the source is gone (the dead replica fetched it in a
+  // race) or the destination exists (double recovery): recovery races must
+  // degrade, never abort the trainer.
+  bool Repost(int64_t src_iteration, int32_t src_replica,
+              int64_t dst_iteration, int32_t dst_replica);
+  // Discards every resident plan for `replica` and returns how many; frees
+  // capacity slots (wakes blocked pushes) like any fetch.
+  size_t DropReplica(int32_t replica);
+
+  // Liveness relays for the transport server; forwarded to the sink (outside
+  // the store lock) when one is attached, no-ops otherwise.
+  void NotifyReplicaAttached(int32_t replica);
+  void NotifyReplicaDisconnected(int32_t replica, bool clean);
+  bool ReplicaConsideredDead(int32_t replica) const;
 
   // Attaching a sink turns the heartbeat capability on: Heartbeat forwards to
   // it and returns true. Not owned; must strictly outlive the store —

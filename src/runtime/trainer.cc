@@ -1,9 +1,11 @@
 #include "src/runtime/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
@@ -15,6 +17,7 @@
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
+#include "src/service/recovery.h"
 #include "src/sim/cluster_sim.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
@@ -182,8 +185,13 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   // executor processes heartbeat their wall clock through the store server
   // into the same monitor. Declared before the server below so heartbeats
   // arriving during teardown still have a live sink.
-  service::HeartbeatMonitor heartbeat_monitor(service::HeartbeatMonitorOptions{
-      options.straggler_multiple, options.straggler_min_gap_ms});
+  service::HeartbeatMonitorOptions monitor_opts;
+  monitor_opts.straggler_multiple = options.straggler_multiple;
+  monitor_opts.min_straggler_gap_ms = options.straggler_min_gap_ms;
+  monitor_opts.suspect_after_ms = options.liveness_suspect_after_ms;
+  monitor_opts.dead_after_ms = options.liveness_dead_after_ms;
+  monitor_opts.connection_grace_ms = options.liveness_connection_grace_ms;
+  service::HeartbeatMonitor heartbeat_monitor(monitor_opts);
 
   // Everything between the sampler and the executors is the plan-ahead
   // service's pipeline: lookahead planning on the shared pool, the
@@ -215,6 +223,9 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   std::optional<InstructionStore> server_store;
   std::optional<transport::UnixSocketTransport> socket_transport;
   std::optional<transport::InstructionStoreServer> store_server;
+  // Declared after the monitor and store it points at, so it unregisters
+  // from the monitor (dtor) before either dies.
+  std::optional<service::RecoveryCoordinator> recovery;
   if (options.plan_store_backend ==
           TrainerOptions::PlanStoreBackend::kUnixSocket ||
       options.plan_store_backend ==
@@ -227,7 +238,51 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     // kHeartbeat frames from any attached reporter route through the server
     // store's sink into the same monitor the in-process replicas feed.
     server_store->set_heartbeat_sink(&heartbeat_monitor);
+    // React to declared deaths: move the dead replica's unfetched plans to
+    // survivors and record the recovery. The coordinator itself always
+    // degrades — fail-fast's store shutdown is for a publisher parked in
+    // Push backpressure, and would race this trainer's own fetches (it
+    // consumes its replicas' plans in-process). options.failure_policy is
+    // applied by the epoch loop below instead.
+    service::RecoveryOptions ropts;
+    ropts.policy = service::FailurePolicy::kDegradeAndContinue;
+    for (int32_t d = 0; d < parallel_.dp; ++d) {
+      ropts.replicas.push_back(d);
+    }
+    // In-process replicas cannot die (no wire), so reposts are expected only
+    // from attached external replicas — which publish nothing here. The base
+    // still needs to clear every iteration this epoch could publish.
+    ropts.spare_iteration_base = options.max_iterations > 0
+                                     ? options.max_iterations
+                                     : (int64_t{1} << 32);
+    // Subscribe the coordinator BEFORE the server starts serving: the socket
+    // is already bound (transport ctor), so an executor can attach and die in
+    // the window between the first served frame and a later subscription —
+    // that death event would fire into a null callback and be lost.
+    recovery.emplace(&*server_store, &heartbeat_monitor, ropts);
     store_server.emplace(&*socket_transport, &*server_store);
+    // Fleet barrier: the server is accepting, so executors can attach now;
+    // hold the epoch (nothing published yet) until enough have. In-process
+    // replicas report nothing before iteration 0, so every replica the
+    // monitor knows at this point came over the wire.
+    if (options.liveness_await_replicas > 0) {
+      const auto barrier_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double, std::milli>(
+              options.liveness_await_timeout_ms);
+      while (static_cast<int32_t>(heartbeat_monitor.KnownReplicas().size()) <
+             options.liveness_await_replicas) {
+        if (std::chrono::steady_clock::now() >= barrier_deadline) {
+          result.feasible = false;
+          result.failure =
+              "timed out waiting for " +
+              std::to_string(options.liveness_await_replicas) +
+              " replicas to attach";
+          return result;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     if (options.plan_store_backend ==
         TrainerOptions::PlanStoreBackend::kUnixSocket) {
       sopts.store = transport::RemoteInstructionStore::OverUnixSocket(
@@ -275,9 +330,32 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     result.plan_cache_hits = sstats.plan_cache_hits;
     result.plan_cache_misses = sstats.plan_cache_misses;
     result.serialized_plan_bytes = sstats.published_bytes;
+    if (recovery.has_value()) {
+      const service::RecoveryReport rreport = recovery->report();
+      result.dead_replicas = rreport.dead_replicas;
+      result.replanned_iterations = rreport.replanned_iterations;
+      result.recovery_ms = rreport.recovery_ms;
+    }
   };
 
   while (std::optional<service::ServicedPlan> serviced = service.NextPlan()) {
+    // Fail-fast: the first declared death aborts the epoch. Checked at the
+    // loop top (not inside the recovery callback) so the abort is a clean
+    // infeasible result, never a torn iteration. Read through the
+    // coordinator's report, not the monitor: the monitor's state flips
+    // before the event callback lands, and the report only shows a death
+    // once the coordinator has fully processed it.
+    if (recovery.has_value() &&
+        options.failure_policy == service::FailurePolicy::kFailFast) {
+      const std::vector<int32_t> dead = recovery->report().dead_replicas;
+      if (!dead.empty()) {
+        result.feasible = false;
+        result.failure = "replica " + std::to_string(dead.front()) +
+                         " declared dead (fail-fast policy)";
+        capture_service_stats();
+        return result;
+      }
+    }
     const int64_t iteration = serviced->iteration;
     IterationPlan& plan = serviced->plan;
     result.planning_time_ms += plan.planning_time_ms;
@@ -347,6 +425,9 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     record.replica_median_ms = hb_stats.median_wall_ms;
     record.replica_max_ms = hb_stats.max_wall_ms;
     record.straggler_replicas = hb_stats.stragglers;
+    if (recovery.has_value()) {
+      record.dead_replicas = heartbeat_monitor.DeadReplicas();
+    }
     result.straggler_flags +=
         static_cast<int64_t>(record.straggler_replicas.size());
 

@@ -18,6 +18,7 @@
 #include "src/data/dataset.h"
 #include "src/data/minibatch_sampler.h"
 #include "src/runtime/planner.h"
+#include "src/service/recovery.h"
 
 namespace dynapipe {
 class ThreadPool;
@@ -119,6 +120,28 @@ struct TrainerOptions {
   // twice the pair's mean).
   double straggler_multiple = 2.0;
   double straggler_min_gap_ms = 0.0;
+  // --- Failure detection & recovery (service/heartbeat_monitor.h,
+  // service/recovery.h), socket backends only — the wire is the one place an
+  // executor process can die out from under the trainer. ---
+  // Liveness deadlines for attached executors; 0 disables the transition. A
+  // replica silent past dead_after_ms, or whose connection drops uncleanly
+  // and stays gone past connection_grace_ms (grace 0 = a drop is death), is
+  // declared kDead: its unfetched plans are re-published to survivors and
+  // the death lands in EpochResult::dead_replicas.
+  double liveness_suspect_after_ms = 0.0;
+  double liveness_dead_after_ms = 0.0;
+  double liveness_connection_grace_ms = 0.0;
+  // Fleet barrier: hold the epoch (no plan published, no iteration run)
+  // until this many replicas have been seen by the liveness monitor —
+  // attached executors, counted before the in-process replicas report
+  // anything. 0 starts immediately; a barrier that is not met within the
+  // timeout fails the epoch rather than training into an absent fleet.
+  int32_t liveness_await_replicas = 0;
+  double liveness_await_timeout_ms = 30'000.0;
+  // kFailFast aborts the epoch (feasible = false) at the first declared
+  // death; kDegradeAndContinue (default) finishes on the survivors.
+  service::FailurePolicy failure_policy =
+      service::FailurePolicy::kDegradeAndContinue;
 };
 
 struct IterationRecord {
@@ -149,6 +172,9 @@ struct IterationRecord {
   double replica_median_ms = 0.0;
   double replica_max_ms = 0.0;
   std::vector<int32_t> straggler_replicas;
+  // Replicas declared dead by the time this iteration completed (cumulative
+  // snapshot, ascending) — which iterations of the epoch ran degraded.
+  std::vector<int32_t> dead_replicas;
 };
 
 struct EpochResult {
@@ -177,6 +203,12 @@ struct EpochResult {
   // Total straggler flags raised across the epoch (per-iteration detail in
   // records[*].straggler_replicas).
   int64_t straggler_flags = 0;
+  // Recovery (service/recovery.h): replicas declared dead during the epoch
+  // (declaration order), how many of their pending plans were re-published
+  // to survivors, and the total detect -> re-publish wall time.
+  std::vector<int32_t> dead_replicas;
+  int64_t replanned_iterations = 0;
+  double recovery_ms = 0.0;
 
   double tokens_per_second() const {
     return train_time_ms <= 0.0 ? 0.0 : static_cast<double>(real_tokens) /

@@ -4,18 +4,250 @@
 
 namespace dynapipe::service {
 
+const char* ReplicaLivenessName(ReplicaLiveness state) {
+  switch (state) {
+    case ReplicaLiveness::kUnknown: return "unknown";
+    case ReplicaLiveness::kAlive: return "alive";
+    case ReplicaLiveness::kSuspect: return "suspect";
+    case ReplicaLiveness::kDead: return "dead";
+    case ReplicaLiveness::kDetached: return "detached";
+  }
+  return "?";
+}
+
 HeartbeatMonitor::HeartbeatMonitor(HeartbeatMonitorOptions options)
-    : options_(options) {}
+    : options_(options) {
+  const bool deadlines = options_.suspect_after_ms > 0.0 ||
+                         options_.dead_after_ms > 0.0 ||
+                         options_.connection_grace_ms > 0.0;
+  if (deadlines && options_.watchdog) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
+
+HeartbeatMonitor::~HeartbeatMonitor() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void HeartbeatMonitor::set_event_callback(
+    std::function<void(const ReplicaEvent&)> callback) {
+  std::unique_lock<std::mutex> lock(mu_);
+  event_callback_ = std::move(callback);
+  // Swapping the callback out (to nullptr at subscriber teardown) must not
+  // return while a delivery is mid-flight on another thread — the subscriber
+  // is about to be destroyed. Wait for in-flight deliveries to drain; new
+  // deliveries see the new callback.
+  callback_cv_.wait(lock, [&] { return callbacks_in_flight_ == 0; });
+}
+
+void HeartbeatMonitor::TransitionLocked(int32_t replica, ReplicaLiveness to,
+                                        const char* reason,
+                                        std::vector<ReplicaEvent>* events) {
+  ReplicaState& state = replicas_[replica];
+  if (state.state == to) {
+    return;
+  }
+  ReplicaEvent event;
+  event.replica = replica;
+  event.from = state.state;
+  event.to = to;
+  event.reason = reason;
+  state.state = to;
+  if (to != ReplicaLiveness::kSuspect) {
+    state.grace_deadline.reset();
+  }
+  events->push_back(std::move(event));
+}
+
+void HeartbeatMonitor::FireEvents(const std::vector<ReplicaEvent>& events) {
+  if (events.empty()) {
+    return;
+  }
+  std::function<void(const ReplicaEvent&)> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callback = event_callback_;
+    if (callback) {
+      ++callbacks_in_flight_;
+    }
+  }
+  if (!callback) {
+    return;
+  }
+  for (const ReplicaEvent& event : events) {
+    callback(event);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --callbacks_in_flight_;
+  }
+  callback_cv_.notify_all();
+}
 
 void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
                                    double wall_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++total_heartbeats_;
-  auto [it, inserted] = last_iteration_.emplace(replica, iteration);
-  if (!inserted) {
-    it->second = std::max(it->second, iteration);
+  std::vector<ReplicaEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_heartbeats_;
+    auto [it, inserted] = last_iteration_.emplace(replica, iteration);
+    if (!inserted) {
+      it->second = std::max(it->second, iteration);
+    }
+    completions_[iteration][replica] = wall_ms;
+
+    ReplicaState& state = replicas_[replica];
+    if (state.state != ReplicaLiveness::kDead) {  // dead is sticky
+      state.last_seen = Clock::now();
+      TransitionLocked(replica, ReplicaLiveness::kAlive, "heartbeat",
+                       &events);
+    }
   }
-  completions_[iteration][replica] = wall_ms;
+  FireEvents(events);
+}
+
+void HeartbeatMonitor::OnReplicaAttached(int32_t replica) {
+  std::vector<ReplicaEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReplicaState& state = replicas_[replica];
+    if (state.state != ReplicaLiveness::kDead) {  // a zombie stays dead
+      state.last_seen = Clock::now();
+      TransitionLocked(replica, ReplicaLiveness::kAlive, "attached", &events);
+    }
+  }
+  FireEvents(events);
+}
+
+void HeartbeatMonitor::OnReplicaDisconnected(int32_t replica, bool clean) {
+  std::vector<ReplicaEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReplicaState& state = replicas_[replica];
+    if (state.state == ReplicaLiveness::kDead) {
+      // Already declared; the dropped zombie connection changes nothing.
+    } else if (clean) {
+      TransitionLocked(replica, ReplicaLiveness::kDetached, "clean detach",
+                       &events);
+    } else if (options_.connection_grace_ms > 0.0) {
+      // Reconnect tolerance: suspect now, dead if not seen again in time.
+      state.grace_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 options_.connection_grace_ms));
+      TransitionLocked(replica, ReplicaLiveness::kSuspect,
+                       "connection dropped", &events);
+    } else {
+      // The vanished-process case: the stream died with the replica still
+      // attached and no grace is configured — declare death immediately, so
+      // recovery starts without waiting out a heartbeat deadline.
+      TransitionLocked(replica, ReplicaLiveness::kDead, "connection dropped",
+                       &events);
+    }
+  }
+  FireEvents(events);
+}
+
+bool HeartbeatMonitor::IsReplicaDead(int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = replicas_.find(replica);
+  return it != replicas_.end() && it->second.state == ReplicaLiveness::kDead;
+}
+
+int HeartbeatMonitor::PollLiveness() {
+  std::vector<ReplicaEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Clock::time_point now = Clock::now();
+    for (auto& [replica, state] : replicas_) {
+      if (state.state != ReplicaLiveness::kAlive &&
+          state.state != ReplicaLiveness::kSuspect) {
+        continue;  // deadlines apply only while presence is expected
+      }
+      const double silent_ms =
+          std::chrono::duration<double, std::milli>(now - state.last_seen)
+              .count();
+      if (state.grace_deadline.has_value() && now >= *state.grace_deadline) {
+        TransitionLocked(replica, ReplicaLiveness::kDead,
+                         "no reconnect within grace", &events);
+        continue;
+      }
+      if (options_.dead_after_ms > 0.0 && silent_ms > options_.dead_after_ms) {
+        TransitionLocked(replica, ReplicaLiveness::kDead,
+                         "heartbeat deadline", &events);
+        continue;
+      }
+      if (state.state == ReplicaLiveness::kAlive &&
+          options_.suspect_after_ms > 0.0 &&
+          silent_ms > options_.suspect_after_ms) {
+        TransitionLocked(replica, ReplicaLiveness::kSuspect,
+                         "heartbeat overdue", &events);
+      }
+    }
+  }
+  FireEvents(events);
+  return static_cast<int>(events.size());
+}
+
+ReplicaLiveness HeartbeatMonitor::Liveness(int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = replicas_.find(replica);
+  return it == replicas_.end() ? ReplicaLiveness::kUnknown : it->second.state;
+}
+
+std::vector<int32_t> HeartbeatMonitor::DeadReplicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int32_t> dead;
+  for (const auto& [replica, state] : replicas_) {
+    if (state.state == ReplicaLiveness::kDead) {
+      dead.push_back(replica);  // map order = ascending
+    }
+  }
+  return dead;
+}
+
+std::vector<int32_t> HeartbeatMonitor::KnownReplicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int32_t> known;
+  for (const auto& [replica, state] : replicas_) {
+    if (state.state != ReplicaLiveness::kUnknown) {
+      known.push_back(replica);  // map order = ascending
+    }
+  }
+  return known;
+}
+
+void HeartbeatMonitor::WatchdogLoop() {
+  // Tick fast enough that a deadline is detected within a fraction of
+  // itself, clamped so near-zero test deadlines do not spin.
+  double min_deadline_ms = 1e18;
+  for (const double deadline :
+       {options_.suspect_after_ms, options_.dead_after_ms,
+        options_.connection_grace_ms}) {
+    if (deadline > 0.0) {
+      min_deadline_ms = std::min(min_deadline_ms, deadline);
+    }
+  }
+  const auto tick = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(
+          std::clamp(min_deadline_ms / 4.0, 1.0, 50.0)));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, tick, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) {
+      break;
+    }
+    lock.unlock();
+    PollLiveness();
+    lock.lock();
+  }
 }
 
 IterationHeartbeatStats HeartbeatMonitor::ForIteration(

@@ -11,25 +11,58 @@
 //     — replicas whose completion exceeds straggler_multiple x the median
 //     (plus an absolute slack so microsecond-scale jitter on fast iterations
 //     never flags).
-// This mirrors how elastic-training systems consume centrally produced
-// schedules while reporting liveness: the planner does not block on
-// heartbeats, it observes them and surfaces lag (IterationRecord's straggler
-// fields) so a deployment can rebalance or evict.
 //
-// Thread-safe: heartbeats arrive concurrently from server connection
-// handlers and from the trainer's own execution loop.
+// On top of lag it now tracks *liveness* — the state machine the recovery
+// control loop acts on:
+//
+//   kUnknown ──attach/heartbeat──> kAlive
+//   kAlive   ──no heartbeat for suspect_after_ms──────> kSuspect
+//   kAlive/kSuspect ──no heartbeat for dead_after_ms──> kDead
+//   kAlive/kSuspect ──unclean connection drop──> kDead   (grace 0)
+//                                           └──> kSuspect, then kDead after
+//                                                connection_grace_ms (grace>0)
+//   any non-dead ──clean detach──> kDetached (deadline tracking stops)
+//
+// kDead is *sticky*: a heartbeat or re-attach from a dead replica never
+// revives it — its plans may already be re-published, so the only safe
+// answer to a zombie is eviction (the server's kEvicted reply, driven by
+// IsReplicaDead). Every transition is surfaced through the ReplicaEvent
+// callback, which is what RecoveryCoordinator subscribes to.
+//
+// Deadlines are enforced by an internal watchdog thread (started only when a
+// deadline is configured) and by PollLiveness(), which tests call directly
+// for deterministic ticks. Thread-safe: heartbeats arrive concurrently from
+// server connection handlers, the trainer's own execution loop, and the
+// watchdog. Events are delivered outside the monitor lock, so a callback may
+// call back into the monitor or the store.
 #ifndef DYNAPIPE_SRC_SERVICE_HEARTBEAT_MONITOR_H_
 #define DYNAPIPE_SRC_SERVICE_HEARTBEAT_MONITOR_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/runtime/instruction_store.h"
 
 namespace dynapipe::service {
+
+enum class ReplicaLiveness : uint8_t {
+  kUnknown = 0,  // never seen
+  kAlive,
+  kSuspect,   // deadline blown or unclean drop within grace — not yet acted on
+  kDead,      // declared dead; sticky (recovery may have moved its plans)
+  kDetached,  // clean goodbye; absence is expected, deadlines off
+};
+
+const char* ReplicaLivenessName(ReplicaLiveness state);
 
 struct HeartbeatMonitorOptions {
   // A replica straggles on iteration i when
@@ -40,6 +73,23 @@ struct HeartbeatMonitorOptions {
   // flagging on scheduler noise.
   double straggler_multiple = 2.0;
   double min_straggler_gap_ms = 0.0;
+
+  // --- Liveness deadlines (0 disables the transition) ---
+  // Silence (no heartbeat/attach) longer than this marks an alive replica
+  // kSuspect...
+  double suspect_after_ms = 0.0;
+  // ...and longer than this declares it kDead. The stall-detection deadline:
+  // a wedged executor whose connection is still up only ever trips this.
+  double dead_after_ms = 0.0;
+  // Unclean connection drop (the server saw the stream die with the replica
+  // still attached): 0 declares the replica dead immediately — a vanished
+  // process, the SIGKILL case; > 0 marks it kSuspect and declares death only
+  // if it has not re-attached or heartbeated within the grace — tolerance
+  // for clients that reconnect after a transport error.
+  double connection_grace_ms = 0.0;
+  // Start the internal watchdog thread when any deadline above is set.
+  // Tests disable it and drive PollLiveness() by hand.
+  bool watchdog = true;
 };
 
 // One iteration's completion picture so far.
@@ -53,15 +103,49 @@ struct IterationHeartbeatStats {
   std::vector<int32_t> stragglers;
 };
 
+// One liveness transition, delivered to the event callback as it happens.
+struct ReplicaEvent {
+  int32_t replica = 0;
+  ReplicaLiveness from = ReplicaLiveness::kUnknown;
+  ReplicaLiveness to = ReplicaLiveness::kUnknown;
+  std::string reason;  // human-readable: "heartbeat deadline", "connection
+                       // dropped", "clean detach", ...
+};
+
 class HeartbeatMonitor final : public runtime::HeartbeatSink {
  public:
   explicit HeartbeatMonitor(HeartbeatMonitorOptions options = {});
+  ~HeartbeatMonitor() override;
+
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+  // Called (once, at setup, before replicas report) to receive every
+  // liveness transition. Invoked outside the monitor lock, possibly from a
+  // server connection handler or the watchdog thread.
+  void set_event_callback(std::function<void(const ReplicaEvent&)> callback);
 
   // runtime::HeartbeatSink: one replica finished one iteration. A duplicate
   // (replica, iteration) report overwrites — a reconnecting executor may
-  // legitimately resend its last heartbeat.
+  // legitimately resend its last heartbeat. Refreshes the liveness deadline
+  // and revives kSuspect (never kDead — see the sticky rule above).
   void OnHeartbeat(int32_t replica, int64_t iteration,
                    double wall_ms) override;
+  void OnReplicaAttached(int32_t replica) override;
+  void OnReplicaDisconnected(int32_t replica, bool clean) override;
+  bool IsReplicaDead(int32_t replica) const override;
+
+  // Applies the deadline transitions due as of now; returns how many fired.
+  // The watchdog calls this periodically; tests call it directly.
+  int PollLiveness();
+
+  ReplicaLiveness Liveness(int32_t replica) const;
+  // Replicas declared dead so far, ascending.
+  std::vector<int32_t> DeadReplicas() const;
+  // Replicas the monitor has seen at all (any state past kUnknown),
+  // ascending. The fleet barrier: a trainer that must not start publishing
+  // until its executors attached waits on this count.
+  std::vector<int32_t> KnownReplicas() const;
 
   // Snapshot of iteration `iteration` (zeros when nothing reported yet).
   IterationHeartbeatStats ForIteration(int64_t iteration) const;
@@ -80,7 +164,23 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
   const HeartbeatMonitorOptions& options() const { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ReplicaState {
+    ReplicaLiveness state = ReplicaLiveness::kUnknown;
+    Clock::time_point last_seen;  // last attach or heartbeat
+    // Set on an unclean drop under a grace: death fires here unless the
+    // replica is seen again first.
+    std::optional<Clock::time_point> grace_deadline;
+  };
+
   IterationHeartbeatStats ForIterationLocked(int64_t iteration) const;
+  // Transition + event record; caller holds mu_ and owns delivering
+  // `events` after unlocking (FireEvents).
+  void TransitionLocked(int32_t replica, ReplicaLiveness to,
+                        const char* reason, std::vector<ReplicaEvent>* events);
+  void FireEvents(const std::vector<ReplicaEvent>& events);
+  void WatchdogLoop();
 
   HeartbeatMonitorOptions options_;
   mutable std::mutex mu_;
@@ -91,6 +191,18 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
   // is thousands of iterations of a few replicas each, far below memory
   // relevance.
   std::map<int64_t, std::map<int32_t, double>> completions_;
+
+  std::map<int32_t, ReplicaState> replicas_;  // guarded by mu_
+  std::function<void(const ReplicaEvent&)> event_callback_;  // guarded by mu_
+  // Deliveries currently running outside mu_; set_event_callback drains them
+  // so a subscriber can unregister safely at its own teardown.
+  int callbacks_in_flight_ = 0;  // guarded by mu_
+  mutable std::condition_variable callback_cv_;
+
+  // Watchdog: ticks PollLiveness while any deadline is armed.
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by mu_
+  std::thread watchdog_;
 };
 
 }  // namespace dynapipe::service

@@ -1,0 +1,99 @@
+#include "src/service/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace dynapipe::service {
+
+RecoveryCoordinator::RecoveryCoordinator(runtime::InstructionStore* store,
+                                         HeartbeatMonitor* monitor,
+                                         RecoveryOptions options)
+    : store_(store), monitor_(monitor), options_(std::move(options)) {
+  monitor_->set_event_callback(
+      [this](const ReplicaEvent& event) { OnEvent(event); });
+}
+
+RecoveryCoordinator::~RecoveryCoordinator() {
+  // Drains in-flight deliveries before returning, so OnEvent can never run
+  // on a destroyed coordinator.
+  monitor_->set_event_callback(nullptr);
+}
+
+void RecoveryCoordinator::set_downstream(
+    std::function<void(const ReplicaEvent&)> downstream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  downstream_ = std::move(downstream);
+}
+
+RecoveryReport RecoveryCoordinator::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+void RecoveryCoordinator::OnEvent(const ReplicaEvent& event) {
+  if (event.to == ReplicaLiveness::kDead) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    report_.dead_replicas.push_back(event.replica);
+    if (options_.policy == FailurePolicy::kFailFast) {
+      report_.fail_fast_triggered = true;
+      lock.unlock();
+      // Unblocks every Push parked in capacity backpressure (including ones
+      // stalled on the dead replica's unfetched slots) and disarms future
+      // pushes: the epoch is over.
+      store_->Shutdown();
+      lock.lock();
+    } else {
+      // Survivors: the configured set minus everyone declared dead so far.
+      std::vector<int32_t> survivors;
+      for (const int32_t replica : options_.replicas) {
+        if (std::find(report_.dead_replicas.begin(),
+                      report_.dead_replicas.end(),
+                      replica) == report_.dead_replicas.end()) {
+          survivors.push_back(replica);
+        }
+      }
+      const std::vector<int64_t> pending =
+          store_->PendingIterations(event.replica);
+      if (survivors.empty()) {
+        // Nobody left to take the work; free the slots so parked pushes
+        // unblock, and record the loss.
+        report_.dropped_iterations +=
+            static_cast<int64_t>(store_->DropReplica(event.replica));
+      } else {
+        size_t next_survivor = 0;
+        for (const int64_t iteration : pending) {
+          const int32_t survivor = survivors[next_survivor];
+          next_survivor = (next_survivor + 1) % survivors.size();
+          auto [it, inserted] = next_spare_.emplace(
+              survivor, options_.spare_iteration_base);
+          const int64_t dst_iteration = it->second;
+          if (store_->Repost(iteration, event.replica, dst_iteration,
+                             survivor)) {
+            ++it->second;
+            ++report_.replanned_iterations;
+          }
+          // A failed Repost (the plan was fetched in a race, or the spare
+          // key is somehow taken) is benign: the work either happened or is
+          // unrecoverable without re-planning; don't burn the spare slot.
+        }
+      }
+    }
+    report_.recovery_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    lock.unlock();
+  }
+  std::function<void(const ReplicaEvent&)> downstream;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    downstream = downstream_;
+  }
+  if (downstream) {
+    downstream(event);
+  }
+}
+
+}  // namespace dynapipe::service

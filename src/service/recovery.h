@@ -1,0 +1,103 @@
+// Degraded-mode recovery: the reaction half of the failure control loop.
+//
+// The HeartbeatMonitor *detects* (liveness state machine, ReplicaEvent
+// stream); RecoveryCoordinator *acts*. It subscribes to the monitor's events
+// and, on a kDead transition, executes the re-publish protocol:
+//
+//   1. snapshot the dead replica's unfetched backlog
+//      (InstructionStore::PendingIterations);
+//   2. move each resident plan to a surviving replica, round-robin, at a
+//      *spare* iteration number (store-level Repost — plans are byte-stable
+//      and keyed by (iteration, replica), so re-publish is a key move, no
+//      re-plan, no re-encode). Spare numbers start at
+//      `spare_iteration_base` (the epoch's iteration count) and grow per
+//      survivor, because an open-ended executor that drained its own epoch
+//      keeps polling exactly there — the reposted work is what it finds;
+//   3. record the recovery (dead replicas, replanned iteration count,
+//      detect-to-repost wall ms) for IterationRecord/EpochResult.
+//
+// FailurePolicy::kFailFast instead shuts the store down on the first death —
+// every Push parked in capacity backpressure unblocks, the epoch aborts, and
+// the caller reads fail_fast_triggered. kDegradeAndContinue (the default) is
+// the paper-adjacent elastic behavior: finish the epoch on the survivors.
+//
+// Thread-safe: events arrive from server connection handlers and the
+// monitor's watchdog concurrently. The coordinator unregisters itself from
+// the monitor on destruction (construct it after the monitor, destroy it
+// first).
+#ifndef DYNAPIPE_SRC_SERVICE_RECOVERY_H_
+#define DYNAPIPE_SRC_SERVICE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/runtime/instruction_store.h"
+#include "src/service/heartbeat_monitor.h"
+
+namespace dynapipe::service {
+
+enum class FailurePolicy : uint8_t {
+  // First kDead aborts the epoch: the store shuts down (unblocking parked
+  // pushes) and no plans move.
+  kFailFast = 0,
+  // Re-publish the dead replica's backlog to survivors and keep going.
+  kDegradeAndContinue,
+};
+
+struct RecoveryOptions {
+  FailurePolicy policy = FailurePolicy::kDegradeAndContinue;
+  // The full replica set; survivors = replicas minus the dead so far. A
+  // death outside this set (an unknown attacher) is recorded but moves no
+  // plans — there is nothing published under its id.
+  std::vector<int32_t> replicas;
+  // First iteration number free for reposted plans on every survivor —
+  // normally the epoch's iteration count, so reposts land exactly where an
+  // open-ended executor polls after draining its own share.
+  int64_t spare_iteration_base = 0;
+};
+
+// What recovery has done so far; copied into EpochResult by the trainer.
+struct RecoveryReport {
+  std::vector<int32_t> dead_replicas;  // declaration order
+  int64_t replanned_iterations = 0;    // plans moved to survivors
+  int64_t dropped_iterations = 0;      // no survivor left to take them
+  double recovery_ms = 0.0;            // total detect -> re-publish wall time
+  bool fail_fast_triggered = false;
+};
+
+class RecoveryCoordinator {
+ public:
+  // Registers itself as `monitor`'s event callback. Neither pointer is
+  // owned; both must outlive the coordinator.
+  RecoveryCoordinator(runtime::InstructionStore* store,
+                      HeartbeatMonitor* monitor, RecoveryOptions options);
+  ~RecoveryCoordinator();
+
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
+
+  // Forwards every ReplicaEvent (after recovery acted on it) to `downstream`
+  // — observation taps for tests and logging.
+  void set_downstream(std::function<void(const ReplicaEvent&)> downstream);
+
+  RecoveryReport report() const;
+
+ private:
+  void OnEvent(const ReplicaEvent& event);
+
+  runtime::InstructionStore* store_;
+  HeartbeatMonitor* monitor_;
+  RecoveryOptions options_;
+
+  mutable std::mutex mu_;
+  RecoveryReport report_;                    // guarded by mu_
+  std::map<int32_t, int64_t> next_spare_;    // survivor -> next spare iter
+  std::function<void(const ReplicaEvent&)> downstream_;  // guarded by mu_
+};
+
+}  // namespace dynapipe::service
+
+#endif  // DYNAPIPE_SRC_SERVICE_RECOVERY_H_

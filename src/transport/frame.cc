@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/fault_injection.h"
 #include "src/service/plan_serde.h"
 
 namespace dynapipe::transport {
@@ -35,6 +36,25 @@ bool WriteFrame(Stream& stream, const Frame& frame, std::string* scratch) {
   wire[1] = static_cast<char>((len >> 8) & 0xff);
   wire[2] = static_cast<char>((len >> 16) & 0xff);
   wire[3] = static_cast<char>((len >> 24) & 0xff);
+  // Fault point on the send path (disarmed: one relaxed atomic load). The
+  // n-th frame this process writes can be dropped (close instead of write —
+  // the peer sees a torn connection) or corrupted (flip a body byte — the
+  // peer's ReadFrame/decoder must reject it and drop the connection).
+  switch (common::FaultPoint("transport.write")) {
+    case common::FaultKind::kDropConnection:
+      stream.Close();
+      return false;
+    case common::FaultKind::kCorruptFrame:
+      // Flip a bit in the type byte: every request type maps to something
+      // the receiver's demux switch rejects, so the corruption is
+      // *deterministically* detected and answered with a connection drop
+      // (a flipped payload bit could still parse as a different valid
+      // varint and sail through).
+      wire[4] ^= 0x40;
+      break;
+    default:
+      break;
+  }
   return stream.WriteAll(wire.data(), wire.size());
 }
 

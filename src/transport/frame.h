@@ -48,11 +48,28 @@ enum class FrameType : uint8_t {
                    // payload = varint(wall-clock microseconds the iteration
                    // took); response kOk (the reply keeps the protocol
                    // strictly request/response on every transport)
+  kAttach = 7,     // replica announces itself on this connection; response
+                   // kOk — or kEvicted when the replica was declared dead
+                   // (a zombie reconnecting after recovery moved its plans).
+                   // A connection that ends after kAttach without a matching
+                   // kDetach is an *unclean* disconnect: the server reports
+                   // it to the liveness sink, which is how a SIGKILLed
+                   // executor is detected immediately instead of after a
+                   // heartbeat deadline.
+  kDetach = 8,     // clean goodbye for one replica; response kOk
   // Responses (server -> client).
   kOk = 64,
   kPlanBytes = 65,
   kBool = 66,
   kCount = 67,
+  kMissing = 68,   // kFetch of a key the store does not hold — after
+                   // recovery reposted a dead replica's plan, the zombie's
+                   // fetch gets this instead of crashing the server. Clients
+                   // keeping the fatal fetch contract abort on it; resilient
+                   // fetchers (the executor) treat it as "reclaimed".
+  kEvicted = 69,   // kHeartbeat/kAttach from a replica declared dead: stop —
+                   // your plans were re-published, exit instead of
+                   // double-running them.
 };
 
 // Ceiling on one frame's body; anything larger is a corrupt length field.

@@ -1,5 +1,6 @@
 #include "src/transport/mux.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/common/check.h"
@@ -67,16 +68,16 @@ void MuxInstructionStore::DemuxLoop() {
   cv_.notify_all();
 }
 
-Frame MuxInstructionStore::Call(Frame& request,
-                                FrameType expected_reply) const {
+bool MuxInstructionStore::TryCall(Frame& request, Frame* reply,
+                                  int timeout_ms) const {
   Waiter waiter;
   int slot = -1;
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      DYNAPIPE_CHECK_MSG(!connection_failed_,
-                         "mux instruction store: connection lost (" +
-                             connection_error_ + ")");
+      if (connection_failed_) {
+        return false;
+      }
       // Claim a free slot, scanning from where the last claim left off. A
       // full slab means kMuxWaiterSlots requests are genuinely in flight;
       // wait for one to complete (pushes can hold at most kMuxPushCredits
@@ -119,15 +120,50 @@ Frame MuxInstructionStore::Call(Frame& request,
       slots_[slot] = nullptr;
       cv_.notify_all();
     }
-    DYNAPIPE_CHECK_MSG(false, "mux instruction store: request write failed");
+    return false;
   }
-  cv_.wait(lock, [&] { return waiter.reply.has_value() || waiter.failed; });
-  DYNAPIPE_CHECK_MSG(waiter.reply.has_value(),
-                     "mux instruction store: no reply (" + connection_error_ +
-                         ")");
-  DYNAPIPE_CHECK_MSG(waiter.reply->type == expected_reply,
+  const auto served = [&] { return waiter.reply.has_value() || waiter.failed; };
+  if (timeout_ms > 0) {
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), served)) {
+      // No reply in time: the server is wedged or gone. The waiter is on
+      // this stack frame, so it MUST leave the slab before we return; and
+      // the connection must die with it — a reply landing later for a
+      // deregistered id would (rightly) read as a protocol violation.
+      if (slots_[slot] == &waiter) {
+        slots_[slot] = nullptr;
+        cv_.notify_all();
+      }
+      lock.unlock();
+      stream_->Close();  // demux loop exits and marks the connection failed
+      return false;
+    }
+  } else {
+    cv_.wait(lock, served);
+  }
+  if (!waiter.reply.has_value()) {
+    return false;  // demux loop failed us: connection over
+  }
+  *reply = std::move(*waiter.reply);
+  return true;
+}
+
+Frame MuxInstructionStore::Call(Frame& request,
+                                FrameType expected_reply) const {
+  Frame reply;
+  if (!TryCall(request, &reply)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DYNAPIPE_CHECK_MSG(false, "mux instruction store: connection lost (" +
+                                  connection_error_ + ")");
+  }
+  if (reply.type == FrameType::kMissing) {
+    // The server-side store did not hold the key. Same intentional contract
+    // as the in-process store's fatal fetch-before-publish.
+    DYNAPIPE_CHECK_MSG(false,
+                       "mux instruction store: fetching unpublished plan");
+  }
+  DYNAPIPE_CHECK_MSG(reply.type == expected_reply,
                      "mux instruction store: unexpected reply type");
-  return std::move(*waiter.reply);
+  return reply;
 }
 
 void MuxInstructionStore::Push(int64_t iteration, int32_t replica,
@@ -228,6 +264,96 @@ int64_t MuxInstructionStore::serialized_bytes_total() const {
 bool MuxInstructionStore::connection_ok() const {
   std::lock_guard<std::mutex> lock(mu_);
   return !connection_failed_;
+}
+
+bool MuxInstructionStore::TryContains(int64_t iteration, int32_t replica,
+                                      bool* present, int timeout_ms) {
+  Frame request;
+  request.type = FrameType::kContains;
+  request.iteration = iteration;
+  request.replica = replica;
+  Frame reply;
+  if (!TryCall(request, &reply, timeout_ms) ||
+      reply.type != FrameType::kBool || reply.payload.size() != 1) {
+    return false;  // connection-grade failure either way: drop and reconnect
+  }
+  *present = reply.payload[0] != '\0';
+  return true;
+}
+
+std::optional<sim::ExecutionPlan> MuxInstructionStore::TryFetch(
+    int64_t iteration, int32_t replica, bool* connection_lost) {
+  *connection_lost = false;
+  Frame request;
+  request.type = FrameType::kFetch;
+  request.iteration = iteration;
+  request.replica = replica;
+  Frame reply;
+  if (!TryCall(request, &reply)) {
+    *connection_lost = true;
+    return std::nullopt;
+  }
+  if (reply.type == FrameType::kMissing) {
+    return std::nullopt;  // key reclaimed (recovery reposted it) — not fatal
+  }
+  if (reply.type != FrameType::kPlanBytes) {
+    *connection_lost = true;  // protocol confusion: treat as connection loss
+    stream_->Close();
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<sim::ExecutionPlan> plan =
+      service::TryDecodeExecutionPlan(reply.payload, &error);
+  // Corrupt plan bytes stay fatal even on the resilient path: executing a
+  // damaged plan is the one thing recovery must never do.
+  DYNAPIPE_CHECK_MSG(plan.has_value(),
+                     "mux instruction store: fetched plan is corrupt (" +
+                         error + ")");
+  return plan;
+}
+
+bool MuxInstructionStore::TryHeartbeat(int32_t replica, int64_t iteration,
+                                       double wall_ms, bool* evicted) {
+  *evicted = false;
+  Frame request;
+  request.type = FrameType::kHeartbeat;
+  request.iteration = iteration;
+  request.replica = replica;
+  AppendHeartbeatPayload(wall_ms, &request.payload);
+  Frame reply;
+  if (!TryCall(request, &reply)) {
+    return false;
+  }
+  if (reply.type == FrameType::kEvicted) {
+    *evicted = true;
+    return true;  // delivered — and the server told us to stop
+  }
+  return reply.type == FrameType::kOk;
+}
+
+bool MuxInstructionStore::Attach(int32_t replica, bool* evicted,
+                                 int timeout_ms) {
+  *evicted = false;
+  Frame request;
+  request.type = FrameType::kAttach;
+  request.replica = replica;
+  Frame reply;
+  if (!TryCall(request, &reply, timeout_ms)) {
+    return false;
+  }
+  if (reply.type == FrameType::kEvicted) {
+    *evicted = true;
+    return true;
+  }
+  return reply.type == FrameType::kOk;
+}
+
+bool MuxInstructionStore::Detach(int32_t replica) {
+  Frame request;
+  request.type = FrameType::kDetach;
+  request.replica = replica;
+  Frame reply;
+  return TryCall(request, &reply) && reply.type == FrameType::kOk;
 }
 
 }  // namespace dynapipe::transport

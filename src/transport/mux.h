@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -90,6 +91,37 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
   // reply (the demux loop has exited and failed all waiters).
   bool connection_ok() const;
 
+  // --- Non-fatal surface (the executor's resilience path) ---
+  // The InstructionStoreInterface methods above keep the fatal store
+  // contract (right for a publisher mid-epoch); a daemon that must survive
+  // server teardown and transport faults uses these instead. All of them
+  // return false on connection loss — including a blown `timeout_ms` (> 0),
+  // which closes the stream and fails the connection: a reply that late
+  // means the server is wedged or gone, and leaving the request parked
+  // forever would turn teardown into a hang.
+
+  // Contains without the fatal contract: *present is valid only on true.
+  // This is the publish-poll riding the persistent stream — no throwaway
+  // probe connection per poll.
+  bool TryContains(int64_t iteration, int32_t replica, bool* present,
+                   int timeout_ms = 0);
+  // Fetch distinguishing the three outcomes: a plan (returned), kMissing
+  // (nullopt, *connection_lost=false — the key was reclaimed/reposted), and
+  // connection loss (nullopt, *connection_lost=true). Corrupt plan bytes
+  // stay fatal — a damaged plan must never execute.
+  std::optional<sim::ExecutionPlan> TryFetch(int64_t iteration,
+                                             int32_t replica,
+                                             bool* connection_lost);
+  // Heartbeat; *evicted=true when the server answered kEvicted (this
+  // replica was declared dead — stop executing).
+  bool TryHeartbeat(int32_t replica, int64_t iteration, double wall_ms,
+                    bool* evicted);
+  // Liveness announcement for `replica` on this connection (kAttach /
+  // kDetach). *evicted=true when the server refused the attach because the
+  // replica is already declared dead.
+  bool Attach(int32_t replica, bool* evicted, int timeout_ms = 0);
+  bool Detach(int32_t replica);
+
  private:
   struct Waiter {
     uint64_t request_id = 0;
@@ -112,6 +144,12 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
   // pushes are bounded below the slab size by their credits, and every other
   // request type is answered inline by the server, so slots always churn.
   Frame Call(Frame& request, FrameType expected_reply) const;
+  // The non-fatal core Call is built on: false on connection failure, write
+  // failure, or (timeout_ms > 0) no reply in time — the timeout closes the
+  // stream, because an abandoned waiter's reply arriving later would desync
+  // the slab. On true, *reply holds whatever the server sent; the caller
+  // owns type validation.
+  bool TryCall(Frame& request, Frame* reply, int timeout_ms = 0) const;
   void DemuxLoop();
 
   std::unique_ptr<Stream> stream_;

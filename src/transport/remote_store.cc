@@ -44,9 +44,28 @@ Frame RemoteInstructionStore::Call(const Frame& request,
                          (error.empty() ? std::string("connection closed")
                                         : error) +
                          ")");
+  if (reply->type == FrameType::kMissing) {
+    // The server-side store did not hold the key. Same intentional contract
+    // as the in-process store's fatal fetch-before-publish.
+    DYNAPIPE_CHECK_MSG(false,
+                       "remote instruction store: fetching unpublished plan");
+  }
   DYNAPIPE_CHECK_MSG(reply->type == expected_reply,
                      "remote instruction store: unexpected reply type");
   return std::move(*reply);
+}
+
+std::optional<Frame> RemoteInstructionStore::TryCall(
+    const Frame& request) const {
+  std::unique_ptr<Stream> conn = connect_();
+  if (conn == nullptr) {
+    return std::nullopt;
+  }
+  thread_local std::string wire;
+  if (!WriteFrame(*conn, request, &wire)) {
+    return std::nullopt;
+  }
+  return ReadFrame(*conn);
 }
 
 void RemoteInstructionStore::Push(int64_t iteration, int32_t replica,
@@ -125,6 +144,56 @@ bool RemoteInstructionStore::Heartbeat(int32_t replica, int64_t iteration,
   AppendHeartbeatPayload(wall_ms, &request.payload);
   Call(request, FrameType::kOk);
   return true;
+}
+
+std::optional<sim::ExecutionPlan> RemoteInstructionStore::TryFetch(
+    int64_t iteration, int32_t replica, bool* connection_lost) {
+  *connection_lost = false;
+  Frame request;
+  request.type = FrameType::kFetch;
+  request.iteration = iteration;
+  request.replica = replica;
+  std::optional<Frame> reply = TryCall(request);
+  if (!reply.has_value()) {
+    *connection_lost = true;
+    return std::nullopt;
+  }
+  if (reply->type == FrameType::kMissing) {
+    return std::nullopt;  // key reclaimed (recovery reposted it) — not fatal
+  }
+  if (reply->type != FrameType::kPlanBytes) {
+    *connection_lost = true;  // protocol confusion: connection-grade failure
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<sim::ExecutionPlan> plan =
+      service::TryDecodeExecutionPlan(reply->payload, &error);
+  // Corrupt plan bytes stay fatal even on the resilient path: executing a
+  // damaged plan is the one thing recovery must never do.
+  DYNAPIPE_CHECK_MSG(plan.has_value(),
+                     "remote instruction store: fetched plan is corrupt (" +
+                         error + ")");
+  return plan;
+}
+
+bool RemoteInstructionStore::TryHeartbeat(int32_t replica, int64_t iteration,
+                                          double wall_ms, bool* evicted) {
+  *evicted = false;
+  thread_local Frame request;
+  request.type = FrameType::kHeartbeat;
+  request.iteration = iteration;
+  request.replica = replica;
+  request.payload.clear();
+  AppendHeartbeatPayload(wall_ms, &request.payload);
+  std::optional<Frame> reply = TryCall(request);
+  if (!reply.has_value()) {
+    return false;
+  }
+  if (reply->type == FrameType::kEvicted) {
+    *evicted = true;
+    return true;  // delivered — and the server told us to stop
+  }
+  return reply->type == FrameType::kOk;
 }
 
 int64_t RemoteInstructionStore::serialized_bytes_total() const {

@@ -62,9 +62,24 @@ class RemoteInstructionStore final : public runtime::InstructionStoreInterface {
   bool supports_heartbeat() const override { return true; }
   bool Heartbeat(int32_t replica, int64_t iteration, double wall_ms) override;
 
+  // --- Non-fatal surface (the executor's resilience path; see mux.h) ---
+  // Fetch tolerating kMissing (nullopt, *connection_lost=false — the key
+  // was reclaimed by recovery) and connection loss (*connection_lost=true).
+  // Corrupt plan bytes stay fatal.
+  std::optional<sim::ExecutionPlan> TryFetch(int64_t iteration,
+                                             int32_t replica,
+                                             bool* connection_lost);
+  // Heartbeat returning false on connection loss; *evicted=true when the
+  // server answered kEvicted (this replica was declared dead).
+  bool TryHeartbeat(int32_t replica, int64_t iteration, double wall_ms,
+                    bool* evicted);
+
  private:
   // One request/response exchange; fatal on connection or protocol failure.
   Frame Call(const Frame& request, FrameType expected_reply) const;
+  // Same exchange, nullopt on connect/write/read failure. The reply type is
+  // the caller's to validate.
+  std::optional<Frame> TryCall(const Frame& request) const;
 
   Connector connect_;
   std::atomic<int64_t> serialized_bytes_total_{0};

@@ -1,5 +1,6 @@
 #include "src/transport/store_server.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <optional>
@@ -33,6 +34,7 @@ void InstructionStoreServer::Stop() {
     }
     stopped_ = true;
   }
+  stopping_.store(true, std::memory_order_release);
   transport_->Close();
   accept_thread_.join();
   // Push workers parked in the store's capacity wait hold no way out except
@@ -145,7 +147,20 @@ void InstructionStoreServer::HandleConnection(Stream& conn) {
       write_reply(reply);
     }
   };
+  // Replicas announced on this connection (kAttach) that have not said
+  // kDetach. If the connection ends while any remain, the executor vanished
+  // — SIGKILL, crash, torn transport — and the liveness sink hears about it
+  // as an *unclean* disconnect. Suppressed while the server itself is
+  // stopping: teardown closes every stream, and that must not declare the
+  // whole fleet dead.
+  std::vector<int32_t> attached;
   const auto finish = [&] {
+    for (const int32_t replica : attached) {
+      if (!stopping_.load(std::memory_order_acquire)) {
+        store_->NotifyReplicaDisconnected(replica, /*clean=*/false);
+      }
+    }
+    attached.clear();
     if (!push_worker.joinable()) {
       return;  // no kPush ever arrived
     }
@@ -194,11 +209,28 @@ void InstructionStoreServer::HandleConnection(Stream& conn) {
         push_cv.notify_one();
         continue;  // reply deferred to the push worker
       }
-      case FrameType::kFetch:
-        reply.type = FrameType::kPlanBytes;
-        reply.payload = store_->FetchBytes(request->iteration, request->replica);
+      case FrameType::kFetch: {
+        // Try-fetch, not the fatal FetchBytes: after recovery reposts a
+        // dead replica's plan, the zombie's fetch of the moved key must be
+        // a kMissing on *its* connection, never an abort in the publisher.
+        std::optional<std::string> bytes =
+            store_->TryFetchBytes(request->iteration, request->replica);
+        if (bytes.has_value()) {
+          reply.type = FrameType::kPlanBytes;
+          reply.payload = std::move(*bytes);
+        } else {
+          reply.type = FrameType::kMissing;
+        }
         break;
+      }
       case FrameType::kContains:
+        // A publish-poll is evidence of life: an executor parked waiting for
+        // its next plan sends no heartbeats (heartbeats report *completed*
+        // iterations), and without this refresh a liveness deadline shorter
+        // than the idle window would declare every drained-but-polling
+        // survivor dead. Refreshing here scopes the heartbeat deadline to
+        // what it is meant to catch: a replica producing no traffic at all.
+        store_->NotifyReplicaAttached(request->replica);
         reply.type = FrameType::kBool;
         reply.payload.push_back(
             store_->Contains(request->iteration, request->replica) ? '\1'
@@ -223,6 +255,32 @@ void InstructionStoreServer::HandleConnection(Stream& conn) {
         // One delivery path: the store's heartbeat capability. False (no
         // sink attached) means acknowledged-and-discarded.
         store_->Heartbeat(request->replica, request->iteration, wall_ms);
+        // Fencing: a replica declared dead hears it on its next heartbeat —
+        // its plans were re-published, so the only safe instruction is
+        // "stop" (kEvicted), not an ack that keeps a zombie running.
+        reply.type = store_->ReplicaConsideredDead(request->replica)
+                         ? FrameType::kEvicted
+                         : FrameType::kOk;
+        break;
+      }
+      case FrameType::kAttach: {
+        if (store_->ReplicaConsideredDead(request->replica)) {
+          reply.type = FrameType::kEvicted;  // zombie reconnect: refuse
+          break;
+        }
+        store_->NotifyReplicaAttached(request->replica);
+        if (std::find(attached.begin(), attached.end(), request->replica) ==
+            attached.end()) {
+          attached.push_back(request->replica);
+        }
+        reply.type = FrameType::kOk;
+        break;
+      }
+      case FrameType::kDetach: {
+        store_->NotifyReplicaDisconnected(request->replica, /*clean=*/true);
+        attached.erase(
+            std::remove(attached.begin(), attached.end(), request->replica),
+            attached.end());
         reply.type = FrameType::kOk;
         break;
       }

@@ -83,6 +83,10 @@ class InstructionStoreServer {
   Transport* transport_;
   runtime::InstructionStore* store_;
   std::atomic<int64_t> requests_served_{0};
+  // Set before Stop() tears connections down: handler threads suppress the
+  // unclean-disconnect liveness report for connections *we* are closing —
+  // server teardown must not declare every attached executor dead.
+  std::atomic<bool> stopping_{false};
 
   std::mutex mu_;
   bool stopped_ = false;

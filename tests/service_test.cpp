@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/fault_injection.h"
 #include "src/common/thread_pool.h"
 #include "src/data/flan_generator.h"
 #include "src/data/minibatch_sampler.h"
@@ -27,6 +28,8 @@
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/plan_serde.h"
+#include "src/service/recovery.h"
+#include "src/transport/frame.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
 #include "src/transport/shm_store.h"
@@ -989,6 +992,329 @@ TEST(TrainerServiceTest, IterationRecordsCarryReplicaCompletionStats) {
     EXPECT_LE(record.replica_max_ms, record.measured_ms);
     EXPECT_TRUE(record.straggler_replicas.empty());
   }
+}
+
+// ---------- fault injection ----------
+
+TEST(FaultInjectionTest, SpecGrammarParses) {
+  common::FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(common::ParseFaultSpec("crash@2", &spec, &error)) << error;
+  EXPECT_EQ(spec.kind, common::FaultKind::kCrash);
+  EXPECT_EQ(spec.at, 2);
+  EXPECT_EQ(spec.site, "executor.heartbeat");  // kind's default site
+  ASSERT_TRUE(common::ParseFaultSpec("stall:250@1#my.site", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.kind, common::FaultKind::kStall);
+  EXPECT_DOUBLE_EQ(spec.stall_ms, 250.0);
+  EXPECT_EQ(spec.at, 1);
+  EXPECT_EQ(spec.site, "my.site");
+  ASSERT_TRUE(common::ParseFaultSpec("drop@0", &spec, &error)) << error;
+  EXPECT_EQ(spec.kind, common::FaultKind::kDropConnection);
+  EXPECT_EQ(spec.site, "transport.write");
+  ASSERT_TRUE(common::ParseFaultSpec("corrupt@3", &spec, &error)) << error;
+  EXPECT_EQ(spec.kind, common::FaultKind::kCorruptFrame);
+
+  EXPECT_FALSE(common::ParseFaultSpec("", &spec, &error));
+  EXPECT_FALSE(common::ParseFaultSpec("crash", &spec, &error));  // no @index
+  EXPECT_FALSE(common::ParseFaultSpec("stall@1", &spec, &error));  // no :ms
+  EXPECT_FALSE(common::ParseFaultSpec("crash:5@1", &spec, &error));
+  EXPECT_FALSE(common::ParseFaultSpec("frobnicate@1", &spec, &error));
+  EXPECT_FALSE(common::ParseFaultSpec("crash@x", &spec, &error));
+  EXPECT_FALSE(common::ParseFaultSpec("crash@-1", &spec, &error));
+  EXPECT_FALSE(common::ParseFaultSpec("crash@1#", &spec, &error));
+}
+
+TEST(FaultInjectionTest, DisarmedIsInertAndFiringIsOneShot) {
+  common::FaultInjector& injector = common::FaultInjector::Instance();
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(common::FaultPoint("anywhere"), common::FaultKind::kNone);
+
+  // Counted site: the N-th visit to the site fires, exactly once.
+  common::FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(common::ParseFaultSpec("drop@1#wire", &spec, &error)) << error;
+  injector.Arm(spec);
+  EXPECT_TRUE(injector.armed());
+  EXPECT_EQ(common::FaultPoint("elsewhere"), common::FaultKind::kNone);
+  EXPECT_EQ(common::FaultPoint("wire"), common::FaultKind::kNone);  // visit 0
+  EXPECT_EQ(common::FaultPoint("wire"),
+            common::FaultKind::kDropConnection);  // visit 1: fires
+  EXPECT_EQ(common::FaultPoint("wire"), common::FaultKind::kNone);  // latched
+
+  // Indexed site: fires when the caller-supplied index matches, once.
+  ASSERT_TRUE(common::ParseFaultSpec("corrupt@5#iter", &spec, &error)) << error;
+  injector.Arm(spec);
+  EXPECT_EQ(common::FaultPoint("iter", 4), common::FaultKind::kNone);
+  EXPECT_EQ(common::FaultPoint("iter", 5), common::FaultKind::kCorruptFrame);
+  EXPECT_EQ(common::FaultPoint("iter", 5), common::FaultKind::kNone);
+  injector.Disarm();  // singleton: leave nothing armed for other tests
+}
+
+// ---------- liveness state machine ----------
+
+TEST(HeartbeatMonitorTest, LivenessDeadlinesSuspectThenDeadAndDeathIsSticky) {
+  service::HeartbeatMonitorOptions opts;
+  opts.suspect_after_ms = 50.0;
+  opts.dead_after_ms = 500.0;
+  opts.watchdog = false;  // deterministic: the test ticks PollLiveness itself
+  service::HeartbeatMonitor monitor(opts);
+
+  EXPECT_EQ(monitor.Liveness(0), service::ReplicaLiveness::kUnknown);
+  monitor.OnReplicaAttached(0);
+  EXPECT_EQ(monitor.Liveness(0), service::ReplicaLiveness::kAlive);
+  EXPECT_EQ(monitor.PollLiveness(), 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_GE(monitor.PollLiveness(), 1);
+  EXPECT_EQ(monitor.Liveness(0), service::ReplicaLiveness::kSuspect);
+  EXPECT_FALSE(monitor.IsReplicaDead(0));
+
+  monitor.OnHeartbeat(0, 0, 1.0);  // a suspect that reports revives
+  EXPECT_EQ(monitor.Liveness(0), service::ReplicaLiveness::kAlive);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_GE(monitor.PollLiveness(), 1);
+  EXPECT_EQ(monitor.Liveness(0), service::ReplicaLiveness::kDead);
+  EXPECT_TRUE(monitor.IsReplicaDead(0));
+  EXPECT_EQ(monitor.DeadReplicas(), std::vector<int32_t>{0});
+
+  // Sticky: a zombie's heartbeat or re-attach never revives it — its plans
+  // may already have been re-published.
+  monitor.OnHeartbeat(0, 1, 1.0);
+  monitor.OnReplicaAttached(0);
+  EXPECT_EQ(monitor.Liveness(0), service::ReplicaLiveness::kDead);
+}
+
+TEST(HeartbeatMonitorTest, ConnectionDropGraceAndCleanDetach) {
+  // Grace 0: an unclean drop is immediate death (the SIGKILL shape).
+  {
+    service::HeartbeatMonitorOptions opts;
+    opts.watchdog = false;
+    service::HeartbeatMonitor monitor(opts);
+    monitor.OnReplicaAttached(1);
+    monitor.OnReplicaDisconnected(1, /*clean=*/false);
+    EXPECT_EQ(monitor.Liveness(1), service::ReplicaLiveness::kDead);
+    // Clean detach is expected absence: no death, deadlines off.
+    monitor.OnReplicaAttached(2);
+    monitor.OnReplicaDisconnected(2, /*clean=*/true);
+    EXPECT_EQ(monitor.Liveness(2), service::ReplicaLiveness::kDetached);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(monitor.PollLiveness(), 0);
+    EXPECT_EQ(monitor.Liveness(2), service::ReplicaLiveness::kDetached);
+  }
+  // Grace > 0: the drop is suspicion; reconnecting inside the grace
+  // survives, failing to blows the deadline.
+  {
+    service::HeartbeatMonitorOptions opts;
+    opts.connection_grace_ms = 50.0;
+    opts.watchdog = false;
+    service::HeartbeatMonitor monitor(opts);
+    monitor.OnReplicaAttached(3);
+    monitor.OnReplicaDisconnected(3, /*clean=*/false);
+    EXPECT_EQ(monitor.Liveness(3), service::ReplicaLiveness::kSuspect);
+    monitor.OnReplicaAttached(3);  // reconnected in time
+    EXPECT_EQ(monitor.Liveness(3), service::ReplicaLiveness::kAlive);
+    monitor.OnReplicaDisconnected(3, /*clean=*/false);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_GE(monitor.PollLiveness(), 1);
+    EXPECT_EQ(monitor.Liveness(3), service::ReplicaLiveness::kDead);
+  }
+}
+
+TEST(HeartbeatMonitorTest, EventCallbackStreamsEveryTransition) {
+  service::HeartbeatMonitorOptions opts;
+  opts.watchdog = false;
+  service::HeartbeatMonitor monitor(opts);
+  std::vector<service::ReplicaEvent> events;  // no watchdog: single-threaded
+  monitor.set_event_callback(
+      [&](const service::ReplicaEvent& event) { events.push_back(event); });
+  monitor.OnReplicaAttached(0);
+  monitor.OnReplicaDisconnected(0, /*clean=*/false);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].replica, 0);
+  EXPECT_EQ(events[0].from, service::ReplicaLiveness::kUnknown);
+  EXPECT_EQ(events[0].to, service::ReplicaLiveness::kAlive);
+  EXPECT_EQ(events[1].from, service::ReplicaLiveness::kAlive);
+  EXPECT_EQ(events[1].to, service::ReplicaLiveness::kDead);
+  EXPECT_FALSE(events[1].reason.empty());
+  monitor.set_event_callback(nullptr);
+}
+
+// ---------- recovery coordinator ----------
+
+TEST(RecoveryCoordinatorTest, MovesDeadReplicasBacklogToSurvivorsByteStable) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitorOptions mopts;
+  mopts.watchdog = false;
+  service::HeartbeatMonitor monitor(mopts);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_iteration_base = 10;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+
+  // Replica 1 dies with three unfetched plans; 0 and 2 are survivors.
+  store.PushBytes(0, 1, "plan-a");
+  store.PushBytes(1, 1, "plan-b");
+  store.PushBytes(2, 1, "plan-c");
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaDisconnected(1, /*clean=*/false);  // grace 0 -> kDead
+
+  EXPECT_TRUE(store.PendingIterations(1).empty());
+  // Round-robin over the survivors, spare numbers per survivor from the
+  // base — and the bytes are exactly what the dead replica would have run.
+  EXPECT_EQ(store.FetchBytes(10, 0), "plan-a");
+  EXPECT_EQ(store.FetchBytes(10, 2), "plan-b");
+  EXPECT_EQ(store.FetchBytes(11, 0), "plan-c");
+
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_EQ(report.dead_replicas, std::vector<int32_t>{1});
+  EXPECT_EQ(report.replanned_iterations, 3);
+  EXPECT_EQ(report.dropped_iterations, 0);
+  EXPECT_FALSE(report.fail_fast_triggered);
+  EXPECT_GE(report.recovery_ms, 0.0);
+}
+
+TEST(RecoveryCoordinatorTest, FailFastShutsTheStoreAndMovesNothing) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitorOptions mopts;
+  mopts.watchdog = false;
+  service::HeartbeatMonitor monitor(mopts);
+  service::RecoveryOptions ropts;
+  ropts.policy = service::FailurePolicy::kFailFast;
+  ropts.replicas = {0, 1};
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+
+  store.PushBytes(0, 1, "plan-a");
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaDisconnected(1, /*clean=*/false);
+
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_TRUE(report.fail_fast_triggered);
+  EXPECT_EQ(report.dead_replicas, std::vector<int32_t>{1});
+  EXPECT_EQ(report.replanned_iterations, 0);
+  // Nothing moved, and the store is shut down: the parked publisher's next
+  // Push is dropped instead of blocking forever.
+  EXPECT_EQ(store.PendingIterations(1), std::vector<int64_t>{0});
+  EXPECT_FALSE(store.PushBytes(5, 0, "plan-b"));
+}
+
+TEST(RecoveryCoordinatorTest, DropsBacklogWhenNoSurvivorRemains) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitorOptions mopts;
+  mopts.watchdog = false;
+  service::HeartbeatMonitor monitor(mopts);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {1};
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+
+  store.PushBytes(0, 1, "plan-a");
+  store.PushBytes(1, 1, "plan-b");
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaDisconnected(1, /*clean=*/false);
+
+  EXPECT_TRUE(store.PendingIterations(1).empty());
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_EQ(report.replanned_iterations, 0);
+  EXPECT_EQ(report.dropped_iterations, 2);
+}
+
+// ---------- trainer: degraded epochs ----------
+
+// Attaches `replica` to the trainer's store server over a raw socket and
+// drops the connection uncleanly (no kDetach) — a vanished executor as seen
+// from the wire. The trainer binds the server inside RunEpoch, so the whole
+// exchange retries until an ack lands (a half-done attempt that lost the
+// startup race just reconnects).
+void AttachThenVanish(const std::string& socket_path, int32_t replica) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::unique_ptr<transport::Stream> conn =
+        transport::ConnectUnixSocket(socket_path, /*timeout_ms=*/100);
+    if (conn == nullptr) {
+      continue;
+    }
+    transport::Frame attach;
+    attach.type = transport::FrameType::kAttach;
+    attach.replica = replica;
+    if (!WriteFrame(*conn, attach)) {
+      continue;
+    }
+    const std::optional<transport::Frame> reply = ReadFrame(*conn);
+    if (!reply.has_value() || reply->type != transport::FrameType::kOk) {
+      continue;
+    }
+    conn->Close();  // unclean: attached, never detached
+    return;
+  }
+  ADD_FAILURE() << "intruder never managed to attach to " << socket_path;
+}
+
+TEST(TrainerServiceTest, EpochContinuesDegradedWhenAttachedReplicaVanishes) {
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  runtime::Trainer trainer(config, hw, {1, 1, 4}, SmallProfile());
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  runtime::TrainerOptions opts;
+  opts.global_batch_tokens = 6144;
+  opts.max_input_len = 1024;
+  opts.max_iterations = 6;
+  opts.serialize_plans = true;
+  opts.plan_store_backend =
+      runtime::TrainerOptions::PlanStoreBackend::kUnixSocketMux;
+  opts.plan_store_socket_path = "/tmp/dynapipe-st-degraded-" +
+                                std::to_string(::getpid()) + ".sock";
+  // The fleet barrier holds the epoch until the intruder has attached, so
+  // the attach-then-vanish always lands inside the epoch, never in the
+  // teardown window. Default policy (degrade-and-continue), grace 0: the
+  // drop is death.
+  opts.liveness_await_replicas = 1;
+  std::thread intruder(AttachThenVanish, opts.plan_store_socket_path, 7);
+  const runtime::EpochResult res = trainer.RunEpoch(dataset, FastPlanner(), opts);
+  intruder.join();
+  ASSERT_TRUE(res.feasible) << res.failure;
+  EXPECT_EQ(res.iterations, 6);
+  EXPECT_EQ(res.dead_replicas, std::vector<int32_t>{7});
+  // The intruder published nothing, so death moves no plans.
+  EXPECT_EQ(res.replanned_iterations, 0);
+  ASSERT_FALSE(res.records.empty());
+  EXPECT_EQ(res.records.back().dead_replicas, std::vector<int32_t>{7});
+}
+
+TEST(TrainerServiceTest, FailFastPolicyAbortsTheEpochOnReplicaDeath) {
+  const auto config = model::ModelConfig::Gpt3_35B();
+  const model::HardwareSpec hw;
+  runtime::Trainer trainer(config, hw, {1, 1, 4}, SmallProfile());
+  data::FlanGeneratorOptions gen;
+  gen.num_samples = 300;
+  gen.length_cap = 1024;
+  const data::Dataset dataset = data::GenerateFlanLikeDataset(gen);
+  runtime::TrainerOptions opts;
+  opts.global_batch_tokens = 6144;
+  opts.max_input_len = 1024;
+  opts.max_iterations = 8;
+  opts.serialize_plans = true;
+  opts.plan_store_backend =
+      runtime::TrainerOptions::PlanStoreBackend::kUnixSocket;
+  opts.plan_store_socket_path = "/tmp/dynapipe-st-failfast-" +
+                                std::to_string(::getpid()) + ".sock";
+  opts.liveness_await_replicas = 1;  // barrier: death lands inside the epoch
+  opts.failure_policy = service::FailurePolicy::kFailFast;
+  std::thread intruder(AttachThenVanish, opts.plan_store_socket_path, 7);
+  const runtime::EpochResult res = trainer.RunEpoch(dataset, FastPlanner(), opts);
+  intruder.join();
+  EXPECT_FALSE(res.feasible);
+  EXPECT_NE(res.failure.find("declared dead"), std::string::npos)
+      << res.failure;
+  EXPECT_EQ(res.dead_replicas, std::vector<int32_t>{7});
 }
 
 }  // namespace

@@ -8,11 +8,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/fault_injection.h"
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/flan_generator.h"
 #include "src/data/minibatch_sampler.h"
@@ -29,6 +33,7 @@
 #include "src/runtime/planner.h"
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
+#include "src/service/recovery.h"
 #include "src/transport/frame.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
@@ -667,6 +672,298 @@ TEST(ExecutorDaemonTest, OpenEndedRunExitsCleanlyWhenPublisherShutsDown) {
     EXPECT_EQ(report.heartbeats_sent, 2);
     EXPECT_EQ(store.size(), 0u);
   }
+}
+
+// ---------- the failure control loop (acceptance criterion) ----------
+
+// Child-process body shared by the fault control-loop tests: optionally arm
+// one injected fault, run the executor, and encode the outcome as an exit
+// code the parent can assert on. gtest macros don't work in a fork()ed
+// child, so exit codes are the verdict:
+//   0 clean run    2 run failed    3 fetched bytes not among the published
+//   5 expected a reconnect that never happened    7 evicted    9 bad spec
+// Byte checks are set-membership (not index) because a survivor that picks
+// up a dead replica's re-published plan sees it at a spare iteration number,
+// with bytes identical to some plan the parent published.
+[[noreturn]] void RunFaultChild(const std::string& socket_path,
+                                executor::AttachEndpoint endpoint,
+                                int32_t replica,
+                                const std::vector<std::string>& expected_bytes,
+                                const char* fault_spec, int64_t iterations,
+                                bool require_reconnect) {
+  if (fault_spec != nullptr) {
+    common::FaultSpec spec;
+    std::string error;
+    if (!common::ParseFaultSpec(fault_spec, &spec, &error)) {
+      ::_exit(9);
+    }
+    common::FaultInjector::Instance().Arm(spec);
+  }
+  executor::ExecutorOptions opts;
+  opts.attach = socket_path;
+  opts.endpoint = endpoint;
+  opts.replica = replica;
+  opts.iterations = iterations;
+  opts.idle_timeout_ms = 30'000;
+  bool bytes_ok = true;
+  opts.observer = [&](const executor::IterationOutcome& outcome) {
+    const std::string bytes = service::EncodeExecutionPlan(*outcome.plan);
+    bytes_ok = bytes_ok && std::find(expected_bytes.begin(),
+                                     expected_bytes.end(),
+                                     bytes) != expected_bytes.end();
+  };
+  const executor::ExecutorReport report = executor::RunExecutor(opts);
+  if (!bytes_ok) ::_exit(3);
+  if (report.evicted) ::_exit(7);
+  if (!report.ok) ::_exit(2);
+  if (require_reconnect && report.reconnects == 0) ::_exit(5);
+  ::_exit(0);
+}
+
+bool WaitUntil(const std::function<bool()>& condition, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!condition()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+// Three executors; replica 1 SIGKILLs itself at iteration 1's heartbeat
+// fault point — a real crash, no unwind, no goodbye. The dedicated liveness
+// stream it held drops uncleanly, so with connection grace 0 the monitor
+// declares it dead immediately; the recovery coordinator moves its one
+// unfetched plan (iteration 2) to a survivor at a spare iteration number,
+// and the open-ended survivors — parked polling past their own epoch —
+// pick it up and drain the store to zero. Plans are byte-identical: the
+// children verify every fetched plan re-encodes to bytes the parent
+// published. fork() happens before any parent-side thread exists (TSan).
+TEST(FaultControlLoopTest, KilledExecutorIsDeclaredDeadAndBacklogMoves) {
+  constexpr int kIterations = 3;
+  constexpr int32_t kReplicas = 3;
+  constexpr int32_t kVictim = 1;
+  std::vector<std::vector<sim::ExecutionPlan>> plans(kReplicas);
+  std::vector<std::string> expected;
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      plans[static_cast<size_t>(r)].push_back(MarkerPlan(10 * i + r));
+      expected.push_back(
+          service::EncodeExecutionPlan(plans[static_cast<size_t>(r)].back()));
+    }
+  }
+  const std::string socket_path = UniqueSocketPath("kill");
+  std::vector<pid_t> children;
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      RunFaultChild(socket_path, executor::AttachEndpoint::kUnixSocket, r,
+                    expected, r == kVictim ? "crash@1" : nullptr,
+                    /*iterations=*/-1, /*require_reconnect=*/false);
+    }
+    children.push_back(child);
+  }
+
+  // Control plane. No heartbeat deadlines: death comes from the unclean
+  // connection drop alone (grace 0 = a vanished process is dead now). The
+  // coordinator subscribes before the server serves its first frame.
+  service::HeartbeatMonitor monitor;
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.set_heartbeat_sink(&monitor);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_iteration_base = kIterations;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  auto transport = std::make_unique<transport::UnixSocketTransport>(socket_path);
+  auto server = std::make_unique<transport::InstructionStoreServer>(
+      transport.get(), &store);
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      store.Push(i, r, plans[static_cast<size_t>(r)][static_cast<size_t>(i)]);
+    }
+  }
+
+  // The victim dies by SIGKILL at its own fault point, after consuming
+  // iterations 0 and 1.
+  int status = 0;
+  ASSERT_EQ(::waitpid(children[kVictim], &status, 0), children[kVictim]);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "victim status " << status;
+  // Death declared, backlog re-published, survivors drain everything —
+  // including the moved plan at its spare iteration.
+  ASSERT_TRUE(WaitUntil([&] { return store.size() == 0; }, 30'000));
+  EXPECT_EQ(monitor.Liveness(kVictim), service::ReplicaLiveness::kDead);
+  EXPECT_EQ(monitor.DeadReplicas(), std::vector<int32_t>{kVictim});
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_EQ(report.dead_replicas, std::vector<int32_t>{kVictim});
+  EXPECT_EQ(report.replanned_iterations, 1);  // iteration 2's plan moved
+  EXPECT_EQ(report.dropped_iterations, 0);
+  EXPECT_FALSE(report.fail_fast_triggered);
+  EXPECT_GE(report.recovery_ms, 0.0);
+
+  // Teardown ends the survivors' open-ended runs cleanly.
+  server->Stop();
+  server.reset();
+  transport.reset();
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    if (r == kVictim) continue;
+    ASSERT_EQ(::waitpid(children[static_cast<size_t>(r)], &status, 0),
+              children[static_cast<size_t>(r)]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "survivor " << r << " status " << status;
+  }
+}
+
+// Replica 1 wedges (stalls 1500 ms mid-iteration — connection still up, so
+// only the heartbeat deadline can catch it). The watchdog declares it dead
+// at dead_after_ms, its pending plan moves to a survivor, and when the
+// stalled process wakes and heartbeats, the server answers kEvicted: the
+// zombie stops instead of double-running work that was re-published. The
+// drained survivors meanwhile sit in publish-polls — traffic that refreshes
+// their liveness, which is exactly why a deadline much shorter than the
+// idle window doesn't kill them. Margins are TSan-safe: the 1500 ms sleep
+// is not inflated, and the deadline only has to split 1500 from the
+// milliseconds of real work per iteration.
+TEST(FaultControlLoopTest, StalledExecutorIsEvictedAndSurvivorsTakeBacklog) {
+  constexpr int kIterations = 3;
+  constexpr int32_t kReplicas = 3;
+  constexpr int32_t kVictim = 1;
+  std::vector<std::vector<sim::ExecutionPlan>> plans(kReplicas);
+  std::vector<std::string> expected;
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      plans[static_cast<size_t>(r)].push_back(MarkerPlan(100 + 10 * i + r));
+      expected.push_back(
+          service::EncodeExecutionPlan(plans[static_cast<size_t>(r)].back()));
+    }
+  }
+  const std::string socket_path = UniqueSocketPath("stall");
+  std::vector<pid_t> children;
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      RunFaultChild(socket_path, executor::AttachEndpoint::kUnixSocketMux, r,
+                    expected, r == kVictim ? "stall:1500@1" : nullptr,
+                    /*iterations=*/-1, /*require_reconnect=*/false);
+    }
+    children.push_back(child);
+  }
+
+  service::HeartbeatMonitorOptions mopts;
+  mopts.suspect_after_ms = 150.0;
+  mopts.dead_after_ms = 450.0;
+  service::HeartbeatMonitor monitor(mopts);
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.set_heartbeat_sink(&monitor);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_iteration_base = kIterations;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  auto transport = std::make_unique<transport::UnixSocketTransport>(socket_path);
+  auto server = std::make_unique<transport::InstructionStoreServer>(
+      transport.get(), &store);
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      store.Push(i, r, plans[static_cast<size_t>(r)][static_cast<size_t>(i)]);
+    }
+  }
+
+  // The victim wakes from its stall into a kEvicted heartbeat reply and
+  // exits as evicted (code 7) — the server must still be up for it to hear
+  // the verdict, so it is reaped before teardown.
+  int status = 0;
+  ASSERT_EQ(::waitpid(children[kVictim], &status, 0), children[kVictim]);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 7)
+      << "victim status " << status;
+  ASSERT_TRUE(WaitUntil([&] { return store.size() == 0; }, 30'000));
+  EXPECT_EQ(monitor.DeadReplicas(), std::vector<int32_t>{kVictim});
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_EQ(report.dead_replicas, std::vector<int32_t>{kVictim});
+  EXPECT_EQ(report.replanned_iterations, 1);
+  EXPECT_EQ(report.dropped_iterations, 0);
+
+  server->Stop();
+  server.reset();
+  transport.reset();
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    if (r == kVictim) continue;
+    ASSERT_EQ(::waitpid(children[static_cast<size_t>(r)], &status, 0),
+              children[static_cast<size_t>(r)]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "survivor " << r << " status " << status;
+  }
+}
+
+// Replica 1's third frame on its persistent mux stream is corrupted in
+// flight (the injector flips the type byte, so the server deterministically
+// rejects it and drops the connection). With a connection grace configured
+// the drop is suspicion, not death: the executor reconnects, re-attaches,
+// retries, and finishes its counted run — the fault is a hiccup, nobody is
+// declared dead, and nothing is re-published.
+TEST(FaultControlLoopTest, CorruptedFrameCausesReconnectNotDeath) {
+  constexpr int kIterations = 3;
+  constexpr int32_t kReplicas = 3;
+  constexpr int32_t kVictim = 1;
+  std::vector<std::vector<sim::ExecutionPlan>> plans(kReplicas);
+  std::vector<std::string> expected;
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      plans[static_cast<size_t>(r)].push_back(MarkerPlan(200 + 10 * i + r));
+      expected.push_back(
+          service::EncodeExecutionPlan(plans[static_cast<size_t>(r)].back()));
+    }
+  }
+  const std::string socket_path = UniqueSocketPath("corrupt");
+  std::vector<pid_t> children;
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      RunFaultChild(socket_path, executor::AttachEndpoint::kUnixSocketMux, r,
+                    expected, r == kVictim ? "corrupt@2" : nullptr,
+                    /*iterations=*/kIterations,
+                    /*require_reconnect=*/r == kVictim);
+    }
+    children.push_back(child);
+  }
+
+  service::HeartbeatMonitorOptions mopts;
+  mopts.connection_grace_ms = 2'000.0;  // a drop is suspicion, not death
+  service::HeartbeatMonitor monitor(mopts);
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.set_heartbeat_sink(&monitor);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_iteration_base = kIterations;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  auto transport = std::make_unique<transport::UnixSocketTransport>(socket_path);
+  auto server = std::make_unique<transport::InstructionStoreServer>(
+      transport.get(), &store);
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      store.Push(i, r, plans[static_cast<size_t>(r)][static_cast<size_t>(i)]);
+    }
+  }
+
+  for (const pid_t child : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "executor status " << status;
+  }
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(monitor.DeadReplicas().empty());
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_TRUE(report.dead_replicas.empty());
+  EXPECT_EQ(report.replanned_iterations, 0);
+  server->Stop();
 }
 
 // The mux client against the store server: many threads sharing ONE stream,

@@ -23,16 +23,29 @@
 // the chosen backend while fork()ed children run the exact --attach path
 // above — one deliberately slowed — and the parent verifies byte-identical
 // delivery, full drain, and (on the wire backends) straggler attribution.
+//
+// --fault <spec> (or DYNAPIPE_FAULT in the environment) arms the fault
+// injector (src/common/fault_injection.h): in --attach mode the fault fires
+// in this process; combined with --demo it fires in one forked child and the
+// parent verifies the full control loop — death declared, pending plans
+// re-published to the survivors, store drained:
+//
+//   dynapipe_executor --demo socket --fault crash@1      (SIGKILL mid-epoch)
+//   dynapipe_executor --demo mux --fault stall:1200@1    (wedge past deadline)
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/flan_generator.h"
 #include "src/data/minibatch_sampler.h"
@@ -41,6 +54,7 @@
 #include "src/runtime/planner.h"
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
+#include "src/service/recovery.h"
 #include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
 #include "src/transport/transport.h"
@@ -91,7 +105,12 @@ void PrintUsage(const char* argv0) {
       "  --poll-ms <ms>        publish-poll interval (default 1)\n"
       "  --idle-timeout-ms <ms> exit/open-ended or fail/counted after this\n"
       "                        long with no new plan (default 10000)\n"
-      "  --attach-timeout-ms <ms> connect/attach retry budget (default 10000)\n",
+      "  --attach-timeout-ms <ms> connect/attach retry budget (default 10000)\n"
+      "  --fault <spec>        arm a fault: kind[:ms]@index[#site], kind in\n"
+      "                        crash|stall|drop|corrupt (e.g. crash@1,\n"
+      "                        stall:1200@1, corrupt@2). With --demo, fires\n"
+      "                        in one forked executor and the parent checks\n"
+      "                        detection + re-publish to survivors\n",
       argv0, argv0);
 }
 
@@ -111,12 +130,15 @@ int RunAttachMode(const executor::ExecutorOptions& options) {
   }
   std::printf(
       "[executor] done: %lld iterations, %lld instructions, "
-      "%lld heartbeats%s (fetch %.2f ms, heartbeat %.2f ms total)\n",
+      "%lld heartbeats%s (fetch %.2f ms, heartbeat %.2f ms total, "
+      "%lld reconnects%s)\n",
       static_cast<long long>(report.iterations_run),
       static_cast<long long>(report.instructions_executed),
       static_cast<long long>(report.heartbeats_sent),
       report.heartbeat_supported ? "" : " (backend has no heartbeat channel)",
-      report.fetch_ms_total, report.heartbeat_ms_total);
+      report.fetch_ms_total, report.heartbeat_ms_total,
+      static_cast<long long>(report.reconnects),
+      report.evicted ? ", evicted" : "");
   return 0;
 }
 
@@ -171,24 +193,47 @@ std::vector<sim::ExecutionPlan> PlanDemoEpoch() {
   return plans;
 }
 
+// Which replica the --demo --fault run injects into. Not the slow replica:
+// the fault demo drops the straggler setup entirely (it verifies the failure
+// loop, not attribution).
+constexpr int kDemoFaultReplica = 1;
+
 // The forked child's whole life: run the real --attach path against the
-// parent, verifying each fetched plan re-encodes to the bytes the parent
-// published (inherited across the fork). Exit code is the verdict.
+// parent, verifying each fetched plan re-encodes to bytes the parent
+// published (inherited across the fork). Exit code is the verdict. In fault
+// mode all children run open-ended — survivors must keep polling past their
+// own share to pick up re-published plans at spare iteration numbers, so the
+// byte check becomes set membership (a reposted plan keeps its bytes but not
+// its original iteration key).
 [[noreturn]] void RunDemoChild(const std::string& attach,
                                executor::AttachEndpoint endpoint,
                                int32_t replica,
-                               const std::vector<std::string>& expected) {
+                               const std::vector<std::string>& expected,
+                               const common::FaultSpec* fault) {
+  if (fault != nullptr && replica == kDemoFaultReplica) {
+    common::FaultInjector::Instance().Arm(*fault);
+  }
+  const bool fault_mode = fault != nullptr;
   executor::ExecutorOptions opts;
   opts.attach = attach;
   opts.endpoint = endpoint;
   opts.replica = replica;
-  opts.iterations = kDemoIterations;
-  opts.slow_ms = replica == kDemoSlowReplica ? kDemoSlowMs : 0.0;
+  opts.iterations = fault_mode ? -1 : kDemoIterations;
+  opts.idle_timeout_ms = fault_mode ? 2000 : 10'000;
+  opts.slow_ms =
+      (!fault_mode && replica == kDemoSlowReplica) ? kDemoSlowMs : 0.0;
   bool bytes_ok = true;
   opts.observer = [&](const executor::IterationOutcome& o) {
-    bytes_ok = bytes_ok &&
-               service::EncodeExecutionPlan(*o.plan) ==
-                   expected[static_cast<size_t>(o.iteration)];
+    const std::string encoded = service::EncodeExecutionPlan(*o.plan);
+    if (fault_mode) {
+      bool member = false;
+      for (const std::string& bytes : expected) {
+        member = member || encoded == bytes;
+      }
+      bytes_ok = bytes_ok && member;
+    } else {
+      bytes_ok = bytes_ok && encoded == expected[static_cast<size_t>(o.iteration)];
+    }
   };
   const executor::ExecutorReport report = executor::RunExecutor(opts);
   if (!report.ok) {
@@ -199,10 +244,14 @@ std::vector<sim::ExecutionPlan> PlanDemoEpoch() {
     std::fprintf(stderr, "[executor %d] fetched plan bytes differ\n", replica);
     ::_exit(3);
   }
+  if (report.evicted) {
+    std::fprintf(stderr, "[executor %d] evicted after %lld iterations\n",
+                 replica, static_cast<long long>(report.iterations_run));
+  }
   ::_exit(0);
 }
 
-int RunDemo(const std::string& kind) {
+int RunDemo(const std::string& kind, const std::string& fault_text) {
   executor::AttachEndpoint endpoint;
   if (kind == "socket") {
     endpoint = executor::AttachEndpoint::kUnixSocket;
@@ -216,6 +265,21 @@ int RunDemo(const std::string& kind) {
     return 1;
   }
   const bool over_wire = endpoint != executor::AttachEndpoint::kSharedMemory;
+  common::FaultSpec fault;
+  const bool fault_mode = !fault_text.empty();
+  if (fault_mode) {
+    std::string error;
+    if (!common::ParseFaultSpec(fault_text, &fault, &error)) {
+      std::fprintf(stderr, "--fault: %s\n", error.c_str());
+      return 1;
+    }
+    if (!over_wire) {
+      std::fprintf(stderr, "--demo shm --fault: the shm backend has no "
+                           "server, so there is no failure detector to "
+                           "demo\n");
+      return 1;
+    }
+  }
   const std::string attach =
       over_wire
           ? "/tmp/dynapipe-exec-demo-" + std::to_string(::getpid()) + ".sock"
@@ -238,18 +302,29 @@ int RunDemo(const std::string& kind) {
       return 1;
     }
     if (pid == 0) {
-      RunDemoChild(attach, endpoint, replica, expected);
+      RunDemoChild(attach, endpoint, replica, expected,
+                   fault_mode ? &fault : nullptr);
     }
     children.push_back(pid);
   }
 
-  // Trainer side: bring the store up, publish, watch heartbeats.
-  service::HeartbeatMonitor monitor(
-      service::HeartbeatMonitorOptions{/*straggler_multiple=*/2.0,
-                                       /*min_straggler_gap_ms=*/25.0});
+  // Trainer side: bring the store up, publish, watch heartbeats. In fault
+  // mode the monitor gets liveness deadlines (well under the demo stall and
+  // idle budgets) and a RecoveryCoordinator closes the loop: death declared
+  // -> pending plans re-published to the survivors at spare iterations.
+  service::HeartbeatMonitorOptions monitor_opts;
+  monitor_opts.straggler_multiple = 2.0;
+  monitor_opts.min_straggler_gap_ms = 25.0;
+  if (fault_mode) {
+    monitor_opts.suspect_after_ms = 150.0;
+    monitor_opts.dead_after_ms = 450.0;
+    monitor_opts.connection_grace_ms = 0.0;  // a dropped connection is death
+  }
+  service::HeartbeatMonitor monitor(monitor_opts);
   std::optional<runtime::InstructionStore> store;
   std::optional<transport::UnixSocketTransport> transport_ep;
   std::optional<transport::InstructionStoreServer> server;
+  std::optional<service::RecoveryCoordinator> recovery;
   std::shared_ptr<transport::ShmInstructionStore> shm;
   runtime::InstructionStoreInterface* publish_to = nullptr;
   if (over_wire) {
@@ -258,6 +333,14 @@ int RunDemo(const std::string& kind) {
     store->set_heartbeat_sink(&monitor);
     transport_ep.emplace(attach);
     server.emplace(&*transport_ep, &*store);
+    if (fault_mode) {
+      service::RecoveryOptions ropts;
+      for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+        ropts.replicas.push_back(replica);
+      }
+      ropts.spare_iteration_base = kDemoIterations;
+      recovery.emplace(&*store, &monitor, ropts);
+    }
     publish_to = &*store;
   } else {
     shm = transport::ShmInstructionStore::Create(attach,
@@ -269,16 +352,43 @@ int RunDemo(const std::string& kind) {
       publish_to->Push(i, replica, plans[static_cast<size_t>(i)]);
     }
   }
-  std::printf("[demo] published %dx%d plans on %s (%s), replica %d slowed "
-              "%.0f ms/iter\n",
-              kDemoIterations, kDemoReplicas, attach.c_str(),
-              executor::EndpointName(endpoint), kDemoSlowReplica, kDemoSlowMs);
+  if (fault_mode) {
+    std::printf("[demo] published %dx%d plans on %s (%s), fault '%s' armed "
+                "in replica %d\n",
+                kDemoIterations, kDemoReplicas, attach.c_str(),
+                executor::EndpointName(endpoint), fault_text.c_str(),
+                kDemoFaultReplica);
+  } else {
+    std::printf("[demo] published %dx%d plans on %s (%s), replica %d slowed "
+                "%.0f ms/iter\n",
+                kDemoIterations, kDemoReplicas, attach.c_str(),
+                executor::EndpointName(endpoint), kDemoSlowReplica,
+                kDemoSlowMs);
+  }
 
   bool ok = true;
-  for (const pid_t child : children) {
+  for (size_t c = 0; c < children.size(); ++c) {
+    const pid_t child = children[c];
     int status = 0;
-    if (::waitpid(child, &status, 0) != child || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
+    if (::waitpid(child, &status, 0) != child) {
+      std::fprintf(stderr, "[demo] waitpid for executor %zu failed\n", c);
+      ok = false;
+      continue;
+    }
+    const bool is_fault_child =
+        fault_mode && static_cast<int>(c) == kDemoFaultReplica;
+    if (is_fault_child && fault.kind == common::FaultKind::kCrash) {
+      // The injected SIGKILL is the expected death.
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        std::fprintf(stderr,
+                     "[demo] fault executor should have died by SIGKILL, "
+                     "status %d\n",
+                     status);
+        ok = false;
+      }
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      // Covers the stalled fault child too: it must wake into the eviction
+      // fence and exit *cleanly* (open-ended run, evicted = ok).
       std::fprintf(stderr, "[demo] executor pid %d exited abnormally (%d)\n",
                    static_cast<int>(child), status);
       ok = false;
@@ -288,6 +398,38 @@ int RunDemo(const std::string& kind) {
     std::fprintf(stderr, "[demo] %zu plans left undrained\n",
                  publish_to->size());
     ok = false;
+  }
+
+  if (fault_mode) {
+    const service::RecoveryReport rreport = recovery->report();
+    std::printf("[demo] recovery: dead=[");
+    for (size_t i = 0; i < rreport.dead_replicas.size(); ++i) {
+      std::printf("%s%d", i == 0 ? "" : ",", rreport.dead_replicas[i]);
+    }
+    std::printf("] replanned=%lld dropped=%lld recovery=%.2f ms\n",
+                static_cast<long long>(rreport.replanned_iterations),
+                static_cast<long long>(rreport.dropped_iterations),
+                rreport.recovery_ms);
+    if (rreport.dead_replicas !=
+        std::vector<int32_t>{kDemoFaultReplica}) {
+      std::fprintf(stderr,
+                   "[demo] expected exactly replica %d declared dead\n",
+                   kDemoFaultReplica);
+      ok = false;
+    }
+    if (rreport.dropped_iterations != 0) {
+      std::fprintf(stderr, "[demo] recovery dropped plans despite live "
+                           "survivors\n");
+      ok = false;
+    }
+    if (server.has_value()) {
+      server->Stop();
+    }
+    std::printf("[demo] %s\n",
+                ok ? "ok: fault fired, death declared, backlog re-published, "
+                     "survivors drained"
+                   : "FAILED");
+    return ok ? 0 : 1;
   }
 
   if (over_wire) {
@@ -325,8 +467,13 @@ int RunDemo(const std::string& kind) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // DYNAPIPE_FAULT in the environment arms this process directly (the way a
+  // test harness injects into a spawned daemon); --fault below does the same
+  // for --attach mode, or selects the demo's injected child.
+  common::FaultInjector::Instance().ArmFromEnv();
   executor::ExecutorOptions options;
   std::string demo;
+  std::string fault_text;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -375,6 +522,8 @@ int main(int argc, char** argv) {
           static_cast<int>(ParseIntFlag("--attach-timeout-ms", next()));
     } else if (arg == "--demo") {
       demo = next();
+    } else if (arg == "--fault") {
+      fault_text = next();
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;
@@ -385,7 +534,16 @@ int main(int argc, char** argv) {
     }
   }
   if (!demo.empty()) {
-    return RunDemo(demo);
+    return RunDemo(demo, fault_text);
+  }
+  if (!fault_text.empty()) {
+    common::FaultSpec fault;
+    std::string error;
+    if (!common::ParseFaultSpec(fault_text, &fault, &error)) {
+      std::fprintf(stderr, "--fault: %s\n", error.c_str());
+      return 1;
+    }
+    common::FaultInjector::Instance().Arm(fault);
   }
   if (options.attach.empty()) {
     PrintUsage(argv[0]);
