@@ -39,9 +39,12 @@
 #include <new>
 #include <string>
 #include <unistd.h>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/minibatch_sampler.h"
 #include "src/runtime/instruction_store.h"
@@ -231,6 +234,36 @@ RecoveryRow MeasureRecovery(const sim::ExecutionPlan& plan, int backlog,
   return row;
 }
 
+// Observability overhead: what one instrument operation costs armed vs
+// disarmed (docs/OBSERVABILITY.md "Cost discipline"). The disarmed rows are
+// the budget holders: one relaxed load and a branch, zero allocations — in
+// particular the shm publish row must show no extra allocations with
+// everything disarmed.
+struct OverheadRow {
+  const char* name;
+  double armed_ns = 0.0;
+  double disarmed_ns = 0.0;
+  double armed_allocs = 0.0;
+  double disarmed_allocs = 0.0;
+};
+
+// ns and allocations per op. The ops have atomic side effects when armed;
+// the barrier keeps the disarmed loops from folding to nothing.
+template <typename Op>
+std::pair<double, double> MeasureOpNs(Op&& op, int iters) {
+  const int64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    op(i);
+    asm volatile("" ::: "memory");
+  }
+  const double ns = MsSince(t0) * 1e6 / iters;
+  const double allocs =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      iters;
+  return {ns, allocs};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -386,5 +419,98 @@ int main(int argc, char** argv) {
   std::printf(
       "(unclean connection drop -> death declared -> backlog re-published to "
       "2 survivors; reposts are key moves on resident bytes, no re-encode)\n");
+
+  // Observability overhead. Ordering matters: the shm publish rows run
+  // before the trace-span row enables tracing, because tracer enablement is
+  // sticky — so "armed" here means metrics armed, tracing off (the
+  // steady-state production configuration), and "disarmed" means everything
+  // off.
+  std::vector<OverheadRow> ov_rows;
+  {
+    common::MetricsRegistry& reg = common::MetricsRegistry::Instance();
+    common::Counter& counter = reg.GetCounter("bench_overhead_total");
+    common::LatencyHistogram& hist = reg.GetHistogram("bench_overhead_us");
+    constexpr int kOps = 4'000'000;
+    const auto measure_metric = [&](const char* name, auto&& op) {
+      OverheadRow row;
+      row.name = name;
+      common::Metrics::set_enabled(true);
+      std::tie(row.armed_ns, row.armed_allocs) = MeasureOpNs(op, kOps);
+      common::Metrics::set_enabled(false);
+      std::tie(row.disarmed_ns, row.disarmed_allocs) = MeasureOpNs(op, kOps);
+      common::Metrics::set_enabled(true);
+      ov_rows.push_back(row);
+    };
+    measure_metric("counter add", [&](int) { counter.Add(); });
+    measure_metric("histogram record",
+                   [&](int i) { hist.RecordUs(i & 1023); });
+    measure_metric("latency timer", [&](int) {
+      const common::LatencyTimer timer;
+      timer.ObserveInto(hist);
+    });
+
+    // The shm publish path, armed vs disarmed (µs-scale; shown in ns for
+    // one table). The disarmed row is the ≤5%-regression / 0-extra-allocs
+    // budget from the acceptance criteria.
+    {
+      OverheadRow row;
+      row.name = "shm publish";
+      int shm_tag = 0;
+      const auto measure_shm = [&] {
+        auto store = transport::ShmInstructionStore::Create(
+            "/dynapipe-bench-ov-" + std::to_string(::getpid()) + "-" +
+                std::to_string(shm_tag++),
+            transport::ShmStoreOptions{});
+        store->Push(-1, 0, exec);
+        store->Fetch(-1, 0);  // warm: scratch + arena touched
+        int64_t allocs = 0;
+        double ms = 0.0;
+        for (int i = 0; i < rounds; ++i) {
+          const int64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+          const auto t0 = std::chrono::steady_clock::now();
+          store->Push(i, 0, exec);
+          ms += MsSince(t0);
+          allocs += g_allocs.load(std::memory_order_relaxed) - allocs0;
+          store->Fetch(i, 0);  // drain the slot, untimed
+        }
+        return std::pair<double, double>(ms * 1e6 / rounds,
+                                         static_cast<double>(allocs) / rounds);
+      };
+      common::Metrics::set_enabled(true);
+      std::tie(row.armed_ns, row.armed_allocs) = measure_shm();
+      common::Metrics::set_enabled(false);
+      std::tie(row.disarmed_ns, row.disarmed_allocs) = measure_shm();
+      common::Metrics::set_enabled(true);
+      ov_rows.push_back(row);
+    }
+
+    // Trace span last: enabling the tracer is process-sticky. Disarmed
+    // (tracing off) measured first; armed records into this thread's ring.
+    {
+      OverheadRow row;
+      row.name = "trace span";
+      std::tie(row.disarmed_ns, row.disarmed_allocs) = MeasureOpNs(
+          [](int i) { common::TraceSpan span("bench", "bench", i); }, kOps);
+      common::Tracer::Instance().EnableToPath("/dev/null");
+      std::tie(row.armed_ns, row.armed_allocs) = MeasureOpNs(
+          [](int i) { common::TraceSpan span("bench", "bench", i); }, kOps);
+      ov_rows.push_back(row);
+    }
+  }
+  std::printf("\n%-20s | %11s | %13s | %12s | %15s\n", "instrument",
+              "armed ns/op", "disarmed ns/op", "armed allocs",
+              "disarmed allocs");
+  std::printf("---------------------+-------------+---------------+"
+              "--------------+----------------\n");
+  for (const OverheadRow& row : ov_rows) {
+    std::printf("%-20s | %11.1f | %13.1f | %12.2f | %15.2f\n", row.name,
+                row.armed_ns, row.disarmed_ns, row.armed_allocs,
+                row.disarmed_allocs);
+  }
+  std::printf(
+      "(disarmed = one relaxed load + branch; shm publish rows are the full "
+      "encode-into-arena push of the bench plan, metrics armed vs off — the "
+      "alloc columns must match, instrumentation adds none; trace span armed "
+      "writes a ring entry + two clock reads, no file I/O)\n");
   return 0;
 }

@@ -55,3 +55,18 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # fencing path, over the mux transport).
 "$BUILD_DIR"/dynapipe_executor --demo socket --fault crash@1
 "$BUILD_DIR"/dynapipe_executor --demo mux --fault stall:1200@1
+
+# Smoke the observability stack end to end: the traced mux demo must write
+# one merged Chrome-trace JSON covering the parent (planner/publisher) and
+# all three forked executors. python3 -m json.tool is the structural check;
+# the pid count proves cross-process merge actually happened (parent + at
+# least one part file — the full 4 is asserted by observability_test).
+TRACE_OUT="$(mktemp -t dynapipe-trace-XXXXXX.json)"
+DYNAPIPE_TRACE="$TRACE_OUT" "$BUILD_DIR"/dynapipe_executor --demo mux --metrics-dump >/dev/null
+python3 -m json.tool "$TRACE_OUT" >/dev/null
+pids="$(grep -o '"pid":[0-9]*' "$TRACE_OUT" | sort -u | wc -l)"
+if [ "$pids" -lt 2 ]; then
+  echo "ERROR: merged trace $TRACE_OUT covers $pids process(es); want >= 2" >&2
+  exit 1
+fi
+rm -f "$TRACE_OUT"

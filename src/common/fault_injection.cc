@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
 
 namespace dynapipe::common {
 namespace {
@@ -150,6 +151,11 @@ FaultKind FaultInjector::HitSlow(const char* site, int64_t index,
     fired_ = true;  // one-shot: recovery (reconnect, resume) runs clean
     action = spec_.kind;
     stall_ms = spec_.stall_ms;
+  }
+  {
+    static Counter& faults_fired =
+        MetricsRegistry::Instance().GetCounter("faults_fired_total");
+    faults_fired.Add();
   }
   switch (action) {
     case FaultKind::kCrash:

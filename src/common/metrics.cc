@@ -1,0 +1,201 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace dynapipe::common {
+
+std::atomic<bool> Metrics::enabled_{true};
+
+// Instruments live behind unique_ptr so references stay stable as the maps
+// grow; the maps are never erased from.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked (like FaultInjector::Instance) so instruments outlive static
+  // destructors of threads still recording at exit.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(i.mu);
+  snap.counters.reserve(i.counters.size());
+  for (const auto& [name, c] : i.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(i.gauges.size());
+  for (const auto& [name, g] : i.gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(i.histograms.size());
+  for (const auto& [name, h] : i.histograms) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = name;
+    hv.count = h->count();
+    hv.sum_us = h->sum_us();
+    int last = -1;
+    for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      if (h->bucket(b) != 0) {
+        last = b;
+      }
+    }
+    hv.buckets.reserve(static_cast<size_t>(last + 1));
+    for (int b = 0; b <= last; ++b) {
+      hv.buckets.push_back(h->bucket(b));
+    }
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+namespace {
+
+template <typename Vec>
+auto FindByName(const Vec& vec, std::string_view name) -> decltype(&vec[0]) {
+  for (const auto& entry : vec) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int64_t MetricsSnapshot::counter(std::string_view name) const {
+  const CounterValue* c = FindByName(counters, name);
+  return c == nullptr ? 0 : c->value;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  const CounterValue* g = FindByName(gauges, name);
+  return g == nullptr ? 0 : g->value;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  return FindByName(histograms, name);
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  delta.counters.reserve(counters.size());
+  for (const CounterValue& c : counters) {
+    delta.counters.push_back({c.name, c.value - earlier.counter(c.name)});
+  }
+  delta.gauges = gauges;
+  delta.histograms.reserve(histograms.size());
+  for (const HistogramValue& h : histograms) {
+    HistogramValue d = h;
+    if (const HistogramValue* e = earlier.histogram(h.name); e != nullptr) {
+      d.count -= e->count;
+      d.sum_us -= e->sum_us;
+      for (size_t b = 0; b < d.buckets.size() && b < e->buckets.size(); ++b) {
+        d.buckets[b] -= e->buckets[b];
+      }
+    }
+    delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToPrometheusText(std::string_view prefix) const {
+  std::ostringstream oss;
+  for (const CounterValue& c : counters) {
+    oss << "# TYPE " << prefix << c.name << " counter\n"
+        << prefix << c.name << " " << c.value << "\n";
+  }
+  for (const CounterValue& g : gauges) {
+    oss << "# TYPE " << prefix << g.name << " gauge\n"
+        << prefix << g.name << " " << g.value << "\n";
+  }
+  for (const HistogramValue& h : histograms) {
+    oss << "# TYPE " << prefix << h.name << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      oss << prefix << h.name << "_bucket{le=\""
+          << LatencyHistogram::BucketUpperUs(static_cast<int>(b)) << "\"} "
+          << cumulative << "\n";
+    }
+    oss << prefix << h.name << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+        << prefix << h.name << "_sum " << h.sum_us << "\n"
+        << prefix << h.name << "_count " << h.count << "\n";
+  }
+  return oss.str();
+}
+
+StoreMetrics& StoreMetrics::For(const char* backend) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<StoreMetrics>>* interned =
+      new std::map<std::string, std::unique_ptr<StoreMetrics>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = interned->find(backend);
+  if (it == interned->end()) {
+    MetricsRegistry& reg = MetricsRegistry::Instance();
+    const std::string base = std::string("store_") + backend + "_";
+    auto bundle = std::unique_ptr<StoreMetrics>(new StoreMetrics{
+        reg.GetCounter(base + "push_total"),
+        reg.GetCounter(base + "fetch_total"),
+        reg.GetCounter(base + "bytes_pushed_total"),
+        reg.GetHistogram(base + "push_us"),
+        reg.GetHistogram(base + "fetch_us"),
+        reg.GetHistogram(base + "park_us"),
+    });
+    it = interned->emplace(backend, std::move(bundle)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace dynapipe::common

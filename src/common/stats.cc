@@ -66,6 +66,11 @@ Histogram::Histogram(double lo, double hi, int num_buckets) : lo_(lo), hi_(hi) {
 void Histogram::Add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   int idx = static_cast<int>(std::floor((x - lo_) / width));
+  if (idx < 0) {
+    ++underflow_;
+  } else if (idx >= num_buckets()) {
+    ++overflow_;
+  }
   idx = std::clamp(idx, 0, num_buckets() - 1);
   ++counts_[static_cast<size_t>(idx)];
   ++total_;
@@ -94,6 +99,10 @@ std::string Histogram::ToString(int max_bar_width) const {
     oss << "[" << static_cast<int64_t>(bucket_lo(i)) << ", "
         << static_cast<int64_t>(bucket_hi(i)) << ")\t" << c << "\t"
         << std::string(static_cast<size_t>(bar), '#') << "\n";
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    oss << "clamped: underflow " << underflow_ << ", overflow " << overflow_
+        << "\n";
   }
   return oss.str();
 }

@@ -37,8 +37,10 @@ double Percentile(std::vector<double> values, double p);
 double MeanPercentageError(const std::vector<double>& estimated,
                            const std::vector<double>& actual);
 
-// Fixed-width-bucket histogram over [lo, hi); values outside are clamped to the
-// first/last bucket. Used to render Fig. 1b-style distributions in text.
+// Fixed-width-bucket histogram over [lo, hi); values outside are clamped to
+// the first/last bucket but counted — `underflow()`/`overflow()` expose how
+// many samples fell off each end, so a mis-sized range is detectable instead
+// of silently folding its tail into an edge bucket.
 class Histogram {
  public:
   Histogram(double lo, double hi, int num_buckets);
@@ -48,7 +50,11 @@ class Histogram {
   double bucket_lo(int i) const;
   double bucket_hi(int i) const;
   int64_t total() const { return total_; }
-  // One line per bucket: "[lo, hi) count bar".
+  // Samples below lo / at-or-above hi (still clamped into the edge buckets).
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  // One line per bucket: "[lo, hi) count bar", plus a trailing
+  // "clamped: ..." line only when any sample fell out of range.
   std::string ToString(int max_bar_width = 50) const;
 
  private:
@@ -56,6 +62,8 @@ class Histogram {
   double hi_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
 };
 
 }  // namespace dynapipe

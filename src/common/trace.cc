@@ -1,0 +1,307 @@
+#include "src/common/trace.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace dynapipe::common {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+// Force the singleton (and its DYNAPIPE_TRACE read) before main: the cheap
+// static enabled() check every TraceSpan starts with would otherwise stay
+// false in a process that never happened to call Instance() — the demo
+// parent's planning spans were silently dropped that way.
+const bool g_tracer_env_init = [] {
+  (void)Tracer::Instance();
+  return true;
+}();
+}  // namespace
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  char phase;  // 'X' complete, 'i' instant
+  int64_t ts_us;
+  int64_t dur_us;
+  int64_t iteration;
+  int32_t replica;
+};
+
+// One ring per recording thread. The mutex is per-ring: a recording thread
+// only ever contends with a dump (epoch end), never with other recorders.
+struct Ring {
+  std::mutex mu;
+  TraceEvent events[Tracer::kRingCapacity];
+  size_t written = 0;  // total ever recorded; head = written % capacity
+  int tid = 0;
+};
+
+void AppendEventJson(const TraceEvent& e, int pid, int tid, std::string* out) {
+  char buf[256];
+  int n;
+  if (e.phase == 'X') {
+    n = std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld"
+                      ",\"dur\":%lld,\"pid\":%d,\"tid\":%d",
+                      e.name, e.cat, static_cast<long long>(e.ts_us),
+                      static_cast<long long>(e.dur_us), pid, tid);
+  } else {
+    n = std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\""
+                      ",\"ts\":%lld,\"pid\":%d,\"tid\":%d",
+                      e.name, e.cat, static_cast<long long>(e.ts_us), pid,
+                      tid);
+  }
+  out->append(buf, static_cast<size_t>(n));
+  out->append(",\"args\":{");
+  bool first = true;
+  if (e.iteration != kTraceNoIteration) {
+    n = std::snprintf(buf, sizeof(buf), "\"iteration\":%lld",
+                      static_cast<long long>(e.iteration));
+    out->append(buf, static_cast<size_t>(n));
+    first = false;
+  }
+  if (e.replica != kTraceNoReplica) {
+    n = std::snprintf(buf, sizeof(buf), "%s\"replica\":%d", first ? "" : ",",
+                      e.replica);
+    out->append(buf, static_cast<size_t>(n));
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  int next_tid = 1;
+  pid_t birth_pid = ::getpid();
+  int64_t wall_anchor_us = 0;
+  std::chrono::steady_clock::time_point steady_anchor;
+
+  // A forked child inherits the parent's rings verbatim; without this check
+  // every child's part file would replay the parent's pre-fork events under
+  // the child's pid (the demo's "planned" spans showed up four times). Drop
+  // the inherited contents the first time the child touches the tracer.
+  // Callers must hold mu. Safe because a fork leaves the child
+  // single-threaded; the only hazard is forking while another thread holds a
+  // tracer mutex, which none of our fork sites do (they fork before spawning
+  // recording threads or between iterations).
+  void ResetIfForkedLocked(pid_t self) {
+    if (birth_pid != self) {
+      rings.clear();
+      next_tid = 1;
+      birth_pid = self;
+    }
+  }
+
+  Ring& RingForThisThread() {
+    thread_local std::shared_ptr<Ring> mine;
+    thread_local pid_t mine_pid = 0;
+    const pid_t self = ::getpid();
+    if (mine == nullptr || mine_pid != self) {
+      mine = std::make_shared<Ring>();
+      mine_pid = self;
+      std::lock_guard<std::mutex> lock(mu);
+      ResetIfForkedLocked(self);
+      mine->tid = next_tid++;
+      rings.push_back(mine);
+    }
+    return *mine;
+  }
+};
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = [] {
+    Impl* i = new Impl();
+    i->steady_anchor = std::chrono::steady_clock::now();
+    i->wall_anchor_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+    return i;
+  }();
+  return *impl;
+}
+
+Tracer::Tracer() {
+  impl();  // pin the clock anchors at construction
+  const char* env = std::getenv("DYNAPIPE_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    path_ = env;
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::EnableToPath(const std::string& path) {
+  path_ = path;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+int64_t Tracer::NowUs() const {
+  const Impl& i = impl();
+  return i.wall_anchor_us +
+         std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - i.steady_anchor)
+             .count() +
+         offset_us_.load(std::memory_order_relaxed);
+}
+
+void Tracer::AlignToPeer(int64_t peer_now_us, int64_t local_send_us,
+                         int64_t local_recv_us) {
+  const int64_t midpoint = local_send_us + (local_recv_us - local_send_us) / 2;
+  offset_us_.fetch_add(peer_now_us - midpoint, std::memory_order_relaxed);
+}
+
+void Tracer::RecordComplete(const char* name, const char* cat,
+                            int64_t start_us, int64_t dur_us,
+                            int64_t iteration, int32_t replica) {
+  if (!enabled()) {
+    return;
+  }
+  Ring& ring = impl().RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events[ring.written % kRingCapacity] =
+      TraceEvent{name, cat, 'X', start_us, dur_us < 0 ? 0 : dur_us, iteration,
+                 replica};
+  ++ring.written;
+}
+
+void Tracer::RecordInstant(const char* name, const char* cat,
+                           int64_t iteration, int32_t replica) {
+  if (!enabled()) {
+    return;
+  }
+  Ring& ring = impl().RingForThisThread();
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events[ring.written % kRingCapacity] =
+      TraceEvent{name, cat, 'i', now, 0, iteration, replica};
+  ++ring.written;
+}
+
+void Tracer::DumpJsonl(std::string* out) const {
+  Impl& i = impl();
+  const int pid = static_cast<int>(::getpid());
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.ResetIfForkedLocked(static_cast<pid_t>(pid));
+    rings = i.rings;
+  }
+  for (const std::shared_ptr<Ring>& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const size_t count = ring->written < kRingCapacity ? ring->written
+                                                       : kRingCapacity;
+    const size_t start = ring->written - count;
+    for (size_t k = 0; k < count; ++k) {
+      AppendEventJson(ring->events[(start + k) % kRingCapacity], pid,
+                      ring->tid, out);
+      out->push_back('\n');
+    }
+  }
+}
+
+bool Tracer::WritePartFile() const {
+  if (!enabled() || path_.empty()) {
+    return false;
+  }
+  std::string lines;
+  DumpJsonl(&lines);
+  const std::string part =
+      path_ + "." + std::to_string(::getpid()) + ".part";
+  std::ofstream out(part, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << lines;
+  return static_cast<bool>(out);
+}
+
+bool Tracer::WriteMergedTrace() const {
+  if (!enabled() || path_.empty()) {
+    return false;
+  }
+  std::string lines;
+  DumpJsonl(&lines);
+
+  // Fold in sibling part files: <basename>.<pid>.part next to the output.
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash);
+  const std::string base =
+      (slash == std::string::npos ? path_ : path_.substr(slash + 1)) + ".";
+  std::vector<std::string> parts;
+  if (DIR* d = ::opendir(dir.c_str()); d != nullptr) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.size() > base.size() + 5 && name.compare(0, base.size(), base) == 0 &&
+          name.compare(name.size() - 5, 5, ".part") == 0) {
+        parts.push_back(dir + "/" + name);
+      }
+    }
+    ::closedir(d);
+  }
+  for (const std::string& part : parts) {
+    std::ifstream in(part);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) {
+        lines += line;
+        lines.push_back('\n');
+      }
+    }
+  }
+
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << "[\n";
+  size_t pos = 0;
+  bool first = true;
+  while (pos < lines.size()) {
+    const size_t nl = lines.find('\n', pos);
+    const std::string_view line(lines.data() + pos,
+                                (nl == std::string::npos ? lines.size() : nl) -
+                                    pos);
+    if (!line.empty()) {
+      if (!first) {
+        out << ",\n";
+      }
+      out << line;
+      first = false;
+    }
+    if (nl == std::string::npos) {
+      break;
+    }
+    pos = nl + 1;
+  }
+  out << "\n]\n";
+  if (!out) {
+    return false;
+  }
+  for (const std::string& part : parts) {
+    std::remove(part.c_str());
+  }
+  return true;
+}
+
+}  // namespace dynapipe::common

@@ -15,6 +15,8 @@
 #include <utility>
 
 #include "src/common/fault_injection.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/runtime/instruction_store.h"
 #include "src/service/plan_serde.h"
 #include "src/transport/frame.h"
@@ -181,6 +183,32 @@ std::optional<transport::Frame> ExchangeOnStream(transport::Stream& stream,
   return ReadFrame(stream);
 }
 
+common::Counter& ReconnectCounter() {
+  static common::Counter& c = common::MetricsRegistry::Instance().GetCounter(
+      "executor_reconnects_total");
+  return c;
+}
+
+// One kStatsRequest round trip on a dedicated stream, folded into the
+// tracer's clock offset — the one-shot endpoint's version of
+// MuxInstructionStore::TrySyncClock. Best effort: alignment failure just
+// leaves the wall-clock anchor in place.
+void SyncClockOnStream(transport::Stream& stream) {
+  transport::Frame request;
+  request.type = transport::FrameType::kStatsRequest;
+  common::Tracer& tracer = common::Tracer::Instance();
+  const int64_t send_us = tracer.NowUs();
+  std::optional<transport::Frame> reply = ExchangeOnStream(stream, request);
+  const int64_t recv_us = tracer.NowUs();
+  int64_t server_now_us = 0;
+  common::MetricsSnapshot snapshot;
+  if (reply.has_value() && reply->type == transport::FrameType::kStatsReply &&
+      transport::TryParseStatsPayload(reply->payload, &server_now_us,
+                                      &snapshot)) {
+    tracer.AlignToPeer(server_now_us, send_us, recv_us);
+  }
+}
+
 }  // namespace
 
 AttachEndpoint DetectEndpoint(const std::string& attach) {
@@ -261,6 +289,9 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
               reply->type == transport::FrameType::kEvicted) {
             evicted = true;
           }
+          if (!evicted) {
+            SyncClockOnStream(*liveness);
+          }
         }
       }
       break;
@@ -282,6 +313,11 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           return fail("liveness attach on " + options.attach + " failed");
         }
         evicted = attach_evicted;
+      }
+      if (!evicted) {
+        // Fold the publisher's trace clock into ours so this executor's
+        // spans land on the merged timeline. Best effort.
+        mux_client->TrySyncClock(kAttachReplyTimeoutMs);
       }
       break;
     }
@@ -326,9 +362,11 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           return false;
         }
       }
+      fresh->TrySyncClock(kAttachReplyTimeoutMs);
       mux_client = fresh;
       store = fresh;
       ++report.reconnects;
+      ReconnectCounter().Add();
       return true;
     }
     return false;
@@ -366,6 +404,7 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           if (plan.has_value()) {
             if (attempt > 0) {
               ++report.reconnects;
+              ReconnectCounter().Add();
             }
             return plan;
           }
@@ -387,6 +426,7 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
                                           &hb_evicted)) {
             if (attempt > 0) {
               ++report.reconnects;
+              ReconnectCounter().Add();
             }
             if (hb_evicted) {
               evicted = true;
@@ -562,6 +602,10 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
     const double fetch_ms = MsSince(t0);
 
     sim::ClusterSim cluster(plan.num_devices(), &ground_truth);
+    // The "executed" span covers the cluster run plus any injected slowness
+    // — a wedged executor shows up in the trace as one long executed span.
+    std::optional<common::TraceSpan> exec_span;
+    exec_span.emplace("executed", "plan", iteration, options.replica);
     const sim::SimResult result = cluster.Run(plan);
     if (result.deadlocked || result.oom) {
       return fail("iteration " + std::to_string(iteration) + " " +
@@ -574,6 +618,7 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
     // Stall site: a wedged executor sleeps *inside* the iteration, past the
     // publisher's liveness deadline, then wakes into the eviction fence.
     common::FaultPoint("executor.iteration", iteration);
+    exec_span.reset();
     const double exec_wall_ms = MsSince(t0);
 
     if (options.heartbeat && report.heartbeat_supported) {
@@ -582,8 +627,12 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       // dropped connection or the missed deadline.
       common::FaultPoint("executor.heartbeat", iteration);
       const auto hb0 = std::chrono::steady_clock::now();
-      if (send_heartbeat(iteration, exec_wall_ms)) {
-        ++report.heartbeats_sent;
+      {
+        common::TraceSpan span("heartbeat", "plan", iteration,
+                               options.replica);
+        if (send_heartbeat(iteration, exec_wall_ms)) {
+          ++report.heartbeats_sent;
+        }
       }
       report.heartbeat_ms_total += MsSince(hb0);
     }

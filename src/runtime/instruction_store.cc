@@ -1,17 +1,32 @@
 #include "src/runtime/instruction_store.h"
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/service/plan_serde.h"
 
 namespace dynapipe::runtime {
 
+namespace {
+common::StoreMetrics& Metrics() {
+  static common::StoreMetrics& m = common::StoreMetrics::For("inprocess");
+  return m;
+}
+}  // namespace
+
 bool InstructionStore::Insert(int64_t iteration, int32_t replica, Entry entry,
                               size_t encoded_bytes) {
+  common::StoreMetrics& metrics = Metrics();
+  metrics.push_total.Add();
+  metrics.bytes_pushed.Add(static_cast<int64_t>(encoded_bytes));
+  common::TraceSpan span("published", "plan", iteration, replica);
+  const common::LatencyTimer park_timer;
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] {
     return shutdown_ || options_.capacity == 0 ||
            plans_.size() < options_.capacity;
   });
+  park_timer.ObserveInto(metrics.park_us);
   if (shutdown_) {
     return false;  // dropped; the consumer is gone
   }
@@ -39,6 +54,7 @@ InstructionStore::Entry InstructionStore::Remove(int64_t iteration,
 
 void InstructionStore::Push(int64_t iteration, int32_t replica,
                             sim::ExecutionPlan plan) {
+  const common::LatencyTimer push_timer;
   // Serialize outside the lock: encoding is the expensive part and needs no
   // store state.
   Entry entry;
@@ -50,13 +66,27 @@ void InstructionStore::Push(int64_t iteration, int32_t replica,
     entry.plan = std::move(plan);
   }
   Insert(iteration, replica, std::move(entry), encoded_bytes);
+  push_timer.ObserveInto(Metrics().push_us);
 }
 
 sim::ExecutionPlan InstructionStore::Fetch(int64_t iteration, int32_t replica) {
-  Entry entry = Remove(iteration, replica);
+  common::StoreMetrics& metrics = Metrics();
+  metrics.fetch_total.Add();
+  const common::LatencyTimer fetch_timer;
+  Entry entry;
+  {
+    common::TraceSpan span("fetched", "plan", iteration, replica);
+    entry = Remove(iteration, replica);
+  }
   // Decode outside the lock, mirroring Push.
-  return options_.serialized ? service::DecodeExecutionPlan(entry.bytes)
-                             : std::move(entry.plan);
+  sim::ExecutionPlan plan;
+  {
+    common::TraceSpan span("decoded", "plan", iteration, replica);
+    plan = options_.serialized ? service::DecodeExecutionPlan(entry.bytes)
+                               : std::move(entry.plan);
+  }
+  fetch_timer.ObserveInto(metrics.fetch_us);
+  return plan;
 }
 
 bool InstructionStore::PushBytes(int64_t iteration, int32_t replica,

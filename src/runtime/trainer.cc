@@ -13,6 +13,7 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 #include "src/runtime/ground_truth.h"
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_ahead_service.h"
@@ -163,6 +164,9 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
                                   const PlanFn& plan_fn, ThreadPool* pool,
                                   uint64_t config_hash, bool allow_plan_cache) {
   EpochResult result;
+  if (!options.trace_path.empty()) {
+    common::Tracer::Instance().EnableToPath(options.trace_path);
+  }
   const bool is_t5 = config_.arch == model::ModelArch::kT5;
   data::MiniBatchSamplerOptions sampler_opts;
   sampler_opts.global_batch_tokens = options.global_batch_tokens;
@@ -336,6 +340,23 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
       result.replanned_iterations = rreport.replanned_iterations;
       result.recovery_ms = rreport.recovery_ms;
     }
+    if (store_server.has_value()) {
+      // Pull each stats-capable attached executor's process-wide snapshot
+      // over its own connection. Bounded: an executor that died mid-epoch
+      // just contributes nothing.
+      for (transport::RemoteReplicaStats& stats :
+           store_server->CollectRemoteStats(/*timeout_ms=*/200)) {
+        ExecutorMetrics metrics;
+        metrics.replicas = std::move(stats.replicas);
+        metrics.snapshot = std::move(stats.snapshot);
+        result.executor_metrics.push_back(std::move(metrics));
+      }
+    }
+    // Epoch end is the merge point: fold this process's spans plus any
+    // executor .part files into the one trace JSON this trainer owns.
+    if (!options.trace_path.empty()) {
+      common::Tracer::Instance().WriteMergedTrace();
+    }
   };
 
   while (std::optional<service::ServicedPlan> serviced = service.NextPlan()) {
@@ -391,7 +412,10 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
       const sim::ExecutionPlan exec =
           service.FetchExecPlan(iteration, static_cast<int32_t>(d));
       sim::ClusterSim cluster(parallel_.pp, &ground_truth, sim_opts);
+      std::optional<common::TraceSpan> exec_span;
+      exec_span.emplace("executed", "plan", iteration, static_cast<int32_t>(d));
       const sim::SimResult res = cluster.Run(exec);
+      exec_span.reset();
       if (res.deadlocked) {
         ++result.deadlocks;
         result.feasible = false;
@@ -414,8 +438,12 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
       }
       // In-process replicas complete "now" in wall clock; their simulated
       // makespan is the completion time straggler detection should compare.
-      heartbeat_monitor.OnHeartbeat(static_cast<int32_t>(d), iteration,
-                                    res.makespan_ms);
+      {
+        common::TraceSpan hb_span("heartbeat", "plan", iteration,
+                                  static_cast<int32_t>(d));
+        heartbeat_monitor.OnHeartbeat(static_cast<int32_t>(d), iteration,
+                                      res.makespan_ms);
+      }
     }
     measured += cost_model_.DpGradSyncMs();
     record.measured_ms = measured;

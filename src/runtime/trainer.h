@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/dataset.h"
 #include "src/data/minibatch_sampler.h"
@@ -142,6 +143,22 @@ struct TrainerOptions {
   // death; kDegradeAndContinue (default) finishes on the survivors.
   service::FailurePolicy failure_policy =
       service::FailurePolicy::kDegradeAndContinue;
+  // --- Observability (src/common/trace.h, src/common/metrics.h) ---
+  // Non-empty enables plan-lifecycle tracing and names the merged
+  // Chrome/Perfetto trace JSON written at epoch end (executor processes
+  // started with DYNAPIPE_TRACE pointing at the same path contribute
+  // `<path>.<pid>.part` files, folded into the merge). Equivalent to setting
+  // DYNAPIPE_TRACE in the environment.
+  std::string trace_path;
+};
+
+// One attached executor connection's process-wide metrics, pulled over the
+// wire (a server-initiated kStatsRequest) at epoch end. Socket backends with
+// stats-capable (mux) executors only.
+struct ExecutorMetrics {
+  // Replicas attached on that connection (usually one).
+  std::vector<int32_t> replicas;
+  common::MetricsSnapshot snapshot;
 };
 
 struct IterationRecord {
@@ -209,6 +226,9 @@ struct EpochResult {
   std::vector<int32_t> dead_replicas;
   int64_t replanned_iterations = 0;
   double recovery_ms = 0.0;
+  // Per-connection executor metric snapshots pulled over the stats channel
+  // at epoch end (empty on non-socket backends or when nothing attached).
+  std::vector<ExecutorMetrics> executor_metrics;
 
   double tokens_per_second() const {
     return train_time_ms <= 0.0 ? 0.0 : static_cast<double>(real_tokens) /

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
+
 namespace dynapipe::service {
 
 const char* ReplicaLivenessName(ReplicaLiveness state) {
@@ -62,6 +64,16 @@ void HeartbeatMonitor::TransitionLocked(int32_t replica, ReplicaLiveness to,
   state.state = to;
   if (to != ReplicaLiveness::kSuspect) {
     state.grace_deadline.reset();
+  }
+  static common::Counter& transitions =
+      common::MetricsRegistry::Instance().GetCounter(
+          "liveness_transitions_total");
+  transitions.Add();
+  if (to == ReplicaLiveness::kDead) {
+    static common::Counter& deaths =
+        common::MetricsRegistry::Instance().GetCounter(
+            "liveness_deaths_total");
+    deaths.Add();
   }
   events->push_back(std::move(event));
 }
@@ -266,7 +278,10 @@ IterationHeartbeatStats HeartbeatMonitor::ForIterationLocked(
   }
   const std::map<int32_t, double>& by_replica = it->second;
   stats.replicas_reported = static_cast<int32_t>(by_replica.size());
-  std::vector<double> walls;
+  // Member scratch (mu_ is held): clear keeps capacity, so steady-state
+  // queries allocate nothing.
+  std::vector<double>& walls = wall_scratch_;
+  walls.clear();
   walls.reserve(by_replica.size());
   for (const auto& [replica, wall_ms] : by_replica) {
     walls.push_back(wall_ms);

@@ -192,6 +192,11 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
   // relevance.
   std::map<int64_t, std::map<int32_t, double>> completions_;
 
+  // Median scratch for ForIterationLocked, reused across calls so the
+  // per-iteration stats query (trainer hot loop, once per iteration) stops
+  // allocating once it has grown to the fleet size. Guarded by mu_.
+  mutable std::vector<double> wall_scratch_;
+
   std::map<int32_t, ReplicaState> replicas_;  // guarded by mu_
   std::function<void(const ReplicaEvent&)> event_callback_;  // guarded by mu_
   // Deliveries currently running outside mu_; set_event_callback drains them

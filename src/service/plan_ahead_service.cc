@@ -6,11 +6,44 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timing.h"
+#include "src/common/trace.h"
 #include "src/service/plan_cache.h"
 
 namespace dynapipe::service {
+
+namespace {
+// Process-wide plan-ahead instruments, resolved once (registration locks the
+// registry; the references stay valid for the life of the process).
+struct PlanAheadMetrics {
+  common::Counter& cache_hits;
+  common::Counter& cache_misses;
+  // Planned-but-not-yet-delivered slots — the lookahead pipeline's fill.
+  common::Gauge& queue_depth;
+  common::LatencyHistogram& planning_us;
+  common::LatencyHistogram& partition_us;
+  common::LatencyHistogram& schedule_us;
+  // Time NextPlan spent blocked per delivery — the latency planning failed
+  // to hide. A warm pipeline's histogram sits in the lowest buckets.
+  common::LatencyHistogram& stall_us;
+
+  static PlanAheadMetrics& Get() {
+    static PlanAheadMetrics m = [] {
+      common::MetricsRegistry& r = common::MetricsRegistry::Instance();
+      return PlanAheadMetrics{r.GetCounter("planahead_cache_hits_total"),
+                              r.GetCounter("planahead_cache_misses_total"),
+                              r.GetGauge("planahead_queue_depth"),
+                              r.GetHistogram("planahead_planning_us"),
+                              r.GetHistogram("planahead_partition_us"),
+                              r.GetHistogram("planahead_schedule_us"),
+                              r.GetHistogram("planahead_stall_us")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 PlanAheadService::PlanAheadService(PlanFn plan_fn, MiniBatchSource source,
                                    PlanAheadOptions options)
@@ -116,6 +149,11 @@ void PlanAheadService::RunIteration(int64_t iteration,
   }
 
   const auto start = SteadyClock::now();
+  // The "planned" span covers cache lookup + planning + rebind; replica −1
+  // because one planning pass covers every replica of the iteration. Ended
+  // explicitly before the publish (which has its own "published" spans).
+  std::optional<common::TraceSpan> planned_span;
+  planned_span.emplace("planned", "plan", iteration, -1);
   runtime::IterationPlan plan;
   bool cache_hit = false;
   PlanCache* cache = options_.plan_cache.get();
@@ -172,6 +210,19 @@ void PlanAheadService::RunIteration(int64_t iteration,
     plan.infeasible_reason = "planning threw an unknown exception";
     cache_hit = false;
   }
+  planned_span.reset();
+
+  PlanAheadMetrics& metrics = PlanAheadMetrics::Get();
+  if (cache != nullptr) {
+    (cache_hit ? metrics.cache_hits : metrics.cache_misses).Add();
+  }
+  metrics.planning_us.RecordMs(ElapsedMs(start));
+  if (!cache_hit) {
+    // Phase split from the planner's own stopwatch; a cache hit skipped both
+    // phases, so recording its zeros would just distort the distributions.
+    metrics.partition_us.RecordMs(plan.stats.partition_ms);
+    metrics.schedule_us.RecordMs(plan.stats.schedule_ms);
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   Slot& slot = slots_[iteration];
@@ -181,6 +232,7 @@ void PlanAheadService::RunIteration(int64_t iteration,
   if (cache != nullptr) {
     ++(cache_hit ? stats_.plan_cache_hits : stats_.plan_cache_misses);
   }
+  metrics.queue_depth.Set(static_cast<int64_t>(slots_.size()));
   PublishLocked(lock);
   --in_flight_;
   cv_.notify_all();
@@ -279,6 +331,9 @@ std::optional<ServicedPlan> PlanAheadService::NextPlan() {
       ++next_deliver_;
       ++stats_.plans_delivered;
       stats_.stall_ms_total += out.stall_ms;
+      PlanAheadMetrics& metrics = PlanAheadMetrics::Get();
+      metrics.stall_us.RecordMs(out.stall_ms);
+      metrics.queue_depth.Set(static_cast<int64_t>(slots_.size()));
       return out;
     }
     if (source_drained_ && next_submit_ == next_deliver_) {

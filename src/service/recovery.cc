@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace dynapipe::service {
 
 RecoveryCoordinator::RecoveryCoordinator(runtime::InstructionStore* store,
@@ -73,6 +75,10 @@ void RecoveryCoordinator::OnEvent(const ReplicaEvent& event) {
                              survivor)) {
             ++it->second;
             ++report_.replanned_iterations;
+            static common::Counter& reposts =
+                common::MetricsRegistry::Instance().GetCounter(
+                    "recovery_reposts_total");
+            reposts.Add();
           }
           // A failed Repost (the plan was fetched in a race, or the spare
           // key is somehow taken) is benign: the work either happened or is
@@ -80,11 +86,15 @@ void RecoveryCoordinator::OnEvent(const ReplicaEvent& event) {
         }
       }
     }
-    report_.recovery_ms +=
+    const double recovery_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
+    report_.recovery_ms += recovery_ms;
     lock.unlock();
+    static common::LatencyHistogram& recovery_us =
+        common::MetricsRegistry::Instance().GetHistogram("recovery_us");
+    recovery_us.RecordMs(recovery_ms);
   }
   std::function<void(const ReplicaEvent&)> downstream;
   {

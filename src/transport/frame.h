@@ -33,6 +33,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/metrics.h"
 #include "src/transport/transport.h"
 
 namespace dynapipe::transport {
@@ -57,6 +58,13 @@ enum class FrameType : uint8_t {
                    // executor is detected immediately instead of after a
                    // heartbeat deadline.
   kDetach = 8,     // clean goodbye for one replica; response kOk
+  kStatsRequest = 9,  // frame v3: "send me your metrics snapshot"; response
+                      // kStatsReply. Travels *both* directions: any client
+                      // may ask the server (this round trip is also the
+                      // clock-alignment exchange at executor attach), and the
+                      // server may ask a mux client that declared the stats
+                      // capability in its kAttach payload — that is how the
+                      // trainer pulls executor-side snapshots mid-epoch.
   // Responses (server -> client).
   kOk = 64,
   kPlanBytes = 65,
@@ -70,6 +78,10 @@ enum class FrameType : uint8_t {
   kEvicted = 69,   // kHeartbeat/kAttach from a replica declared dead: stop —
                    // your plans were re-published, exit instead of
                    // double-running them.
+  kStatsReply = 70,  // frame v3: payload = varint(responder's aligned
+                     // trace-clock now, µs) + metrics snapshot (codec below).
+                     // A malformed payload is handled like any malformed
+                     // frame: drop the connection, never crash.
 };
 
 // Ceiling on one frame's body; anything larger is a corrupt length field.
@@ -107,6 +119,34 @@ void AppendHeartbeatPayload(double wall_ms, std::string* out);
 // False on a truncated/overlong varint or trailing bytes — the caller treats
 // that like any malformed frame (drop the connection, never crash).
 bool TryParseHeartbeatPayload(std::string_view payload, double* wall_ms);
+
+// kStatsReply payload codec (frame v3). Layout, varints/zigzags throughout:
+//
+//   varint(trace_now_us)            responder's aligned trace clock (µs;
+//                                   negatives clamp to 0 at encode)
+//   varint(#counters)   then per counter:   varint(len) name zigzag(value)
+//   varint(#gauges)     then per gauge:     varint(len) name zigzag(value)
+//   varint(#histograms) then per histogram: varint(len) name varint(count)
+//                                           varint(sum_us) varint(#buckets)
+//                                           varint(bucket)...
+//
+// TryParse distrusts the peer the same way plan_serde does: entry counts are
+// bounded by remaining payload bytes (a corrupt count cannot drive
+// allocation), names are capped at 256 bytes, bucket vectors at
+// LatencyHistogram::kNumBuckets, and trailing bytes are malformed. False
+// means "treat as malformed frame" — drop the connection, never crash.
+void AppendStatsPayload(int64_t trace_now_us,
+                        const common::MetricsSnapshot& snapshot,
+                        std::string* out);
+bool TryParseStatsPayload(std::string_view payload, int64_t* trace_now_us,
+                          common::MetricsSnapshot* snapshot);
+
+// kAttach capability payload (frame v3). v2 attach payloads were empty and
+// remain valid (no capabilities). Byte 0 is a capability bitmask today;
+// kAttachCapStats marks a connection whose client demux answers
+// server-initiated kStatsRequest frames (the mux client); one-shot liveness
+// attaches must NOT set it — nothing reads their stream between requests.
+inline constexpr uint8_t kAttachCapStats = 0x01;
 
 }  // namespace dynapipe::transport
 

@@ -4,9 +4,18 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/service/plan_serde.h"
 
 namespace dynapipe::transport {
+
+namespace {
+common::StoreMetrics& Metrics() {
+  static common::StoreMetrics& m = common::StoreMetrics::For("mux");
+  return m;
+}
+}  // namespace
 
 MuxInstructionStore::MuxInstructionStore(std::unique_ptr<Stream> stream)
     : stream_(std::move(stream)) {
@@ -38,6 +47,26 @@ void MuxInstructionStore::DemuxLoop() {
     std::optional<Frame> reply = ReadFrame(*stream_, &error);
     if (!reply.has_value()) {
       break;  // closed, torn, or malformed: the connection is over
+    }
+    if (reply->type == FrameType::kStatsRequest) {
+      // Not a reply at all: the *server* is asking for this process's
+      // snapshot (the trainer's mid-epoch pull). Dispatching on type before
+      // the waiter lookup keeps the two directions' id spaces independent —
+      // the echoed id below is the server's, never one of ours. Answered
+      // inline: the demux thread holds no lock while serving, and the
+      // snapshot walk is microseconds.
+      Frame stats;
+      stats.type = FrameType::kStatsReply;
+      stats.request_id = reply->request_id;
+      AppendStatsPayload(common::Tracer::Instance().NowUs(),
+                         common::MetricsRegistry::Instance().Snapshot(),
+                         &stats.payload);
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      if (!WriteFrame(*stream_, stats)) {
+        error = "mux: stats reply write failed";
+        break;
+      }
+      continue;
     }
     std::lock_guard<std::mutex> lock(mu_);
     Waiter* waiter =
@@ -178,10 +207,16 @@ void MuxInstructionStore::Push(int64_t iteration, int32_t replica,
   service::EncodeExecutionPlanInto(plan, &request.payload);
   serialized_bytes_total_.fetch_add(
       static_cast<int64_t>(request.payload.size()), std::memory_order_relaxed);
+  common::StoreMetrics& metrics = Metrics();
+  metrics.push_total.Add();
+  metrics.bytes_pushed.Add(static_cast<int64_t>(request.payload.size()));
+  common::LatencyTimer push_timer;
+  common::TraceSpan span("published", "plan", iteration, replica);
   // Take a push credit: bounds the kPush replies the server may be holding
   // back for us. Returned when our kOk lands (or the connection dies — the
   // credits die with it).
   {
+    const common::LatencyTimer park_timer;
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock,
              [&] { return push_credits_ > 0 || connection_failed_; });
@@ -189,6 +224,7 @@ void MuxInstructionStore::Push(int64_t iteration, int32_t replica,
                        "mux instruction store: connection lost (" +
                            connection_error_ + ")");
     --push_credits_;
+    park_timer.ObserveInto(metrics.park_us);
   }
   // Blocks until the server's deferred kOk — the capacity backpressure.
   Call(request, FrameType::kOk);
@@ -197,6 +233,7 @@ void MuxInstructionStore::Push(int64_t iteration, int32_t replica,
     ++push_credits_;
     cv_.notify_all();
   }
+  push_timer.ObserveInto(metrics.push_us);
 }
 
 sim::ExecutionPlan MuxInstructionStore::Fetch(int64_t iteration,
@@ -205,10 +242,21 @@ sim::ExecutionPlan MuxInstructionStore::Fetch(int64_t iteration,
   request.type = FrameType::kFetch;
   request.iteration = iteration;
   request.replica = replica;
-  const Frame reply = Call(request, FrameType::kPlanBytes);
+  common::StoreMetrics& metrics = Metrics();
+  metrics.fetch_total.Add();
+  const common::LatencyTimer fetch_timer;
+  Frame reply;
+  {
+    common::TraceSpan span("fetched", "plan", iteration, replica);
+    reply = Call(request, FrameType::kPlanBytes);
+  }
   std::string error;
-  std::optional<sim::ExecutionPlan> plan =
-      service::TryDecodeExecutionPlan(reply.payload, &error);
+  std::optional<sim::ExecutionPlan> plan;
+  {
+    common::TraceSpan span("decoded", "plan", iteration, replica);
+    plan = service::TryDecodeExecutionPlan(reply.payload, &error);
+  }
+  fetch_timer.ObserveInto(metrics.fetch_us);
   DYNAPIPE_CHECK_MSG(plan.has_value(),
                      "mux instruction store: fetched plan is corrupt (" +
                          error + ")");
@@ -288,10 +336,16 @@ std::optional<sim::ExecutionPlan> MuxInstructionStore::TryFetch(
   request.type = FrameType::kFetch;
   request.iteration = iteration;
   request.replica = replica;
+  common::StoreMetrics& metrics = Metrics();
+  metrics.fetch_total.Add();
+  const common::LatencyTimer fetch_timer;
   Frame reply;
-  if (!TryCall(request, &reply)) {
-    *connection_lost = true;
-    return std::nullopt;
+  {
+    common::TraceSpan span("fetched", "plan", iteration, replica);
+    if (!TryCall(request, &reply)) {
+      *connection_lost = true;
+      return std::nullopt;
+    }
   }
   if (reply.type == FrameType::kMissing) {
     return std::nullopt;  // key reclaimed (recovery reposted it) — not fatal
@@ -302,8 +356,12 @@ std::optional<sim::ExecutionPlan> MuxInstructionStore::TryFetch(
     return std::nullopt;
   }
   std::string error;
-  std::optional<sim::ExecutionPlan> plan =
-      service::TryDecodeExecutionPlan(reply.payload, &error);
+  std::optional<sim::ExecutionPlan> plan;
+  {
+    common::TraceSpan span("decoded", "plan", iteration, replica);
+    plan = service::TryDecodeExecutionPlan(reply.payload, &error);
+  }
+  fetch_timer.ObserveInto(metrics.fetch_us);
   // Corrupt plan bytes stay fatal even on the resilient path: executing a
   // damaged plan is the one thing recovery must never do.
   DYNAPIPE_CHECK_MSG(plan.has_value(),
@@ -337,6 +395,11 @@ bool MuxInstructionStore::Attach(int32_t replica, bool* evicted,
   Frame request;
   request.type = FrameType::kAttach;
   request.replica = replica;
+  // Declare the stats capability: this client's demux loop answers
+  // server-initiated kStatsRequest frames, so the server may pull snapshots
+  // over this connection mid-epoch. One-shot liveness attaches (remote_store)
+  // keep the empty v2 payload — nothing reads their stream between requests.
+  request.payload.push_back(static_cast<char>(kAttachCapStats));
   Frame reply;
   if (!TryCall(request, &reply, timeout_ms)) {
     return false;
@@ -354,6 +417,35 @@ bool MuxInstructionStore::Detach(int32_t replica) {
   request.replica = replica;
   Frame reply;
   return TryCall(request, &reply) && reply.type == FrameType::kOk;
+}
+
+bool MuxInstructionStore::TryStats(int64_t* server_trace_now_us,
+                                   common::MetricsSnapshot* snapshot,
+                                   int timeout_ms) {
+  Frame request;
+  request.type = FrameType::kStatsRequest;
+  Frame reply;
+  if (!TryCall(request, &reply, timeout_ms)) {
+    return false;
+  }
+  if (reply.type != FrameType::kStatsReply ||
+      !TryParseStatsPayload(reply.payload, server_trace_now_us, snapshot)) {
+    stream_->Close();  // protocol confusion: connection-grade failure
+    return false;
+  }
+  return true;
+}
+
+bool MuxInstructionStore::TrySyncClock(int timeout_ms) {
+  common::Tracer& tracer = common::Tracer::Instance();
+  const int64_t send_us = tracer.NowUs();
+  int64_t server_now_us = 0;
+  common::MetricsSnapshot ignored;
+  if (!TryStats(&server_now_us, &ignored, timeout_ms)) {
+    return false;
+  }
+  tracer.AlignToPeer(server_now_us, send_us, tracer.NowUs());
+  return true;
 }
 
 }  // namespace dynapipe::transport

@@ -118,9 +118,20 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
                     bool* evicted);
   // Liveness announcement for `replica` on this connection (kAttach /
   // kDetach). *evicted=true when the server refused the attach because the
-  // replica is already declared dead.
+  // replica is already declared dead. The attach payload declares the stats
+  // capability (frame v3): this connection's demux loop answers
+  // server-initiated kStatsRequest frames.
   bool Attach(int32_t replica, bool* evicted, int timeout_ms = 0);
   bool Detach(int32_t replica);
+  // Client-initiated kStatsRequest: the server's process-wide snapshot plus
+  // its aligned trace clock. False on connection loss or a malformed reply
+  // (which closes the stream — protocol confusion is connection-grade).
+  bool TryStats(int64_t* server_trace_now_us, common::MetricsSnapshot* snapshot,
+                int timeout_ms = 0);
+  // One kStatsRequest round trip folded into the tracer's clock offset
+  // (offset += server_now − midpoint(send, recv)), so spans this process
+  // emits land on the server's timeline. Call once after Attach.
+  bool TrySyncClock(int timeout_ms = 0);
 
  private:
   struct Waiter {

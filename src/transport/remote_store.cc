@@ -3,9 +3,18 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/service/plan_serde.h"
 
 namespace dynapipe::transport {
+
+namespace {
+common::StoreMetrics& Metrics() {
+  static common::StoreMetrics& m = common::StoreMetrics::For("remote");
+  return m;
+}
+}  // namespace
 
 RemoteInstructionStore::RemoteInstructionStore(Connector connect)
     : connect_(std::move(connect)) {
@@ -80,9 +89,16 @@ void RemoteInstructionStore::Push(int64_t iteration, int32_t replica,
   service::EncodeExecutionPlanInto(plan, &request.payload);
   serialized_bytes_total_.fetch_add(
       static_cast<int64_t>(request.payload.size()), std::memory_order_relaxed);
+  common::StoreMetrics& metrics = Metrics();
+  metrics.push_total.Add();
+  metrics.bytes_pushed.Add(static_cast<int64_t>(request.payload.size()));
+  const common::LatencyTimer push_timer;
+  common::TraceSpan span("published", "plan", iteration, replica);
   // Blocks in Call until the server's store has headroom — the kOk *is* the
-  // capacity backpressure.
+  // capacity backpressure. The whole exchange is the park time: on this
+  // backend there is no way to split wire latency from the capacity wait.
   Call(request, FrameType::kOk);
+  push_timer.ObserveInto(metrics.push_us);
 }
 
 sim::ExecutionPlan RemoteInstructionStore::Fetch(int64_t iteration,
@@ -91,10 +107,21 @@ sim::ExecutionPlan RemoteInstructionStore::Fetch(int64_t iteration,
   request.type = FrameType::kFetch;
   request.iteration = iteration;
   request.replica = replica;
-  const Frame reply = Call(request, FrameType::kPlanBytes);
+  common::StoreMetrics& metrics = Metrics();
+  metrics.fetch_total.Add();
+  const common::LatencyTimer fetch_timer;
+  Frame reply;
+  {
+    common::TraceSpan span("fetched", "plan", iteration, replica);
+    reply = Call(request, FrameType::kPlanBytes);
+  }
   std::string error;
-  std::optional<sim::ExecutionPlan> plan =
-      service::TryDecodeExecutionPlan(reply.payload, &error);
+  std::optional<sim::ExecutionPlan> plan;
+  {
+    common::TraceSpan span("decoded", "plan", iteration, replica);
+    plan = service::TryDecodeExecutionPlan(reply.payload, &error);
+  }
+  fetch_timer.ObserveInto(metrics.fetch_us);
   DYNAPIPE_CHECK_MSG(plan.has_value(),
                      "remote instruction store: fetched plan is corrupt (" +
                          error + ")");
@@ -153,7 +180,14 @@ std::optional<sim::ExecutionPlan> RemoteInstructionStore::TryFetch(
   request.type = FrameType::kFetch;
   request.iteration = iteration;
   request.replica = replica;
-  std::optional<Frame> reply = TryCall(request);
+  common::StoreMetrics& metrics = Metrics();
+  metrics.fetch_total.Add();
+  const common::LatencyTimer fetch_timer;
+  std::optional<Frame> reply;
+  {
+    common::TraceSpan span("fetched", "plan", iteration, replica);
+    reply = TryCall(request);
+  }
   if (!reply.has_value()) {
     *connection_lost = true;
     return std::nullopt;
@@ -166,8 +200,12 @@ std::optional<sim::ExecutionPlan> RemoteInstructionStore::TryFetch(
     return std::nullopt;
   }
   std::string error;
-  std::optional<sim::ExecutionPlan> plan =
-      service::TryDecodeExecutionPlan(reply->payload, &error);
+  std::optional<sim::ExecutionPlan> plan;
+  {
+    common::TraceSpan span("decoded", "plan", iteration, replica);
+    plan = service::TryDecodeExecutionPlan(reply->payload, &error);
+  }
+  fetch_timer.ObserveInto(metrics.fetch_us);
   // Corrupt plan bytes stay fatal even on the resilient path: executing a
   // damaged plan is the one thing recovery must never do.
   DYNAPIPE_CHECK_MSG(plan.has_value(),

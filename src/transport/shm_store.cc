@@ -10,10 +10,13 @@
 #include <chrono>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/service/plan_serde.h"
 
 namespace dynapipe::transport {
@@ -281,12 +284,20 @@ std::shared_ptr<ShmInstructionStore> ShmInstructionStore::Attach(
       new ShmInstructionStore(std::move(name), base, total, /*owner=*/false));
 }
 
+namespace {
+common::StoreMetrics& ShmMetrics() {
+  static common::StoreMetrics& m = common::StoreMetrics::For("shm");
+  return m;
+}
+}  // namespace
+
 ptrdiff_t ShmInstructionStore::ReserveLocked(int64_t iteration, int32_t replica,
                                              size_t bytes,
                                              uint64_t* offset_out) {
   ShmHeader& hdr = header();
   DYNAPIPE_CHECK_MSG(bytes <= hdr.arena_bytes,
                      "shm store: plan larger than the whole arena");
+  std::optional<common::LatencyTimer> park_timer;
   for (;;) {
     if (hdr.shutdown != 0) {
       return -1;
@@ -325,6 +336,12 @@ ptrdiff_t ShmInstructionStore::ReserveLocked(int64_t iteration, int32_t replica,
     if (capacity_ok && slot_ok && arena_ok) {
       break;
     }
+    // Park-time instrumentation starts only on the slow path: an uncontended
+    // reserve never reads a clock, keeping the publish fast path to relaxed
+    // loads only.
+    if (!park_timer.has_value()) {
+      park_timer.emplace();
+    }
     const int rc = pthread_cond_wait(&hdr.cv, &hdr.mu);
     if (rc == EOWNERDEAD) {
       // A peer died holding the robust mutex while we were parked; the wait
@@ -334,6 +351,9 @@ ptrdiff_t ShmInstructionStore::ReserveLocked(int64_t iteration, int32_t replica,
     } else {
       DYNAPIPE_CHECK(rc == 0);
     }
+  }
+  if (park_timer.has_value()) {
+    park_timer->ObserveInto(ShmMetrics().park_us);
   }
   const ptrdiff_t slot_i = static_cast<ptrdiff_t>(hdr.slots_used++);
   const uint64_t offset = hdr.arena_offset + hdr.arena_used;
@@ -353,6 +373,15 @@ ptrdiff_t ShmInstructionStore::ReserveLocked(int64_t iteration, int32_t replica,
 
 bool ShmInstructionStore::PushBytes(int64_t iteration, int32_t replica,
                                     std::string_view bytes) {
+  // Disarmed cost discipline: everything below is relaxed loads and branches
+  // — no clock reads, no allocation — so the zero-copy publish path keeps
+  // its allocation-free budget (pinned by bench_plan_distribution's
+  // disarmed row).
+  common::StoreMetrics& metrics = ShmMetrics();
+  metrics.push_total.Add();
+  metrics.bytes_pushed.Add(static_cast<int64_t>(bytes.size()));
+  const common::LatencyTimer push_timer;
+  common::TraceSpan span("published", "plan", iteration, replica);
   ShmHeader& hdr = header();
   ptrdiff_t slot_i = -1;
   uint64_t offset = 0;
@@ -377,6 +406,7 @@ bool ShmInstructionStore::PushBytes(int64_t iteration, int32_t replica,
     hdr.serialized_bytes_total += static_cast<int64_t>(bytes.size());
     pthread_cond_broadcast(&hdr.cv);
   }
+  push_timer.ObserveInto(metrics.push_us);
   return true;
 }
 
@@ -439,12 +469,23 @@ ShmInstructionStore::PlanView::~PlanView() {
 
 sim::ExecutionPlan ShmInstructionStore::Fetch(int64_t iteration,
                                               int32_t replica) {
-  const PlanView view = AcquireView(iteration, replica);
+  common::StoreMetrics& metrics = ShmMetrics();
+  metrics.fetch_total.Add();
+  const common::LatencyTimer fetch_timer;
+  std::optional<PlanView> view;
+  {
+    common::TraceSpan fetched("fetched", "plan", iteration, replica);
+    view.emplace(AcquireView(iteration, replica));
+  }
   // Decode in place: the string_view aliases the mapping, so the executor
   // side of the hop does no copy at all.
   std::string error;
-  std::optional<sim::ExecutionPlan> plan =
-      service::TryDecodeExecutionPlan(view.bytes(), &error);
+  std::optional<sim::ExecutionPlan> plan;
+  {
+    common::TraceSpan decoded("decoded", "plan", iteration, replica);
+    plan = service::TryDecodeExecutionPlan(view->bytes(), &error);
+  }
+  fetch_timer.ObserveInto(metrics.fetch_us);
   DYNAPIPE_CHECK_MSG(plan.has_value(),
                      "shm store: fetched plan is corrupt (" + error + ")");
   return std::move(*plan);

@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "src/common/fault_injection.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/cost/pipeline_cost_model.h"
 #include "src/data/flan_generator.h"
 #include "src/data/minibatch_sampler.h"
@@ -110,11 +112,18 @@ void PrintUsage(const char* argv0) {
       "                        crash|stall|drop|corrupt (e.g. crash@1,\n"
       "                        stall:1200@1, corrupt@2). With --demo, fires\n"
       "                        in one forked executor and the parent checks\n"
-      "                        detection + re-publish to survivors\n",
+      "                        detection + re-publish to survivors\n"
+      "  --metrics-dump        print this process's metrics (Prometheus text)\n"
+      "                        on exit\n"
+      "\n"
+      "  DYNAPIPE_TRACE=<path> records plan-lifecycle spans: --attach mode\n"
+      "  writes <path>.<pid>.part for the trace owner to merge; --demo merges\n"
+      "  the parent and its forked executors into one Perfetto JSON at <path>\n",
       argv0, argv0);
 }
 
-int RunAttachMode(const executor::ExecutorOptions& options) {
+int RunAttachMode(const executor::ExecutorOptions& options,
+                  bool metrics_dump) {
   executor::ExecutorOptions opts = options;
   opts.observer = [](const executor::IterationOutcome& o) {
     std::printf("[executor] iter %lld: %d devices, %d microbatches, "
@@ -124,6 +133,14 @@ int RunAttachMode(const executor::ExecutorOptions& options) {
                 o.exec_wall_ms);
   };
   const executor::ExecutorReport report = executor::RunExecutor(opts);
+  // Daemon exit paths hand their spans to the trace owner (no-op when
+  // DYNAPIPE_TRACE is unset) and optionally dump this process's metrics —
+  // on failure too, since a failed run's counters are the interesting ones.
+  common::Tracer::Instance().WritePartFile();
+  if (metrics_dump) {
+    std::fputs(common::MetricsRegistry::Instance().PrometheusText().c_str(),
+               stdout);
+  }
   if (!report.ok) {
     std::fprintf(stderr, "dynapipe_executor: %s\n", report.error.c_str());
     return 1;
@@ -178,6 +195,7 @@ std::vector<sim::ExecutionPlan> PlanDemoEpoch() {
 
   std::vector<sim::ExecutionPlan> plans;
   for (int i = 0; i < kDemoIterations && sampler.HasNext(); ++i) {
+    common::TraceSpan span("planned", "plan", i, /*replica=*/-1);
     runtime::IterationPlan plan = planner.PlanIteration(sampler.Next());
     if (!plan.feasible) {
       std::fprintf(stderr, "demo planning failed: %s\n",
@@ -236,6 +254,9 @@ constexpr int kDemoFaultReplica = 1;
     }
   };
   const executor::ExecutorReport report = executor::RunExecutor(opts);
+  // Hand this child's spans to the parent (the trace owner) before any
+  // verdict exit; no-op when tracing is off.
+  common::Tracer::Instance().WritePartFile();
   if (!report.ok) {
     std::fprintf(stderr, "[executor %d] %s\n", replica, report.error.c_str());
     ::_exit(2);
@@ -366,6 +387,60 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
                 kDemoSlowMs);
   }
 
+  // After reaping, the parent owns the trace: fold its own spans (planned /
+  // published) plus every child's .part file into one Perfetto JSON.
+  const auto write_merged_trace = [] {
+    if (common::Tracer::enabled() &&
+        common::Tracer::Instance().WriteMergedTrace()) {
+      std::printf("[demo] merged trace written to %s\n",
+                  common::Tracer::Instance().path().c_str());
+    }
+  };
+
+  const bool expect_stats =
+      endpoint == executor::AttachEndpoint::kUnixSocketMux && !fault_mode;
+  if (over_wire && !fault_mode) {
+    // Mid-epoch stats pull: every stats-capable attached connection (the mux
+    // children; one-shot socket children attach without the capability bit)
+    // answers a server-initiated kStatsRequest with its process-wide
+    // snapshot while still executing. The children are racing us to attach,
+    // so retry briefly: the slowed replica stays attached for
+    // kDemoIterations * kDemoSlowMs, which bounds how long a hit takes.
+    std::vector<transport::RemoteReplicaStats> remote;
+    const auto stats_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    for (;;) {
+      remote = server->CollectRemoteStats(/*timeout_ms=*/1000);
+      if (!remote.empty() ||
+          std::chrono::steady_clock::now() >= stats_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (const transport::RemoteReplicaStats& stats : remote) {
+      std::string replicas;
+      for (const int32_t replica : stats.replicas) {
+        if (!replicas.empty()) {
+          replicas += ",";
+        }
+        replicas += std::to_string(replica);
+      }
+      std::printf("[demo] stats: replica(s) [%s] fetched %lld plan(s), "
+                  "%lld frame(s) pushed so far\n",
+                  replicas.c_str(),
+                  static_cast<long long>(
+                      stats.snapshot.counter("store_mux_fetch_total")),
+                  static_cast<long long>(
+                      stats.snapshot.counter("store_mux_push_total")));
+    }
+    std::printf("[demo] stats channel: %zu executor connection(s) reported\n",
+                remote.size());
+    if (expect_stats && remote.empty()) {
+      std::fprintf(stderr, "[demo] no mux executor answered the stats pull\n");
+      return 1;
+    }
+  }
+
   bool ok = true;
   for (size_t c = 0; c < children.size(); ++c) {
     const pid_t child = children[c];
@@ -425,6 +500,7 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
     if (server.has_value()) {
       server->Stop();
     }
+    write_merged_trace();
     std::printf("[demo] %s\n",
                 ok ? "ok: fault fired, death declared, backlog re-published, "
                      "survivors drained"
@@ -458,6 +534,7 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
     std::printf("[demo] shm backend has no heartbeat channel "
                 "(capability flag) — liveness smoke only\n");
   }
+  write_merged_trace();
   std::printf("[demo] %s\n", ok ? "ok: byte-identical plans, full drain, "
                                   "straggler attributed"
                                 : "FAILED");
@@ -474,6 +551,7 @@ int main(int argc, char** argv) {
   executor::ExecutorOptions options;
   std::string demo;
   std::string fault_text;
+  bool metrics_dump = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -524,6 +602,8 @@ int main(int argc, char** argv) {
       demo = next();
     } else if (arg == "--fault") {
       fault_text = next();
+    } else if (arg == "--metrics-dump") {
+      metrics_dump = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;
@@ -549,5 +629,5 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 1;
   }
-  return RunAttachMode(options);
+  return RunAttachMode(options, metrics_dump);
 }
