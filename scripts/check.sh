@@ -56,6 +56,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 "$BUILD_DIR"/dynapipe_executor --demo socket --fault crash@1
 "$BUILD_DIR"/dynapipe_executor --demo mux --fault stall:1200@1
 
+# Smoke the shm-native straggler reaction: a stall over the shared-memory
+# endpoint is detected through the segment's heartbeat slots alone (no
+# socket side-channel), and the demo exits nonzero unless the stalled
+# replica is flagged, its unfetched backlog migrates to the fast replicas,
+# and the epoch still drains byte-identically.
+"$BUILD_DIR"/dynapipe_executor --demo shm --fault stall:1200@1
+
 # Smoke the observability stack end to end: the traced mux demo must write
 # one merged Chrome-trace JSON covering the parent (planner/publisher) and
 # all three forked executors. python3 -m json.tool is the structural check;

@@ -255,6 +255,9 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
   const int reconnect_attempts = std::max(1, options.reconnect_attempts);
 
   std::shared_ptr<runtime::InstructionStoreInterface> store;
+  // Shm only: the concrete handle, for the liveness slot calls the
+  // interface does not carry (announce / touch / detach).
+  std::shared_ptr<transport::ShmInstructionStore> shm_store;
   std::shared_ptr<transport::MuxInstructionStore> mux_client;
   std::shared_ptr<transport::RemoteInstructionStore> remote_client;
   std::unique_ptr<transport::Stream> liveness;  // one-shot endpoint only
@@ -325,8 +328,15 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       if (!WaitForShmSegment(options.attach, options.attach_timeout_ms)) {
         return fail("shm segment " + options.attach + " never appeared");
       }
-      store = transport::ShmInstructionStore::Attach(options.attach,
-                                                     options.attach_timeout_ms);
+      shm_store = transport::ShmInstructionStore::Attach(
+          options.attach, options.attach_timeout_ms);
+      store = shm_store;
+      if (options.announce_liveness) {
+        // Claims this replica's heartbeat slot in the segment header: the
+        // shm-native analogue of the socket kAttach frame. The publisher's
+        // poller sees the claim and starts tracking liveness from it.
+        shm_store->AnnounceReplica(options.replica);
+      }
       break;
     case AttachEndpoint::kAuto:
       return fail("unreachable endpoint kind");
@@ -510,9 +520,14 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
     }
     default: {
       // Shm: the mapping stays valid in this process even after the owner
-      // unlinks the name, so the segment cannot "go away" mid-run; and
-      // there is no server, hence no liveness channel to announce on.
+      // unlinks the name, so the segment cannot "go away" mid-run. The
+      // liveness channel is the segment itself — each probe stamps this
+      // replica's heartbeat-slot alive marker, so a replica parked waiting
+      // for a slow planner still reads as alive to the publisher's poller.
       probe = [&](int64_t iteration) -> std::optional<bool> {
+        if (options.announce_liveness) {
+          shm_store->TouchReplica(options.replica);
+        }
         return store->Contains(iteration, options.replica);
       };
       fetch = [&](int64_t iteration,
@@ -523,7 +538,13 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       send_heartbeat = [&](int64_t iteration, double wall_ms) {
         return store->Heartbeat(options.replica, iteration, wall_ms);
       };
-      goodbye = [] {};
+      goodbye = [&] {
+        if (options.announce_liveness) {
+          // Clean detach: flips the slot's detached flag so the poller
+          // reports a deliberate exit instead of ageing into a false death.
+          shm_store->DetachReplica(options.replica);
+        }
+      };
       break;
     }
   }

@@ -135,17 +135,19 @@ std::vector<int64_t> InstructionStore::PendingIterations(
   return iterations;
 }
 
-bool InstructionStore::Repost(int64_t src_iteration, int32_t src_replica,
-                              int64_t dst_iteration, int32_t dst_replica) {
+RepostOutcome InstructionStore::Repost(int64_t src_iteration,
+                                       int32_t src_replica,
+                                       int64_t dst_iteration,
+                                       int32_t dst_replica) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto src = plans_.find(std::make_pair(src_iteration, src_replica));
     if (src == plans_.end()) {
-      return false;  // fetched out from under us — the race is benign
+      return RepostOutcome::kSourceGone;
     }
     const auto dst_key = std::make_pair(dst_iteration, dst_replica);
     if (plans_.find(dst_key) != plans_.end()) {
-      return false;  // destination taken (double recovery); leave both alone
+      return RepostOutcome::kDestinationTaken;  // leave both alone
     }
     plans_.emplace(dst_key, std::move(src->second));
     plans_.erase(src);
@@ -153,7 +155,7 @@ bool InstructionStore::Repost(int64_t src_iteration, int32_t src_replica,
     // key may be waiting in a Contains/fetch loop — nothing here to wake;
     // executors poll, they do not block on the store cv.
   }
-  return true;
+  return RepostOutcome::kMoved;
 }
 
 size_t InstructionStore::DropReplica(int32_t replica) {

@@ -68,6 +68,18 @@ class HeartbeatSink {
   }
 };
 
+// Why a plan move failed (or didn't). Recovery and rebalance coordinators
+// branch on this: a vanished source means the work already happened (skip),
+// a taken destination means the spare key is burned (advance and retry) —
+// collapsing both into `false` is exactly the bug that silently lost reposts
+// when a survivor died twice.
+enum class RepostOutcome : uint8_t {
+  kMoved,             // plan now resides at the destination key
+  kSourceGone,        // fetched out from under us — the race is benign
+  kDestinationTaken,  // destination key already published; pick another
+  kUnsupported,       // backend has no recovery surface
+};
+
 // The store contract every backend implements. Thread-safe; one producer
 // pipeline and any number of fetching executors.
 class InstructionStoreInterface {
@@ -100,8 +112,9 @@ class InstructionStoreInterface {
   // --- Executor liveness (optional capability) ---
   // Whether this backend has a channel carrying iteration-completion
   // heartbeats back toward the planner. Wire backends do (a kHeartbeat
-  // frame); the shared-memory segment does not (there is no server behind
-  // it). Callers must treat "no" as a capability, never an error.
+  // frame), and the shared-memory segment carries per-replica heartbeat
+  // slots in its header. Callers must treat "no" as a capability, never an
+  // error.
   virtual bool supports_heartbeat() const { return false; }
   // Reports that this executor finished `iteration` on `replica` in `wall_ms`
   // of wall clock. Returns false — a clean no-op, not a crash — when the
@@ -111,6 +124,37 @@ class InstructionStoreInterface {
     (void)iteration;
     (void)wall_ms;
     return false;
+  }
+
+  // --- Recovery surface (optional capability) ---
+  // Whether this backend can enumerate and move resident plans — the
+  // planner-side machinery RecoveryCoordinator and RebalanceCoordinator sit
+  // on. Backends the coordinators run next to (the in-process store, the shm
+  // segment) say yes; remote *clients* say no — recovery always runs where
+  // the plans actually live.
+  virtual bool supports_recovery() const { return false; }
+  // Iterations currently published for `replica`, ascending — the unfetched
+  // backlog recovery or rebalance must move.
+  virtual std::vector<int64_t> PendingIterations(int32_t replica) const {
+    (void)replica;
+    return {};
+  }
+  // Moves one resident plan to a new key, verbatim (plans are byte-stable, so
+  // re-publishing to a survivor is a key move, not a re-encode). Outcomes are
+  // never fatal: coordinator races must degrade, not abort the trainer.
+  virtual RepostOutcome Repost(int64_t src_iteration, int32_t src_replica,
+                               int64_t dst_iteration, int32_t dst_replica) {
+    (void)src_iteration;
+    (void)src_replica;
+    (void)dst_iteration;
+    (void)dst_replica;
+    return RepostOutcome::kUnsupported;
+  }
+  // Discards every resident plan for `replica` and returns how many; frees
+  // capacity slots (wakes blocked pushes) like any fetch.
+  virtual size_t DropReplica(int32_t replica) {
+    (void)replica;
+    return 0;
   }
 };
 
@@ -152,19 +196,11 @@ class InstructionStore final : public InstructionStoreInterface {
   std::optional<std::string> TryFetchBytes(int64_t iteration, int32_t replica);
 
   // --- Recovery surface (planner side) ---
-  // Iterations currently published for `replica`, ascending — the dead
-  // replica's unfetched backlog that recovery must move.
-  std::vector<int64_t> PendingIterations(int32_t replica) const;
-  // Moves one resident plan to a new key, verbatim (plans are byte-stable,
-  // so re-publishing to a survivor is a key move, not a re-encode). False —
-  // not fatal — when the source is gone (the dead replica fetched it in a
-  // race) or the destination exists (double recovery): recovery races must
-  // degrade, never abort the trainer.
-  bool Repost(int64_t src_iteration, int32_t src_replica,
-              int64_t dst_iteration, int32_t dst_replica);
-  // Discards every resident plan for `replica` and returns how many; frees
-  // capacity slots (wakes blocked pushes) like any fetch.
-  size_t DropReplica(int32_t replica);
+  bool supports_recovery() const override { return true; }
+  std::vector<int64_t> PendingIterations(int32_t replica) const override;
+  RepostOutcome Repost(int64_t src_iteration, int32_t src_replica,
+                       int64_t dst_iteration, int32_t dst_replica) override;
+  size_t DropReplica(int32_t replica) override;
 
   // Liveness relays for the transport server; forwarded to the sink (outside
   // the store lock) when one is attached, no-ops otherwise.

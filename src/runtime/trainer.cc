@@ -18,6 +18,7 @@
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
+#include "src/service/rebalance.h"
 #include "src/service/recovery.h"
 #include "src/sim/cluster_sim.h"
 #include "src/transport/mux.h"
@@ -195,6 +196,11 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   monitor_opts.suspect_after_ms = options.liveness_suspect_after_ms;
   monitor_opts.dead_after_ms = options.liveness_dead_after_ms;
   monitor_opts.connection_grace_ms = options.liveness_connection_grace_ms;
+  // Every iteration has exactly dp in-process replicas reporting; straggler
+  // flagging waits for all of them so a fast replica is never compared
+  // against a partial report set (an absent replica used to make the rest
+  // look fast — or slow — depending on who was missing).
+  monitor_opts.expected_replicas = parallel_.dp;
   service::HeartbeatMonitor heartbeat_monitor(monitor_opts);
 
   // Everything between the sampler and the executors is the plan-ahead
@@ -227,9 +233,50 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   std::optional<InstructionStore> server_store;
   std::optional<transport::UnixSocketTransport> socket_transport;
   std::optional<transport::InstructionStoreServer> store_server;
+  // Kept alongside sopts.store on the shm path: the coordinators and the
+  // heartbeat poller need the concrete segment handle, not the interface.
+  std::shared_ptr<transport::ShmInstructionStore> shm_store;
   // Declared after the monitor and store it points at, so it unregisters
   // from the monitor (dtor) before either dies.
   std::optional<service::RecoveryCoordinator> recovery;
+  // Declared after recovery: both move plans at spare keys from one shared
+  // allocator, and teardown must unhook the straggler callback while the
+  // monitor is still alive.
+  std::optional<service::RebalanceCoordinator> rebalance;
+  // Last, so it stops feeding the monitor before any of the above dies.
+  std::optional<transport::ShmHeartbeatPoller> shm_poller;
+  // One spare-key space shared by recovery and rebalance — two coordinators
+  // moving plans into the same store must never pick colliding destinations.
+  const int64_t spare_base = options.max_iterations > 0
+                                 ? options.max_iterations
+                                 : (int64_t{1} << 32);
+  auto spare_keys = std::make_shared<service::SpareKeyAllocator>(spare_base);
+  auto all_replicas = [&] {
+    std::vector<int32_t> replicas;
+    for (int32_t d = 0; d < parallel_.dp; ++d) {
+      replicas.push_back(d);
+    }
+    return replicas;
+  };
+  // Rebalancing moves *unfetched* plans between replicas, but this trainer
+  // fetches every in-process replica's plan by exact (iteration, replica)
+  // key — so all of them are immovable and nothing migrates during its own
+  // epochs. The wiring still runs the policy (streaks, hysteresis, report)
+  // so the knobs and EpochResult fields are live; the full migration path is
+  // the cross-process store (standalone publisher + attached executors).
+  auto wire_rebalance = [&](runtime::InstructionStoreInterface* store) {
+    if (!options.rebalance_stragglers) {
+      return;
+    }
+    service::RebalanceOptions bopts;
+    bopts.consecutive_flags = options.rebalance_consecutive_flags;
+    bopts.max_moves_per_event = options.rebalance_max_moves;
+    bopts.hysteresis_iterations = options.rebalance_hysteresis_iterations;
+    bopts.replicas = all_replicas();
+    bopts.immovable_replicas = all_replicas();
+    bopts.spare_keys = spare_keys;
+    rebalance.emplace(store, &heartbeat_monitor, bopts);
+  };
   if (options.plan_store_backend ==
           TrainerOptions::PlanStoreBackend::kUnixSocket ||
       options.plan_store_backend ==
@@ -250,20 +297,17 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     // applied by the epoch loop below instead.
     service::RecoveryOptions ropts;
     ropts.policy = service::FailurePolicy::kDegradeAndContinue;
-    for (int32_t d = 0; d < parallel_.dp; ++d) {
-      ropts.replicas.push_back(d);
-    }
+    ropts.replicas = all_replicas();
     // In-process replicas cannot die (no wire), so reposts are expected only
-    // from attached external replicas — which publish nothing here. The base
-    // still needs to clear every iteration this epoch could publish.
-    ropts.spare_iteration_base = options.max_iterations > 0
-                                     ? options.max_iterations
-                                     : (int64_t{1} << 32);
+    // from attached external replicas — which publish nothing here. The
+    // shared base still clears every iteration this epoch could publish.
+    ropts.spare_keys = spare_keys;
     // Subscribe the coordinator BEFORE the server starts serving: the socket
     // is already bound (transport ctor), so an executor can attach and die in
     // the window between the first served frame and a later subscription —
     // that death event would fire into a null callback and be lost.
     recovery.emplace(&*server_store, &heartbeat_monitor, ropts);
+    wire_rebalance(&*server_store);
     store_server.emplace(&*socket_transport, &*server_store);
     // Fleet barrier: the server is accepting, so executors can attach now;
     // hold the epoch (nothing published yet) until enough have. In-process
@@ -299,10 +343,40 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
              TrainerOptions::PlanStoreBackend::kSharedMemory) {
     transport::ShmStoreOptions shm_opts;
     shm_opts.capacity = options.instruction_store_capacity;
-    sopts.store = transport::ShmInstructionStore::Create(
+    shm_store = transport::ShmInstructionStore::Create(
         options.plan_store_shm_name.empty() ? DeriveShmName()
                                             : options.plan_store_shm_name,
         shm_opts);
+    sopts.store = shm_store;
+    // The segment is the store, so recovery acts on it directly — no server
+    // in between. Liveness arrives through the segment too: attached
+    // executors stamp their heartbeat slot in shared memory, and the poller
+    // replays those beats into this monitor as if they came over a wire.
+    service::RecoveryOptions ropts;
+    ropts.policy = service::FailurePolicy::kDegradeAndContinue;
+    ropts.replicas = all_replicas();
+    ropts.spare_keys = spare_keys;
+    recovery.emplace(shm_store.get(), &heartbeat_monitor, ropts);
+    wire_rebalance(shm_store.get());
+    shm_poller.emplace(shm_store, &heartbeat_monitor);
+    if (options.liveness_await_replicas > 0) {
+      const auto barrier_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double, std::milli>(
+              options.liveness_await_timeout_ms);
+      while (static_cast<int32_t>(heartbeat_monitor.KnownReplicas().size()) <
+             options.liveness_await_replicas) {
+        if (std::chrono::steady_clock::now() >= barrier_deadline) {
+          result.feasible = false;
+          result.failure =
+              "timed out waiting for " +
+              std::to_string(options.liveness_await_replicas) +
+              " replicas to attach";
+          return result;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
   }
   if (allow_plan_cache && options.plan_cache) {
     if (plan_cache_ == nullptr) {
@@ -339,6 +413,11 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
       result.dead_replicas = rreport.dead_replicas;
       result.replanned_iterations = rreport.replanned_iterations;
       result.recovery_ms = rreport.recovery_ms;
+    }
+    if (rebalance.has_value()) {
+      const service::RebalanceReport breport = rebalance->report();
+      result.rebalance_events = breport.events;
+      result.rebalanced_iterations = breport.moved_iterations;
     }
     if (store_server.has_value()) {
       // Pull each stats-capable attached executor's process-wide snapshot
@@ -455,6 +534,9 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     record.straggler_replicas = hb_stats.stragglers;
     if (recovery.has_value()) {
       record.dead_replicas = heartbeat_monitor.DeadReplicas();
+    }
+    if (rebalance.has_value()) {
+      record.rebalanced_replicas = rebalance->report().rebalanced_replicas;
     }
     result.straggler_flags +=
         static_cast<int64_t>(record.straggler_replicas.size());

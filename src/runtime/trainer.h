@@ -122,8 +122,10 @@ struct TrainerOptions {
   double straggler_multiple = 2.0;
   double straggler_min_gap_ms = 0.0;
   // --- Failure detection & recovery (service/heartbeat_monitor.h,
-  // service/recovery.h), socket backends only — the wire is the one place an
-  // executor process can die out from under the trainer. ---
+  // service/recovery.h), cross-process backends only (sockets and shm —
+  // anywhere an executor process can die out from under the trainer; the
+  // shm segment's liveness source is its header heartbeat slots, polled by
+  // a ShmHeartbeatPoller). ---
   // Liveness deadlines for attached executors; 0 disables the transition. A
   // replica silent past dead_after_ms, or whose connection drops uncleanly
   // and stays gone past connection_grace_ms (grace 0 = a drop is death), is
@@ -143,6 +145,22 @@ struct TrainerOptions {
   // death; kDegradeAndContinue (default) finishes on the survivors.
   service::FailurePolicy failure_policy =
       service::FailurePolicy::kDegradeAndContinue;
+  // --- Straggler reaction (service/rebalance.h) ---
+  // When enabled, a RebalanceCoordinator subscribes to the monitor's
+  // straggler signal and moves part of a persistently slow replica's
+  // *unfetched* backlog onto fast replicas mid-epoch. Note the trainer's own
+  // in-process replicas are immovable (the trainer fetches its plans by
+  // exact key), so in-trainer rebalancing acts only on work published for
+  // externally attached executors; the full migration path is exercised by
+  // the standalone publisher (dynapipe_executor --demo shm --fault stall).
+  bool rebalance_stragglers = false;
+  // A replica must straggle this many consecutive iterations to shed work...
+  int32_t rebalance_consecutive_flags = 3;
+  // ...at most this many plans migrate per trigger...
+  int32_t rebalance_max_moves = 2;
+  // ...and it is immune for this many iterations after shedding (hysteresis
+  // so one noisy iteration doesn't thrash plans back and forth).
+  int64_t rebalance_hysteresis_iterations = 4;
   // --- Observability (src/common/trace.h, src/common/metrics.h) ---
   // Non-empty enables plan-lifecycle tracing and names the merged
   // Chrome/Perfetto trace JSON written at epoch end (executor processes
@@ -192,6 +210,10 @@ struct IterationRecord {
   // Replicas declared dead by the time this iteration completed (cumulative
   // snapshot, ascending) — which iterations of the epoch ran degraded.
   std::vector<int32_t> dead_replicas;
+  // Replicas that had shed work to faster ones by the time this iteration
+  // completed (cumulative, first-trigger order) — the rebalance analogue of
+  // dead_replicas.
+  std::vector<int32_t> rebalanced_replicas;
 };
 
 struct EpochResult {
@@ -226,6 +248,10 @@ struct EpochResult {
   std::vector<int32_t> dead_replicas;
   int64_t replanned_iterations = 0;
   double recovery_ms = 0.0;
+  // Rebalancing (service/rebalance.h): triggers that moved work off a
+  // persistently slow replica, and how many plans migrated in total.
+  int64_t rebalance_events = 0;
+  int64_t rebalanced_iterations = 0;
   // Per-connection executor metric snapshots pulled over the stats channel
   // at epoch end (empty on non-socket backends or when nothing attached).
   std::vector<ExecutorMetrics> executor_metrics;

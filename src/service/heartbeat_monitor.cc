@@ -49,6 +49,15 @@ void HeartbeatMonitor::set_event_callback(
   callback_cv_.wait(lock, [&] { return callbacks_in_flight_ == 0; });
 }
 
+void HeartbeatMonitor::set_straggler_callback(
+    std::function<void(const IterationHeartbeatStats&)> callback) {
+  std::unique_lock<std::mutex> lock(mu_);
+  straggler_callback_ = std::move(callback);
+  // Same drain rule as set_event_callback: unregistering (nullptr) must not
+  // return while a delivery runs on another thread.
+  callback_cv_.wait(lock, [&] { return callbacks_in_flight_ == 0; });
+}
+
 void HeartbeatMonitor::TransitionLocked(int32_t replica, ReplicaLiveness to,
                                         const char* reason,
                                         std::vector<ReplicaEvent>* events) {
@@ -106,6 +115,8 @@ void HeartbeatMonitor::FireEvents(const std::vector<ReplicaEvent>& events) {
 void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
                                    double wall_ms) {
   std::vector<ReplicaEvent> events;
+  std::optional<IterationHeartbeatStats> completed;
+  std::function<void(const IterationHeartbeatStats&)> straggler_callback;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++total_heartbeats_;
@@ -113,7 +124,23 @@ void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
     if (!inserted) {
       it->second = std::max(it->second, iteration);
     }
-    completions_[iteration][replica] = wall_ms;
+    std::map<int32_t, double>& by_replica = completions_[iteration];
+    const auto [wall_it, fresh] = by_replica.try_emplace(replica, wall_ms);
+    if (!fresh) {
+      wall_it->second = wall_ms;
+    }
+    // The completing heartbeat: a *new* reporter just grew the set to the
+    // expected fleet size. Requiring a fresh insert makes the fire
+    // exactly-once per iteration — a duplicate beat overwrites its wall but
+    // cannot re-complete the set. Snapshot the stats under the lock, deliver
+    // outside it.
+    if (fresh && straggler_callback_ && options_.expected_replicas > 0 &&
+        static_cast<int32_t>(by_replica.size()) ==
+            options_.expected_replicas) {
+      completed = ForIterationLocked(iteration);
+      straggler_callback = straggler_callback_;
+      ++callbacks_in_flight_;
+    }
 
     ReplicaState& state = replicas_[replica];
     if (state.state != ReplicaLiveness::kDead) {  // dead is sticky
@@ -123,6 +150,14 @@ void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
     }
   }
   FireEvents(events);
+  if (completed.has_value()) {
+    straggler_callback(*completed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --callbacks_in_flight_;
+    }
+    callback_cv_.notify_all();
+  }
 }
 
 void HeartbeatMonitor::OnReplicaAttached(int32_t replica) {
@@ -272,6 +307,7 @@ IterationHeartbeatStats HeartbeatMonitor::ForIterationLocked(
     int64_t iteration) const {
   IterationHeartbeatStats stats;
   stats.iteration = iteration;
+  stats.replicas_expected = options_.expected_replicas;
   const auto it = completions_.find(iteration);
   if (it == completions_.end() || it->second.empty()) {
     return stats;
@@ -295,6 +331,13 @@ IterationHeartbeatStats HeartbeatMonitor::ForIterationLocked(
     std::nth_element(walls.begin(), walls.begin() + (mid - 1),
                      walls.begin() + mid);
     stats.median_wall_ms = (stats.median_wall_ms + walls[mid - 1]) / 2.0;
+  }
+  // Flag stragglers only against a complete (or unknown-size) report set: a
+  // median over the first 1–2 finishers is not a threshold, and comparing
+  // later finishers against it mis-flags ordinary skew.
+  if (options_.expected_replicas > 0 &&
+      stats.replicas_reported < options_.expected_replicas) {
+    return stats;
   }
   const double threshold =
       options_.straggler_multiple * stats.median_wall_ms +

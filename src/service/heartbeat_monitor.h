@@ -90,16 +90,28 @@ struct HeartbeatMonitorOptions {
   // Start the internal watchdog thread when any deadline above is set.
   // Tests disable it and drive PollLiveness() by hand.
   bool watchdog = true;
+
+  // How many replicas are expected to report each iteration (the trainer
+  // passes its DP width). 0 = unknown: straggler flagging falls back to
+  // whatever subset has reported. When set, ForIteration flags stragglers
+  // only once at least this many replicas reported — a mid-iteration query
+  // with 1–2 reporters yields a meaningless median and used to mis-flag
+  // early finishers.
+  int32_t expected_replicas = 0;
 };
 
 // One iteration's completion picture so far.
 struct IterationHeartbeatStats {
   int64_t iteration = 0;
   int32_t replicas_reported = 0;
+  // options.expected_replicas, echoed so a caller can see a partial picture
+  // for what it is (reported < expected = iteration still in flight).
+  int32_t replicas_expected = 0;
   double median_wall_ms = 0.0;
   double max_wall_ms = 0.0;
-  // Replicas over the straggler threshold, ascending. Meaningful once at
-  // least two replicas reported (a lone replica defines the median).
+  // Replicas over the straggler threshold, ascending. Empty while the report
+  // set is partial (reported < expected) — a median over whichever subset
+  // happened to finish first is not a threshold.
   std::vector<int32_t> stragglers;
 };
 
@@ -124,6 +136,16 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
   // liveness transition. Invoked outside the monitor lock, possibly from a
   // server connection handler or the watchdog thread.
   void set_event_callback(std::function<void(const ReplicaEvent&)> callback);
+
+  // Called with the finished iteration's stats the moment its report set
+  // completes (replicas_reported reaches expected_replicas; requires
+  // expected_replicas > 0 — with an unknown fleet size there is no "complete"
+  // moment to fire on). This is the straggler *signal* the rebalance control
+  // loop subscribes to. Invoked outside the monitor lock from whatever
+  // thread delivered the completing heartbeat; same drain guarantee as
+  // set_event_callback (setting nullptr waits out in-flight deliveries).
+  void set_straggler_callback(
+      std::function<void(const IterationHeartbeatStats&)> callback);
 
   // runtime::HeartbeatSink: one replica finished one iteration. A duplicate
   // (replica, iteration) report overwrites — a reconnecting executor may
@@ -199,6 +221,9 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
 
   std::map<int32_t, ReplicaState> replicas_;  // guarded by mu_
   std::function<void(const ReplicaEvent&)> event_callback_;  // guarded by mu_
+  // Fired when an iteration's report set completes; guarded by mu_, shares
+  // the in-flight drain protocol below with event_callback_.
+  std::function<void(const IterationHeartbeatStats&)> straggler_callback_;
   // Deliveries currently running outside mu_; set_event_callback drains them
   // so a subscriber can unregister safely at its own teardown.
   int callbacks_in_flight_ = 0;  // guarded by mu_

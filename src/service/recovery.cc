@@ -8,10 +8,14 @@
 
 namespace dynapipe::service {
 
-RecoveryCoordinator::RecoveryCoordinator(runtime::InstructionStore* store,
-                                         HeartbeatMonitor* monitor,
-                                         RecoveryOptions options)
+RecoveryCoordinator::RecoveryCoordinator(
+    runtime::InstructionStoreInterface* store, HeartbeatMonitor* monitor,
+    RecoveryOptions options)
     : store_(store), monitor_(monitor), options_(std::move(options)) {
+  spare_keys_ = options_.spare_keys != nullptr
+                    ? options_.spare_keys
+                    : std::make_shared<SpareKeyAllocator>(
+                          options_.spare_iteration_base);
   monitor_->set_event_callback(
       [this](const ReplicaEvent& event) { OnEvent(event); });
 }
@@ -68,21 +72,29 @@ void RecoveryCoordinator::OnEvent(const ReplicaEvent& event) {
         for (const int64_t iteration : pending) {
           const int32_t survivor = survivors[next_survivor];
           next_survivor = (next_survivor + 1) % survivors.size();
-          auto [it, inserted] = next_spare_.emplace(
-              survivor, options_.spare_iteration_base);
-          const int64_t dst_iteration = it->second;
-          if (store_->Repost(iteration, event.replica, dst_iteration,
-                             survivor)) {
-            ++it->second;
-            ++report_.replanned_iterations;
-            static common::Counter& reposts =
-                common::MetricsRegistry::Instance().GetCounter(
-                    "recovery_reposts_total");
-            reposts.Add();
+          // Spare keys are burned on allocation: a taken destination means
+          // *that key* is unusable (someone else published there), not that
+          // the plan is unrecoverable — advance to the next key and retry.
+          // Collapsing the two failure modes used to wedge the survivor's
+          // counter on a taken key and silently lose every later repost.
+          for (int attempt = 0; attempt < 16; ++attempt) {
+            const int64_t dst_iteration = spare_keys_->Next(survivor);
+            const runtime::RepostOutcome outcome = store_->Repost(
+                iteration, event.replica, dst_iteration, survivor);
+            if (outcome == runtime::RepostOutcome::kDestinationTaken) {
+              continue;
+            }
+            if (outcome == runtime::RepostOutcome::kMoved) {
+              ++report_.replanned_iterations;
+              static common::Counter& reposts =
+                  common::MetricsRegistry::Instance().GetCounter(
+                      "recovery_reposts_total");
+              reposts.Add();
+            }
+            // kSourceGone: fetched in a race — the work already happened.
+            // kUnsupported: this store cannot move plans; nothing to do.
+            break;
           }
-          // A failed Repost (the plan was fetched in a race, or the spare
-          // key is somehow taken) is benign: the work either happened or is
-          // unrecoverable without re-planning; don't burn the spare slot.
         }
       }
     }

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -38,6 +39,30 @@
 #include "src/service/heartbeat_monitor.h"
 
 namespace dynapipe::service {
+
+// Hands out spare destination iteration numbers for re-published plans, one
+// monotonic counter per destination replica starting at `base`. A key is
+// burned the moment it is handed out — never reissued — so a destination
+// that turns out taken (RepostOutcome::kDestinationTaken) is simply skipped
+// and the next key tried, instead of being retried forever (the bug that
+// silently lost every subsequent repost to that survivor). One allocator is
+// *shared* by every coordinator moving plans into the same store (recovery +
+// rebalance), so their spare keys can never collide either. Thread-safe.
+class SpareKeyAllocator {
+ public:
+  explicit SpareKeyAllocator(int64_t base) : base_(base) {}
+
+  int64_t Next(int32_t replica) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = next_.emplace(replica, base_);
+    return it->second++;
+  }
+
+ private:
+  const int64_t base_;
+  std::mutex mu_;
+  std::map<int32_t, int64_t> next_;  // replica -> next spare iteration
+};
 
 enum class FailurePolicy : uint8_t {
   // First kDead aborts the epoch: the store shuts down (unblocking parked
@@ -57,6 +82,11 @@ struct RecoveryOptions {
   // normally the epoch's iteration count, so reposts land exactly where an
   // open-ended executor polls after draining its own share.
   int64_t spare_iteration_base = 0;
+  // Spare-key source. Leave null to let the coordinator create its own from
+  // spare_iteration_base; pass a shared one when a RebalanceCoordinator
+  // moves plans into the same store, so the two can never pick colliding
+  // destination keys.
+  std::shared_ptr<SpareKeyAllocator> spare_keys;
 };
 
 // What recovery has done so far; copied into EpochResult by the trainer.
@@ -71,8 +101,10 @@ struct RecoveryReport {
 class RecoveryCoordinator {
  public:
   // Registers itself as `monitor`'s event callback. Neither pointer is
-  // owned; both must outlive the coordinator.
-  RecoveryCoordinator(runtime::InstructionStore* store,
+  // owned; both must outlive the coordinator. The store must be one with a
+  // recovery surface (supports_recovery()) — the in-process store or the shm
+  // segment; recovery always runs in the process where the plans live.
+  RecoveryCoordinator(runtime::InstructionStoreInterface* store,
                       HeartbeatMonitor* monitor, RecoveryOptions options);
   ~RecoveryCoordinator();
 
@@ -88,13 +120,13 @@ class RecoveryCoordinator {
  private:
   void OnEvent(const ReplicaEvent& event);
 
-  runtime::InstructionStore* store_;
+  runtime::InstructionStoreInterface* store_;
   HeartbeatMonitor* monitor_;
   RecoveryOptions options_;
+  std::shared_ptr<SpareKeyAllocator> spare_keys_;
 
   mutable std::mutex mu_;
   RecoveryReport report_;                    // guarded by mu_
-  std::map<int32_t, int64_t> next_spare_;    // survivor -> next spare iter
   std::function<void(const ReplicaEvent&)> downstream_;  // guarded by mu_
 };
 

@@ -28,6 +28,7 @@
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/plan_serde.h"
+#include "src/service/rebalance.h"
 #include "src/service/recovery.h"
 #include "src/transport/frame.h"
 #include "src/transport/mux.h"
@@ -1221,6 +1222,291 @@ TEST(RecoveryCoordinatorTest, DropsBacklogWhenNoSurvivorRemains) {
   const service::RecoveryReport report = recovery.report();
   EXPECT_EQ(report.replanned_iterations, 0);
   EXPECT_EQ(report.dropped_iterations, 2);
+}
+
+// A spare destination key that turns out taken is burned and skipped, not
+// retried: before the SpareKeyAllocator, a collision wedged the survivor's
+// counter on the taken key and every later repost to it was silently lost.
+TEST(RecoveryCoordinatorTest, TakenSpareKeyAdvancesInsteadOfWedging) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitorOptions mopts;
+  mopts.watchdog = false;
+  service::HeartbeatMonitor monitor(mopts);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1};
+  ropts.spare_iteration_base = 10;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+
+  // Someone already published at the survivor's first spare key.
+  store.PushBytes(10, 0, "squatter");
+  store.PushBytes(0, 1, "plan-a");
+  store.PushBytes(1, 1, "plan-b");
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaDisconnected(1, /*clean=*/false);
+
+  // Key 10 was tried, found taken, burned; both plans landed on later keys.
+  EXPECT_EQ(recovery.report().replanned_iterations, 2);
+  EXPECT_EQ(store.FetchBytes(10, 0), "squatter");
+  EXPECT_EQ(store.FetchBytes(11, 0), "plan-a");
+  EXPECT_EQ(store.FetchBytes(12, 0), "plan-b");
+}
+
+// The double-death case: replica 2 inherits part of replica 1's backlog,
+// then dies itself before fetching it. The shared per-survivor counters must
+// keep advancing across deaths — reissuing an already-used spare key would
+// collide with the first recovery's repost and drop the plan.
+TEST(RecoveryCoordinatorTest, SpareKeysSurviveASecondDeath) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitorOptions mopts;
+  mopts.watchdog = false;
+  service::HeartbeatMonitor monitor(mopts);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_iteration_base = 10;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+
+  store.PushBytes(0, 1, "plan-a");
+  store.PushBytes(1, 1, "plan-b");
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaAttached(2);
+  monitor.OnReplicaDisconnected(1, /*clean=*/false);
+  // First death: round-robin lands plan-a at (10, 0) and plan-b at (10, 2).
+  // Neither survivor fetches anything before the second death.
+  monitor.OnReplicaDisconnected(2, /*clean=*/false);
+
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_EQ(report.dead_replicas, (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(report.replanned_iterations, 3);  // 2 from death one, 1 moved on
+  EXPECT_EQ(report.dropped_iterations, 0);
+  EXPECT_TRUE(store.PendingIterations(2).empty());
+  // (10, 0) still holds the first repost; the inherited plan-b moved to the
+  // last survivor's *next* spare key, not back onto a used one.
+  EXPECT_EQ(store.FetchBytes(10, 0), "plan-a");
+  EXPECT_EQ(store.FetchBytes(11, 0), "plan-b");
+}
+
+// ---------- heartbeat monitor: expected-replica gating ----------
+
+// Straggler math over a partial report set is meaningless: with one replica
+// still running, the reported walls skew the median and the missing replica
+// can't be compared at all. With expected_replicas set, flagging waits for
+// the full set.
+TEST(HeartbeatMonitorTest, PartialReportSetsNeverFlagStragglers) {
+  service::HeartbeatMonitorOptions opts;
+  opts.straggler_multiple = 2.0;
+  opts.min_straggler_gap_ms = 1.0;
+  opts.expected_replicas = 3;
+  opts.watchdog = false;
+  service::HeartbeatMonitor monitor(opts);
+  monitor.OnHeartbeat(0, 0, 10.0);
+  monitor.OnHeartbeat(1, 0, 500.0);  // looks like a straggler, but 2/3
+  service::IterationHeartbeatStats stats = monitor.ForIteration(0);
+  EXPECT_EQ(stats.replicas_reported, 2);
+  EXPECT_EQ(stats.replicas_expected, 3);
+  EXPECT_TRUE(stats.stragglers.empty());
+  // The last replica completes the set; now the flag lands.
+  monitor.OnHeartbeat(2, 0, 9.0);
+  stats = monitor.ForIteration(0);
+  EXPECT_EQ(stats.replicas_reported, 3);
+  EXPECT_EQ(stats.stragglers, std::vector<int32_t>{1});
+}
+
+// The straggler callback is the rebalancer's trigger: it must fire exactly
+// once per iteration, on the heartbeat that completes the report set, and a
+// duplicate beat must not re-fire it.
+TEST(HeartbeatMonitorTest, StragglerCallbackFiresOncePerCompleteIteration) {
+  service::HeartbeatMonitorOptions opts;
+  opts.straggler_multiple = 2.0;
+  opts.min_straggler_gap_ms = 1.0;
+  opts.expected_replicas = 2;
+  opts.watchdog = false;
+  service::HeartbeatMonitor monitor(opts);
+  std::vector<service::IterationHeartbeatStats> fired;  // single-threaded
+  monitor.set_straggler_callback(
+      [&](const service::IterationHeartbeatStats& stats) {
+        fired.push_back(stats);
+      });
+  monitor.OnHeartbeat(0, 7, 10.0);
+  EXPECT_TRUE(fired.empty());  // 1/2: incomplete
+  monitor.OnHeartbeat(1, 7, 11.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].iteration, 7);
+  EXPECT_EQ(fired[0].replicas_reported, 2);
+  monitor.OnHeartbeat(1, 7, 12.0);  // duplicate: overwrites, no re-fire
+  EXPECT_EQ(fired.size(), 1u);
+  monitor.set_straggler_callback(nullptr);
+  monitor.OnHeartbeat(0, 8, 1.0);
+  monitor.OnHeartbeat(1, 8, 1.0);
+  EXPECT_EQ(fired.size(), 1u);  // unhooked
+}
+
+// ---------- rebalance coordinator ----------
+
+namespace {
+// Feeds one complete iteration's heartbeats: `slow` reports 40 ms, everyone
+// else 10 ms — over the 2*median+1 bar, so `slow` is flagged (or nobody,
+// with slow < 0).
+void FeedIteration(service::HeartbeatMonitor& monitor, int64_t iteration,
+                   int32_t slow) {
+  for (int32_t replica = 0; replica < 3; ++replica) {
+    monitor.OnHeartbeat(replica, iteration, replica == slow ? 40.0 : 10.0);
+  }
+}
+
+service::HeartbeatMonitorOptions RebalanceMonitorOptions() {
+  service::HeartbeatMonitorOptions opts;
+  opts.straggler_multiple = 2.0;
+  opts.min_straggler_gap_ms = 1.0;
+  opts.expected_replicas = 3;
+  opts.watchdog = false;
+  return opts;
+}
+}  // namespace
+
+TEST(RebalanceCoordinatorTest, PersistentStragglerShedsTailOfItsBacklog) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  service::RebalanceOptions bopts;
+  bopts.consecutive_flags = 2;
+  bopts.max_moves_per_event = 2;
+  bopts.hysteresis_iterations = 4;
+  bopts.replicas = {0, 1, 2};
+  bopts.spare_iteration_base = 10;
+  service::RebalanceCoordinator rebalance(&store, &monitor, bopts);
+
+  for (int64_t i = 0; i < 6; ++i) {
+    store.PushBytes(i, 1, "p" + std::to_string(i));
+  }
+  FeedIteration(monitor, 0, /*slow=*/1);  // streak 1: under threshold
+  EXPECT_EQ(rebalance.report().events, 0);
+  EXPECT_EQ(store.PendingIterations(1).size(), 6u);
+  FeedIteration(monitor, 1, /*slow=*/1);  // streak 2: trigger
+  const service::RebalanceReport report = rebalance.report();
+  EXPECT_EQ(report.events, 1);
+  EXPECT_EQ(report.moved_iterations, 2);
+  EXPECT_EQ(report.rebalanced_replicas, std::vector<int32_t>{1});
+  // The *tail* moved (the slow replica keeps the work it reaches next),
+  // round-robin over the fast replicas at their spare keys.
+  EXPECT_EQ(store.PendingIterations(1),
+            (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(store.FetchBytes(10, 0), "p5");
+  EXPECT_EQ(store.FetchBytes(10, 2), "p4");
+}
+
+TEST(RebalanceCoordinatorTest, HysteresisAndStreakResetPreventThrash) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  service::RebalanceOptions bopts;
+  bopts.consecutive_flags = 2;
+  bopts.max_moves_per_event = 2;
+  bopts.hysteresis_iterations = 4;
+  bopts.replicas = {0, 1, 2};
+  bopts.spare_iteration_base = 10;
+  service::RebalanceCoordinator rebalance(&store, &monitor, bopts);
+
+  for (int64_t i = 0; i < 8; ++i) {
+    store.PushBytes(i, 1, "p" + std::to_string(i));
+  }
+  FeedIteration(monitor, 0, 1);
+  FeedIteration(monitor, 1, 1);  // event at iteration 1; cooldown until 5
+  ASSERT_EQ(rebalance.report().events, 1);
+  // Still slow every iteration — but a fresh streak has to build AND the
+  // cooldown has to pass before anything moves again.
+  FeedIteration(monitor, 2, 1);
+  FeedIteration(monitor, 3, 1);
+  FeedIteration(monitor, 4, 1);
+  EXPECT_EQ(rebalance.report().events, 1);  // iterations < 5: immune
+  FeedIteration(monitor, 5, 1);  // past cooldown, streak long since rebuilt
+  EXPECT_EQ(rebalance.report().events, 2);
+  EXPECT_EQ(rebalance.report().moved_iterations, 4);
+  // An intervening fast iteration resets the streak: no third event until
+  // two more consecutive flags accumulate.
+  FeedIteration(monitor, 9, /*slow=*/-1);  // everyone keeps pace
+  FeedIteration(monitor, 10, 1);
+  EXPECT_EQ(rebalance.report().events, 2);  // streak 1 of 2
+}
+
+TEST(RebalanceCoordinatorTest, ImmovableAndDeadReplicasPinTheirBacklog) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  service::RebalanceOptions bopts;
+  bopts.consecutive_flags = 1;
+  bopts.replicas = {0, 1, 2};
+  bopts.immovable_replicas = {1};  // the trainer's own replica, say
+  bopts.spare_iteration_base = 10;
+  service::RebalanceCoordinator rebalance(&store, &monitor, bopts);
+
+  store.PushBytes(0, 1, "pinned");
+  FeedIteration(monitor, 0, /*slow=*/1);
+  // Flagged, streak met — but immovable means its backlog stays put.
+  EXPECT_EQ(rebalance.report().events, 0);
+  EXPECT_EQ(store.PendingIterations(1), std::vector<int64_t>{0});
+
+  // A replica the monitor has declared dead is recovery's problem: the
+  // rebalancer must not race it for the backlog.
+  monitor.OnReplicaAttached(2);
+  monitor.OnReplicaDisconnected(2, /*clean=*/false);  // grace 0 -> kDead
+  store.PushBytes(0, 2, "dead-backlog");
+  FeedIteration(monitor, 1, /*slow=*/2);  // late beats from the dead replica
+  EXPECT_EQ(rebalance.report().events, 0);
+  EXPECT_EQ(store.PendingIterations(2), std::vector<int64_t>{0});
+}
+
+TEST(RebalanceCoordinatorTest, NoFastDestinationMeansNoMove) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  service::RebalanceOptions bopts;
+  bopts.consecutive_flags = 1;
+  bopts.replicas = {1};  // nobody else configured to take work
+  bopts.spare_iteration_base = 10;
+  service::RebalanceCoordinator rebalance(&store, &monitor, bopts);
+
+  store.PushBytes(0, 1, "stuck");
+  FeedIteration(monitor, 0, /*slow=*/1);
+  EXPECT_EQ(rebalance.report().events, 0);
+  EXPECT_EQ(store.PendingIterations(1), std::vector<int64_t>{0});
+}
+
+// Recovery and rebalance sharing one SpareKeyAllocator can never hand the
+// same destination key to both — the collision that would otherwise silently
+// drop whichever plan lost the race.
+TEST(RebalanceCoordinatorTest, SharedAllocatorKeepsRecoveryAndRebalanceApart) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  auto spare_keys = std::make_shared<service::SpareKeyAllocator>(10);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_keys = spare_keys;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  service::RebalanceOptions bopts;
+  bopts.consecutive_flags = 1;
+  bopts.max_moves_per_event = 1;
+  bopts.replicas = {0, 1, 2};
+  bopts.spare_keys = spare_keys;
+  service::RebalanceCoordinator rebalance(&store, &monitor, bopts);
+
+  // Rebalance moves one plan to a fast replica's first spare key...
+  store.PushBytes(0, 1, "slow-tail");
+  FeedIteration(monitor, 0, /*slow=*/1);
+  ASSERT_EQ(rebalance.report().moved_iterations, 1);
+  // ...then that fast replica's peer dies and recovery round-robins the
+  // backlog over the survivors: its keys continue after rebalance's.
+  store.PushBytes(1, 2, "dead-a");
+  store.PushBytes(2, 2, "dead-b");
+  monitor.OnReplicaAttached(2);
+  monitor.OnReplicaDisconnected(2, /*clean=*/false);
+  EXPECT_EQ(recovery.report().replanned_iterations, 2);
+  // Survivors are 0 and 1; whichever repost landed on 0 took key 11, not 10.
+  EXPECT_EQ(store.FetchBytes(10, 0), "slow-tail");
+  EXPECT_EQ(store.FetchBytes(11, 0), "dead-a");
+  EXPECT_EQ(store.FetchBytes(10, 1), "dead-b");
 }
 
 // ---------- trainer: degraded epochs ----------

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -68,14 +69,16 @@ sim::ExecutionPlan MarkerPlan(int32_t marker) {
 // A live backend: whatever machinery the store needs (server, transport)
 // plus the interface handle the tests drive. Backends with a heartbeat
 // channel route it into a HeartbeatMonitor and expose it so the capability
-// test can verify delivery; the rest return null (shm has no channel — the
-// capability-flag case).
+// test can verify delivery; a backend whose delivery is asynchronous (shm:
+// beats land in segment slots and a poller replays them) also reports that,
+// so the test knows to wait instead of asserting instantly.
 struct Backend {
   virtual ~Backend() = default;
   virtual runtime::InstructionStoreInterface& store() = 0;
   virtual const service::HeartbeatMonitor* heartbeats() const {
     return nullptr;
   }
+  virtual bool heartbeats_are_async() const { return false; }
 };
 
 struct InProcessBackend : Backend {
@@ -142,14 +145,25 @@ struct MuxBackend : Backend {
 };
 
 // The shared-memory segment: the store object is the backend — no server,
-// no wire; an executor process could attach to the same name.
+// no wire; an executor process could attach to the same name. Heartbeats are
+// shm-native: Heartbeat writes the caller's segment slot, and the poller
+// replays the beats into the monitor from its own thread — delivery is
+// eventual, not synchronous with the call.
 struct ShmBackend : Backend {
   explicit ShmBackend(size_t capacity, std::string name)
       : store_(transport::ShmInstructionStore::Create(
             std::move(name), transport::ShmStoreOptions{capacity, 64,
-                                                        size_t{1} << 20})) {}
+                                                        size_t{1} << 20})),
+        poller_(store_, &monitor_, /*poll_interval_ms=*/1) {}
   runtime::InstructionStoreInterface& store() override { return *store_; }
+  const service::HeartbeatMonitor* heartbeats() const override {
+    return &monitor_;
+  }
+  bool heartbeats_are_async() const override { return true; }
+
+  service::HeartbeatMonitor monitor_;  // before poller_: outlives its sink
   std::shared_ptr<transport::ShmInstructionStore> store_;
+  transport::ShmHeartbeatPoller poller_;
 };
 
 std::string UniqueSocketPath() {
@@ -282,10 +296,11 @@ TEST_P(StoreConformanceTest, ShutdownUnblocksBlockedPushAndDropsItsPlan) {
 
 // Heartbeats are a *capability*, not part of the core contract: backends
 // with a channel back to the planner (the wire clients, a sink-equipped
-// in-process store) deliver the report and return true; backends without one
-// (the shared-memory segment — nothing serves it) return false cleanly.
-// Either way, calling Heartbeat on any backend must never crash, and the
-// answer must agree with supports_heartbeat().
+// in-process store, the shm segment's heartbeat slots) deliver the report
+// and return true; a backend without one returns false cleanly. Either way,
+// calling Heartbeat on any backend must never crash, and the answer must
+// agree with supports_heartbeat(). Shm delivery rides the poller thread, so
+// the assertions wait for it there instead of firing instantly.
 TEST_P(StoreConformanceTest, HeartbeatIsACapabilityNotACrash) {
   auto backend = GetParam().make(0);
   runtime::InstructionStoreInterface& store = backend->store();
@@ -295,6 +310,14 @@ TEST_P(StoreConformanceTest, HeartbeatIsACapabilityNotACrash) {
   EXPECT_EQ(store.supports_heartbeat(), supported);  // stable answer
   if (supported) {
     ASSERT_NE(backend->heartbeats(), nullptr);
+    if (backend->heartbeats_are_async()) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (backend->heartbeats()->total_heartbeats() < 1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     EXPECT_EQ(backend->heartbeats()->total_heartbeats(), 1);
     EXPECT_EQ(backend->heartbeats()->LastIteration(1), 7);
     const service::IterationHeartbeatStats stats =
@@ -304,6 +327,40 @@ TEST_P(StoreConformanceTest, HeartbeatIsACapabilityNotACrash) {
   } else {
     // No channel: the report is dropped, not recorded and not fatal.
     EXPECT_EQ(backend->heartbeats(), nullptr);
+  }
+}
+
+// The recovery surface is a capability too: stores that physically hold
+// plans (in-process, shm) can enumerate and move them; wire clients cannot —
+// recovery always runs where the plans live. Backends that support it must
+// honor the Repost outcome contract; backends that don't must refuse
+// harmlessly rather than crash.
+TEST_P(StoreConformanceTest, RecoverySurfaceIsACapabilityNotACrash) {
+  auto backend = GetParam().make(0);
+  runtime::InstructionStoreInterface& store = backend->store();
+  store.Push(0, 1, MarkerPlan(10));
+  store.Push(5, 1, MarkerPlan(11));
+  if (store.supports_recovery()) {
+    const std::vector<int64_t> pending = store.PendingIterations(1);
+    ASSERT_EQ(pending.size(), 2u);
+    EXPECT_EQ(pending[0], 0);  // sorted ascending
+    EXPECT_EQ(pending[1], 5);
+    EXPECT_EQ(store.Repost(5, 1, 7, 2), runtime::RepostOutcome::kMoved);
+    EXPECT_EQ(store.Repost(5, 1, 8, 2), runtime::RepostOutcome::kSourceGone);
+    store.Push(9, 2, MarkerPlan(12));
+    EXPECT_EQ(store.Repost(0, 1, 9, 2),
+              runtime::RepostOutcome::kDestinationTaken);
+    EXPECT_TRUE(store.Contains(0, 1));  // a refused move leaves the source
+    EXPECT_EQ(store.Fetch(7, 2), MarkerPlan(11));  // moved bytes intact
+    EXPECT_EQ(store.DropReplica(1), 1u);
+    EXPECT_FALSE(store.Contains(0, 1));
+    EXPECT_EQ(store.Fetch(9, 2), MarkerPlan(12));
+  } else {
+    EXPECT_EQ(store.Repost(0, 1, 7, 2), runtime::RepostOutcome::kUnsupported);
+    EXPECT_TRUE(store.PendingIterations(1).empty());
+    EXPECT_EQ(store.DropReplica(1), 0u);
+    EXPECT_EQ(store.Fetch(0, 1), MarkerPlan(10));
+    EXPECT_EQ(store.Fetch(5, 1), MarkerPlan(11));
   }
 }
 

@@ -33,6 +33,7 @@
 #include "src/runtime/planner.h"
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
+#include "src/service/rebalance.h"
 #include "src/service/recovery.h"
 #include "src/transport/frame.h"
 #include "src/transport/mux.h"
@@ -690,7 +691,8 @@ TEST(ExecutorDaemonTest, OpenEndedRunExitsCleanlyWhenPublisherShutsDown) {
                                 int32_t replica,
                                 const std::vector<std::string>& expected_bytes,
                                 const char* fault_spec, int64_t iterations,
-                                bool require_reconnect) {
+                                bool require_reconnect, double slow_ms = 0.0,
+                                int idle_timeout_ms = 30'000) {
   if (fault_spec != nullptr) {
     common::FaultSpec spec;
     std::string error;
@@ -704,7 +706,8 @@ TEST(ExecutorDaemonTest, OpenEndedRunExitsCleanlyWhenPublisherShutsDown) {
   opts.endpoint = endpoint;
   opts.replica = replica;
   opts.iterations = iterations;
-  opts.idle_timeout_ms = 30'000;
+  opts.slow_ms = slow_ms;
+  opts.idle_timeout_ms = idle_timeout_ms;
   bool bytes_ok = true;
   opts.observer = [&](const executor::IterationOutcome& outcome) {
     const std::string bytes = service::EncodeExecutionPlan(*outcome.plan);
@@ -964,6 +967,295 @@ TEST(FaultControlLoopTest, CorruptedFrameCausesReconnectNotDeath) {
   EXPECT_TRUE(report.dead_replicas.empty());
   EXPECT_EQ(report.replanned_iterations, 0);
   server->Stop();
+}
+
+// Two deaths in one epoch. Replica 1 crashes at its first heartbeat; the
+// first recovery moves its two unfetched plans to spare keys on the
+// survivors — one lands on replica 2. Replica 2 (deliberately slowed so the
+// first recovery completes while it is still mid-epoch) then crashes at its
+// third heartbeat, dying with that inherited spare still unfetched. The
+// second recovery must move the spare *again*: spare keys are per-replica
+// monotonic and burn on allocation, so the re-move lands at a fresh key on
+// replica 0 instead of colliding with the first death's allocations. The
+// lone survivor drains everything — three replanned plans total, store
+// empty, every fetched plan byte-identical to something published.
+TEST(FaultControlLoopTest, SpareKeysSurviveASecondForkedDeath) {
+  constexpr int kIterations = 3;
+  constexpr int32_t kReplicas = 3;
+  constexpr int32_t kFirstVictim = 1;
+  constexpr int32_t kSecondVictim = 2;
+  std::vector<std::vector<sim::ExecutionPlan>> plans(kReplicas);
+  std::vector<std::string> expected;
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      plans[static_cast<size_t>(r)].push_back(MarkerPlan(300 + 10 * i + r));
+      expected.push_back(
+          service::EncodeExecutionPlan(plans[static_cast<size_t>(r)].back()));
+    }
+  }
+  const std::string socket_path = UniqueSocketPath("twokill");
+  std::vector<pid_t> children;
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      const char* fault = r == kFirstVictim    ? "crash@0"
+                          : r == kSecondVictim ? "crash@2"
+                                               : nullptr;
+      // The second victim is paced so the first death's recovery publishes
+      // the inherited spare well before this replica reaches its own crash
+      // point — the spare must demonstrably be resident when it dies.
+      RunFaultChild(socket_path, executor::AttachEndpoint::kUnixSocket, r,
+                    expected, fault, /*iterations=*/-1,
+                    /*require_reconnect=*/false,
+                    /*slow_ms=*/r == kSecondVictim ? 150.0 : 0.0);
+    }
+    children.push_back(child);
+  }
+
+  service::HeartbeatMonitor monitor;
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.set_heartbeat_sink(&monitor);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_iteration_base = kIterations;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  auto transport = std::make_unique<transport::UnixSocketTransport>(socket_path);
+  auto server = std::make_unique<transport::InstructionStoreServer>(
+      transport.get(), &store);
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      store.Push(i, r, plans[static_cast<size_t>(r)][static_cast<size_t>(i)]);
+    }
+  }
+
+  // Both victims die by SIGKILL at their fault points, in pace order.
+  int status = 0;
+  ASSERT_EQ(::waitpid(children[kFirstVictim], &status, 0),
+            children[kFirstVictim]);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "first victim status " << status;
+  ASSERT_EQ(::waitpid(children[kSecondVictim], &status, 0),
+            children[kSecondVictim]);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "second victim status " << status;
+
+  ASSERT_TRUE(WaitUntil([&] { return store.size() == 0; }, 30'000));
+  EXPECT_EQ(monitor.DeadReplicas(),
+            (std::vector<int32_t>{kFirstVictim, kSecondVictim}));
+  const service::RecoveryReport report = recovery.report();
+  EXPECT_EQ(report.dead_replicas,
+            (std::vector<int32_t>{kFirstVictim, kSecondVictim}));
+  // First death: iterations 1 and 2 of replica 1 move. Second death: the
+  // spare replica 2 inherited moves on. 2 + 1, no plan lost.
+  EXPECT_EQ(report.replanned_iterations, 3);
+  EXPECT_EQ(report.dropped_iterations, 0);
+  EXPECT_FALSE(report.fail_fast_triggered);
+
+  server->Stop();
+  server.reset();
+  transport.reset();
+  ASSERT_EQ(::waitpid(children[0], &status, 0), children[0]);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "survivor status " << status;
+}
+
+// ---------- the shm failure control loop (acceptance criterion) ----------
+
+std::string UniqueShmName(const char* tag) {
+  static std::atomic<uint64_t> counter{0};
+  return std::string("/dynapipe-tt-") + tag + "-" + std::to_string(::getpid()) +
+         "-" + std::to_string(counter.fetch_add(1));
+}
+
+// The crash-pinned arena. A reader process acquires a zero-copy view — which
+// pins the arena against rewinds — and is SIGKILLed before releasing it.
+// The pin can never be released by its owner; a publisher blocked on arena
+// space must notice the pinner is dead (kill(pid, 0) == ESRCH), reclaim the
+// pin, rewind, and proceed on its own timed re-evaluation — no broadcast,
+// nobody left to send one. The arena is sized to hold exactly one plan so
+// the second Push genuinely parks on the pinned arena first. The parent
+// reaps the child before expecting the reclaim: a zombie still answers
+// kill(pid, 0), so liveness probing only sees the death after waitpid.
+TEST(ShmFaultControlLoopTest, SigkilledReaderPinIsReclaimedAndArenaRewinds) {
+  // Plans padded past the arena minimum (4 KB) so "room for one, not two"
+  // is expressible: each encodes to a few KB of instructions.
+  const auto fat_plan = [](int32_t marker) {
+    sim::ExecutionPlan plan = MarkerPlan(marker);
+    for (int i = 0; i < 256; ++i) {
+      plan.devices[0].instructions.push_back(plan.devices[0].instructions[0]);
+    }
+    return plan;
+  };
+  const sim::ExecutionPlan plan_a = fat_plan(41);
+  const sim::ExecutionPlan plan_b = fat_plan(42);
+  const std::string bytes_a = service::EncodeExecutionPlan(plan_a);
+  const std::string bytes_b = service::EncodeExecutionPlan(plan_b);
+  const std::string shm_name = UniqueShmName("pin");
+
+  int ready_pipe[2];   // parent -> child: segment exists
+  int pinned_pipe[2];  // child -> parent: view acquired, arena pinned
+  ASSERT_EQ(::pipe(ready_pipe), 0);
+  ASSERT_EQ(::pipe(pinned_pipe), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(ready_pipe[1]);
+    ::close(pinned_pipe[0]);
+    char go;
+    if (!ReadFull(ready_pipe[0], &go, 1)) ::_exit(2);
+    auto reader = transport::ShmInstructionStore::Attach(shm_name, 10'000);
+    auto view = reader->AcquireView(0, 0);
+    if (view.bytes().empty()) ::_exit(3);
+    if (!WriteFull(pinned_pipe[1], "p", 1)) ::_exit(4);
+    // Park holding the pin until the parent SIGKILLs us: the view's
+    // destructor never runs, so only dead-pin reclaim can free the arena.
+    ::pause();
+    ::_exit(5);
+  }
+  ::close(ready_pipe[0]);
+  ::close(pinned_pipe[1]);
+
+  transport::ShmStoreOptions sopts;
+  // Room for one plan, not two: the second Push must wait for a rewind.
+  sopts.arena_bytes = bytes_a.size() + bytes_a.size() / 2;
+  auto store = transport::ShmInstructionStore::Create(shm_name, sopts);
+  store->Push(0, 0, plan_a);
+  ASSERT_TRUE(WriteFull(ready_pipe[1], "g", 1));
+  char pinned;
+  ASSERT_TRUE(ReadFull(pinned_pipe[0], &pinned, 1));
+
+  // The publisher parks: the store is drained (the child consumed the only
+  // plan) but the child's unreleased view pins the arena.
+  std::atomic<bool> pushed{false};
+  std::thread publisher([&] {
+    store->Push(1, 0, plan_b);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_FALSE(pushed.load());  // a live pin really does hold the publisher
+  EXPECT_EQ(store->pin_reclaims(), 0);
+
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // The parked publisher's next timed re-evaluation probes the pinner,
+  // reclaims the dead pin, rewinds, and completes the push unaided.
+  ASSERT_TRUE(WaitUntil([&] { return pushed.load(); }, 10'000));
+  publisher.join();
+  EXPECT_EQ(store->pin_reclaims(), 1);
+  EXPECT_GE(store->arena_rewinds(), 1);
+  // The reclaimed arena serves the new plan intact.
+  {
+    auto view = store->AcquireView(1, 0);
+    EXPECT_EQ(view.bytes(), bytes_b);
+  }
+  ::close(ready_pipe[1]);
+  ::close(pinned_pipe[0]);
+}
+
+// The shm-native straggler reaction, end to end with no socket anywhere:
+// three executor processes attach to one segment; liveness and completions
+// flow only through the segment's heartbeat slots into the trainer-side
+// poller. Replica 1 stalls 1200 ms inside iteration 1, so its heartbeat
+// arrives late and over-wall; the monitor flags it the moment the report
+// set completes, and the rebalance coordinator moves the tail of its
+// unfetched backlog to spare keys on the fast replicas, which drain them.
+// Every child verifies each fetched plan re-encodes to published bytes
+// (set membership — migrated plans appear under spare keys, bytes
+// unchanged). All children are paced identically so pacing cannot shift
+// the straggler medians, and so the stalled replica still has a movable
+// backlog when its flag lands.
+TEST(ShmFaultControlLoopTest, StalledShmExecutorIsFlaggedAndBacklogRebalances) {
+  constexpr int kIterations = 6;
+  constexpr int32_t kReplicas = 3;
+  constexpr int32_t kVictim = 1;
+  constexpr double kPaceMs = 60.0;
+  std::vector<std::vector<sim::ExecutionPlan>> plans(kReplicas);
+  std::vector<std::string> expected;
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      plans[static_cast<size_t>(r)].push_back(MarkerPlan(400 + 10 * i + r));
+      expected.push_back(
+          service::EncodeExecutionPlan(plans[static_cast<size_t>(r)].back()));
+    }
+  }
+  const std::string shm_name = UniqueShmName("stall");
+  std::vector<pid_t> children;
+  for (int32_t r = 0; r < kReplicas; ++r) {
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Open-ended: survivors must pick up migrated plans at spare keys
+      // past their own epoch. The idle timeout is the exit condition — it
+      // must outlast the park between a fast replica draining its epoch
+      // (~360 ms) and the migration landing (after the 1200 ms stall).
+      RunFaultChild(shm_name, executor::AttachEndpoint::kSharedMemory, r,
+                    expected, r == kVictim ? "stall:1200@1" : nullptr,
+                    /*iterations=*/-1, /*require_reconnect=*/false,
+                    /*slow_ms=*/kPaceMs, /*idle_timeout_ms=*/5'000);
+    }
+    children.push_back(child);
+  }
+
+  // Control plane, created only after the forks (no threads cross fork).
+  // No death deadlines: a 1200 ms stall must stay a straggler, never a
+  // death — rebalancing, not recovery, is under test.
+  service::HeartbeatMonitorOptions mopts;
+  mopts.straggler_multiple = 2.0;
+  mopts.min_straggler_gap_ms = 50.0;
+  mopts.expected_replicas = kReplicas;
+  service::HeartbeatMonitor monitor(mopts);
+  auto store = transport::ShmInstructionStore::Create(
+      shm_name, transport::ShmStoreOptions{});
+  service::RebalanceOptions bopts;
+  bopts.consecutive_flags = 1;
+  bopts.max_moves_per_event = 2;
+  bopts.hysteresis_iterations = kIterations;  // one event per epoch, max
+  bopts.replicas = {0, 1, 2};
+  bopts.spare_iteration_base = kIterations;
+  service::RebalanceCoordinator rebalance(store.get(), &monitor, bopts);
+  transport::ShmHeartbeatPoller poller(store, &monitor);
+  for (int i = 0; i < kIterations; ++i) {
+    for (int32_t r = 0; r < kReplicas; ++r) {
+      store->Push(i, r, plans[static_cast<size_t>(r)][static_cast<size_t>(i)]);
+    }
+  }
+
+  // Every plan — including the migrated ones at spare keys — executes
+  // exactly once somewhere, so the drain and the heartbeat total are exact
+  // regardless of how the move races resolve.
+  ASSERT_TRUE(WaitUntil([&] { return store->size() == 0; }, 30'000));
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        return monitor.total_heartbeats() >= kIterations * kReplicas;
+      },
+      10'000));
+  EXPECT_EQ(monitor.total_heartbeats(), kIterations * kReplicas);
+
+  for (const pid_t child : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "executor status " << status;
+  }
+
+  // The stall was detected through the segment alone: iteration 1 saw all
+  // three replicas report and flagged exactly the stalled one.
+  const service::IterationHeartbeatStats stalled = monitor.ForIteration(1);
+  EXPECT_EQ(stalled.replicas_reported, kReplicas);
+  EXPECT_EQ(stalled.stragglers, std::vector<int32_t>{kVictim});
+  EXPECT_GE(stalled.max_wall_ms, 1200.0);
+  // And reacted to: unfetched backlog moved off the straggler mid-epoch.
+  const service::RebalanceReport report = rebalance.report();
+  EXPECT_GE(report.events, 1);
+  EXPECT_GE(report.moved_iterations, 1);
+  EXPECT_EQ(report.rebalanced_replicas, std::vector<int32_t>{kVictim});
+  // Nobody was declared dead: a stall is a straggle, not a failure.
+  EXPECT_TRUE(monitor.DeadReplicas().empty());
 }
 
 // The mux client against the store server: many threads sharing ONE stream,

@@ -32,6 +32,14 @@
 //
 //   dynapipe_executor --demo socket --fault crash@1      (SIGKILL mid-epoch)
 //   dynapipe_executor --demo mux --fault stall:1200@1    (wedge past deadline)
+//
+// On the shm backend liveness is shm-native (heartbeat slots in the segment
+// header, replayed by a ShmHeartbeatPoller — no socket side-channel), and
+// --demo shm --fault stall:1200@1 exercises the straggler *reaction* path: a
+// longer epoch is published, one executor wedges mid-epoch, the publisher's
+// monitor flags it from the shm beats, and a RebalanceCoordinator migrates
+// part of its unfetched backlog to the fast executors, which drain it at
+// spare iteration numbers.
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -56,6 +64,7 @@
 #include "src/runtime/planner.h"
 #include "src/service/heartbeat_monitor.h"
 #include "src/service/plan_serde.h"
+#include "src/service/rebalance.h"
 #include "src/service/recovery.h"
 #include "src/transport/shm_store.h"
 #include "src/transport/store_server.h"
@@ -169,6 +178,15 @@ constexpr int kDemoSlowReplica = kDemoReplicas - 1;
 // ~30 ms+ to false-flag, and the slow one would be missed only if the
 // fast median exceeded ~125 ms.
 constexpr double kDemoSlowMs = 150.0;
+// The shm stall demo publishes a longer epoch so the wedged replica has an
+// unfetched backlog worth migrating when the straggler flag lands, and paces
+// *every* executor so the backlog drains on a human timescale: a simulated
+// iteration completes in microseconds, and an unpaced stalled replica would
+// drain its whole share before the poller (5 ms cadence) could deliver the
+// flag that triggers the migration. The pace is uniform, so it shifts no
+// medians; the 1200 ms stall still towers over the 2*median+25 ms bar.
+constexpr int kDemoStallIterations = 6;
+constexpr double kDemoStallPaceMs = 60.0;
 
 std::vector<sim::ExecutionPlan> PlanDemoEpoch() {
   cost::ProfileOptions profile;
@@ -238,8 +256,12 @@ constexpr int kDemoFaultReplica = 1;
   opts.replica = replica;
   opts.iterations = fault_mode ? -1 : kDemoIterations;
   opts.idle_timeout_ms = fault_mode ? 2000 : 10'000;
-  opts.slow_ms =
-      (!fault_mode && replica == kDemoSlowReplica) ? kDemoSlowMs : 0.0;
+  if (fault_mode &&
+      endpoint == executor::AttachEndpoint::kSharedMemory) {
+    opts.slow_ms = kDemoStallPaceMs;  // uniform pacing (rebalance demo)
+  } else if (!fault_mode && replica == kDemoSlowReplica) {
+    opts.slow_ms = kDemoSlowMs;
+  }
   bool bytes_ok = true;
   opts.observer = [&](const executor::IterationOutcome& o) {
     const std::string encoded = service::EncodeExecutionPlan(*o.plan);
@@ -294,13 +316,19 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
       std::fprintf(stderr, "--fault: %s\n", error.c_str());
       return 1;
     }
-    if (!over_wire) {
-      std::fprintf(stderr, "--demo shm --fault: the shm backend has no "
-                           "server, so there is no failure detector to "
-                           "demo\n");
+    if (!over_wire && fault.kind != common::FaultKind::kStall) {
+      // Crash/drop/corrupt demo the *death* loop, which needs the wire's
+      // connection semantics; the shm fault demo is the *slowness* loop.
+      std::fprintf(stderr, "--demo shm --fault: only 'stall' is supported "
+                           "(shm-native straggler detection + rebalance)\n");
       return 1;
     }
   }
+  // Shm + stall: the rebalance demo. Everything about it is shm-native —
+  // detection, liveness, and the migration itself all live in the segment.
+  const bool shm_rebalance = fault_mode && !over_wire;
+  const int demo_iterations =
+      shm_rebalance ? kDemoStallIterations : kDemoIterations;
   const std::string attach =
       over_wire
           ? "/tmp/dynapipe-exec-demo-" + std::to_string(::getpid()) + ".sock"
@@ -336,17 +364,26 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
   service::HeartbeatMonitorOptions monitor_opts;
   monitor_opts.straggler_multiple = 2.0;
   monitor_opts.min_straggler_gap_ms = 25.0;
-  if (fault_mode) {
+  // All replicas report every iteration, so gate straggler math on the full
+  // set — a partial report set must never flag anyone.
+  monitor_opts.expected_replicas = kDemoReplicas;
+  if (fault_mode && over_wire) {
     monitor_opts.suspect_after_ms = 150.0;
     monitor_opts.dead_after_ms = 450.0;
     monitor_opts.connection_grace_ms = 0.0;  // a dropped connection is death
   }
+  // The shm stall demo leaves the liveness deadlines off: a wedged-but-alive
+  // replica is a straggler for the rebalancer, not a death for recovery.
   service::HeartbeatMonitor monitor(monitor_opts);
   std::optional<runtime::InstructionStore> store;
   std::optional<transport::UnixSocketTransport> transport_ep;
   std::optional<transport::InstructionStoreServer> server;
   std::optional<service::RecoveryCoordinator> recovery;
   std::shared_ptr<transport::ShmInstructionStore> shm;
+  std::optional<service::RebalanceCoordinator> rebalance;
+  // Declared after the coordinators: the poller stops feeding the monitor
+  // before either of them unhooks.
+  std::optional<transport::ShmHeartbeatPoller> poller;
   runtime::InstructionStoreInterface* publish_to = nullptr;
   if (over_wire) {
     store.emplace(runtime::InstructionStoreOptions{/*serialized=*/true,
@@ -367,16 +404,34 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
     shm = transport::ShmInstructionStore::Create(attach,
                                                  transport::ShmStoreOptions{});
     publish_to = shm.get();
+    if (shm_rebalance) {
+      // One persistent flag moves work: the demo stall is a single long
+      // wedge, so the streak threshold is 1; two plans migrate, split over
+      // the two fast replicas.
+      service::RebalanceOptions bopts;
+      bopts.consecutive_flags = 1;
+      bopts.max_moves_per_event = 2;
+      bopts.hysteresis_iterations = kDemoStallIterations;
+      for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+        bopts.replicas.push_back(replica);
+      }
+      bopts.spare_iteration_base = kDemoStallIterations;
+      rebalance.emplace(shm.get(), &monitor, bopts);
+    }
+    // The shm liveness channel: executors stamp heartbeat slots inside the
+    // segment; this poller replays them into the monitor. No socket exists
+    // anywhere in this demo.
+    poller.emplace(shm, &monitor);
   }
-  for (int i = 0; i < kDemoIterations; ++i) {
+  for (int i = 0; i < demo_iterations; ++i) {
     for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
-      publish_to->Push(i, replica, plans[static_cast<size_t>(i)]);
+      publish_to->Push(i, replica, plans[static_cast<size_t>(i) % plans.size()]);
     }
   }
   if (fault_mode) {
     std::printf("[demo] published %dx%d plans on %s (%s), fault '%s' armed "
                 "in replica %d\n",
-                kDemoIterations, kDemoReplicas, attach.c_str(),
+                demo_iterations, kDemoReplicas, attach.c_str(),
                 executor::EndpointName(endpoint), fault_text.c_str(),
                 kDemoFaultReplica);
   } else {
@@ -475,6 +530,72 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
     ok = false;
   }
 
+  // Reaping finished the epoch, but shm heartbeat delivery is asynchronous:
+  // the last beats are already in the segment slots, waiting for the poller
+  // thread. Wait for the full count (bounded) before reading the monitor.
+  if (poller.has_value()) {
+    const int64_t expected_beats =
+        static_cast<int64_t>(demo_iterations) * kDemoReplicas;
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    while (monitor.total_heartbeats() < expected_beats &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  if (shm_rebalance) {
+    const service::RebalanceReport breport = rebalance->report();
+    const service::IterationHeartbeatStats stalled =
+        monitor.ForIteration(fault.at);
+    std::string stragglers;
+    for (const int32_t replica : stalled.stragglers) {
+      if (!stragglers.empty()) {
+        stragglers += ",";
+      }
+      stragglers += std::to_string(replica);
+    }
+    std::printf("[demo] shm straggler reaction: iter %lld stragglers=[%s] "
+                "(%d/%d reported), rebalance events=%lld moved=%lld\n",
+                static_cast<long long>(fault.at), stragglers.c_str(),
+                stalled.replicas_reported, stalled.replicas_expected,
+                static_cast<long long>(breport.events),
+                static_cast<long long>(breport.moved_iterations));
+    if (stalled.stragglers != std::vector<int32_t>{kDemoFaultReplica}) {
+      std::fprintf(stderr,
+                   "[demo] expected exactly replica %d flagged via the shm "
+                   "heartbeat slots\n",
+                   kDemoFaultReplica);
+      ok = false;
+    }
+    if (breport.events < 1 || breport.moved_iterations < 1) {
+      std::fprintf(stderr, "[demo] no rebalance happened\n");
+      ok = false;
+    }
+    if (breport.rebalanced_replicas !=
+        std::vector<int32_t>{kDemoFaultReplica}) {
+      std::fprintf(stderr, "[demo] only replica %d should have shed work\n",
+                   kDemoFaultReplica);
+      ok = false;
+    }
+    const int64_t expected_beats =
+        static_cast<int64_t>(demo_iterations) * kDemoReplicas;
+    if (monitor.total_heartbeats() != expected_beats) {
+      std::fprintf(stderr,
+                   "[demo] %lld heartbeats delivered, expected %lld — every "
+                   "plan (migrated included) reports exactly once\n",
+                   static_cast<long long>(monitor.total_heartbeats()),
+                   static_cast<long long>(expected_beats));
+      ok = false;
+    }
+    write_merged_trace();
+    std::printf("[demo] %s\n",
+                ok ? "ok: stall flagged via shm heartbeat slots, backlog "
+                     "rebalanced to fast replicas, epoch drained"
+                   : "FAILED");
+    return ok ? 0 : 1;
+  }
+
   if (fault_mode) {
     const service::RecoveryReport rreport = recovery->report();
     std::printf("[demo] recovery: dead=[");
@@ -508,31 +629,29 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
     return ok ? 0 : 1;
   }
 
-  if (over_wire) {
-    std::printf("  iter | replicas | median ms | max ms | stragglers\n");
-    for (int i = 0; i < kDemoIterations; ++i) {
-      const service::IterationHeartbeatStats stats = monitor.ForIteration(i);
-      std::string stragglers;
-      for (const int32_t replica : stats.stragglers) {
-        if (!stragglers.empty()) {
-          stragglers += ",";
-        }
-        stragglers += std::to_string(replica);
+  // Straggler attribution works on every backend now: the wire backends
+  // heartbeat through the server's sink, shm through the segment's heartbeat
+  // slots and the poller.
+  std::printf("  iter | replicas | median ms | max ms | stragglers\n");
+  for (int i = 0; i < kDemoIterations; ++i) {
+    const service::IterationHeartbeatStats stats = monitor.ForIteration(i);
+    std::string stragglers;
+    for (const int32_t replica : stats.stragglers) {
+      if (!stragglers.empty()) {
+        stragglers += ",";
       }
-      std::printf("  %4d | %8d | %9.2f | %6.2f | %s\n", i,
-                  stats.replicas_reported, stats.median_wall_ms,
-                  stats.max_wall_ms,
-                  stragglers.empty() ? "-" : stragglers.c_str());
-      ok = ok && stats.replicas_reported == kDemoReplicas;
-      ok = ok && stats.stragglers == std::vector<int32_t>{kDemoSlowReplica};
+      stragglers += std::to_string(replica);
     }
-    ok = ok && monitor.total_heartbeats() == kDemoIterations * kDemoReplicas;
-    if (server.has_value()) {
-      server->Stop();
-    }
-  } else {
-    std::printf("[demo] shm backend has no heartbeat channel "
-                "(capability flag) — liveness smoke only\n");
+    std::printf("  %4d | %8d | %9.2f | %6.2f | %s\n", i,
+                stats.replicas_reported, stats.median_wall_ms,
+                stats.max_wall_ms,
+                stragglers.empty() ? "-" : stragglers.c_str());
+    ok = ok && stats.replicas_reported == kDemoReplicas;
+    ok = ok && stats.stragglers == std::vector<int32_t>{kDemoSlowReplica};
+  }
+  ok = ok && monitor.total_heartbeats() == kDemoIterations * kDemoReplicas;
+  if (server.has_value()) {
+    server->Stop();
   }
   write_merged_trace();
   std::printf("[demo] %s\n", ok ? "ok: byte-identical plans, full drain, "
