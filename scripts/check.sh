@@ -77,3 +77,10 @@ if [ "$pids" -lt 2 ]; then
   exit 1
 fi
 rm -f "$TRACE_OUT"
+
+# Smoke incremental planning on a cross-shuffle T5 epoch pair: plans from a
+# cold planner and an incremental planner (prefix cache + stage memo + warm
+# seeds) must encode byte-identically, and the quantized pass must actually
+# exercise the reuse path (zero prefix hits fails — a vacuous comparison
+# proves nothing). Exits nonzero on any plan-byte mismatch.
+"$BUILD_DIR"/bench_fig17_planning_time --incremental-smoke

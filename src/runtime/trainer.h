@@ -65,6 +65,10 @@ struct TrainerOptions {
   // repacks samples and cannot be rebound.
   bool plan_cache = false;
   size_t plan_cache_capacity = 256;
+  // Byte budget for the plan cache (estimated deep size; 0 = unbounded).
+  // Plans scale with batch size x replicas, so large-batch runs cap by bytes
+  // rather than trusting the count alone (see PlanCacheOptions::max_bytes).
+  size_t plan_cache_max_bytes = 0;
   // Round sequence lengths up to this multiple before keying *and* planning
   // (1 = exact). > 1 trades padding for cache hits across nearly-identical
   // batches; plans are then no longer bit-identical to exact planning.
@@ -193,6 +197,11 @@ struct IterationRecord {
   int64_t cost_cache_misses = 0;
   double partition_ms = 0.0;
   double schedule_ms = 0.0;
+  // Incremental planning (prefix window cache + warm-started candidate
+  // sweep); zero when incremental_planning is off.
+  int64_t prefix_cache_hits = 0;
+  int64_t prefix_cache_misses = 0;
+  int64_t warmstart_pruned = 0;
   // Plan-ahead service: whether this iteration's plan came from the
   // cross-iteration plan cache (its phase counters above are then 0), and how
   // long the trainer stalled waiting for the plan (planning latency the
@@ -282,13 +291,18 @@ class Trainer {
 
  private:
   using PlanFn = std::function<IterationPlan(const std::vector<data::Sample>&)>;
+  using SeededPlanFn = std::function<IterationPlan(const std::vector<data::Sample>&,
+                                                   const PlanSeed*)>;
 
   // `pool` (nullable) is shared with the plan-ahead service; `config_hash`
   // pins the planning configuration for plan-cache signatures;
-  // `allow_plan_cache` gates the cache to rebindable (DynaPipe) plans.
+  // `allow_plan_cache` gates the cache to rebindable (DynaPipe) plans;
+  // `seeded_plan_fn` (nullable) lets plan-cache near-misses warm-start the
+  // planner (DynaPipe path only — baselines have no DP sweep to seed).
   EpochResult RunEpochImpl(const data::Dataset& dataset, const TrainerOptions& options,
                            const PlanFn& plan_fn, ThreadPool* pool,
-                           uint64_t config_hash, bool allow_plan_cache);
+                           uint64_t config_hash, bool allow_plan_cache,
+                           const SeededPlanFn& seeded_plan_fn = nullptr);
 
   model::ModelConfig config_;
   model::HardwareSpec hw_;
@@ -297,6 +311,14 @@ class Trainer {
   // Lazily created when TrainerOptions::plan_cache is set; persists across
   // RunEpoch calls so replayed epochs hit.
   std::shared_ptr<service::PlanCache> plan_cache_;
+  // Epoch-spanning planner caches, lazily created on the first RunEpoch and
+  // injected into each epoch's planner (unless the caller provided its own):
+  // the memoized cost oracle plus the incremental-planning prefix/stage
+  // caches, so epoch N+1 plans warm. All three are keyed/validated against
+  // the cost model, which is fixed for the Trainer's lifetime.
+  std::shared_ptr<cost::CachedCostOracle> cost_oracle_;
+  std::shared_ptr<mb::PrefixWindowCache> prefix_cache_;
+  std::shared_ptr<cost::StageCostCache> stage_cost_cache_;
 };
 
 }  // namespace dynapipe::runtime

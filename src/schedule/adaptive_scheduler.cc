@@ -1,10 +1,64 @@
 #include "src/schedule/adaptive_scheduler.h"
 
+#include <algorithm>
 #include <deque>
+#include <unordered_map>
 
 #include "src/common/check.h"
 
 namespace dynapipe::schedule {
+
+OpCostsBuild BuildOpCosts(int32_t num_stages,
+                          const std::vector<model::MicroBatchShape>& shapes,
+                          const StageShapePricer& price) {
+  OpCostsBuild out;
+  const int32_t c = num_stages;
+  const int32_t m = static_cast<int32_t>(shapes.size());
+  out.costs.fwd_ms.assign(static_cast<size_t>(c),
+                          std::vector<double>(static_cast<size_t>(m)));
+  out.costs.bwd_ms = out.costs.fwd_ms;
+  out.costs.act_mb = out.costs.fwd_ms;
+  out.mb_time.assign(static_cast<size_t>(m), 0.0);
+
+  // Dedup shapes before pricing: micro-batches cut from runs of equal-length
+  // samples collapse to the same padded shape.
+  std::vector<size_t> distinct_of(static_cast<size_t>(m));
+  std::vector<model::MicroBatchShape> distinct;
+  {
+    std::unordered_map<uint64_t, size_t> seen;
+    seen.reserve(static_cast<size_t>(m));
+    for (int32_t k = 0; k < m; ++k) {
+      const model::MicroBatchShape& shape = shapes[static_cast<size_t>(k)];
+      // Lengths are < 2^24 and counts < 2^16, so the pack is collision-free.
+      const uint64_t key = (static_cast<uint64_t>(shape.num_samples) << 48) |
+                           (static_cast<uint64_t>(shape.input_len) << 24) |
+                           static_cast<uint64_t>(shape.target_len);
+      const auto [it, inserted] = seen.emplace(key, distinct.size());
+      if (inserted) {
+        distinct.push_back(shape);
+      }
+      distinct_of[static_cast<size_t>(k)] = it->second;
+    }
+  }
+  std::vector<double> d_fwd(distinct.size());
+  std::vector<double> d_bwd(distinct.size());
+  std::vector<double> d_act(distinct.size());
+  for (int32_t s = 0; s < c; ++s) {
+    const size_t ss = static_cast<size_t>(s);
+    for (size_t u = 0; u < distinct.size(); ++u) {
+      price(s, distinct[u], &d_fwd[u], &d_bwd[u], &d_act[u]);
+    }
+    for (int32_t k = 0; k < m; ++k) {
+      const size_t sk = static_cast<size_t>(k);
+      const size_t u = distinct_of[sk];
+      out.costs.fwd_ms[ss][sk] = d_fwd[u];
+      out.costs.bwd_ms[ss][sk] = d_bwd[u];
+      out.costs.act_mb[ss][sk] = d_act[u];
+      out.mb_time[sk] = std::max(out.mb_time[sk], d_fwd[u] + d_bwd[u]);
+    }
+  }
+  return out;
+}
 
 std::optional<PipelineSchedule> MemoryAwareAdaptiveSchedule(
     const OpCosts& costs, const AdaptiveScheduleOptions& options) {

@@ -16,12 +16,38 @@
 #define DYNAPIPE_SRC_SCHEDULE_ADAPTIVE_SCHEDULER_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "src/model/shapes.h"
 #include "src/schedule/schedule_types.h"
 
 namespace dynapipe::schedule {
+
+// Prices one (stage, shape) pair: forward time, backward time (recompute
+// folded in by the caller), and held activation memory. The hook through
+// which the planner plugs its profile walks — and, for incremental planning,
+// its cross-iteration StageCostCache — while the scheduler stays
+// cost-model-agnostic.
+using StageShapePricer = std::function<void(
+    int32_t stage, const model::MicroBatchShape& shape, double* fwd_ms,
+    double* bwd_ms, double* act_mb)>;
+
+struct OpCostsBuild {
+  OpCosts costs;
+  // Bottleneck time per micro-batch: max over stages of fwd + bwd.
+  std::vector<double> mb_time;
+};
+
+// Assembles per-op planning inputs from per-(stage, shape) prices. Micro-
+// batches cut from runs of equal-length samples share padded shapes, so each
+// distinct shape is priced exactly once per stage and fanned out — the
+// shape-dedup that used to live in the planner's replica build, hoisted here
+// so every schedule consumer (and the stage-cost memo) shares it.
+OpCostsBuild BuildOpCosts(int32_t num_stages,
+                          const std::vector<model::MicroBatchShape>& shapes,
+                          const StageShapePricer& price);
 
 struct AdaptiveScheduleOptions {
   // Per-device activation-memory limits; empty disables the memory constraint.

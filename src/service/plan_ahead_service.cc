@@ -161,6 +161,21 @@ void PlanAheadService::RunIteration(int64_t iteration,
   // planned and the consumer (and Shutdown) would wait forever. Convert it to
   // an infeasible plan so the trainer surfaces it as a failed epoch — the
   // same observable outcome the old inline path's rethrow produced.
+  // Planner entry point, optionally warm-started. A near-miss seed routes
+  // through seeded_plan_fn under its own "plan_incremental" span so traces
+  // show which plans were computed with a donor bound (the span nests inside
+  // "planned", like the store's "published" spans nest publishing).
+  const auto plan_batch = [&](const std::vector<data::Sample>& batch,
+                              const runtime::PlanSeed* seed) {
+    if (options_.seeded_plan_fn != nullptr) {
+      if (seed != nullptr) {
+        common::TraceSpan span("plan_incremental", "plan", iteration, -1);
+        return options_.seeded_plan_fn(batch, seed);
+      }
+      return options_.seeded_plan_fn(batch, nullptr);
+    }
+    return plan_fn_(batch);
+  };
   try {
     if (cache != nullptr) {
       const PlanSignature sig =
@@ -176,9 +191,20 @@ void PlanAheadService::RunIteration(int64_t iteration,
         plan.planning_time_ms = ElapsedMs(start);
         cache_hit = true;
       } else {
+        // Exact miss: an almost-matching previous batch can still pay — its
+        // partition widths bound the new DP sweep from above.
+        std::optional<runtime::PlanSeed> seed;
+        if (options_.seeded_plan_fn != nullptr) {
+          seed = cache->LookupNearMiss(sig);
+        }
+        const runtime::PlanSeed* seed_ptr =
+            seed.has_value() ? &*seed : nullptr;
         if (options_.quantization > 1) {
-          plan = plan_fn_(PlanCache::CanonicalizeForPlanning(
-              minibatch, options_.fold_target_lengths, options_.quantization));
+          plan = plan_batch(
+              PlanCache::CanonicalizeForPlanning(
+                  minibatch, options_.fold_target_lengths,
+                  options_.quantization),
+              seed_ptr);
           cache->Insert(sig, plan);
           if (plan.feasible) {
             plan = PlanCache::Rebind(std::move(plan), minibatch,
@@ -186,20 +212,22 @@ void PlanAheadService::RunIteration(int64_t iteration,
                                      options_.quantization);
           }
         } else {
-          plan = plan_fn_(minibatch);
+          plan = plan_batch(minibatch, seed_ptr);
           cache->Insert(sig, plan);
         }
       }
     } else if (options_.quantization > 1) {
-      plan = plan_fn_(PlanCache::CanonicalizeForPlanning(
-          minibatch, options_.fold_target_lengths, options_.quantization));
+      plan = plan_batch(PlanCache::CanonicalizeForPlanning(
+                            minibatch, options_.fold_target_lengths,
+                            options_.quantization),
+                        nullptr);
       if (plan.feasible) {
         plan = PlanCache::Rebind(std::move(plan), minibatch,
                                  options_.fold_target_lengths,
                                  options_.quantization);
       }
     } else {
-      plan = plan_fn_(minibatch);
+      plan = plan_batch(minibatch, nullptr);
     }
   } catch (const std::exception& e) {
     plan = runtime::IterationPlan{};

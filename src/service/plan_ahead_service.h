@@ -72,6 +72,15 @@ struct PlanAheadOptions {
   // least the number of replicas of one iteration.
   bool serialize_plans = false;
   size_t store_capacity = 0;
+  // Incremental planning: on an exact-signature miss, probe the cache for a
+  // near-miss donor (longest shared sorted-length prefix, see
+  // PlanCache::LookupNearMiss) and hand its partition widths to this planner
+  // entry point as a warm-start seed. Null falls back to the unseeded PlanFn;
+  // with no plan_cache the knob is inert. Seeds are revalidated pruning
+  // bounds, so the planned result is bit-identical either way.
+  std::function<runtime::IterationPlan(const std::vector<data::Sample>&,
+                                       const runtime::PlanSeed*)>
+      seeded_plan_fn;
   // Store backend override. Null (default): the service owns an in-process
   // InstructionStore built from the two knobs above. Non-null: plans publish
   // to this store instead — e.g. a transport::RemoteInstructionStore fronting

@@ -3,9 +3,19 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
 
 namespace dynapipe::service {
 namespace {
+
+// Process-wide gauge of the cache's estimated footprint (cached reference,
+// see OBSERVABILITY.md). Multiple caches in one process overwrite each other
+// — by design: in production exactly one plan cache exists per trainer.
+common::Gauge& PlanCacheBytesGauge() {
+  static common::Gauge& g =
+      common::MetricsRegistry::Instance().GetGauge("plan_cache_bytes");
+  return g;
+}
 
 // Packed canonical length pair of one sample: fold (GPT) then quantize, to
 // match what the planner actually plans on.
@@ -157,6 +167,70 @@ std::optional<runtime::IterationPlan> PlanCache::Lookup(
   return Rebind(*cached, minibatch, fold_target_lengths, quantization);
 }
 
+std::optional<runtime::PlanSeed> PlanCache::LookupNearMiss(
+    const PlanSignature& sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EntryList::iterator best = entries_.end();
+  size_t best_lcp = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->plan->partition_widths.empty()) {
+      continue;  // e.g. a baseline plan — nothing to seed with
+    }
+    // Longest common prefix of the sorted length multisets. Prefix (not
+    // intersection) mirrors what the planner can actually exploit: its DP
+    // reuses work across batches exactly where the sorted orders agree.
+    const auto [a, b] = std::mismatch(sig.key.begin(), sig.key.end(),
+                                      it->sig.key.begin(), it->sig.key.end());
+    const size_t lcp = static_cast<size_t>(a - sig.key.begin());
+    if (lcp > best_lcp) {
+      best_lcp = lcp;
+      best = it;
+    }
+  }
+  const size_t shorter =
+      best == entries_.end()
+          ? sig.key.size()
+          : std::min(sig.key.size(), best->sig.key.size());
+  if (best == entries_.end() || best_lcp * 2 < shorter) {
+    ++stats_.near_miss_misses;
+    return std::nullopt;
+  }
+  ++stats_.near_miss_hits;
+  entries_.splice(entries_.begin(), entries_, best);  // refresh donor's LRU
+  runtime::PlanSeed seed;
+  seed.partition_widths = best->plan->partition_widths;
+  return seed;
+}
+
+size_t PlanCache::EstimatePlanBytes(const runtime::IterationPlan& plan) {
+  size_t bytes = sizeof(runtime::IterationPlan);
+  bytes += plan.infeasible_reason.capacity();
+  bytes += plan.predicted_peak_mb.capacity() * sizeof(double);
+  bytes += plan.partition_widths.capacity() * sizeof(int32_t);
+  for (const auto& replica : plan.replicas) {
+    bytes += sizeof(runtime::ReplicaPlan);
+    for (const auto& m : replica.micro_batches) {
+      bytes += sizeof(mb::MicroBatch) + m.samples.capacity() * sizeof(data::Sample);
+    }
+    for (const auto& dev : replica.schedule.devices) {
+      bytes += sizeof(dev) + dev.capacity() * sizeof(schedule::ScheduledOp);
+    }
+    for (const auto* ops : {&replica.timeline.fwd, &replica.timeline.bwd}) {
+      for (const auto& row : *ops) {
+        bytes += sizeof(row) + row.capacity() * sizeof(schedule::OpTimes);
+      }
+    }
+    bytes += (replica.timeline.device_busy_ms.capacity() +
+              replica.timeline.device_peak_mb.capacity()) *
+             sizeof(double);
+    for (const auto& dev : replica.exec_plan.devices) {
+      bytes += sizeof(sim::DevicePlan) +
+               dev.instructions.capacity() * sizeof(sim::Instruction);
+    }
+  }
+  return bytes;
+}
+
 void PlanCache::Insert(const PlanSignature& sig,
                        const runtime::IterationPlan& plan) {
   if (!plan.feasible) {
@@ -165,6 +239,8 @@ void PlanCache::Insert(const PlanSignature& sig,
   // Copy the plan before taking the lock; a racing insert then only wastes
   // the copy instead of serializing other workers behind it.
   auto copy = std::make_shared<const runtime::IterationPlan>(plan);
+  const size_t entry_bytes = sizeof(Entry) + sig.key.capacity() * sizeof(uint64_t) +
+                             EstimatePlanBytes(*copy);
   std::lock_guard<std::mutex> lock(mu_);
   const auto existing = FindLocked(sig);
   if (existing != entries_.end()) {
@@ -173,24 +249,35 @@ void PlanCache::Insert(const PlanSignature& sig,
     entries_.splice(entries_.begin(), entries_, existing);
     return;
   }
-  entries_.push_front(Entry{sig, std::move(copy)});
+  entries_.push_front(Entry{sig, std::move(copy), entry_bytes});
   index_[sig.hash].push_back(entries_.begin());
   ++stats_.insertions;
-  while (entries_.size() > options_.capacity) {
+  stats_.bytes += static_cast<int64_t>(entry_bytes);
+  while (entries_.size() > 1 &&
+         (entries_.size() > options_.capacity ||
+          (options_.max_bytes > 0 &&
+           stats_.bytes > static_cast<int64_t>(options_.max_bytes)))) {
     const auto victim = std::prev(entries_.end());
     auto& chain = index_[victim->sig.hash];
     chain.erase(std::find(chain.begin(), chain.end(), victim));
     if (chain.empty()) {
       index_.erase(victim->sig.hash);
     }
+    stats_.bytes -= static_cast<int64_t>(victim->bytes);
     entries_.erase(victim);
     ++stats_.evictions;
   }
+  PlanCacheBytesGauge().Set(stats_.bytes);
 }
 
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(stats_.bytes);
 }
 
 PlanCacheStats PlanCache::stats() const {

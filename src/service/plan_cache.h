@@ -63,6 +63,12 @@ struct PlanCacheOptions {
   // Whole plans are a few hundred KB at large batches, so the default keeps
   // the cache at tens of MB worst case.
   size_t capacity = 64;
+  // Maximum estimated bytes across cached plans (0: unbounded). Plan size
+  // scales with batch size × replica count, so a count cap alone can blow
+  // past a memory budget at large batches; the byte cap evicts LRU entries
+  // until under budget, always keeping the most recent entry even when it
+  // alone exceeds the cap (an empty cache helps nobody).
+  size_t max_bytes = 0;
 };
 
 struct PlanCacheStats {
@@ -70,6 +76,11 @@ struct PlanCacheStats {
   int64_t misses = 0;
   int64_t insertions = 0;
   int64_t evictions = 0;
+  // Estimated bytes currently held (sum of EstimatePlanBytes over entries).
+  int64_t bytes = 0;
+  // Near-miss seeding (see LookupNearMiss).
+  int64_t near_miss_hits = 0;
+  int64_t near_miss_misses = 0;
 
   double hit_rate() const {
     const int64_t total = hits + misses;
@@ -121,12 +132,27 @@ class PlanCache {
       const PlanSignature& sig, const std::vector<data::Sample>& minibatch,
       bool fold_target_lengths, int32_t quantization);
 
+  // Second-level lookup after an exact miss: the cached entry whose sorted
+  // length-multiset key shares the longest common prefix with `sig.key`,
+  // provided the overlap covers at least half of the shorter key and the
+  // entry recorded partition widths. Returns those widths as a warm-start
+  // seed for planning the new batch — the planner revalidates them, so a
+  // stale or cross-configuration seed degrades to slower planning, never to
+  // a different plan. Refreshes the donor's LRU position (an entry useful as
+  // a seed is an entry worth keeping).
+  std::optional<runtime::PlanSeed> LookupNearMiss(const PlanSignature& sig);
+
   // Inserts a copy of `plan` under `sig` (first insert wins; re-inserting an
-  // existing signature refreshes LRU only). Evicts the least-recently-used
-  // entry beyond capacity. Infeasible plans are not cached.
+  // existing signature refreshes LRU only). Evicts least-recently-used
+  // entries beyond capacity or the byte cap. Infeasible plans are not cached.
   void Insert(const PlanSignature& sig, const runtime::IterationPlan& plan);
 
+  // Deep size estimate of one plan (samples, schedules, timelines,
+  // instructions) — what the byte cap and `plan_cache_bytes` account.
+  static size_t EstimatePlanBytes(const runtime::IterationPlan& plan);
+
   size_t size() const;
+  size_t bytes() const;
   PlanCacheStats stats() const;
 
  private:
@@ -135,6 +161,7 @@ class PlanCache {
     // Immutable once inserted; shared so Lookup only bumps a refcount under
     // the mutex and the (large) plan copy for rebinding happens outside it.
     std::shared_ptr<const runtime::IterationPlan> plan;
+    size_t bytes = 0;  // EstimatePlanBytes + key, fixed at insert
   };
   // LRU order, most recent first; the list owns the entries so iterators stay
   // valid across every operation but the owning splice/erase.

@@ -1,0 +1,592 @@
+// Tests for incremental planning (sub-plan memoization): the PrefixWindowCache
+// and warm-start pruning inside the DP partitioner, the StageCostCache behind
+// the replica build, plan-cache byte bounding and near-miss seeding, and —
+// the property everything above hangs on — bit-identity of incremental
+// planning to cold from-scratch planning under batch shuffles, swaps,
+// insertions, and deletions.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/cost/cost_cache.h"
+#include "src/data/flan_generator.h"
+#include "src/mb/dp_partitioner.h"
+#include "src/mb/ordering.h"
+#include "src/runtime/planner.h"
+#include "src/service/plan_cache.h"
+
+namespace dynapipe {
+namespace {
+
+// ---------- DP-level: PrefixWindowCache and warm starts ----------
+
+class SyntheticCost : public mb::MicroBatchCostFn {
+ public:
+  double TimeMs(const model::MicroBatchShape& shape) const override {
+    return 0.3 + 0.002 * static_cast<double>(shape.padded_tokens());
+  }
+  double ActivationMb(const model::MicroBatchShape& shape) const override {
+    return 0.05 * static_cast<double>(shape.padded_tokens());
+  }
+};
+
+std::vector<data::Sample> RandomSamples(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < n; ++i) {
+    data::Sample s;
+    s.id = static_cast<uint64_t>(i);
+    s.input_len = static_cast<int32_t>(rng.NextInt(10, 300));
+    s.target_len = static_cast<int32_t>(rng.NextInt(0, 60));
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::vector<data::Sample> Ordered(std::vector<data::Sample> samples) {
+  return mb::OrderSamples(std::move(samples), mb::OrderingMethod::kSortByLength);
+}
+
+mb::DpPartitionerOptions BaseDpOptions() {
+  mb::DpPartitionerOptions opts;
+  opts.num_stages = 4;
+  opts.num_replicas = 2;
+  opts.activation_limit_mb = 40.0;
+  opts.max_microbatch_size = 16;
+  opts.tmax_interval_ms = 0.05;
+  opts.max_tmax_candidates = 64;
+  return opts;
+}
+
+void ExpectPartitionsBitIdentical(const mb::PartitionResult& got,
+                                  const mb::PartitionResult& want) {
+  ASSERT_EQ(got.feasible, want.feasible);
+  if (!want.feasible) {
+    return;
+  }
+  ASSERT_EQ(got.micro_batches.size(), want.micro_batches.size());
+  for (size_t k = 0; k < want.micro_batches.size(); ++k) {
+    EXPECT_EQ(got.micro_batches[k].samples.size(),
+              want.micro_batches[k].samples.size());
+    EXPECT_EQ(got.micro_batches[k].predicted_time_ms,
+              want.micro_batches[k].predicted_time_ms);
+    EXPECT_EQ(got.micro_batches[k].predicted_activation_mb,
+              want.micro_batches[k].predicted_activation_mb);
+  }
+  EXPECT_EQ(got.objective_ms, want.objective_ms);
+  EXPECT_EQ(got.max_time_ms, want.max_time_ms);
+  EXPECT_EQ(got.total_time_ms, want.total_time_ms);
+  EXPECT_EQ(got.candidates_tried, want.candidates_tried);
+}
+
+// One mutated successor of `base`, cycling through the batch edits the
+// plan-ahead pipeline actually sees: full reshuffle (same multiset), a swap
+// of two samples' lengths, an insertion, a deletion, and a tail-length edit.
+std::vector<data::Sample> Mutate(std::vector<data::Sample> samples, int kind,
+                                 Rng* rng) {
+  switch (kind % 5) {
+    case 0: {  // reshuffle: identical multiset, different arrival order
+      for (size_t i = samples.size(); i > 1; --i) {
+        std::swap(samples[i - 1],
+                  samples[static_cast<size_t>(rng->NextInt(
+                      0, static_cast<int32_t>(i) - 1))]);
+      }
+      break;
+    }
+    case 1: {  // swap two samples' length pairs
+      const size_t a = static_cast<size_t>(
+          rng->NextInt(0, static_cast<int32_t>(samples.size()) - 1));
+      const size_t b = static_cast<size_t>(
+          rng->NextInt(0, static_cast<int32_t>(samples.size()) - 1));
+      std::swap(samples[a].input_len, samples[b].input_len);
+      std::swap(samples[a].target_len, samples[b].target_len);
+      break;
+    }
+    case 2: {  // insertion
+      data::Sample s;
+      s.id = 10'000 + static_cast<uint64_t>(kind);
+      s.input_len = static_cast<int32_t>(rng->NextInt(10, 300));
+      s.target_len = static_cast<int32_t>(rng->NextInt(0, 60));
+      samples.push_back(s);
+      break;
+    }
+    case 3: {  // deletion
+      if (samples.size() > 2) {
+        samples.erase(samples.begin() +
+                      rng->NextInt(0, static_cast<int32_t>(samples.size()) - 1));
+      }
+      break;
+    }
+    default: {  // perturb one sample's length
+      const size_t a = static_cast<size_t>(
+          rng->NextInt(0, static_cast<int32_t>(samples.size()) - 1));
+      samples[a].input_len =
+          std::max(1, samples[a].input_len +
+                          static_cast<int32_t>(rng->NextInt(0, 20)) - 10);
+      break;
+    }
+  }
+  return samples;
+}
+
+TEST(PrefixWindowCacheTest, IncrementalBitIdenticalToColdUnderMutations) {
+  // The tentpole property: a partitioner carrying the prefix cache (and its
+  // own previous solution as a warm seed) across a drifting batch sequence
+  // must emit exactly the partitions a cold partitioner computes from
+  // scratch — for every mutation kind and pool width.
+  for (const int32_t threads : {0, 2, 8}) {
+    std::optional<ThreadPool> pool;
+    if (threads > 0) {
+      pool.emplace(threads);
+    }
+    SyntheticCost cost;
+    mb::PrefixWindowCache cache;
+    Rng rng(91u + static_cast<uint64_t>(threads));
+    std::vector<data::Sample> raw = RandomSamples(120, 17);
+    std::vector<int32_t> prev_widths;
+    for (int step = 0; step < 10; ++step) {
+      const std::vector<data::Sample> ordered = Ordered(raw);
+
+      mb::DpPartitionerOptions cold_opts = BaseDpOptions();
+      cold_opts.pool = pool ? &*pool : nullptr;
+      mb::DpPartitioner cold(cost, cold_opts);
+      const mb::PartitionResult want = cold.Partition(ordered);
+
+      mb::DpPartitionerOptions inc_opts = cold_opts;
+      inc_opts.prefix_cache = &cache;
+      inc_opts.prefix_cache_context = 0xfeedULL;
+      if (!prev_widths.empty()) {
+        inc_opts.warm_start_seeds.push_back(prev_widths);
+      }
+      mb::DpPartitioner incremental(cost, inc_opts);
+      const mb::PartitionResult got = incremental.Partition(ordered);
+
+      ExpectPartitionsBitIdentical(got, want);
+      if (want.feasible) {
+        prev_widths.clear();
+        for (const auto& m : want.micro_batches) {
+          prev_widths.push_back(m.shape.num_samples);
+        }
+      }
+      raw = Mutate(std::move(raw), step, &rng);
+    }
+    EXPECT_GT(cache.stats().insertions, 0);
+  }
+}
+
+TEST(PrefixWindowCacheTest, IdenticalBatchHitsAndReusesRows) {
+  SyntheticCost cost;
+  mb::PrefixWindowCache cache;
+  const std::vector<data::Sample> ordered = Ordered(RandomSamples(80, 5));
+  mb::DpPartitionerOptions opts = BaseDpOptions();
+  opts.prefix_cache = &cache;
+  opts.prefix_cache_context = 1;
+
+  mb::DpPartitioner p(cost, opts);
+  const mb::PartitionResult first = p.Partition(ordered);
+  ASSERT_TRUE(first.feasible);
+  EXPECT_FALSE(first.stats.prefix_cache_hit);
+
+  const mb::PartitionResult second = p.Partition(ordered);
+  ExpectPartitionsBitIdentical(second, first);
+  EXPECT_TRUE(second.stats.prefix_cache_hit);
+  // An identical batch reuses the whole window table and every candidate's
+  // DP row — the replay loop never runs.
+  EXPECT_GT(second.stats.prefix_window_rows_reused, 0);
+  EXPECT_GT(second.stats.prefix_f_rows_reused, 0);
+}
+
+TEST(PrefixWindowCacheTest, ContextMismatchNeverReuses) {
+  // Entries are context-keyed: a partitioner whose fingerprint differs (other
+  // cost model, other recompute mode) must miss even on an identical batch.
+  SyntheticCost cost;
+  mb::PrefixWindowCache cache;
+  const std::vector<data::Sample> ordered = Ordered(RandomSamples(60, 9));
+  mb::DpPartitionerOptions opts = BaseDpOptions();
+  opts.prefix_cache = &cache;
+  opts.prefix_cache_context = 1;
+  mb::DpPartitioner(cost, opts).Partition(ordered);
+
+  mb::DpPartitionerOptions other = opts;
+  other.prefix_cache_context = 2;
+  const mb::PartitionResult got = mb::DpPartitioner(cost, other).Partition(ordered);
+  ASSERT_TRUE(got.feasible);
+  EXPECT_FALSE(got.stats.prefix_cache_hit);
+}
+
+TEST(PrefixWindowCacheTest, InvalidateDropsEverything) {
+  SyntheticCost cost;
+  mb::PrefixWindowCache cache;
+  const std::vector<data::Sample> ordered = Ordered(RandomSamples(60, 13));
+  mb::DpPartitionerOptions opts = BaseDpOptions();
+  opts.prefix_cache = &cache;
+  opts.prefix_cache_context = 7;
+  mb::DpPartitioner p(cost, opts);
+  p.Partition(ordered);
+  ASSERT_GT(cache.size(), 0u);
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  const mb::PartitionResult after = p.Partition(ordered);
+  ASSERT_TRUE(after.feasible);
+  EXPECT_FALSE(after.stats.prefix_cache_hit);
+}
+
+TEST(PrefixWindowCacheTest, ByteBoundEvictsOldestButKeepsOne)
+{
+  SyntheticCost cost;
+  mb::PrefixWindowCache::Options copts;
+  copts.max_bytes = 1;  // every insert exceeds the cap
+  mb::PrefixWindowCache cache(copts);
+  mb::DpPartitionerOptions opts = BaseDpOptions();
+  opts.prefix_cache = &cache;
+  opts.prefix_cache_context = 3;
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    mb::DpPartitioner(cost, opts).Partition(Ordered(RandomSamples(50, seed)));
+  }
+  // The cap keeps the most recent entry even though it alone exceeds it.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(WarmStartTest, SeededSweepPrunesAndStaysBitIdentical) {
+  // Uniform lengths make the pruning bound provable by hand: every window of
+  // width w costs 0.3 + 0.2w ms, so the smallest candidate (0.5 ms) admits
+  // only width-1 windows — 100 parts whose summed overhead exceeds the
+  // seeded upper bound from the optimum — and must be pruned, while wider
+  // candidates survive. (With widely spread random lengths the conservative
+  // per-part floor keeps the bound from firing; that regime is covered by
+  // GarbageSeedsAreHarmless and the drifting-sequence test.)
+  SyntheticCost cost;
+  std::vector<data::Sample> uniform;
+  for (int i = 0; i < 100; ++i) {
+    data::Sample s;
+    s.id = static_cast<uint64_t>(i);
+    s.input_len = 100;
+    s.target_len = 0;
+    uniform.push_back(s);
+  }
+  const std::vector<data::Sample> ordered = Ordered(std::move(uniform));
+  mb::DpPartitionerOptions opts = BaseDpOptions();
+  mb::DpPartitioner cold(cost, opts);
+  const mb::PartitionResult want = cold.Partition(ordered);
+  ASSERT_TRUE(want.feasible);
+  EXPECT_EQ(want.stats.warmstart_pruned, 0);
+
+  std::vector<int32_t> widths;
+  for (const auto& m : want.micro_batches) {
+    widths.push_back(m.shape.num_samples);
+  }
+  mb::DpPartitionerOptions seeded_opts = opts;
+  seeded_opts.warm_start_seeds.push_back(widths);
+  mb::DpPartitioner seeded(cost, seeded_opts);
+  const mb::PartitionResult got = seeded.Partition(ordered);
+  ExpectPartitionsBitIdentical(got, want);
+  EXPECT_GT(got.stats.warmstart_pruned, 0);
+}
+
+TEST(WarmStartTest, GarbageSeedsAreHarmless) {
+  // Seeds that don't cover the batch, exceed the size cap, or break the
+  // memory limit must be ignored (revalidation), never corrupt the result.
+  SyntheticCost cost;
+  const std::vector<data::Sample> ordered = Ordered(RandomSamples(60, 29));
+  mb::DpPartitionerOptions opts = BaseDpOptions();
+  const mb::PartitionResult want = mb::DpPartitioner(cost, opts).Partition(ordered);
+
+  mb::DpPartitionerOptions seeded = opts;
+  seeded.warm_start_seeds.push_back({});                 // empty
+  seeded.warm_start_seeds.push_back({5, 5});             // short of n
+  seeded.warm_start_seeds.push_back({1'000'000});        // over size cap
+  seeded.warm_start_seeds.push_back(
+      std::vector<int32_t>(ordered.size(), 1));          // valid all-ones seed
+  const mb::PartitionResult got = mb::DpPartitioner(cost, seeded).Partition(ordered);
+  ExpectPartitionsBitIdentical(got, want);
+}
+
+// ---------- StageCostCache ----------
+
+TEST(StageCostCacheTest, RoundTripsPerStageEntries) {
+  cost::StageCostCache cache;
+  model::MicroBatchShape shape{4, 128, 32};
+  cost::StageCostCache::Entry in{1.5, 3.25, 77.0};
+  cache.Insert(/*context=*/9, /*stage=*/2, shape, model::RecomputeMode::kFull, in);
+
+  cost::StageCostCache::Entry out;
+  ASSERT_TRUE(
+      cache.Lookup(9, 2, shape, model::RecomputeMode::kFull, &out));
+  EXPECT_EQ(out.fwd_ms, in.fwd_ms);
+  EXPECT_EQ(out.bwd_ms, in.bwd_ms);
+  EXPECT_EQ(out.act_mb, in.act_mb);
+  // Any key component change misses: context, stage, shape, mode.
+  EXPECT_FALSE(cache.Lookup(8, 2, shape, model::RecomputeMode::kFull, &out));
+  EXPECT_FALSE(cache.Lookup(9, 1, shape, model::RecomputeMode::kFull, &out));
+  EXPECT_FALSE(cache.Lookup(9, 2, shape, model::RecomputeMode::kNone, &out));
+  shape.input_len = 129;
+  EXPECT_FALSE(cache.Lookup(9, 2, shape, model::RecomputeMode::kFull, &out));
+}
+
+TEST(StageCostCacheTest, ByteBoundEvictsLru) {
+  cost::StageCostCache cache(/*max_bytes=*/1);  // each insert exceeds the cap
+  for (int32_t i = 0; i < 10; ++i) {
+    cache.Insert(1, 0, {1, 100 + i, 0}, model::RecomputeMode::kNone,
+                 {1.0, 2.0, 3.0});
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.stats().evictions, 0);
+  // The survivor is the most recent insert.
+  cost::StageCostCache::Entry out;
+  EXPECT_TRUE(cache.Lookup(1, 0, {1, 109, 0}, model::RecomputeMode::kNone, &out));
+}
+
+TEST(StageCostCacheTest, OversizedShapesBypassTheCache) {
+  cost::StageCostCache cache;
+  const model::MicroBatchShape huge{1, 1 << 21, 0};  // input_len over 2^20
+  cache.Insert(1, 0, huge, model::RecomputeMode::kNone, {1.0, 2.0, 3.0});
+  cost::StageCostCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(1, 0, huge, model::RecomputeMode::kNone, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------- PlanCache: byte bounding and near-miss seeding ----------
+
+runtime::IterationPlan TinyPlan(const std::vector<data::Sample>& samples,
+                                std::vector<int32_t> widths) {
+  runtime::IterationPlan plan;
+  plan.feasible = true;
+  plan.partition_widths = std::move(widths);
+  runtime::ReplicaPlan replica;
+  mb::MicroBatch m;
+  m.samples = samples;
+  replica.micro_batches.push_back(std::move(m));
+  plan.replicas.push_back(std::move(replica));
+  return plan;
+}
+
+std::vector<data::Sample> LengthRun(int n, int32_t input, int32_t target) {
+  std::vector<data::Sample> out;
+  for (int i = 0; i < n; ++i) {
+    data::Sample s;
+    s.id = static_cast<uint64_t>(i);
+    s.input_len = input;
+    s.target_len = target;
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(PlanCacheBytesTest, ByteCapEvictsButKeepsMostRecent) {
+  service::PlanCacheOptions opts;
+  opts.capacity = 100;
+  opts.max_bytes = 1;  // every entry exceeds it
+  service::PlanCache cache(opts);
+  for (int i = 0; i < 4; ++i) {
+    const auto batch = LengthRun(8, 100 + i, 10);
+    cache.Insert(service::PlanCache::Signature(batch, false, 1, 0),
+                 TinyPlan(batch, {4, 4}));
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.stats().evictions, 0);
+  EXPECT_GT(cache.bytes(), 0u);
+  // The survivor is the most recent signature.
+  const auto last = LengthRun(8, 103, 10);
+  EXPECT_TRUE(cache
+                  .Lookup(service::PlanCache::Signature(last, false, 1, 0), last,
+                          false, 1)
+                  .has_value());
+}
+
+TEST(PlanCacheBytesTest, EstimateTracksInsertAndEvict) {
+  service::PlanCache cache(service::PlanCacheOptions{});
+  const auto batch = LengthRun(16, 200, 20);
+  const runtime::IterationPlan plan = TinyPlan(batch, {8, 8});
+  const size_t estimate = service::PlanCache::EstimatePlanBytes(plan);
+  EXPECT_GT(estimate, sizeof(runtime::IterationPlan));
+  cache.Insert(service::PlanCache::Signature(batch, false, 1, 0), plan);
+  EXPECT_GE(cache.bytes(), estimate);
+}
+
+TEST(PlanCacheNearMissTest, SharedPrefixYieldsSeedDisjointDoesNot) {
+  service::PlanCache cache(service::PlanCacheOptions{});
+  const auto cached_batch = LengthRun(10, 100, 10);
+  cache.Insert(service::PlanCache::Signature(cached_batch, false, 1, 0),
+               TinyPlan(cached_batch, {5, 5}));
+
+  // 8 of 10 samples identical: ample shared prefix.
+  auto near = LengthRun(10, 100, 10);
+  near[8].input_len = 250;
+  near[9].input_len = 260;
+  const auto near_sig = service::PlanCache::Signature(near, false, 1, 0);
+  ASSERT_FALSE(cache.Lookup(near_sig, near, false, 1).has_value());
+  const auto seed = cache.LookupNearMiss(near_sig);
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_EQ(seed->partition_widths, (std::vector<int32_t>{5, 5}));
+
+  // Completely different lengths: no overlap, no seed.
+  const auto far = LengthRun(10, 999, 99);
+  EXPECT_FALSE(
+      cache.LookupNearMiss(service::PlanCache::Signature(far, false, 1, 0))
+          .has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.near_miss_hits, 1);
+  EXPECT_EQ(stats.near_miss_misses, 1);
+}
+
+TEST(PlanCacheNearMissTest, PromotionRefreshesDonorLru) {
+  service::PlanCacheOptions opts;
+  opts.capacity = 2;
+  service::PlanCache cache(opts);
+  const auto a = LengthRun(10, 100, 10);
+  const auto b = LengthRun(10, 500, 50);
+  cache.Insert(service::PlanCache::Signature(a, false, 1, 0), TinyPlan(a, {5, 5}));
+  cache.Insert(service::PlanCache::Signature(b, false, 1, 0), TinyPlan(b, {2, 8}));
+
+  // Near-miss against `a` promotes it over `b` in LRU order...
+  auto near_a = a;
+  near_a[9].input_len = 130;
+  ASSERT_TRUE(
+      cache.LookupNearMiss(service::PlanCache::Signature(near_a, false, 1, 0))
+          .has_value());
+  // ...so the next insert evicts `b`, not `a`.
+  const auto c = LengthRun(10, 700, 70);
+  cache.Insert(service::PlanCache::Signature(c, false, 1, 0), TinyPlan(c, {10}));
+  EXPECT_TRUE(
+      cache.Lookup(service::PlanCache::Signature(a, false, 1, 0), a, false, 1)
+          .has_value());
+  EXPECT_FALSE(
+      cache.Lookup(service::PlanCache::Signature(b, false, 1, 0), b, false, 1)
+          .has_value());
+}
+
+// ---------- Planner-level: end-to-end bit-identity ----------
+
+class IncrementalPlannerTest : public ::testing::Test {
+ protected:
+  IncrementalPlannerTest()
+      : cm_(cost::PipelineCostModel::Profile(model::ModelConfig::Gpt3_35B(),
+                                             model::HardwareSpec{}, {1, 1, 4},
+                                             SmallProfile())) {}
+
+  static cost::ProfileOptions SmallProfile() {
+    cost::ProfileOptions opts;
+    opts.max_microbatch_size = 32;
+    opts.max_seq_len = 4096;
+    return opts;
+  }
+
+  static runtime::PlannerOptions FastPlanner() {
+    runtime::PlannerOptions opts;
+    opts.max_tmax_candidates = 48;
+    opts.tmax_interval_ms = 0.5;
+    opts.max_microbatch_size = 32;
+    opts.reorder_clusters = 2;
+    opts.dynamic_recompute = true;
+    return opts;
+  }
+
+  static std::vector<data::Sample> MiniBatch(int n, uint64_t seed) {
+    data::FlanGeneratorOptions gen;
+    gen.num_samples = n;
+    gen.seed = seed;
+    gen.length_cap = 1024;
+    return data::GenerateFlanLikeDataset(gen).samples();
+  }
+
+  static void ExpectPlansBitIdentical(const runtime::IterationPlan& a,
+                                      const runtime::IterationPlan& b) {
+    ASSERT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.recompute, b.recompute);
+    EXPECT_EQ(a.predicted_iteration_ms, b.predicted_iteration_ms);
+    EXPECT_EQ(a.partition_widths, b.partition_widths);
+    ASSERT_EQ(a.replicas.size(), b.replicas.size());
+    for (size_t d = 0; d < a.replicas.size(); ++d) {
+      ASSERT_EQ(a.replicas[d].micro_batches.size(),
+                b.replicas[d].micro_batches.size());
+      for (size_t k = 0; k < a.replicas[d].micro_batches.size(); ++k) {
+        EXPECT_EQ(a.replicas[d].micro_batches[k].samples.size(),
+                  b.replicas[d].micro_batches[k].samples.size());
+        EXPECT_EQ(a.replicas[d].micro_batches[k].predicted_time_ms,
+                  b.replicas[d].micro_batches[k].predicted_time_ms);
+      }
+      // The strongest check available: the serialized instruction streams
+      // executors consume are equal field for field.
+      EXPECT_EQ(a.replicas[d].exec_plan, b.replicas[d].exec_plan);
+    }
+  }
+
+  cost::PipelineCostModel cm_;
+};
+
+TEST_F(IncrementalPlannerTest, DriftingSequenceBitIdenticalToColdPlanning) {
+  runtime::PlannerOptions inc_opts = FastPlanner();
+  inc_opts.incremental_planning = true;
+  const runtime::IterationPlanner incremental(cm_, inc_opts);
+
+  runtime::PlannerOptions cold_opts = FastPlanner();
+  cold_opts.incremental_planning = false;
+
+  Rng rng(37);
+  std::vector<data::Sample> raw = MiniBatch(48, 3);
+  for (int step = 0; step < 6; ++step) {
+    // Cold planner rebuilt per step: no state can carry over.
+    const runtime::IterationPlanner cold(cm_, cold_opts);
+    const runtime::IterationPlan want = cold.PlanIteration(raw);
+    const runtime::IterationPlan got = incremental.PlanIteration(raw);
+    ExpectPlansBitIdentical(got, want);
+    raw = Mutate(std::move(raw), step, &rng);
+  }
+  // The incremental planner actually engaged its caches along the way.
+  EXPECT_GT(incremental.prefix_cache()->stats().insertions, 0);
+  EXPECT_GT(incremental.stage_cost_cache()->stats().insertions, 0);
+}
+
+TEST_F(IncrementalPlannerTest, RepeatedBatchHitsPrefixCache) {
+  const runtime::IterationPlanner planner(cm_, FastPlanner());
+  const auto minibatch = MiniBatch(40, 11);
+  const runtime::IterationPlan first = planner.PlanIteration(minibatch);
+  ASSERT_TRUE(first.feasible);
+  const runtime::IterationPlan second = planner.PlanIteration(minibatch);
+  ExpectPlansBitIdentical(second, first);
+  EXPECT_GT(second.stats.prefix_cache_hits, 0);
+  EXPECT_GT(second.stats.prefix_window_rows_reused, 0);
+  EXPECT_GT(second.stats.stage_cache_hits, 0);
+}
+
+TEST_F(IncrementalPlannerTest, PlanSeedChangesNothingButPlanStats) {
+  const runtime::IterationPlanner planner(cm_, FastPlanner());
+  const auto minibatch = MiniBatch(40, 19);
+  const runtime::IterationPlan unseeded = planner.PlanIteration(minibatch);
+  ASSERT_TRUE(unseeded.feasible);
+
+  runtime::PlannerOptions cold_opts = FastPlanner();
+  cold_opts.incremental_planning = false;
+  const runtime::IterationPlanner cold(cm_, cold_opts);
+  runtime::PlanSeed seed;
+  seed.partition_widths = unseeded.partition_widths;
+  // Seed a *different* batch's planner with this plan's widths — the
+  // near-miss scenario — and check the result matches unseeded planning.
+  auto shifted = minibatch;
+  shifted.pop_back();
+  const runtime::IterationPlan want = cold.PlanIteration(shifted);
+  const runtime::IterationPlan got = planner.PlanIteration(shifted, &seed);
+  ExpectPlansBitIdentical(got, want);
+}
+
+TEST_F(IncrementalPlannerTest, InvalidateResetsCaches) {
+  const runtime::IterationPlanner planner(cm_, FastPlanner());
+  const auto minibatch = MiniBatch(32, 29);
+  planner.PlanIteration(minibatch);
+  ASSERT_GT(planner.prefix_cache()->size(), 0u);
+  planner.InvalidateIncrementalCaches();
+  EXPECT_EQ(planner.prefix_cache()->size(), 0u);
+  EXPECT_EQ(planner.stage_cost_cache()->size(), 0u);
+  const runtime::IterationPlan after = planner.PlanIteration(minibatch);
+  EXPECT_TRUE(after.feasible);
+  EXPECT_EQ(after.stats.prefix_cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace dynapipe
