@@ -49,7 +49,9 @@
 #include "src/data/minibatch_sampler.h"
 #include "src/runtime/instruction_store.h"
 #include "src/service/heartbeat_monitor.h"
+#include "src/service/membership.h"
 #include "src/service/plan_serde.h"
+#include "src/service/recovery.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
 #include "src/transport/shm_store.h"
@@ -231,6 +233,74 @@ RecoveryRow MeasureRecovery(const sim::ExecutionPlan& plan, int backlog,
   }
   row.recovery_ms /= rounds;
   row.per_plan_ms = row.recovery_ms / backlog;
+  return row;
+}
+
+// Elastic membership latency: the two mid-epoch fleet-change hops
+// (bench/README.md "Elastic membership"). Join: an unknown replica turns
+// alive and the MembershipCoordinator admits it, grows the expected fleet,
+// and steals the joiner's fair share of the deepest backlog to its spare
+// keys — the OnReplicaAttached call spans the whole admission, i.e. the
+// delay before the joiner has work to find. Drain: a member asks to leave
+// and the coordinator fences it, reposts its remaining backlog round-robin
+// to the survivors, and acknowledges — the OnReplicaDrainRequested call
+// spans request -> ack, the time a leaver waits before it may finish
+// in-flight work and detach. Both hops are key moves on resident bytes
+// (no re-plan, no re-encode), so per-plan cost should stay flat like
+// recovery's.
+struct MembershipRow {
+  int backlog;
+  double join_ms = 0.0;
+  int64_t join_stolen = 0;
+  double drain_ms = 0.0;
+  int64_t drain_reposted = 0;
+};
+
+MembershipRow MeasureMembership(const sim::ExecutionPlan& plan, int backlog,
+                                int rounds) {
+  MembershipRow row;
+  row.backlog = backlog;
+  for (int r = 0; r < rounds; ++r) {
+    // Fresh control plane per round: membership is sticky too (a replica
+    // joins once). Setup (pushes) stays outside the timed windows.
+    runtime::InstructionStore store(
+        runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+    service::HeartbeatMonitor monitor;
+    auto spare_keys = std::make_shared<service::SpareKeyAllocator>(backlog);
+    service::RecoveryOptions ropts;
+    ropts.replicas = {0, 1, 2};
+    ropts.spare_keys = spare_keys;
+    service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+    service::MembershipOptions mopts;
+    mopts.initial_replicas = {0, 1, 2};
+    mopts.spare_keys = spare_keys;
+    service::MembershipCoordinator membership(&store, &monitor, &recovery,
+                                              mopts);
+    for (int i = 0; i < backlog; ++i) {
+      store.Push(i, /*replica=*/1, plan);
+    }
+    // Join admission: alive -> admitted, expected grown, fair share stolen.
+    auto t0 = std::chrono::steady_clock::now();
+    monitor.OnReplicaAttached(3);
+    row.join_ms += MsSince(t0);
+    // Drain handoff: request -> fence -> repost to survivors -> ack.
+    t0 = std::chrono::steady_clock::now();
+    monitor.OnReplicaDrainRequested(1);
+    row.drain_ms += MsSince(t0);
+    const service::MembershipReport report = membership.report();
+    const int64_t stolen = backlog / 4;  // fair share of the 4-strong fleet
+    if (report.join_stolen_iterations != stolen ||
+        report.drain_reposted_iterations != backlog - stolen) {
+      std::printf("!! membership moved %lld + %lld of %d plans\n",
+                  static_cast<long long>(report.join_stolen_iterations),
+                  static_cast<long long>(report.drain_reposted_iterations),
+                  backlog);
+    }
+    row.join_stolen = report.join_stolen_iterations;
+    row.drain_reposted = report.drain_reposted_iterations;
+  }
+  row.join_ms /= rounds;
+  row.drain_ms /= rounds;
   return row;
 }
 
@@ -419,6 +489,26 @@ int main(int argc, char** argv) {
   std::printf(
       "(unclean connection drop -> death declared -> backlog re-published to "
       "2 survivors; reposts are key moves on resident bytes, no re-encode)\n");
+
+  // Elastic membership: join-admission and drain-handoff latency.
+  std::vector<MembershipRow> mem_rows;
+  for (const int backlog : {4, 16, 64}) {
+    mem_rows.push_back(MeasureMembership(exec, backlog, std::min(rounds, 50)));
+  }
+  std::printf("\n%-20s | %12s | %8s | %15s | %9s\n", "mid-epoch backlog",
+              "join adm ms", "stolen", "drain handoff ms", "reposted");
+  std::printf("---------------------+--------------+----------+"
+              "-----------------+----------\n");
+  for (const MembershipRow& row : mem_rows) {
+    std::printf("%-20d | %12.4f | %8lld | %15.4f | %9lld\n", row.backlog,
+                row.join_ms, static_cast<long long>(row.join_stolen),
+                row.drain_ms, static_cast<long long>(row.drain_reposted));
+  }
+  std::printf(
+      "(join = unknown replica turns alive -> admitted + fair share of the "
+      "deepest backlog stolen to its spare keys; drain = request -> fence -> "
+      "remaining backlog reposted to survivors -> ack; both are key moves on "
+      "resident bytes)\n");
 
   // Observability overhead. Ordering matters: the shm publish rows run
   // before the trace-span row enables tracing, because tracer enablement is

@@ -63,6 +63,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # and the epoch still drains byte-identically.
 "$BUILD_DIR"/dynapipe_executor --demo shm --fault stall:1200@1
 
+# Smoke elastic membership end to end over shm: mid-epoch one replica drains
+# (hands off its backlog, gets acked through the segment's drain word, exits
+# clean) while a fourth replica joins (admitted off its slot claim alone,
+# steals a share of the deepest backlog at its spare keys). The demo exits
+# nonzero unless every plan byte matches, the drainer leaves un-evicted, the
+# joiner executes at least one plan, and the heartbeat count proves
+# exactly-once execution.
+"$BUILD_DIR"/dynapipe_executor --demo shm --churn
+
 # Smoke the observability stack end to end: the traced mux demo must write
 # one merged Chrome-trace JSON covering the parent (planner/publisher) and
 # all three forked executors. python3 -m json.tool is the structural check;

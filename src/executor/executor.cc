@@ -286,6 +286,12 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           transport::Frame attach_req;
           attach_req.type = transport::FrameType::kAttach;
           attach_req.replica = options.replica;
+          if (options.join) {
+            // Declarative join intent (frame v4); admission itself rides the
+            // liveness event this attach fires on the publisher.
+            attach_req.payload.push_back(
+                static_cast<char>(transport::kAttachCapJoin));
+          }
           std::optional<transport::Frame> reply =
               ExchangeOnStream(*liveness, attach_req);
           if (reply.has_value() &&
@@ -312,7 +318,7 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       if (options.announce_liveness) {
         bool attach_evicted = false;
         if (!mux_client->Attach(options.replica, &attach_evicted,
-                                kAttachReplyTimeoutMs)) {
+                                kAttachReplyTimeoutMs, options.join)) {
           return fail("liveness attach on " + options.attach + " failed");
         }
         evicted = attach_evicted;
@@ -364,7 +370,7 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
         // Bounded: the reconnect window overlaps server teardown, where a
         // connection is accepted by the OS but never served.
         if (!fresh->Attach(options.replica, &attach_evicted,
-                           kAttachReplyTimeoutMs)) {
+                           kAttachReplyTimeoutMs, options.join)) {
           continue;
         }
         if (attach_evicted) {
@@ -391,6 +397,12 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
   // send_heartbeat: false = could not deliver (publisher gone).
   std::function<bool(int64_t, double)> send_heartbeat;
   std::function<void()> goodbye;
+  // request_drain: the graceful-leave handshake. True once the publisher
+  // acknowledged (its MembershipCoordinator has fenced this replica and
+  // reposted the unfetched backlog); false on a vanished publisher or
+  // eviction (check the flag). Called between iterations, so "finish
+  // in-flight work" is already satisfied when the ack lands.
+  std::function<bool()> request_drain;
 
   switch (endpoint) {
     case AttachEndpoint::kUnixSocket: {
@@ -457,6 +469,32 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           liveness->Close();
         }
       };
+      request_drain = [&]() -> bool {
+        transport::Frame drain_req;
+        drain_req.type = transport::FrameType::kDrainRequest;
+        drain_req.replica = options.replica;
+        // Prefer the persistent liveness stream (the server already tracks
+        // this replica on it); fall back to a throwaway connection when
+        // liveness announcement was disabled or failed.
+        std::optional<transport::Frame> reply;
+        if (liveness != nullptr) {
+          reply = ExchangeOnStream(*liveness, drain_req);
+        } else {
+          std::unique_ptr<transport::Stream> conn =
+              transport::ConnectUnixSocket(options.attach, connect_timeout_ms);
+          if (conn != nullptr) {
+            reply = ExchangeOnStream(*conn, drain_req);
+          }
+        }
+        if (!reply.has_value()) {
+          return false;
+        }
+        if (reply->type == transport::FrameType::kEvicted) {
+          evicted = true;
+          return false;
+        }
+        return reply->type == transport::FrameType::kDrainAck;
+      };
       break;
     }
     case AttachEndpoint::kUnixSocketMux: {
@@ -516,6 +554,18 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           mux_client->Detach(options.replica);  // best effort
         }
       };
+      request_drain = [&]() -> bool {
+        bool drain_evicted = false;
+        if (!mux_client->TryDrain(options.replica, &drain_evicted,
+                                  kAttachReplyTimeoutMs)) {
+          return false;
+        }
+        if (drain_evicted) {
+          evicted = true;
+          return false;
+        }
+        return true;
+      };
       break;
     }
     default: {
@@ -545,6 +595,24 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
           shm_store->DetachReplica(options.replica);
         }
       };
+      request_drain = [&]() -> bool {
+        // The shm drain word: request (2), then poll for the publisher's
+        // acknowledgement (3). Bounded: a publisher that never acks (gone,
+        // or the membership loop is not wired) must not wedge the leaver —
+        // proceed to the clean detach either way; the handoff just completes
+        // without a green light.
+        shm_store->RequestDrain(options.replica);
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(std::max(100, options.idle_timeout_ms));
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (shm_store->DrainAcknowledged(options.replica)) {
+            return true;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return false;
+      };
       break;
     }
   }
@@ -554,6 +622,17 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
        !evicted && (options.iterations < 0 ||
                     iteration < options.start_iteration + options.iterations);
        ++iteration) {
+    if (options.drain_after >= 0 &&
+        report.iterations_run >= options.drain_after) {
+      // Graceful leave, between iterations: the last one already completed
+      // (and heartbeated), so there is no in-flight work to wait out —
+      // request the drain, let the publisher hand the unfetched backlog to
+      // the survivors, and exit through the clean goodbye below. An
+      // unacknowledged drain (publisher gone, or eviction) still exits;
+      // `drained` records only the clean handshake.
+      report.drained = request_drain();
+      break;
+    }
     // Publish-before-fetch: poll until the publisher's push lands. Fetching
     // early would trip the store's intentional fatal contract (one-shot
     // path) or burn kMissing round trips (liveness-aware paths). Backoff is
@@ -674,6 +753,7 @@ ExecutorReport RunExecutor(const ExecutorOptions& options) {
       outcome.exec_wall_ms = exec_wall_ms;
       options.observer(outcome);
     }
+
   }
   goodbye();
   if (evicted) {

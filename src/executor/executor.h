@@ -99,6 +99,18 @@ struct ExecutorOptions {
   // end-of-epoch.
   int reconnect_attempts = 3;
   int reconnect_backoff_ms = 10;  // initial; doubles, capped at 500 ms
+  // --- Elastic membership ---
+  // Declare join intent on attach (kAttachCapJoin on the wire endpoints; a
+  // plain announce on shm, where joining is intrinsic). The publisher's
+  // MembershipCoordinator admits the replica and seeds it with stolen
+  // backlog at spare iteration keys — a joiner therefore normally runs with
+  // start_iteration at the publisher's spare base.
+  bool join = false;
+  // >= 0: after this many executed iterations, request a graceful drain
+  // (kDrainRequest / the shm slot's drain word), wait for the publisher's
+  // acknowledgement (by which point the unfetched backlog has been handed to
+  // the survivors), then detach cleanly and exit. -1 never drains.
+  int64_t drain_after = -1;
   // Per-iteration hook (nullable). The plan/sim pointers are valid only for
   // the duration of the call.
   std::function<void(const IterationOutcome&)> observer;
@@ -113,6 +125,9 @@ struct ExecutorReport {
   // stalled or disconnected, so it stopped instead of double-running them.
   // An open-ended run treats eviction as a clean (ok) exit.
   bool evicted = false;
+  // The drain_after handshake completed: the publisher acknowledged the
+  // drain and this executor detached cleanly.
+  bool drained = false;
   int64_t iterations_run = 0;
   int64_t instructions_executed = 0;
   int64_t heartbeats_sent = 0;

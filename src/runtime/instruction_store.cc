@@ -1,5 +1,7 @@
 #include "src/runtime/instruction_store.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
@@ -149,6 +151,13 @@ RepostOutcome InstructionStore::Repost(int64_t src_iteration,
     if (plans_.find(dst_key) != plans_.end()) {
       return RepostOutcome::kDestinationTaken;  // leave both alone
     }
+    // A draining replica must not be handed new work: an in-flight rebalance
+    // or recovery move racing a clean drain reads this exactly like a taken
+    // key — burn the spare key, pick another destination.
+    if (std::find(fenced_.begin(), fenced_.end(), dst_replica) !=
+        fenced_.end()) {
+      return RepostOutcome::kDestinationTaken;
+    }
     plans_.emplace(dst_key, std::move(src->second));
     plans_.erase(src);
     // Residency count is unchanged, but a poller parked on the destination
@@ -175,6 +184,24 @@ size_t InstructionStore::DropReplica(int32_t replica) {
     cv_.notify_all();  // freed capacity slots
   }
   return dropped;
+}
+
+void InstructionStore::FenceReplica(int32_t replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(fenced_.begin(), fenced_.end(), replica) == fenced_.end()) {
+    fenced_.push_back(replica);
+  }
+}
+
+void InstructionStore::UnfenceReplica(int32_t replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fenced_.erase(std::remove(fenced_.begin(), fenced_.end(), replica),
+                fenced_.end());
+}
+
+bool InstructionStore::IsReplicaFenced(int32_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::find(fenced_.begin(), fenced_.end(), replica) != fenced_.end();
 }
 
 bool InstructionStore::Contains(int64_t iteration, int32_t replica) const {
@@ -245,6 +272,20 @@ void InstructionStore::NotifyReplicaDisconnected(int32_t replica, bool clean) {
   }
   if (sink != nullptr) {
     sink->OnReplicaDisconnected(replica, clean);
+  }
+}
+
+void InstructionStore::NotifyReplicaDrainRequested(int32_t replica) {
+  HeartbeatSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = heartbeat_sink_;
+  }
+  if (sink != nullptr) {
+    // Outside mu_: the sink fires the liveness event chain synchronously, and
+    // the MembershipCoordinator at its end calls straight back into this
+    // store (FenceReplica, PendingIterations, Repost).
+    sink->OnReplicaDrainRequested(replica);
   }
 }
 

@@ -66,6 +66,11 @@ class HeartbeatSink {
     (void)replica;
     return false;
   }
+  // frame v4: the replica asked to leave gracefully (kDrainRequest on the
+  // wire, a drain-state heartbeat slot on shm). Default no-op so lag-only
+  // sinks keep working; the HeartbeatMonitor turns it into a kDraining
+  // liveness event, which is what the MembershipCoordinator acts on.
+  virtual void OnReplicaDrainRequested(int32_t replica) { (void)replica; }
 };
 
 // Why a plan move failed (or didn't). Recovery and rebalance coordinators
@@ -156,6 +161,21 @@ class InstructionStoreInterface {
     (void)replica;
     return 0;
   }
+
+  // --- Membership fence (optional capability, rides the recovery surface) ---
+  // A draining replica must stop *receiving* work while it hands off: once
+  // fenced, any Repost naming it as the destination returns
+  // kDestinationTaken, so an in-flight rebalance move racing the drain burns
+  // its spare key and retries elsewhere instead of stranding a plan on the
+  // leaver. Process-local state: the coordinators that call Repost live in
+  // the publisher process alongside the fence. Backends without a recovery
+  // surface ignore the calls (there is nothing to repost anyway).
+  virtual void FenceReplica(int32_t replica) { (void)replica; }
+  virtual void UnfenceReplica(int32_t replica) { (void)replica; }
+  virtual bool IsReplicaFenced(int32_t replica) const {
+    (void)replica;
+    return false;
+  }
 };
 
 struct InstructionStoreOptions {
@@ -201,11 +221,15 @@ class InstructionStore final : public InstructionStoreInterface {
   RepostOutcome Repost(int64_t src_iteration, int32_t src_replica,
                        int64_t dst_iteration, int32_t dst_replica) override;
   size_t DropReplica(int32_t replica) override;
+  void FenceReplica(int32_t replica) override;
+  void UnfenceReplica(int32_t replica) override;
+  bool IsReplicaFenced(int32_t replica) const override;
 
   // Liveness relays for the transport server; forwarded to the sink (outside
   // the store lock) when one is attached, no-ops otherwise.
   void NotifyReplicaAttached(int32_t replica);
   void NotifyReplicaDisconnected(int32_t replica, bool clean);
+  void NotifyReplicaDrainRequested(int32_t replica);
   bool ReplicaConsideredDead(int32_t replica) const;
 
   // Attaching a sink turns the heartbeat capability on: Heartbeat forwards to
@@ -237,6 +261,7 @@ class InstructionStore final : public InstructionStoreInterface {
   bool shutdown_ = false;
   int64_t serialized_bytes_total_ = 0;
   std::map<std::pair<int64_t, int32_t>, Entry> plans_;
+  std::vector<int32_t> fenced_;  // draining replicas; guarded by mu_
 };
 
 }  // namespace dynapipe::runtime

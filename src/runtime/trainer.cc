@@ -16,6 +16,7 @@
 #include "src/common/trace.h"
 #include "src/runtime/ground_truth.h"
 #include "src/service/heartbeat_monitor.h"
+#include "src/service/membership.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/rebalance.h"
@@ -271,6 +272,10 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
   // allocator, and teardown must unhook the straggler callback while the
   // monitor is still alive.
   std::optional<service::RebalanceCoordinator> rebalance;
+  // Declared after recovery (it registers as recovery's downstream event tap
+  // and must unregister while recovery is alive); shares the spare-key
+  // allocator with both coordinators above.
+  std::optional<service::MembershipCoordinator> membership;
   // Last, so it stops feeding the monitor before any of the above dies.
   std::optional<transport::ShmHeartbeatPoller> shm_poller;
   // One spare-key space shared by recovery and rebalance — two coordinators
@@ -305,6 +310,22 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     bopts.spare_keys = spare_keys;
     rebalance.emplace(store, &heartbeat_monitor, bopts);
   };
+  // Elastic membership rides downstream of recovery; the in-process replicas
+  // are immovable for the same reason they are for rebalance (this trainer
+  // fetches its own plans by exact key, so a joiner must not steal them).
+  auto wire_membership = [&](runtime::InstructionStoreInterface* store,
+                             std::function<void(int32_t)> drain_ack) {
+    if (!options.elastic_membership) {
+      return;
+    }
+    service::MembershipOptions mopts;
+    mopts.initial_replicas = all_replicas();
+    mopts.immovable_replicas = all_replicas();
+    mopts.spare_keys = spare_keys;
+    mopts.join_steal_max = options.membership_join_steal_max;
+    mopts.drain_ack = std::move(drain_ack);
+    membership.emplace(store, &heartbeat_monitor, &*recovery, mopts);
+  };
   if (options.plan_store_backend ==
           TrainerOptions::PlanStoreBackend::kUnixSocket ||
       options.plan_store_backend ==
@@ -336,6 +357,11 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     // that death event would fire into a null callback and be lost.
     recovery.emplace(&*server_store, &heartbeat_monitor, ropts);
     wire_rebalance(&*server_store);
+    // Before the server serves: a joiner attaching in the startup window
+    // must land on a live membership subscription. Over the wire the
+    // server's kDrainAck reply is the drain acknowledgement (the event chain
+    // runs synchronously inside the drain-request handler), so no ack hook.
+    wire_membership(&*server_store, nullptr);
     store_server.emplace(&*socket_transport, &*server_store);
     // Fleet barrier: the server is accepting, so executors can attach now;
     // hold the epoch (nothing published yet) until enough have. In-process
@@ -386,6 +412,12 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
     ropts.spare_keys = spare_keys;
     recovery.emplace(shm_store.get(), &heartbeat_monitor, ropts);
     wire_rebalance(shm_store.get());
+    // Shm drains acknowledge through the segment: the coordinator flips the
+    // leaver's slot drain word once the handoff is done.
+    wire_membership(shm_store.get(),
+                    [raw = shm_store.get()](int32_t replica) {
+                      raw->AcknowledgeDrain(replica);
+                    });
     shm_poller.emplace(shm_store, &heartbeat_monitor);
     if (options.liveness_await_replicas > 0) {
       const auto barrier_deadline =
@@ -447,6 +479,13 @@ EpochResult Trainer::RunEpochImpl(const data::Dataset& dataset,
       const service::RebalanceReport breport = rebalance->report();
       result.rebalance_events = breport.events;
       result.rebalanced_iterations = breport.moved_iterations;
+    }
+    if (membership.has_value()) {
+      const service::MembershipReport mreport = membership->report();
+      result.joined_replicas = mreport.joined;
+      result.drained_replicas = mreport.drained;
+      result.join_stolen_iterations = mreport.join_stolen_iterations;
+      result.drain_reposted_iterations = mreport.drain_reposted_iterations;
     }
     if (store_server.has_value()) {
       // Pull each stats-capable attached executor's process-wide snapshot

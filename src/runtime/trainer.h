@@ -165,6 +165,18 @@ struct TrainerOptions {
   // ...and it is immune for this many iterations after shedding (hysteresis
   // so one noisy iteration doesn't thrash plans back and forth).
   int64_t rebalance_hysteresis_iterations = 4;
+  // --- Elastic membership (service/membership.h) ---
+  // When enabled, a MembershipCoordinator subscribes downstream of recovery
+  // and makes the fleet dynamic: an unknown replica that attaches (wire
+  // kAttachCapJoin, or a bare shm announce) is admitted and seeded with a
+  // fair share of the most-loaded replica's tail backlog; a replica that
+  // requests a drain (wire kDrainRequest, or the shm slot's drain word) is
+  // fenced, its unfetched backlog is reposted to the survivors, and the
+  // expected fleet size re-gates straggler detection. Cross-process backends
+  // only (sockets and shm), like recovery.
+  bool elastic_membership = false;
+  // Cap on backlog stolen for one joiner; 0 = fair share, uncapped.
+  int32_t membership_join_steal_max = 0;
   // --- Observability (src/common/trace.h, src/common/metrics.h) ---
   // Non-empty enables plan-lifecycle tracing and names the merged
   // Chrome/Perfetto trace JSON written at epoch end (executor processes
@@ -261,6 +273,13 @@ struct EpochResult {
   // persistently slow replica, and how many plans migrated in total.
   int64_t rebalance_events = 0;
   int64_t rebalanced_iterations = 0;
+  // Elastic membership (service/membership.h): replicas admitted mid-epoch
+  // (admission order) and drained gracefully (acknowledgement order), plus
+  // how much backlog moved each way.
+  std::vector<int32_t> joined_replicas;
+  std::vector<int32_t> drained_replicas;
+  int64_t join_stolen_iterations = 0;
+  int64_t drain_reposted_iterations = 0;
   // Per-connection executor metric snapshots pulled over the stats channel
   // at epoch end (empty on non-socket backends or when nothing attached).
   std::vector<ExecutorMetrics> executor_metrics;

@@ -13,12 +13,13 @@ const char* ReplicaLivenessName(ReplicaLiveness state) {
     case ReplicaLiveness::kSuspect: return "suspect";
     case ReplicaLiveness::kDead: return "dead";
     case ReplicaLiveness::kDetached: return "detached";
+    case ReplicaLiveness::kDraining: return "draining";
   }
   return "?";
 }
 
 HeartbeatMonitor::HeartbeatMonitor(HeartbeatMonitorOptions options)
-    : options_(options) {
+    : options_(options), expected_replicas_(options.expected_replicas) {
   const bool deadlines = options_.suspect_after_ms > 0.0 ||
                          options_.dead_after_ms > 0.0 ||
                          options_.connection_grace_ms > 0.0;
@@ -130,13 +131,14 @@ void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
       wall_it->second = wall_ms;
     }
     // The completing heartbeat: a *new* reporter just grew the set to the
-    // expected fleet size. Requiring a fresh insert makes the fire
+    // expected fleet size. The straggler_fired_ guard makes the fire
     // exactly-once per iteration — a duplicate beat overwrites its wall but
-    // cannot re-complete the set. Snapshot the stats under the lock, deliver
-    // outside it.
-    if (fresh && straggler_callback_ && options_.expected_replicas > 0 &&
-        static_cast<int32_t>(by_replica.size()) ==
-            options_.expected_replicas) {
+    // cannot re-complete the set, and >= (not ==) keeps the fire alive when
+    // the fleet shrank below an iteration's current reporter count between
+    // its heartbeats. Snapshot the stats under the lock, deliver outside it.
+    if (fresh && straggler_callback_ && expected_replicas_ > 0 &&
+        static_cast<int32_t>(by_replica.size()) >= expected_replicas_ &&
+        straggler_fired_.insert(iteration).second) {
       completed = ForIterationLocked(iteration);
       straggler_callback = straggler_callback_;
       ++callbacks_in_flight_;
@@ -145,8 +147,12 @@ void HeartbeatMonitor::OnHeartbeat(int32_t replica, int64_t iteration,
     ReplicaState& state = replicas_[replica];
     if (state.state != ReplicaLiveness::kDead) {  // dead is sticky
       state.last_seen = Clock::now();
-      TransitionLocked(replica, ReplicaLiveness::kAlive, "heartbeat",
-                       &events);
+      // A draining replica's in-flight completions refresh its deadline but
+      // never revive it to kAlive — it is on its way out, not back.
+      if (state.state != ReplicaLiveness::kDraining) {
+        TransitionLocked(replica, ReplicaLiveness::kAlive, "heartbeat",
+                         &events);
+      }
     }
   }
   FireEvents(events);
@@ -167,7 +173,26 @@ void HeartbeatMonitor::OnReplicaAttached(int32_t replica) {
     ReplicaState& state = replicas_[replica];
     if (state.state != ReplicaLiveness::kDead) {  // a zombie stays dead
       state.last_seen = Clock::now();
-      TransitionLocked(replica, ReplicaLiveness::kAlive, "attached", &events);
+      // Liveness touches (the shm poller relays Contains-poll activity as
+      // attach) must not flip a drainer back to alive mid-handoff.
+      if (state.state != ReplicaLiveness::kDraining) {
+        TransitionLocked(replica, ReplicaLiveness::kAlive, "attached",
+                         &events);
+      }
+    }
+  }
+  FireEvents(events);
+}
+
+void HeartbeatMonitor::OnReplicaDrainRequested(int32_t replica) {
+  std::vector<ReplicaEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReplicaState& state = replicas_[replica];
+    if (state.state != ReplicaLiveness::kDead) {  // too late: evicted instead
+      state.last_seen = Clock::now();
+      TransitionLocked(replica, ReplicaLiveness::kDraining, "drain requested",
+                       &events);
     }
   }
   FireEvents(events);
@@ -208,6 +233,49 @@ bool HeartbeatMonitor::IsReplicaDead(int32_t replica) const {
   return it != replicas_.end() && it->second.state == ReplicaLiveness::kDead;
 }
 
+void HeartbeatMonitor::set_expected_replicas(int32_t expected) {
+  std::vector<IterationHeartbeatStats> completed;
+  std::function<void(const IterationHeartbeatStats&)> straggler_callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int32_t previous = expected_replicas_;
+    expected_replicas_ = expected;
+    // A shrink can complete report sets retroactively: an iteration parked at
+    // N-1 of N reporters — the drained replica's beat is never coming — is
+    // complete at N-1 of N-1, and the rebalance loop downstream would
+    // otherwise wait forever for a fire gated on a stale fleet size. The
+    // straggler_fired_ guard keeps every fire exactly-once across both
+    // completion paths.
+    if (straggler_callback_ && expected > 0 && expected < previous) {
+      for (const auto& [iteration, by_replica] : completions_) {
+        if (static_cast<int32_t>(by_replica.size()) >= expected &&
+            straggler_fired_.insert(iteration).second) {
+          completed.push_back(ForIterationLocked(iteration));
+        }
+      }
+      if (!completed.empty()) {
+        straggler_callback = straggler_callback_;
+        ++callbacks_in_flight_;
+      }
+    }
+  }
+  if (straggler_callback) {
+    for (const IterationHeartbeatStats& stats : completed) {
+      straggler_callback(stats);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --callbacks_in_flight_;
+    }
+    callback_cv_.notify_all();
+  }
+}
+
+int32_t HeartbeatMonitor::expected_replicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expected_replicas_;
+}
+
 int HeartbeatMonitor::PollLiveness() {
   std::vector<ReplicaEvent> events;
   {
@@ -215,8 +283,10 @@ int HeartbeatMonitor::PollLiveness() {
     const Clock::time_point now = Clock::now();
     for (auto& [replica, state] : replicas_) {
       if (state.state != ReplicaLiveness::kAlive &&
-          state.state != ReplicaLiveness::kSuspect) {
-        continue;  // deadlines apply only while presence is expected
+          state.state != ReplicaLiveness::kSuspect &&
+          state.state != ReplicaLiveness::kDraining) {
+        continue;  // deadlines apply only while presence is expected — and a
+                   // drainer that wedges instead of detaching must still die
       }
       const double silent_ms =
           std::chrono::duration<double, std::milli>(now - state.last_seen)
@@ -307,7 +377,7 @@ IterationHeartbeatStats HeartbeatMonitor::ForIterationLocked(
     int64_t iteration) const {
   IterationHeartbeatStats stats;
   stats.iteration = iteration;
-  stats.replicas_expected = options_.expected_replicas;
+  stats.replicas_expected = expected_replicas_;
   const auto it = completions_.find(iteration);
   if (it == completions_.end() || it->second.empty()) {
     return stats;
@@ -334,9 +404,11 @@ IterationHeartbeatStats HeartbeatMonitor::ForIterationLocked(
   }
   // Flag stragglers only against a complete (or unknown-size) report set: a
   // median over the first 1–2 finishers is not a threshold, and comparing
-  // later finishers against it mis-flags ordinary skew.
-  if (options_.expected_replicas > 0 &&
-      stats.replicas_reported < options_.expected_replicas) {
+  // later finishers against it mis-flags ordinary skew. Gated on the *live*
+  // fleet size — after a drain, a full set of the survivors flags; a stale
+  // pre-drain expectation must not suppress it.
+  if (expected_replicas_ > 0 &&
+      stats.replicas_reported < expected_replicas_) {
     return stats;
   }
   const double threshold =

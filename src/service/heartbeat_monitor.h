@@ -21,6 +21,11 @@
 //   kAlive/kSuspect ──unclean connection drop──> kDead   (grace 0)
 //                                           └──> kSuspect, then kDead after
 //                                                connection_grace_ms (grace>0)
+//   any non-dead ──drain request──> kDraining (elastic membership: the
+//                                   replica asked to leave; heartbeats for
+//                                   in-flight work still refresh its deadline
+//                                   but never revive it to kAlive, and a
+//                                   wedged drainer still dies by deadline)
 //   any non-dead ──clean detach──> kDetached (deadline tracking stops)
 //
 // kDead is *sticky*: a heartbeat or re-attach from a dead replica never
@@ -45,6 +50,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -60,6 +66,8 @@ enum class ReplicaLiveness : uint8_t {
   kSuspect,   // deadline blown or unclean drop within grace — not yet acted on
   kDead,      // declared dead; sticky (recovery may have moved its plans)
   kDetached,  // clean goodbye; absence is expected, deadlines off
+  kDraining,  // asked to leave gracefully; finishing in-flight work, must not
+              // be handed anything new (the MembershipCoordinator's cue)
 };
 
 const char* ReplicaLivenessName(ReplicaLiveness state);
@@ -104,8 +112,9 @@ struct HeartbeatMonitorOptions {
 struct IterationHeartbeatStats {
   int64_t iteration = 0;
   int32_t replicas_reported = 0;
-  // options.expected_replicas, echoed so a caller can see a partial picture
-  // for what it is (reported < expected = iteration still in flight).
+  // The expected fleet size at query time (options.expected_replicas as
+  // adjusted by set_expected_replicas), echoed so a caller can see a partial
+  // picture for what it is (reported < expected = iteration still in flight).
   int32_t replicas_expected = 0;
   double median_wall_ms = 0.0;
   double max_wall_ms = 0.0;
@@ -155,7 +164,21 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
                    double wall_ms) override;
   void OnReplicaAttached(int32_t replica) override;
   void OnReplicaDisconnected(int32_t replica, bool clean) override;
+  // The replica asked to leave the fleet gracefully: transitions it to
+  // kDraining and fires the event — the MembershipCoordinator's cue to fence
+  // it, repost its backlog, and shrink the expected fleet. Ignored for dead
+  // replicas (their plans already moved; the server evicts them instead).
+  void OnReplicaDrainRequested(int32_t replica) override;
   bool IsReplicaDead(int32_t replica) const override;
+
+  // Elastic membership: re-gate iteration completion (the straggler-callback
+  // fire and ForIteration's partial-set guard) on a new fleet size mid-epoch.
+  // Shrinking can complete report sets retroactively — an iteration stuck at
+  // N-1 of N reporters is complete at N-1 of N-1 — so a shrink fires the
+  // straggler callback for every newly-complete iteration (exactly once per
+  // iteration, ever; a later growth never un-fires or re-fires one).
+  void set_expected_replicas(int32_t expected);
+  int32_t expected_replicas() const;
 
   // Applies the deadline transitions due as of now; returns how many fired.
   // The watchdog calls this periodically; tests call it directly.
@@ -206,6 +229,15 @@ class HeartbeatMonitor final : public runtime::HeartbeatSink {
 
   HeartbeatMonitorOptions options_;
   mutable std::mutex mu_;
+  // The live fleet size, options_.expected_replicas at construction and
+  // adjusted by set_expected_replicas on join/drain. Kept apart from options_
+  // so options() stays an immutable snapshot of the configuration. Guarded by
+  // mu_.
+  int32_t expected_replicas_ = 0;
+  // Iterations whose completion already fired the straggler callback — the
+  // exactly-once guard now that a shrinking fleet can complete a set both by
+  // a fresh heartbeat and by set_expected_replicas. Guarded by mu_.
+  std::set<int64_t> straggler_fired_;
   int64_t total_heartbeats_ = 0;
   std::map<int32_t, int64_t> last_iteration_;  // replica -> frontier
   // iteration -> (replica -> wall_ms). Iterations are short-lived keys; the

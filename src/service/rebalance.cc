@@ -69,13 +69,16 @@ void RebalanceCoordinator::OnIterationComplete(
     if (monitor_->Liveness(slow) == ReplicaLiveness::kDead) {
       continue;  // recovery's problem now, not rebalance's
     }
-    // Fast replicas: configured, kept pace this iteration, not dead, and not
-    // exempt from taking work.
+    // Fast replicas: configured, kept pace this iteration, not dead, not
+    // fenced mid-drain, and not exempt from taking work. (A drain landing
+    // after this snapshot is still safe: the store-level fence answers the
+    // Repost with kDestinationTaken and the key chain retries.)
     std::vector<int32_t> destinations;
     for (const int32_t replica : options_.replicas) {
       if (replica == slow || Contains(stats.stragglers, replica) ||
           Contains(options_.immovable_replicas, replica) ||
-          monitor_->Liveness(replica) == ReplicaLiveness::kDead) {
+          monitor_->Liveness(replica) == ReplicaLiveness::kDead ||
+          store_->IsReplicaFenced(replica)) {
         continue;
       }
       destinations.push_back(replica);
@@ -106,6 +109,10 @@ void RebalanceCoordinator::OnIterationComplete(
           common::TraceSpan span("rebalanced", "plan", *it, slow);
           ++moved;
           ++next_destination;
+          // The straggler is alive and still polling in key order: release
+          // the vacated key so any later repost to it fills the gap rather
+          // than landing beyond a hole it will never cross.
+          spare_keys_->Release(slow, *it);
           static common::Counter& moved_total =
               common::MetricsRegistry::Instance().GetCounter(
                   "rebalance_moved_total");

@@ -28,8 +28,12 @@ RecoveryCoordinator::~RecoveryCoordinator() {
 
 void RecoveryCoordinator::set_downstream(
     std::function<void(const ReplicaEvent&)> downstream) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   downstream_ = std::move(downstream);
+  // Swapping the downstream out (to nullptr at subscriber teardown) must not
+  // return while a delivery is mid-flight on another thread — the subscriber
+  // is about to be destroyed. New deliveries see the new downstream.
+  downstream_cv_.wait(lock, [&] { return downstream_in_flight_ == 0; });
 }
 
 RecoveryReport RecoveryCoordinator::report() const {
@@ -51,12 +55,17 @@ void RecoveryCoordinator::OnEvent(const ReplicaEvent& event) {
       store_->Shutdown();
       lock.lock();
     } else {
-      // Survivors: the configured set minus everyone declared dead so far.
+      // Survivors: the configured set minus everyone declared dead so far,
+      // minus anyone fenced mid-drain — a leaver handing off its own backlog
+      // must not inherit a dead replica's. (The store-level fence catches the
+      // race where the drain lands after this snapshot: the Repost comes back
+      // kDestinationTaken and the key chain advances.)
       std::vector<int32_t> survivors;
       for (const int32_t replica : options_.replicas) {
         if (std::find(report_.dead_replicas.begin(),
                       report_.dead_replicas.end(),
-                      replica) == report_.dead_replicas.end()) {
+                      replica) == report_.dead_replicas.end() &&
+            !store_->IsReplicaFenced(replica)) {
           survivors.push_back(replica);
         }
       }
@@ -112,9 +121,17 @@ void RecoveryCoordinator::OnEvent(const ReplicaEvent& event) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     downstream = downstream_;
+    if (downstream) {
+      ++downstream_in_flight_;
+    }
   }
   if (downstream) {
     downstream(event);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --downstream_in_flight_;
+    }
+    downstream_cv_.notify_all();
   }
 }
 

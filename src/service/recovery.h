@@ -28,11 +28,13 @@
 #ifndef DYNAPIPE_SRC_SERVICE_RECOVERY_H_
 #define DYNAPIPE_SRC_SERVICE_RECOVERY_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "src/runtime/instruction_store.h"
@@ -47,21 +49,48 @@ namespace dynapipe::service {
 // and the next key tried, instead of being retried forever (the bug that
 // silently lost every subsequent repost to that survivor). One allocator is
 // *shared* by every coordinator moving plans into the same store (recovery +
-// rebalance), so their spare keys can never collide either. Thread-safe.
+// rebalance + membership), so their spare keys can never collide either.
+//
+// Release() is the hole-filler for *live* steal victims. An executor polls
+// its keys strictly in order and gives up at the first gap, so a replica's
+// pending set must stay contiguous from its poll cursor. A tail steal (join
+// admission, straggler rebalance) vacates the victim's highest keys; if a
+// later repost targeted that victim at a fresh key *beyond* the gap, the
+// victim would idle out at the gap and strand the plan forever. Movers
+// therefore release each stolen source key, and Next() reissues released
+// keys smallest-first before minting fresh ones — reposts fill the gap,
+// and any keys left unfilled form a trailing gap the victim cleanly ends
+// on. (Keys of *dead* replicas are never released: the dead are never
+// repost destinations, so their gaps are unreachable either way.)
+// Thread-safe.
 class SpareKeyAllocator {
  public:
   explicit SpareKeyAllocator(int64_t base) : base_(base) {}
 
   int64_t Next(int32_t replica) {
     std::lock_guard<std::mutex> lock(mu_);
+    auto freed = released_.find(replica);
+    if (freed != released_.end() && !freed->second.empty()) {
+      const int64_t key = *freed->second.begin();
+      freed->second.erase(freed->second.begin());
+      return key;
+    }
     auto [it, inserted] = next_.emplace(replica, base_);
     return it->second++;
+  }
+
+  // A tail steal vacated `key` on `replica`; reissue it before any fresh
+  // key so reposts to that replica fill the gap in its poll sequence.
+  void Release(int32_t replica, int64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_[replica].insert(key);
   }
 
  private:
   const int64_t base_;
   std::mutex mu_;
   std::map<int32_t, int64_t> next_;  // replica -> next spare iteration
+  std::map<int32_t, std::set<int64_t>> released_;  // vacated, smallest first
 };
 
 enum class FailurePolicy : uint8_t {
@@ -112,7 +141,10 @@ class RecoveryCoordinator {
   RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
 
   // Forwards every ReplicaEvent (after recovery acted on it) to `downstream`
-  // — observation taps for tests and logging.
+  // — the MembershipCoordinator's subscription point, and an observation tap
+  // for tests and logging. Same drain rule as the monitor's callbacks:
+  // swapping the downstream out (to nullptr at subscriber teardown) does not
+  // return while a delivery is mid-flight on another thread.
   void set_downstream(std::function<void(const ReplicaEvent&)> downstream);
 
   RecoveryReport report() const;
@@ -128,6 +160,10 @@ class RecoveryCoordinator {
   mutable std::mutex mu_;
   RecoveryReport report_;                    // guarded by mu_
   std::function<void(const ReplicaEvent&)> downstream_;  // guarded by mu_
+  // Downstream deliveries currently running outside mu_; set_downstream
+  // drains them so the subscriber can unregister at its own teardown.
+  int downstream_in_flight_ = 0;  // guarded by mu_
+  mutable std::condition_variable downstream_cv_;
 };
 
 }  // namespace dynapipe::service

@@ -56,11 +56,17 @@ common::Counter& FrameCounterFor(FrameType type) {
           reg.GetCounter("transport_frames_plan_bytes_total");
       return c;
     }
+    case FrameType::kDrainRequest: {
+      static common::Counter& c =
+          reg.GetCounter("transport_frames_drain_total");
+      return c;
+    }
     case FrameType::kOk:
     case FrameType::kBool:
     case FrameType::kCount:
     case FrameType::kMissing:
-    case FrameType::kEvicted: {
+    case FrameType::kEvicted:
+    case FrameType::kDrainAck: {
       static common::Counter& c =
           reg.GetCounter("transport_frames_reply_total");
       return c;

@@ -65,6 +65,17 @@ enum class FrameType : uint8_t {
                       // server may ask a mux client that declared the stats
                       // capability in its kAttach payload — that is how the
                       // trainer pulls executor-side snapshots mid-epoch.
+  kDrainRequest = 10,  // frame v4: replica (in the header) asks to leave the
+                       // fleet gracefully. The server fences the replica as a
+                       // repost destination and hands the event to the
+                       // membership layer, which reposts the leaver's
+                       // unfetched backlog to survivors *before* the reply is
+                       // written — so the kDrainAck the client blocks on IS
+                       // the handoff-complete signal. The replica then
+                       // finishes anything already fetched and sends a normal
+                       // kDetach. Response kDrainAck (kEvicted when the
+                       // replica was already declared dead — too late to
+                       // drain what recovery already reposted).
   // Responses (server -> client).
   kOk = 64,
   kPlanBytes = 65,
@@ -82,6 +93,10 @@ enum class FrameType : uint8_t {
                      // trace-clock now, µs) + metrics snapshot (codec below).
                      // A malformed payload is handled like any malformed
                      // frame: drop the connection, never crash.
+  kDrainAck = 71,  // frame v4: the drain handoff finished — the replica is
+                   // fenced, its unfetched backlog lives with survivors.
+                   // Receiving it is the green light to finish in-flight
+                   // work and kDetach.
 };
 
 // Ceiling on one frame's body; anything larger is a corrupt length field.
@@ -141,12 +156,21 @@ void AppendStatsPayload(int64_t trace_now_us,
 bool TryParseStatsPayload(std::string_view payload, int64_t* trace_now_us,
                           common::MetricsSnapshot* snapshot);
 
-// kAttach capability payload (frame v3). v2 attach payloads were empty and
+// kAttach capability payload (frame v3/v4). v2 attach payloads were empty and
 // remain valid (no capabilities). Byte 0 is a capability bitmask today;
 // kAttachCapStats marks a connection whose client demux answers
 // server-initiated kStatsRequest frames (the mux client); one-shot liveness
 // attaches must NOT set it — nothing reads their stream between requests.
 inline constexpr uint8_t kAttachCapStats = 0x01;
+// frame v4: the attaching replica declares it may be *outside* the fleet the
+// publisher configured — a mid-epoch joiner. The server's handling is
+// identical either way (attach + liveness touch); the bit exists so the
+// intent is explicit on the wire and a future server may refuse unknown
+// replicas that do not declare it. Admission itself rides the liveness event
+// stream: the MembershipCoordinator admits any unknown replica that goes
+// alive, which is also how shm joiners (who have no attach frame at all —
+// AnnounceReplica claims a heartbeat slot) are admitted.
+inline constexpr uint8_t kAttachCapJoin = 0x02;
 
 }  // namespace dynapipe::transport
 

@@ -390,7 +390,7 @@ bool MuxInstructionStore::TryHeartbeat(int32_t replica, int64_t iteration,
 }
 
 bool MuxInstructionStore::Attach(int32_t replica, bool* evicted,
-                                 int timeout_ms) {
+                                 int timeout_ms, bool join) {
   *evicted = false;
   Frame request;
   request.type = FrameType::kAttach;
@@ -399,7 +399,12 @@ bool MuxInstructionStore::Attach(int32_t replica, bool* evicted,
   // server-initiated kStatsRequest frames, so the server may pull snapshots
   // over this connection mid-epoch. One-shot liveness attaches (remote_store)
   // keep the empty v2 payload — nothing reads their stream between requests.
-  request.payload.push_back(static_cast<char>(kAttachCapStats));
+  // A joiner additionally declares kAttachCapJoin (frame v4).
+  uint8_t caps = kAttachCapStats;
+  if (join) {
+    caps |= kAttachCapJoin;
+  }
+  request.payload.push_back(static_cast<char>(caps));
   Frame reply;
   if (!TryCall(request, &reply, timeout_ms)) {
     return false;
@@ -409,6 +414,23 @@ bool MuxInstructionStore::Attach(int32_t replica, bool* evicted,
     return true;
   }
   return reply.type == FrameType::kOk;
+}
+
+bool MuxInstructionStore::TryDrain(int32_t replica, bool* evicted,
+                                   int timeout_ms) {
+  *evicted = false;
+  Frame request;
+  request.type = FrameType::kDrainRequest;
+  request.replica = replica;
+  Frame reply;
+  if (!TryCall(request, &reply, timeout_ms)) {
+    return false;
+  }
+  if (reply.type == FrameType::kEvicted) {
+    *evicted = true;
+    return true;  // delivered — and the server told us to stop instead
+  }
+  return reply.type == FrameType::kDrainAck;
 }
 
 bool MuxInstructionStore::Detach(int32_t replica) {

@@ -120,9 +120,18 @@ class MuxInstructionStore final : public runtime::InstructionStoreInterface {
   // kDetach). *evicted=true when the server refused the attach because the
   // replica is already declared dead. The attach payload declares the stats
   // capability (frame v3): this connection's demux loop answers
-  // server-initiated kStatsRequest frames.
-  bool Attach(int32_t replica, bool* evicted, int timeout_ms = 0);
+  // server-initiated kStatsRequest frames. `join` additionally sets
+  // kAttachCapJoin (frame v4) — declarative intent to join a running fleet;
+  // admission itself rides the liveness event the attach fires.
+  bool Attach(int32_t replica, bool* evicted, int timeout_ms = 0,
+              bool join = false);
   bool Detach(int32_t replica);
+  // Graceful-leave handshake (frame v4 kDrainRequest): by the time kDrainAck
+  // comes back the server has fenced this replica and reposted its unfetched
+  // backlog — finish in-flight work, then Detach. *evicted=true when the
+  // server answered kEvicted (this replica was declared dead mid-request).
+  // False on connection loss or timeout.
+  bool TryDrain(int32_t replica, bool* evicted, int timeout_ms = 0);
   // Client-initiated kStatsRequest: the server's process-wide snapshot plus
   // its aligned trace clock. False on connection loss or a malformed reply
   // (which closes the stream — protocol confusion is connection-grade).

@@ -75,7 +75,13 @@ struct ShmHeartbeatSlot {
   std::atomic<uint64_t> seq{0};
   std::atomic<int32_t> replica{-1};  // -1 = unclaimed
   std::atomic<int32_t> pid{0};       // claiming process (diagnostic)
-  std::atomic<uint32_t> detached{0};  // clean goodbye; poller stops deadlines
+  // Goodbye + drain state machine: 0 = attached, 1 = clean goodbye (poller
+  // stops deadlines), 2 = drain requested (executor wrote; poller forwards
+  // OnReplicaDrainRequested), 3 = drain acknowledged (publisher CASed 2 -> 3;
+  // the executor's green light to finish in-flight work and detach). Only the
+  // executor writes under the seqlock; the publisher's ack is a lone CAS that
+  // a racing final goodbye (2 -> 1) beats cleanly.
+  std::atomic<uint32_t> detached{0};
   std::atomic<uint64_t> beats{0};     // completions written, ever
   std::atomic<int64_t> last_alive_us{0};
   ShmHeartbeatEntry ring[kShmHeartbeatRing];
@@ -773,6 +779,38 @@ void ShmInstructionStore::DetachReplica(int32_t replica) {
   slot.last_alive_us.store(MonotonicMicros(), std::memory_order_release);
 }
 
+void ShmInstructionStore::RequestDrain(int32_t replica) {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  ShmHeartbeatSlot& slot = HeartbeatSlotLocked(replica);
+  SeqlockWrite(slot, [&] {
+    slot.detached.store(2, std::memory_order_relaxed);
+  });
+  slot.last_alive_us.store(MonotonicMicros(), std::memory_order_release);
+}
+
+bool ShmInstructionStore::DrainAcknowledged(int32_t replica) {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  ShmHeartbeatSlot& slot = HeartbeatSlotLocked(replica);
+  return slot.detached.load(std::memory_order_acquire) == 3;
+}
+
+void ShmInstructionStore::AcknowledgeDrain(int32_t replica) {
+  // Publisher side: must NOT go through HeartbeatSlotLocked — that would
+  // claim (and re-initialize) the slot for *this* process, clobbering the
+  // executor's pid and drain word. Scan for the slot the executor owns and
+  // CAS the drain state, so a racing final goodbye (detached = 1) survives.
+  ShmHeartbeatSlot* hb = heartbeat_slots();
+  for (uint32_t i = 0; i < kShmHeartbeatSlots; ++i) {
+    if (hb[i].replica.load(std::memory_order_acquire) != replica) {
+      continue;
+    }
+    uint32_t expected = 2;
+    hb[i].detached.compare_exchange_strong(expected, 3,
+                                           std::memory_order_acq_rel);
+    return;
+  }
+}
+
 // --- Recovery surface ---
 
 std::vector<int64_t> ShmInstructionStore::PendingIterations(
@@ -821,6 +859,11 @@ runtime::RepostOutcome ShmInstructionStore::Repost(int64_t src_iteration,
   if (src_i < 0) {
     return runtime::RepostOutcome::kSourceGone;
   }
+  // A draining destination reads exactly like a taken key: burn the spare
+  // key and let the caller's retry chain pick another survivor.
+  if (IsReplicaFenced(dst_replica)) {
+    return runtime::RepostOutcome::kDestinationTaken;
+  }
   // A key move, not a byte move: the arena payload stays where it is, only
   // the index entry is re-keyed — reposted plans stay byte-identical.
   ShmSlot& slot = slot_array[src_i];
@@ -829,6 +872,24 @@ runtime::RepostOutcome ShmInstructionStore::Repost(int64_t src_iteration,
     slot.replica.store(dst_replica, std::memory_order_relaxed);
   });
   return runtime::RepostOutcome::kMoved;
+}
+
+void ShmInstructionStore::FenceReplica(int32_t replica) {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  if (std::find(fenced_.begin(), fenced_.end(), replica) == fenced_.end()) {
+    fenced_.push_back(replica);
+  }
+}
+
+void ShmInstructionStore::UnfenceReplica(int32_t replica) {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  fenced_.erase(std::remove(fenced_.begin(), fenced_.end(), replica),
+                fenced_.end());
+}
+
+bool ShmInstructionStore::IsReplicaFenced(int32_t replica) const {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  return std::find(fenced_.begin(), fenced_.end(), replica) != fenced_.end();
 }
 
 size_t ShmInstructionStore::DropReplica(int32_t replica) {
@@ -957,12 +1018,21 @@ int ShmHeartbeatPoller::PollOnce() {
     }
     obs.last_alive_us = last_alive;
 
-    if (detached != 0 && !obs.detach_delivered) {
+    if (detached == 1 && !obs.detach_delivered) {
       sink_->OnReplicaDisconnected(replica, /*clean=*/true);
       obs.detach_delivered = true;
       ++delivered;
+    } else if (detached == 2 && !obs.drain_delivered) {
+      // Drain requested: the sink's event chain (monitor -> recovery ->
+      // membership) fences and reposts synchronously; the membership
+      // coordinator acknowledges via AcknowledgeDrain when the handoff is
+      // done.
+      sink_->OnReplicaDrainRequested(replica);
+      obs.drain_delivered = true;
+      ++delivered;
     } else if (detached == 0) {
       obs.detach_delivered = false;  // re-announced after a clean goodbye
+      obs.drain_delivered = false;
     }
   }
   return delivered;

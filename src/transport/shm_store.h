@@ -170,6 +170,28 @@ class ShmInstructionStore final : public runtime::InstructionStoreInterface {
   // wire kDetach goodbye; the poller reports it as a clean disconnect so
   // deadline tracking stops.
   void DetachReplica(int32_t replica);
+  // --- Elastic membership (drain handshake) ---
+  // The slot's `detached` word doubles as a drain state machine:
+  //   0 = attached, 1 = clean goodbye, 2 = drain requested (executor wrote),
+  //   3 = drain acknowledged (publisher wrote). Same layout, same version.
+  // Executor side: asks to leave — the shm equivalent of the wire
+  // kDrainRequest. The poller forwards it to the HeartbeatSink and the
+  // MembershipCoordinator fences + reposts before acknowledging.
+  void RequestDrain(int32_t replica);
+  // Executor side: true once the publisher acknowledged the drain — the
+  // green light to finish in-flight work and DetachReplica.
+  bool DrainAcknowledged(int32_t replica);
+  // Publisher side: acknowledges a requested drain (CAS 2 -> 3 on the slot
+  // owned by `replica`; a racing final goodbye wins). The shm equivalent of
+  // the wire kDrainAck reply.
+  void AcknowledgeDrain(int32_t replica);
+
+  // Membership fence — process-local, like the in-process store's: the
+  // coordinators live in the publisher process, so the fence does not need
+  // to cross the segment.
+  void FenceReplica(int32_t replica) override;
+  void UnfenceReplica(int32_t replica) override;
+  bool IsReplicaFenced(int32_t replica) const override;
 
   // --- Recovery surface (planner side) ---
   bool supports_recovery() const override { return true; }
@@ -216,6 +238,9 @@ class ShmInstructionStore final : public runtime::InstructionStoreInterface {
   // writers so each slot keeps a single seqlock writer.
   mutable std::mutex hb_mu_;
   std::map<int32_t, uint32_t> hb_claimed_;  // replica -> slot index
+  // Process-local membership fence (publisher side); guarded by fence_mu_.
+  mutable std::mutex fence_mu_;
+  std::vector<int32_t> fenced_;
 };
 
 // Trainer-side pump for the segment's heartbeat slots: a thread that polls
@@ -244,6 +269,7 @@ class ShmHeartbeatPoller {
     int64_t last_alive_us = 0;
     bool attached_delivered = false;
     bool detach_delivered = false;
+    bool drain_delivered = false;
   };
 
   void Loop();

@@ -347,7 +347,7 @@ void InstructionStoreServer::HandleConnection(Handler& handler) {
         break;
       }
       case FrameType::kAttach: {
-        // Frame v3 capability payload: empty (v2) or one bitmask byte.
+        // Frame v3/v4 capability payload: empty (v2) or one bitmask byte.
         // Anything longer is malformed like any unparsable frame.
         if (request->payload.size() > 1) {
           finish();
@@ -358,6 +358,11 @@ void InstructionStoreServer::HandleConnection(Handler& handler) {
                 0) {
           handler.stats_capable.store(true, std::memory_order_relaxed);
         }
+        // kAttachCapJoin needs no handler state: join admission rides the
+        // liveness event the NotifyReplicaAttached below fires — the
+        // MembershipCoordinator admits any unknown replica that turns
+        // alive. The bit is declarative intent (and keeps the executor's
+        // command line honest); an old server ignores it harmlessly.
         if (store_->ReplicaConsideredDead(request->replica)) {
           reply.type = FrameType::kEvicted;  // zombie reconnect: refuse
           break;
@@ -371,6 +376,22 @@ void InstructionStoreServer::HandleConnection(Handler& handler) {
           }
         }
         reply.type = FrameType::kOk;
+        break;
+      }
+      case FrameType::kDrainRequest: {
+        // Graceful leave. The liveness event chain (monitor -> recovery ->
+        // membership) runs synchronously inside this notify: by the time it
+        // returns, the replica is fenced and its unfetched backlog is
+        // reposted to the survivors — so the kDrainAck reply really is the
+        // green light to finish in-flight work and kDetach. A replica
+        // already declared dead gets kEvicted instead: its plans moved long
+        // ago and the only safe instruction is "stop".
+        if (store_->ReplicaConsideredDead(request->replica)) {
+          reply.type = FrameType::kEvicted;
+          break;
+        }
+        store_->NotifyReplicaDrainRequested(request->replica);
+        reply.type = FrameType::kDrainAck;
         break;
       }
       case FrameType::kDetach: {

@@ -25,6 +25,7 @@
 #include "src/runtime/planner.h"
 #include "src/runtime/trainer.h"
 #include "src/service/heartbeat_monitor.h"
+#include "src/service/membership.h"
 #include "src/service/plan_ahead_service.h"
 #include "src/service/plan_cache.h"
 #include "src/service/plan_serde.h"
@@ -1342,6 +1343,75 @@ TEST(HeartbeatMonitorTest, StragglerCallbackFiresOncePerCompleteIteration) {
   EXPECT_EQ(fired.size(), 1u);  // unhooked
 }
 
+// ---------- heartbeat monitor: dynamic expected replicas ----------
+
+// A drain shrinks the fleet mid-epoch. Iterations stuck at N-1 of N reports
+// become complete the moment the expectation drops — the callback must fire
+// for them retroactively, exactly once, and a late beat from the departed
+// replica must not re-fire it.
+TEST(HeartbeatMonitorTest, ShrinkingExpectedRetroactivelyCompletesReportSets) {
+  service::HeartbeatMonitorOptions opts;
+  opts.straggler_multiple = 2.0;
+  opts.min_straggler_gap_ms = 1.0;
+  opts.expected_replicas = 3;
+  opts.watchdog = false;
+  service::HeartbeatMonitor monitor(opts);
+  std::vector<service::IterationHeartbeatStats> fired;  // single-threaded
+  monitor.set_straggler_callback(
+      [&](const service::IterationHeartbeatStats& stats) {
+        fired.push_back(stats);
+      });
+  monitor.OnHeartbeat(0, 0, 10.0);
+  monitor.OnHeartbeat(1, 0, 11.0);
+  EXPECT_TRUE(fired.empty());  // 2/3: the third never comes — it drained
+  monitor.set_expected_replicas(2);
+  ASSERT_EQ(fired.size(), 1u);  // retroactively complete
+  EXPECT_EQ(fired[0].iteration, 0);
+  EXPECT_EQ(fired[0].replicas_reported, 2);
+  EXPECT_EQ(fired[0].replicas_expected, 2);
+  // A straggling beat from the drained replica lands in the stats but must
+  // not fire the already-fired iteration again.
+  monitor.OnHeartbeat(2, 0, 99.0);
+  EXPECT_EQ(fired.size(), 1u);
+  // Later iterations complete at the new size.
+  monitor.OnHeartbeat(0, 1, 10.0);
+  monitor.OnHeartbeat(1, 1, 10.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].iteration, 1);
+}
+
+// A join grows the fleet. Iterations that already completed (and fired) at
+// the old size stay fired — growth must neither re-fire nor "un-complete"
+// them — and new iterations gate on the larger set.
+TEST(HeartbeatMonitorTest, GrowingExpectedNeverDoubleFiresACompletedIteration) {
+  service::HeartbeatMonitorOptions opts;
+  opts.straggler_multiple = 2.0;
+  opts.min_straggler_gap_ms = 1.0;
+  opts.expected_replicas = 2;
+  opts.watchdog = false;
+  service::HeartbeatMonitor monitor(opts);
+  std::vector<service::IterationHeartbeatStats> fired;  // single-threaded
+  monitor.set_straggler_callback(
+      [&](const service::IterationHeartbeatStats& stats) {
+        fired.push_back(stats);
+      });
+  monitor.OnHeartbeat(0, 0, 10.0);
+  monitor.OnHeartbeat(1, 0, 10.0);
+  ASSERT_EQ(fired.size(), 1u);  // complete at the old size
+  monitor.set_expected_replicas(3);  // a joiner was admitted
+  EXPECT_EQ(fired.size(), 1u);
+  monitor.OnHeartbeat(2, 0, 10.0);  // joiner's beat on the fired iteration
+  EXPECT_EQ(fired.size(), 1u);
+  // The next iteration needs all three.
+  monitor.OnHeartbeat(0, 1, 10.0);
+  monitor.OnHeartbeat(1, 1, 10.0);
+  EXPECT_EQ(fired.size(), 1u);  // 2/3 now incomplete
+  monitor.OnHeartbeat(2, 1, 10.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].iteration, 1);
+  EXPECT_EQ(fired[1].replicas_expected, 3);
+}
+
 // ---------- rebalance coordinator ----------
 
 namespace {
@@ -1497,16 +1567,171 @@ TEST(RebalanceCoordinatorTest, SharedAllocatorKeepsRecoveryAndRebalanceApart) {
   FeedIteration(monitor, 0, /*slow=*/1);
   ASSERT_EQ(rebalance.report().moved_iterations, 1);
   // ...then that fast replica's peer dies and recovery round-robins the
-  // backlog over the survivors: its keys continue after rebalance's.
+  // backlog over the survivors: its keys continue after rebalance's on the
+  // fast replica, but the straggler's repost reuses the key the steal
+  // vacated — the shared allocator reissues released keys first, keeping
+  // the still-polling straggler's key sequence gap-free.
   store.PushBytes(1, 2, "dead-a");
   store.PushBytes(2, 2, "dead-b");
   monitor.OnReplicaAttached(2);
   monitor.OnReplicaDisconnected(2, /*clean=*/false);
   EXPECT_EQ(recovery.report().replanned_iterations, 2);
-  // Survivors are 0 and 1; whichever repost landed on 0 took key 11, not 10.
   EXPECT_EQ(store.FetchBytes(10, 0), "slow-tail");
   EXPECT_EQ(store.FetchBytes(11, 0), "dead-a");
-  EXPECT_EQ(store.FetchBytes(10, 1), "dead-b");
+  EXPECT_EQ(store.FetchBytes(0, 1), "dead-b");
+}
+
+// ---------- membership coordinator ----------
+
+// A replica outside the configured fleet turning alive is a joiner: the
+// coordinator admits it, grows the expected fleet, and steals a fair share
+// of the deepest member's *tail* backlog to the joiner's spare keys — where
+// an open-ended executor polls first.
+TEST(MembershipCoordinatorTest, JoinerStealsAFairShareOfTheDeepestTail) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  auto spare_keys = std::make_shared<service::SpareKeyAllocator>(10);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_keys = spare_keys;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  service::MembershipOptions mopts;
+  mopts.initial_replicas = {0, 1, 2};
+  mopts.spare_keys = spare_keys;
+  service::MembershipCoordinator membership(&store, &monitor, &recovery,
+                                            mopts);
+
+  for (int64_t i = 0; i < 8; ++i) {
+    store.PushBytes(i, 1, "p" + std::to_string(i));
+  }
+  store.PushBytes(0, 0, "shallow");
+  EXPECT_EQ(membership.ActiveMembers(), (std::vector<int32_t>{0, 1, 2}));
+
+  // A bare shm announce or a kAttach carrying kAttachCapJoin both surface
+  // here: an unknown replica turning alive.
+  monitor.OnReplicaAttached(3);
+  const service::MembershipReport report = membership.report();
+  EXPECT_EQ(report.joined, std::vector<int32_t>{3});
+  EXPECT_EQ(report.join_stolen_iterations, 2);  // floor(8 / new fleet of 4)
+  EXPECT_EQ(monitor.expected_replicas(), 4);
+  EXPECT_EQ(membership.ActiveMembers(), (std::vector<int32_t>{0, 1, 2, 3}));
+  // Tail first, at the joiner's spare keys; the donor keeps its head and
+  // replica 0's shallow backlog was never the donor.
+  EXPECT_EQ(store.FetchBytes(10, 3), "p7");
+  EXPECT_EQ(store.FetchBytes(11, 3), "p6");
+  EXPECT_EQ(store.PendingIterations(1),
+            (std::vector<int64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(store.PendingIterations(0), std::vector<int64_t>{0});
+}
+
+// A drain request fences the leaver, hands its unfetched backlog round-robin
+// to the surviving members at spare keys, shrinks the expected fleet *after*
+// the handoff, and acknowledges through the backend hook. A duplicate
+// request must not repost or ack twice.
+TEST(MembershipCoordinatorTest, DrainHandsOffBacklogAndAcknowledgesOnce) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  auto spare_keys = std::make_shared<service::SpareKeyAllocator>(10);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_keys = spare_keys;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  service::MembershipOptions mopts;
+  mopts.initial_replicas = {0, 1, 2};
+  mopts.spare_keys = spare_keys;
+  std::vector<int32_t> acked;  // event chain is synchronous here
+  mopts.drain_ack = [&](int32_t replica) { acked.push_back(replica); };
+  service::MembershipCoordinator membership(&store, &monitor, &recovery,
+                                            mopts);
+
+  monitor.OnReplicaAttached(0);
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaAttached(2);
+  store.PushBytes(0, 2, "d0");
+  store.PushBytes(1, 2, "d1");
+  store.PushBytes(2, 2, "d2");
+
+  monitor.OnReplicaDrainRequested(2);
+  const service::MembershipReport report = membership.report();
+  EXPECT_EQ(report.drained, std::vector<int32_t>{2});
+  EXPECT_EQ(report.drain_reposted_iterations, 3);
+  EXPECT_EQ(acked, std::vector<int32_t>{2});
+  EXPECT_EQ(monitor.expected_replicas(), 2);
+  EXPECT_TRUE(store.IsReplicaFenced(2));
+  EXPECT_TRUE(store.PendingIterations(2).empty());
+  EXPECT_EQ(membership.ActiveMembers(), (std::vector<int32_t>{0, 1}));
+  // Round-robin over the survivors at their spare keys.
+  EXPECT_EQ(store.FetchBytes(10, 0), "d0");
+  EXPECT_EQ(store.FetchBytes(10, 1), "d1");
+  EXPECT_EQ(store.FetchBytes(11, 0), "d2");
+
+  monitor.OnReplicaDrainRequested(2);  // duplicate
+  EXPECT_EQ(membership.report().drained, std::vector<int32_t>{2});
+  EXPECT_EQ(membership.report().drain_reposted_iterations, 3);
+  EXPECT_EQ(acked.size(), 1u);
+}
+
+// The store-level fence is what closes the drain-vs-rebalance race: a mover
+// that snapshotted the leaver as a destination before the fence landed gets
+// kDestinationTaken back — key burned, plan intact — and its key chain
+// advances to an open peer. Unfencing restores the replica as a destination.
+TEST(InstructionStoreTest, FencedReplicaRefusesIncomingReposts) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  store.PushBytes(0, 0, "race");
+  store.FenceReplica(1);
+  EXPECT_EQ(store.Repost(0, 0, 10, 1),
+            runtime::RepostOutcome::kDestinationTaken);
+  // The plan neither moved nor vanished.
+  EXPECT_EQ(store.PendingIterations(0), std::vector<int64_t>{0});
+  // The mover retries elsewhere and the plan lands whole.
+  EXPECT_EQ(store.Repost(0, 0, 10, 2), runtime::RepostOutcome::kMoved);
+  EXPECT_EQ(store.FetchBytes(10, 2), "race");
+  store.UnfenceReplica(1);
+  store.PushBytes(1, 0, "after");
+  EXPECT_EQ(store.Repost(1, 0, 11, 1), runtime::RepostOutcome::kMoved);
+  EXPECT_EQ(store.FetchBytes(11, 1), "after");
+}
+
+// Drain -> clean detach -> re-join, the full elastic round trip: the detach
+// retires the drainer without shrinking the expectation a second time, the
+// fence persists while it is gone, and a re-join of the same id lifts the
+// fence and re-admits it like any other joiner.
+TEST(MembershipCoordinatorTest, DetachRetiresADrainerAndRejoinLiftsTheFence) {
+  runtime::InstructionStore store(
+      runtime::InstructionStoreOptions{/*serialized=*/true, /*capacity=*/0});
+  service::HeartbeatMonitor monitor(RebalanceMonitorOptions());
+  auto spare_keys = std::make_shared<service::SpareKeyAllocator>(10);
+  service::RecoveryOptions ropts;
+  ropts.replicas = {0, 1, 2};
+  ropts.spare_keys = spare_keys;
+  service::RecoveryCoordinator recovery(&store, &monitor, ropts);
+  service::MembershipOptions mopts;
+  mopts.initial_replicas = {0, 1, 2};
+  mopts.spare_keys = spare_keys;
+  service::MembershipCoordinator membership(&store, &monitor, &recovery,
+                                            mopts);
+
+  monitor.OnReplicaAttached(0);
+  monitor.OnReplicaAttached(1);
+  monitor.OnReplicaAttached(2);
+  monitor.OnReplicaDrainRequested(2);
+  ASSERT_EQ(monitor.expected_replicas(), 2);
+  ASSERT_TRUE(store.IsReplicaFenced(2));
+
+  monitor.OnReplicaDisconnected(2, /*clean=*/true);
+  EXPECT_EQ(monitor.expected_replicas(), 2);  // shrank at the drain, not here
+  EXPECT_EQ(membership.ActiveMembers(), (std::vector<int32_t>{0, 1}));
+  EXPECT_TRUE(store.IsReplicaFenced(2));  // no destination while gone
+  EXPECT_TRUE(monitor.DeadReplicas().empty());  // a goodbye, not a death
+
+  monitor.OnReplicaAttached(2);  // comes back: a joiner like any other
+  EXPECT_FALSE(store.IsReplicaFenced(2));
+  EXPECT_EQ(monitor.expected_replicas(), 3);
+  EXPECT_EQ(membership.ActiveMembers(), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(membership.report().joined, std::vector<int32_t>{2});
 }
 
 // ---------- trainer: degraded epochs ----------

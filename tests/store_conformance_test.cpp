@@ -29,6 +29,7 @@
 #include "src/runtime/instruction_store.h"
 #include "src/service/heartbeat_monitor.h"
 #include "src/sim/instruction.h"
+#include "src/transport/frame.h"
 #include "src/transport/mux.h"
 #include "src/transport/remote_store.h"
 #include "src/transport/shm_store.h"
@@ -79,6 +80,16 @@ struct Backend {
     return nullptr;
   }
   virtual bool heartbeats_are_async() const { return false; }
+  // Mid-epoch join is a capability too: how a replica outside the configured
+  // fleet announces itself to a running store. Wire clients carry
+  // kAttachCapJoin on their kAttach (frame v4); a shm replica claims a
+  // heartbeat slot with no frame at all; a plain in-process store has no
+  // membership plane. Returns whether the announcement was delivered.
+  virtual bool supports_join() const { return false; }
+  virtual bool Join(int32_t replica) {
+    (void)replica;
+    return false;
+  }
 };
 
 struct InProcessBackend : Backend {
@@ -111,12 +122,33 @@ struct RemoteBackend : Backend {
   const service::HeartbeatMonitor* heartbeats() const override {
     return &monitor_;
   }
+  bool supports_join() const override { return true; }
+  bool Join(int32_t replica) override {
+    // The raw v4 exchange a wire joiner performs: kAttach whose one-byte
+    // capability payload carries kAttachCapJoin. The stream stays open on
+    // the backend (join_conn_) — closing it here would read as the joiner
+    // vanishing right after it arrived.
+    join_conn_ = transport_.Connect();
+    if (join_conn_ == nullptr) {
+      return false;
+    }
+    transport::Frame attach;
+    attach.type = transport::FrameType::kAttach;
+    attach.replica = replica;
+    attach.payload.push_back(static_cast<char>(transport::kAttachCapJoin));
+    if (!WriteFrame(*join_conn_, attach)) {
+      return false;
+    }
+    const std::optional<transport::Frame> reply = ReadFrame(*join_conn_);
+    return reply.has_value() && reply->type == transport::FrameType::kOk;
+  }
 
   service::HeartbeatMonitor monitor_;
   runtime::InstructionStore store_;
   TransportT transport_;
   transport::InstructionStoreServer server_;
   std::shared_ptr<transport::RemoteInstructionStore> client_;
+  std::unique_ptr<transport::Stream> join_conn_;  // dies before the server
 };
 
 // Same server, but reached through one persistent multiplexed connection
@@ -135,6 +167,15 @@ struct MuxBackend : Backend {
   runtime::InstructionStoreInterface& store() override { return *client_; }
   const service::HeartbeatMonitor* heartbeats() const override {
     return &monitor_;
+  }
+  bool supports_join() const override { return true; }
+  bool Join(int32_t replica) override {
+    // The mux client's own attach surface; join=true sets kAttachCapJoin on
+    // the persistent connection's kAttach.
+    bool evicted = false;
+    return client_->Attach(replica, &evicted, /*timeout_ms=*/2000,
+                           /*join=*/true) &&
+           !evicted;
   }
 
   service::HeartbeatMonitor monitor_;
@@ -160,6 +201,13 @@ struct ShmBackend : Backend {
     return &monitor_;
   }
   bool heartbeats_are_async() const override { return true; }
+  bool supports_join() const override { return true; }
+  bool Join(int32_t replica) override {
+    // No frame at all: claiming a heartbeat slot *is* the announcement; the
+    // poller surfaces it as the replica turning alive.
+    store_->AnnounceReplica(replica);
+    return true;
+  }
 
   service::HeartbeatMonitor monitor_;  // before poller_: outlives its sink
   std::shared_ptr<transport::ShmInstructionStore> store_;
@@ -361,6 +409,35 @@ TEST_P(StoreConformanceTest, RecoverySurfaceIsACapabilityNotACrash) {
     EXPECT_EQ(store.DropReplica(1), 0u);
     EXPECT_EQ(store.Fetch(0, 1), MarkerPlan(10));
     EXPECT_EQ(store.Fetch(5, 1), MarkerPlan(11));
+  }
+}
+
+// Joining a running fleet is a capability on the same footing as
+// heartbeats: where the backend has an announcement path, delivering it
+// must surface as the replica turning alive in the monitor — the liveness
+// event the MembershipCoordinator keys admission off — and where it has
+// none, asking must refuse cleanly, never crash. Shm announcement rides the
+// poller thread, so the assertion waits for it there.
+TEST_P(StoreConformanceTest, JoinIsACapabilityNotACrash) {
+  auto backend = GetParam().make(0);
+  const bool supported = backend->supports_join();
+  EXPECT_EQ(backend->Join(/*replica=*/9), supported);
+  EXPECT_EQ(backend->supports_join(), supported);  // stable answer
+  if (supported) {
+    ASSERT_NE(backend->heartbeats(), nullptr);
+    if (backend->heartbeats_are_async()) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (backend->heartbeats()->Liveness(9) !=
+                 service::ReplicaLiveness::kAlive &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    EXPECT_EQ(backend->heartbeats()->Liveness(9),
+              service::ReplicaLiveness::kAlive);
+    // A join is announcement, not publication: the store itself is untouched.
+    EXPECT_EQ(backend->store().size(), 0u);
   }
 }
 

@@ -40,6 +40,12 @@
 // monitor flags it from the shm beats, and a RebalanceCoordinator migrates
 // part of its unfetched backlog to the fast executors, which drain it at
 // spare iteration numbers.
+//
+// --demo shm --churn is the elastic-membership smoke: three executors start
+// the epoch, one drains out mid-epoch through the slot's drain word while a
+// fourth joins by bare announce, and the parent's MembershipCoordinator
+// verifies both handoffs — backlog stolen for the joiner, backlog reposted
+// off the drainer, every published plan executed exactly once.
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -63,6 +69,7 @@
 #include "src/runtime/instruction_store.h"
 #include "src/runtime/planner.h"
 #include "src/service/heartbeat_monitor.h"
+#include "src/service/membership.h"
 #include "src/service/plan_serde.h"
 #include "src/service/rebalance.h"
 #include "src/service/recovery.h"
@@ -112,6 +119,13 @@ void PrintUsage(const char* argv0) {
       "  --start-iteration <n> first iteration to fetch (default 0)\n"
       "  --iterations <n>      iterations to run; omit to drain until idle\n"
       "  --slow-ms <ms>        artificial per-iteration delay (straggler demo)\n"
+      "  --join                attach as a mid-epoch joiner: declare the join\n"
+      "                        capability so the trainer's membership layer\n"
+      "                        admits this replica and seeds it with stolen\n"
+      "                        backlog (poll at the epoch's spare base)\n"
+      "  --drain-after <n>     after n executed iterations, request a drain:\n"
+      "                        hand the unfetched backlog back to the fleet\n"
+      "                        and detach cleanly once acknowledged\n"
       "  --no-heartbeat        do not report completions back to the trainer\n"
       "  --poll-ms <ms>        publish-poll interval (default 1)\n"
       "  --idle-timeout-ms <ms> exit/open-ended or fail/counted after this\n"
@@ -122,6 +136,9 @@ void PrintUsage(const char* argv0) {
       "                        stall:1200@1, corrupt@2). With --demo, fires\n"
       "                        in one forked executor and the parent checks\n"
       "                        detection + re-publish to survivors\n"
+      "  --churn               with --demo shm: membership-churn smoke — one\n"
+      "                        executor drains out mid-epoch, another joins,\n"
+      "                        the parent verifies both handoffs\n"
       "  --metrics-dump        print this process's metrics (Prometheus text)\n"
       "                        on exit\n"
       "\n"
@@ -660,6 +677,233 @@ int RunDemo(const std::string& kind, const std::string& fault_text) {
   return ok ? 0 : 1;
 }
 
+// ---- --demo shm --churn: elastic membership smoke ----
+//
+// Three executors (0..2) start a paced shm epoch. Mid-epoch, replica 2
+// requests a drain through its heartbeat slot's drain word after two
+// iterations, and replica 3 joins by bare AnnounceReplica, polling at the
+// spare base. The parent runs the elastic control plane (monitor ->
+// recovery -> membership, one shared spare-key allocator) and verifies:
+// the joiner was admitted and seeded with stolen backlog, the drainer's
+// backlog was reposted to the survivors and its drain acknowledged, the
+// store fully drained, and every published plan executed exactly once
+// (heartbeat count == plans published).
+constexpr int kDemoChurnDrainReplica = kDemoReplicas - 1;
+constexpr int kDemoChurnDrainAfter = 2;
+constexpr int kDemoChurnJoinReplica = kDemoReplicas;
+
+[[noreturn]] void RunChurnChild(const std::string& attach, int32_t replica,
+                                const std::vector<std::string>& expected) {
+  executor::ExecutorOptions opts;
+  opts.attach = attach;
+  opts.endpoint = executor::AttachEndpoint::kSharedMemory;
+  opts.replica = replica;
+  opts.iterations = -1;  // open-ended: handed-off work lands at spare keys
+  opts.idle_timeout_ms = 2000;
+  opts.slow_ms = kDemoStallPaceMs;  // pace so the churn happens mid-epoch
+  if (replica == kDemoChurnJoinReplica) {
+    opts.join = true;
+    opts.start_iteration = kDemoStallIterations;  // the spare base
+  }
+  if (replica == kDemoChurnDrainReplica) {
+    opts.drain_after = kDemoChurnDrainAfter;
+  }
+  // Every plan an executor sees — its own share, stolen, or reposted — must
+  // re-encode to bytes the parent published (set membership: a moved plan
+  // keeps its bytes but not its original iteration key).
+  bool bytes_ok = true;
+  opts.observer = [&](const executor::IterationOutcome& o) {
+    const std::string encoded = service::EncodeExecutionPlan(*o.plan);
+    bool member = false;
+    for (const std::string& bytes : expected) {
+      member = member || encoded == bytes;
+    }
+    bytes_ok = bytes_ok && member;
+  };
+  const executor::ExecutorReport report = executor::RunExecutor(opts);
+  common::Tracer::Instance().WritePartFile();
+  if (!report.ok) {
+    std::fprintf(stderr, "[executor %d] %s\n", replica, report.error.c_str());
+    ::_exit(2);
+  }
+  if (!bytes_ok) {
+    std::fprintf(stderr, "[executor %d] fetched plan bytes differ\n", replica);
+    ::_exit(3);
+  }
+  if (replica == kDemoChurnDrainReplica &&
+      (!report.drained || report.evicted)) {
+    std::fprintf(stderr,
+                 "[executor %d] drain handshake failed (drained=%d "
+                 "evicted=%d)\n",
+                 replica, report.drained ? 1 : 0, report.evicted ? 1 : 0);
+    ::_exit(4);
+  }
+  if (replica == kDemoChurnJoinReplica && report.iterations_run < 1) {
+    std::fprintf(stderr, "[executor %d] joiner fetched no plans\n", replica);
+    ::_exit(5);
+  }
+  ::_exit(0);
+}
+
+int RunChurnDemo() {
+  const std::string attach =
+      "/dynapipe-exec-churn-" + std::to_string(::getpid());
+  std::printf("[demo] planning %d iterations...\n", kDemoIterations);
+  const std::vector<sim::ExecutionPlan> plans = PlanDemoEpoch();
+  std::vector<std::string> expected;
+  for (const auto& plan : plans) {
+    expected.push_back(service::EncodeExecutionPlan(plan));
+  }
+
+  // Fork the executors (joiner included) before the segment exists; they
+  // poll/retry while the parent brings the control plane up.
+  std::vector<pid_t> children;
+  for (int32_t replica = 0; replica <= kDemoChurnJoinReplica; ++replica) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      RunChurnChild(attach, replica, expected);
+    }
+    children.push_back(pid);
+  }
+
+  service::HeartbeatMonitorOptions monitor_opts;
+  monitor_opts.straggler_multiple = 2.0;
+  monitor_opts.min_straggler_gap_ms = 25.0;
+  // Membership re-gates this live: 4 while the joiner overlaps the original
+  // fleet, 3 after the drainer leaves.
+  monitor_opts.expected_replicas = kDemoReplicas;
+  service::HeartbeatMonitor monitor(monitor_opts);
+  std::shared_ptr<transport::ShmInstructionStore> shm =
+      transport::ShmInstructionStore::Create(attach,
+                                             transport::ShmStoreOptions{});
+  // Publish the whole epoch before the poller starts delivering events: the
+  // joiner announces the moment the segment exists, and its admission steal
+  // should find a backlog worth sharing.
+  for (int i = 0; i < kDemoStallIterations; ++i) {
+    for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+      shm->Push(i, replica, plans[static_cast<size_t>(i) % plans.size()]);
+    }
+  }
+  // One spare-key allocator across recovery and membership, so a crash
+  // repost and a churn handoff can never pick colliding destination keys.
+  auto spare_keys =
+      std::make_shared<service::SpareKeyAllocator>(kDemoStallIterations);
+  service::RecoveryOptions ropts;
+  for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+    ropts.replicas.push_back(replica);
+  }
+  ropts.spare_iteration_base = kDemoStallIterations;
+  ropts.spare_keys = spare_keys;
+  service::RecoveryCoordinator recovery(shm.get(), &monitor, ropts);
+  service::MembershipOptions mopts;
+  for (int32_t replica = 0; replica < kDemoReplicas; ++replica) {
+    mopts.initial_replicas.push_back(replica);
+  }
+  mopts.spare_keys = spare_keys;
+  transport::ShmInstructionStore* raw_shm = shm.get();
+  mopts.drain_ack = [raw_shm](int32_t replica) {
+    raw_shm->AcknowledgeDrain(replica);
+  };
+  service::MembershipCoordinator membership(shm.get(), &monitor, &recovery,
+                                            mopts);
+  // Declared last: the poller stops feeding the monitor before membership
+  // and recovery unhook.
+  transport::ShmHeartbeatPoller poller(shm, &monitor);
+
+  std::printf("[demo] published %dx%d plans on %s (shm): replica %d drains "
+              "after %d iterations, replica %d joins at the spare base\n",
+              kDemoStallIterations, kDemoReplicas, attach.c_str(),
+              kDemoChurnDrainReplica, kDemoChurnDrainAfter,
+              kDemoChurnJoinReplica);
+
+  bool ok = true;
+  for (size_t c = 0; c < children.size(); ++c) {
+    const pid_t child = children[c];
+    int status = 0;
+    if (::waitpid(child, &status, 0) != child) {
+      std::fprintf(stderr, "[demo] waitpid for executor %zu failed\n", c);
+      ok = false;
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "[demo] executor pid %d exited abnormally (%d)\n",
+                   static_cast<int>(child), status);
+      ok = false;
+    }
+  }
+  if (shm->size() != 0) {
+    std::fprintf(stderr, "[demo] %zu plans left undrained\n", shm->size());
+    ok = false;
+  }
+
+  // The last beats are already in the segment slots, waiting for the poller
+  // thread; wait for the full count (bounded) before reading the monitor.
+  const int64_t expected_beats =
+      static_cast<int64_t>(kDemoStallIterations) * kDemoReplicas;
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  while (monitor.total_heartbeats() < expected_beats &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const service::MembershipReport mreport = membership.report();
+  std::string joined, drained;
+  for (const int32_t replica : mreport.joined) {
+    joined += (joined.empty() ? "" : ",") + std::to_string(replica);
+  }
+  for (const int32_t replica : mreport.drained) {
+    drained += (drained.empty() ? "" : ",") + std::to_string(replica);
+  }
+  std::printf("[demo] membership: joined=[%s] drained=[%s] stolen=%lld "
+              "reposted=%lld, %lld/%lld heartbeats\n",
+              joined.c_str(), drained.c_str(),
+              static_cast<long long>(mreport.join_stolen_iterations),
+              static_cast<long long>(mreport.drain_reposted_iterations),
+              static_cast<long long>(monitor.total_heartbeats()),
+              static_cast<long long>(expected_beats));
+  if (mreport.joined != std::vector<int32_t>{kDemoChurnJoinReplica}) {
+    std::fprintf(stderr, "[demo] expected exactly replica %d admitted\n",
+                 kDemoChurnJoinReplica);
+    ok = false;
+  }
+  if (mreport.drained != std::vector<int32_t>{kDemoChurnDrainReplica}) {
+    std::fprintf(stderr, "[demo] expected exactly replica %d drained\n",
+                 kDemoChurnDrainReplica);
+    ok = false;
+  }
+  if (mreport.join_stolen_iterations < 1) {
+    std::fprintf(stderr, "[demo] the joiner was seeded no backlog\n");
+    ok = false;
+  }
+  if (mreport.drain_reposted_iterations < 1) {
+    std::fprintf(stderr, "[demo] the drainer handed off no backlog\n");
+    ok = false;
+  }
+  if (monitor.total_heartbeats() != expected_beats) {
+    std::fprintf(stderr,
+                 "[demo] %lld heartbeats delivered, expected %lld — every "
+                 "plan (stolen and reposted included) reports exactly once\n",
+                 static_cast<long long>(monitor.total_heartbeats()),
+                 static_cast<long long>(expected_beats));
+    ok = false;
+  }
+  if (common::Tracer::enabled() &&
+      common::Tracer::Instance().WriteMergedTrace()) {
+    std::printf("[demo] merged trace written to %s\n",
+                common::Tracer::Instance().path().c_str());
+  }
+  std::printf("[demo] %s\n",
+              ok ? "ok: joiner admitted and seeded, drainer acknowledged and "
+                   "handed off, epoch drained exactly once"
+                 : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -670,6 +914,7 @@ int main(int argc, char** argv) {
   executor::ExecutorOptions options;
   std::string demo;
   std::string fault_text;
+  bool churn = false;
   bool metrics_dump = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -706,6 +951,10 @@ int main(int argc, char** argv) {
       options.iterations = ParseIntFlag("--iterations", next());
     } else if (arg == "--slow-ms") {
       options.slow_ms = ParseDoubleFlag("--slow-ms", next());
+    } else if (arg == "--join") {
+      options.join = true;
+    } else if (arg == "--drain-after") {
+      options.drain_after = ParseIntFlag("--drain-after", next());
     } else if (arg == "--no-heartbeat") {
       options.heartbeat = false;
     } else if (arg == "--poll-ms") {
@@ -721,6 +970,8 @@ int main(int argc, char** argv) {
       demo = next();
     } else if (arg == "--fault") {
       fault_text = next();
+    } else if (arg == "--churn") {
+      churn = true;
     } else if (arg == "--metrics-dump") {
       metrics_dump = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -733,6 +984,18 @@ int main(int argc, char** argv) {
     }
   }
   if (!demo.empty()) {
+    if (churn) {
+      if (demo != "shm") {
+        std::fprintf(stderr, "--churn: only the shm demo supports "
+                             "membership churn\n");
+        return 1;
+      }
+      if (!fault_text.empty()) {
+        std::fprintf(stderr, "--churn and --fault are separate demos\n");
+        return 1;
+      }
+      return RunChurnDemo();
+    }
     return RunDemo(demo, fault_text);
   }
   if (!fault_text.empty()) {
